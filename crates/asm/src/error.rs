@@ -1,0 +1,68 @@
+//! Assembler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use parsecs_isa::IsaError;
+
+/// An error produced while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A syntax error at a given (1-based) source line.
+    Syntax {
+        /// Source line number.
+        line: usize,
+        /// Human readable explanation.
+        message: String,
+    },
+    /// A structural error reported by the ISA layer (undefined label,
+    /// invalid operands, …).
+    Isa(IsaError),
+}
+
+impl AsmError {
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError::Syntax { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::Isa(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Syntax { .. } => None,
+            AsmError::Isa(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsaError> for AsmError {
+    fn from(e: IsaError) -> AsmError {
+        AsmError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_line_number() {
+        let e = AsmError::syntax(12, "unknown mnemonic `bogus`");
+        assert_eq!(e.to_string(), "line 12: unknown mnemonic `bogus`");
+    }
+
+    #[test]
+    fn isa_errors_convert() {
+        let e: AsmError = IsaError::UndefinedLabel("x".into()).into();
+        assert!(e.to_string().contains("undefined label"));
+    }
+}

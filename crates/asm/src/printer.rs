@@ -1,0 +1,96 @@
+//! Pretty-printers that regenerate the paper's listing layout.
+
+use std::fmt::Write as _;
+
+use parsecs_isa::Program;
+
+/// Renders a program as gas-syntax text that [`crate::assemble`] accepts
+/// again (data first, then labelled code).
+///
+/// # Example
+///
+/// ```
+/// let p = parsecs_asm::assemble("main: movq $1, %rax\n out %rax\n halt")?;
+/// let text = parsecs_asm::listing(&p);
+/// let q = parsecs_asm::assemble(&text)?;
+/// assert_eq!(p.insns(), q.insns());
+/// # Ok::<(), parsecs_asm::AsmError>(())
+/// ```
+pub fn listing(program: &Program) -> String {
+    program.to_string()
+}
+
+/// Renders a program with one numbered line per instruction, in the style
+/// of the paper's Figure 2 / Figure 5 listings.
+pub fn listing_numbered(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, inst) in program.insns().iter().enumerate() {
+        let label = program
+            .label_at(i)
+            .map(|l| format!("{l}:"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{:>4}  {:<8}{}", i + 1, label, inst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    const SUM_FORK: &str = r#"
+sum:    cmpq    $2, %rsi
+        ja      .L2
+        movq    (%rdi), %rax
+        jne     .L1
+        addq    8(%rdi), %rax
+.L1:    endfork
+.L2:    movq    %rsi, %rbx
+        shrq    %rsi
+        fork    sum
+        subq    $8, %rsp
+        movq    %rax, 0(%rsp)
+        leaq    (%rdi,%rsi,8), %rdi
+        subq    %rsi, %rbx
+        movq    %rbx, %rsi
+        fork    sum
+        addq    0(%rsp), %rax
+        addq    $8, %rsp
+        endfork
+"#;
+
+    #[test]
+    fn listing_roundtrips_through_the_assembler() {
+        let p = assemble(SUM_FORK).unwrap();
+        let text = listing(&p);
+        let q = assemble(&text).unwrap();
+        assert_eq!(p.insns(), q.insns());
+        assert_eq!(p.labels(), q.labels());
+    }
+
+    #[test]
+    fn listing_roundtrips_with_data() {
+        let src = "t: .quad 4, 2, 6, 4, 5\nmain: movq $t, %rdi\n movq (%rdi), %rax\n out %rax\n halt";
+        let p = assemble(src).unwrap();
+        let q = assemble(&listing(&p)).unwrap();
+        assert_eq!(p.insns(), q.insns());
+        assert_eq!(p.data(), q.data());
+        assert_eq!(p.entry(), q.entry());
+    }
+
+    #[test]
+    fn numbered_listing_matches_figure5_shape() {
+        let p = assemble(SUM_FORK).unwrap();
+        let text = listing_numbered(&p);
+        let lines: Vec<&str> = text.lines().collect();
+        // Figure 5 has 18 instructions (19 numbered lines, one being the
+        // shared label line).
+        assert_eq!(lines.len(), 18);
+        assert!(lines[0].contains("sum:"));
+        assert!(lines[0].contains("cmpq"));
+        assert!(lines[8].contains("fork"));
+        assert!(lines[17].contains("endfork"));
+        assert!(lines[0].starts_with("   1"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Throughput of the Figure 7 ILP limit analyzer: events scheduled per
+//! second under the paper's two dependence models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parsecs_bench::trace_benchmark;
+use parsecs_ilp::{analyze, IlpModel};
+use parsecs_workloads::pbbs::Benchmark;
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_analyzer");
+    for benchmark in [Benchmark::ComparisonSort, Benchmark::RemoveDuplicates] {
+        let trace = trace_benchmark(benchmark, 128, 1);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parallel_ideal", benchmark.kernel()),
+            &trace,
+            |b, t| b.iter(|| analyze(t, &IlpModel::parallel_ideal())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_oracle", benchmark.kernel()),
+            &trace,
+            |b, t| b.iter(|| analyze(t, &IlpModel::sequential_oracle())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

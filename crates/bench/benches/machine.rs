@@ -1,0 +1,41 @@
+//! Throughput of the sequential reference machine (the substrate every
+//! experiment runs on): instructions interpreted per second on the
+//! call-based sum and on two PBBS-analog kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parsecs_cc::Backend;
+use parsecs_machine::Machine;
+use parsecs_workloads::{pbbs::Benchmark, sum};
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+
+    for n in [1u32, 3, 5] {
+        let data = sum::dataset(n, 7);
+        let program = sum::call_program(&data);
+        let instructions = Machine::load(&program).unwrap().run(10_000_000).unwrap().instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_with_input(BenchmarkId::new("sum_call", data.len()), &program, |b, p| {
+            b.iter(|| {
+                let mut machine = Machine::load(p).unwrap();
+                machine.run(10_000_000).unwrap()
+            })
+        });
+    }
+
+    for benchmark in [Benchmark::IntegerSort, Benchmark::Bfs] {
+        let program = benchmark.program(128, 1, Backend::Calls).unwrap();
+        let instructions = Machine::load(&program).unwrap().run(100_000_000).unwrap().instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_with_input(BenchmarkId::new(benchmark.kernel(), 128), &program, |b, p| {
+            b.iter(|| {
+                let mut machine = Machine::load(p).unwrap();
+                machine.run(100_000_000).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

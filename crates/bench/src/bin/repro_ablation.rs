@@ -1,0 +1,57 @@
+//! Ablations over the design choices called out in DESIGN.md: number of
+//! cores, NoC hop latency, section placement policy, fetch-stall behaviour
+//! and the per-section renaming walk penalty, measured on the fork-based
+//! sum and on the fork-compiled quicksort.
+
+use parsecs_cc::Backend;
+use parsecs_core::{ManyCoreSim, Placement, SimConfig};
+use parsecs_isa::Program;
+use parsecs_noc::NocConfig;
+use parsecs_workloads::{pbbs::Benchmark, sum};
+
+fn row(label: &str, program: &Program, config: SimConfig) {
+    let result = ManyCoreSim::new(config).run(program).expect("simulates");
+    println!(
+        "{:<44} {:>8} {:>8} {:>9} {:>10.2} {:>10.2}",
+        label,
+        result.stats.sections,
+        result.stats.fetch_cycles,
+        result.stats.total_cycles,
+        result.stats.fetch_ipc,
+        result.stats.retire_ipc,
+    );
+}
+
+fn sweep(name: &str, program: &Program) {
+    println!("== {name} ==");
+    println!(
+        "{:<44} {:>8} {:>8} {:>9} {:>10} {:>10}",
+        "configuration", "sections", "fetch", "retire", "fetchIPC", "retireIPC"
+    );
+    for cores in [1, 2, 4, 16, 64] {
+        row(&format!("{cores} cores (crossbar, default NoC)"), program, SimConfig::with_cores(cores));
+    }
+    let mut slow = SimConfig::with_cores(16);
+    slow.noc = NocConfig { base_latency: 2, per_hop_latency: 4, link_bandwidth: None };
+    row("16 cores, slow NoC (2 + 4/hop)", program, slow);
+    let mut walk = SimConfig::with_cores(16);
+    walk.per_section_hop = 4;
+    row("16 cores, 4-cycle per-section renaming walk", program, walk);
+    let mut least = SimConfig::with_cores(16);
+    least.placement = Placement::LeastLoaded;
+    row("16 cores, least-loaded placement", program, least);
+    let mut no_stall = SimConfig::with_cores(16);
+    no_stall.fetch_stalls_on_unresolved_control = false;
+    row("16 cores, fetch never stalls on control", program, no_stall);
+    println!();
+}
+
+fn main() {
+    let data = sum::dataset(4, 7); // 80 elements
+    sweep("fork-based sum, 80 elements", &sum::fork_program(&data));
+
+    let quicksort = Benchmark::ComparisonSort
+        .program(64, 3, Backend::Forks)
+        .expect("compiles");
+    sweep("fork-compiled quicksort, 64 keys", &quicksort);
+}

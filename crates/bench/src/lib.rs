@@ -1,0 +1,104 @@
+//! # parsecs-bench — the reproduction harness
+//!
+//! One binary per evaluation artefact of the paper (run them with
+//! `cargo run -p parsecs-bench --release --bin <name>`):
+//!
+//! | binary | paper artefact |
+//! |--------|----------------|
+//! | `repro_table1` | Table 1 — the ten PBBS benchmarks |
+//! | `repro_fig3_fig6_traces` | Figures 3, 4 and 6 — the sum traces and sections |
+//! | `repro_fig7_ilp` | Figure 7 — sequential vs parallel ILP across datasets |
+//! | `repro_fig10_timing` | Figure 10 — per-stage timing of `sum(t,5)` on one core per section |
+//! | `repro_sec5_analytic` | §5 — closed-form model vs simulated fetch/retire IPC |
+//! | `repro_ablation` | design-choice ablations (NoC latency, cores, placement, fetch stalls) |
+//!
+//! The Criterion benches (`cargo bench -p parsecs-bench`) measure the
+//! throughput of the three engines themselves (reference machine, ILP
+//! analyzer, many-core simulator) so regressions in the reproduction
+//! infrastructure are visible.
+//!
+//! This crate's library exposes the small amount of shared code the
+//! binaries use: dataset sweeps and ILP measurement for a workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parsecs_cc::Backend;
+use parsecs_ilp::{analyze, IlpModel, IlpResult};
+use parsecs_machine::{Machine, Trace};
+use parsecs_workloads::pbbs::Benchmark;
+
+/// The ILP of one benchmark instance under both of the paper's models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpRow {
+    /// Benchmark measured.
+    pub benchmark: Benchmark,
+    /// Problem size (elements / nodes / points).
+    pub size: usize,
+    /// Dynamic instructions in the trace.
+    pub instructions: u64,
+    /// Parallel-model ILP (the paper's numbered bars).
+    pub parallel_ilp: f64,
+    /// Sequential-oracle ILP (the paper's `seq` bars).
+    pub sequential_ilp: f64,
+}
+
+/// Traces one benchmark instance on the reference machine.
+///
+/// # Panics
+///
+/// Panics if the embedded benchmark fails to compile or run — both would
+/// be bugs in the workload definitions.
+pub fn trace_benchmark(benchmark: Benchmark, size: usize, seed: u64) -> Trace {
+    let program = benchmark
+        .program(size, seed, Backend::Calls)
+        .expect("embedded benchmarks compile");
+    let mut machine = Machine::load(&program).expect("programs load");
+    let (outcome, trace) = machine.run_traced(2_000_000_000).expect("programs halt");
+    assert_eq!(
+        outcome.outputs,
+        benchmark.expected(size, seed),
+        "{} disagrees with its oracle",
+        benchmark.name()
+    );
+    trace
+}
+
+/// Measures one benchmark instance under the paper's two ILP models.
+pub fn ilp_row(benchmark: Benchmark, size: usize, seed: u64) -> IlpRow {
+    let trace = trace_benchmark(benchmark, size, seed);
+    let parallel: IlpResult = analyze(&trace, &IlpModel::parallel_ideal());
+    let sequential: IlpResult = analyze(&trace, &IlpModel::sequential_oracle());
+    IlpRow {
+        benchmark,
+        size,
+        instructions: trace.len() as u64,
+        parallel_ilp: parallel.ilp,
+        sequential_ilp: sequential.ilp,
+    }
+}
+
+/// The geometric dataset sweep used by the Figure 7 reproduction: the paper
+/// uses eleven sizes from 1 M to 1 G dynamic instructions; we scale the
+/// sweep down (`count` sizes starting at `base`, doubling), keeping the
+/// doubling structure.
+pub fn dataset_sweep(base: usize, count: usize) -> Vec<usize> {
+    (0..count).map(|i| base << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_doubles() {
+        assert_eq!(dataset_sweep(16, 4), vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn ilp_row_reproduces_the_papers_ordering() {
+        let row = ilp_row(Benchmark::IntegerSort, 48, 1);
+        assert!(row.parallel_ilp > row.sequential_ilp);
+        assert!(row.instructions > 100);
+    }
+}

@@ -1,0 +1,85 @@
+//! Compiler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use parsecs_isa::IsaError;
+
+/// An error produced while compiling mini-C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcError {
+    /// A lexical error (unknown character, malformed number).
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A semantic error (undefined variable or function, wrong arity, …).
+    Sema {
+        /// Explanation.
+        message: String,
+    },
+    /// The generated program failed ISA-level validation (a compiler bug,
+    /// surfaced as an error rather than a panic).
+    Codegen(IsaError),
+}
+
+impl CcError {
+    pub(crate) fn lex(line: usize, message: impl Into<String>) -> CcError {
+        CcError::Lex { line, message: message.into() }
+    }
+
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> CcError {
+        CcError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn sema(message: impl Into<String>) -> CcError {
+        CcError::Sema { message: message.into() }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Lex { line, message } => write!(f, "lexical error at line {line}: {message}"),
+            CcError::Parse { line, message } => write!(f, "syntax error at line {line}: {message}"),
+            CcError::Sema { message } => write!(f, "semantic error: {message}"),
+            CcError::Codegen(e) => write!(f, "code generation produced an invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for CcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CcError::Codegen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CcError {
+    fn from(e: IsaError) -> CcError {
+        CcError::Codegen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_line() {
+        assert!(CcError::lex(3, "bad char").to_string().contains("line 3"));
+        assert!(CcError::parse(9, "expected )").to_string().contains("line 9"));
+        assert!(CcError::sema("unknown function f").to_string().contains("unknown function"));
+    }
+}

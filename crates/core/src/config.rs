@@ -1,0 +1,141 @@
+//! Configuration of the many-core simulator.
+
+use parsecs_noc::{NocConfig, Topology};
+
+/// How sections are placed on cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Sections are assigned to cores in creation order, round robin.
+    /// This is the policy implied by the paper's example ("we assume the 5
+    /// sections can be hosted in 5 different cores").
+    #[default]
+    RoundRobin,
+    /// Each new section goes to the core with the fewest instructions
+    /// currently assigned (a simple load-balancing heuristic; the paper
+    /// leaves the hosting-core choice out of scope).
+    LeastLoaded,
+}
+
+/// Parameters of the many-core timing model.
+///
+/// The defaults follow the assumptions of the paper's Figure 10 analysis:
+/// one instruction per pipeline stage per cycle, an always-hitting L1
+/// instruction cache, and a small fixed cost for reaching a remote producer
+/// over the NoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of cores on the chip.
+    pub cores: usize,
+    /// Interconnect topology. The number of cores of the topology bounds
+    /// `cores`; by default a crossbar with `cores` ports is used so that
+    /// remote-operand latency matches the paper's flat 1-hop charge.
+    pub topology: Option<Topology>,
+    /// NoC timing.
+    pub noc: NocConfig,
+    /// Section placement policy.
+    pub placement: Placement,
+    /// Maximum number of sections placed on a single core
+    /// (`max_section` in the paper). The round-robin placement spills to
+    /// the next core with free capacity; when every core is at capacity the
+    /// limit is relaxed so the run can still complete.
+    pub max_sections_per_core: usize,
+    /// Cycles to reach the data memory hierarchy (the loader / DMH) when a
+    /// memory renaming request reaches the oldest section without finding a
+    /// producer. The paper's example charges 3 cycles.
+    pub dmh_latency: u64,
+    /// Extra cycles charged per intermediate section visited by a renaming
+    /// request (the backward walk of §4.2). The paper's shortcuts make this
+    /// small; 0 models perfectly effective shortcuts and caching.
+    pub per_section_hop: u64,
+    /// Maximum number of dynamic instructions to pre-execute functionally.
+    pub fuel: u64,
+    /// Whether the fetch stage stalls when a control-flow instruction
+    /// cannot be computed in the fetch stage (its sources are not yet
+    /// full). The paper computes control in order; `true` models the stall,
+    /// `false` models an idealised fetch that never waits on control.
+    pub fetch_stalls_on_unresolved_control: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            cores: 64,
+            topology: None,
+            noc: NocConfig { base_latency: 1, per_hop_latency: 1, link_bandwidth: None },
+            placement: Placement::RoundRobin,
+            max_sections_per_core: 8,
+            dmh_latency: 3,
+            per_section_hop: 0,
+            fuel: 50_000_000,
+            fetch_stalls_on_unresolved_control: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with `cores` cores and the other parameters at their
+    /// defaults.
+    pub fn with_cores(cores: usize) -> SimConfig {
+        SimConfig { cores, ..SimConfig::default() }
+    }
+
+    /// The effective topology: the configured one, or a crossbar over
+    /// `cores`.
+    pub fn effective_topology(&self) -> Topology {
+        self.topology.unwrap_or(Topology::Crossbar { size: self.cores })
+    }
+
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration cannot be simulated (zero
+    /// cores, zero section capacity, or a topology smaller than `cores`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("the chip needs at least one core".into());
+        }
+        if self.max_sections_per_core == 0 {
+            return Err("each core must be able to host at least one section".into());
+        }
+        if self.effective_topology().num_cores() < self.cores {
+            return Err(format!(
+                "topology {} has fewer cores than the requested {}",
+                self.effective_topology(),
+                self.cores
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(SimConfig::default().validate().is_ok());
+        assert!(SimConfig::with_cores(5).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(SimConfig::with_cores(0).validate().is_err());
+        let mut c = SimConfig::default();
+        c.max_sections_per_core = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::with_cores(16);
+        c.topology = Some(Topology::mesh(2, 2));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn effective_topology_defaults_to_crossbar() {
+        let c = SimConfig::with_cores(7);
+        assert_eq!(c.effective_topology(), Topology::Crossbar { size: 7 });
+        let mut c = SimConfig::with_cores(4);
+        c.topology = Some(Topology::mesh(2, 2));
+        assert_eq!(c.effective_topology(), Topology::mesh(2, 2));
+    }
+}

@@ -1,0 +1,52 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use parsecs_machine::MachineError;
+
+/// Errors produced while preparing or running a many-core simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional pre-execution of the program failed.
+    Machine(MachineError),
+    /// The configuration is invalid (e.g. zero cores).
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Machine(e) => write!(f, "functional execution failed: {e}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Machine(e) => Some(e),
+            SimError::Config(_) => None,
+        }
+    }
+}
+
+impl From<MachineError> for SimError {
+    fn from(e: MachineError) -> SimError {
+        SimError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::Config("no cores".into());
+        assert!(e.to_string().contains("no cores"));
+        let e: SimError = MachineError::OutOfFuel { steps: 5 }.into();
+        assert!(e.to_string().contains("5"));
+    }
+}

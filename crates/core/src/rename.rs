@@ -1,0 +1,230 @@
+//! Register and memory renaming structures.
+//!
+//! §4.2 of the paper names every destination with the pair
+//! *(#section, #instruction)*: the Register Alias Table (RAT) maps
+//! architectural registers to such tags, and the Memory Address Alias
+//! Table (MAAT) — one per section, fully associative — maps data addresses
+//! to tags. Renaming every write turns the run-time code into single
+//! assignment form, which is what makes the distributed memory coherent
+//! without a coherence protocol.
+//!
+//! The timing simulator resolves producers analytically (see
+//! [`crate::SectionedTrace`]); these structures model the hardware tables
+//! themselves and are used to check the single-assignment invariant.
+
+use std::collections::HashMap;
+
+use parsecs_isa::Reg;
+use parsecs_machine::Location;
+
+use crate::{SectionId, SectionedTrace};
+
+/// The *(#section, #instruction)* name of a renamed destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RenameTag {
+    /// Section of the producing instruction.
+    pub section: SectionId,
+    /// Index of the producing instruction inside its section.
+    pub instruction: usize,
+}
+
+impl RenameTag {
+    /// Creates a tag.
+    pub fn new(section: SectionId, instruction: usize) -> RenameTag {
+        RenameTag { section, instruction }
+    }
+}
+
+/// Per-section Register Alias Table.
+///
+/// Maps each architectural register (and the flags) to the tag of its most
+/// recent local producer, together with a *full* bit: a full entry holds a
+/// value computed in this section (or received at fork), an empty entry
+/// means the value must be requested from a predecessor section.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterAliasTable {
+    entries: HashMap<Location, (RenameTag, bool)>,
+}
+
+impl RegisterAliasTable {
+    /// An empty table: every register is unmapped.
+    pub fn new() -> RegisterAliasTable {
+        RegisterAliasTable::default()
+    }
+
+    /// Initialises the table with the registers carried by a
+    /// section-creation message (the stack pointer and the paper's
+    /// non-volatile set), marked full.
+    pub fn with_fork_copy(section: SectionId) -> RegisterAliasTable {
+        let mut t = RegisterAliasTable::new();
+        for r in Reg::ALL {
+            if r.is_fork_copied() {
+                // The copied registers are "produced" by the section
+                // creation itself; use instruction index 0 as their tag.
+                t.entries.insert(Location::Reg(r), (RenameTag::new(section, 0), true));
+            }
+        }
+        t
+    }
+
+    /// Records a local write by `tag`, marking the entry full when
+    /// `computed` (the producing instruction already has its value) or
+    /// empty otherwise.
+    pub fn define(&mut self, loc: Location, tag: RenameTag, computed: bool) {
+        self.entries.insert(loc, (tag, computed));
+    }
+
+    /// Looks up the local renaming of `loc`.
+    pub fn lookup(&self, loc: Location) -> Option<(RenameTag, bool)> {
+        self.entries.get(&loc).copied()
+    }
+
+    /// Marks an entry full once its value has been computed or received.
+    pub fn fill(&mut self, loc: Location) {
+        if let Some(entry) = self.entries.get_mut(&loc) {
+            entry.1 = true;
+        }
+    }
+
+    /// Number of mapped locations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no location is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-section Memory Address Alias Table (MAAT).
+///
+/// A fully associative map from data addresses to the tag of the section's
+/// most recent store to that address. A miss means the section does not
+/// write the address and the renaming request must be propagated to the
+/// preceding section.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryAliasTable {
+    entries: HashMap<u64, RenameTag>,
+}
+
+impl MemoryAliasTable {
+    /// An empty table.
+    pub fn new() -> MemoryAliasTable {
+        MemoryAliasTable::default()
+    }
+
+    /// Records a store to `addr` by `tag`.
+    pub fn define(&mut self, addr: u64, tag: RenameTag) {
+        self.entries.insert(addr, tag);
+    }
+
+    /// Looks up the renaming of `addr` in this section.
+    pub fn lookup(&self, addr: u64) -> Option<RenameTag> {
+        self.entries.get(&addr).copied()
+    }
+
+    /// Number of renamed addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Replays a sectioned trace through per-section RAT/MAAT tables and checks
+/// the single-assignment property: every dynamic write gets a distinct
+/// *(#section, #instruction)* tag, and a consumer's renaming always
+/// resolves to the producer found by [`SectionedTrace`]'s sequential
+/// analysis.
+///
+/// Returns the total number of renamed destinations.
+///
+/// # Panics
+///
+/// Panics if the invariant is violated — this is a model self-check used by
+/// tests and debug assertions, not an error path users are expected to
+/// handle.
+pub fn verify_single_assignment(trace: &SectionedTrace) -> usize {
+    let mut tags_seen: HashMap<RenameTag, usize> = HashMap::new();
+    let mut rats: Vec<RegisterAliasTable> = trace
+        .sections()
+        .iter()
+        .map(|s| RegisterAliasTable::with_fork_copy(s.id))
+        .collect();
+    let mut maats: Vec<MemoryAliasTable> =
+        trace.sections().iter().map(|_| MemoryAliasTable::new()).collect();
+    let mut renamed = 0usize;
+
+    for record in trace.records() {
+        let tag = RenameTag::new(record.section, record.index_in_section);
+        for loc in &record.writes {
+            let previous = tags_seen.insert(tag, record.seq);
+            assert!(
+                previous.is_none() || previous == Some(record.seq),
+                "tag {tag:?} reused by two different dynamic instructions"
+            );
+            renamed += 1;
+            match loc {
+                Location::Mem(addr) => maats[record.section.0].define(*addr, tag),
+                other => rats[record.section.0].define(*other, tag, true),
+            }
+        }
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rat_lookup_define_fill() {
+        let mut rat = RegisterAliasTable::new();
+        assert!(rat.is_empty());
+        let tag = RenameTag::new(SectionId(1), 3);
+        rat.define(Location::Reg(Reg::Rax), tag, false);
+        assert_eq!(rat.lookup(Location::Reg(Reg::Rax)), Some((tag, false)));
+        rat.fill(Location::Reg(Reg::Rax));
+        assert_eq!(rat.lookup(Location::Reg(Reg::Rax)), Some((tag, true)));
+        assert_eq!(rat.lookup(Location::Reg(Reg::Rbx)), None);
+        assert_eq!(rat.len(), 1);
+    }
+
+    #[test]
+    fn fork_copy_preloads_the_papers_nonvolatile_registers() {
+        let rat = RegisterAliasTable::with_fork_copy(SectionId(2));
+        assert!(rat.lookup(Location::Reg(Reg::Rbx)).is_some());
+        assert!(rat.lookup(Location::Reg(Reg::Rsp)).is_some());
+        assert!(rat.lookup(Location::Reg(Reg::Rdi)).is_some());
+        assert!(rat.lookup(Location::Reg(Reg::Rsi)).is_some());
+        assert!(rat.lookup(Location::Reg(Reg::Rax)).is_none(), "the result register starts empty");
+        assert_eq!(rat.len(), 13);
+    }
+
+    #[test]
+    fn maat_is_per_address() {
+        let mut maat = MemoryAliasTable::new();
+        assert!(maat.is_empty());
+        let t1 = RenameTag::new(SectionId(0), 1);
+        let t2 = RenameTag::new(SectionId(0), 5);
+        maat.define(0x1000, t1);
+        maat.define(0x1008, t2);
+        assert_eq!(maat.lookup(0x1000), Some(t1));
+        assert_eq!(maat.lookup(0x1008), Some(t2));
+        assert_eq!(maat.lookup(0x1010), None);
+        maat.define(0x1000, t2);
+        assert_eq!(maat.lookup(0x1000), Some(t2), "the most recent local store wins");
+    }
+
+    #[test]
+    fn sum_run_is_single_assignment() {
+        let program = crate::section::tests::sum_fork_program(&[4, 2, 6, 4, 5]);
+        let trace = SectionedTrace::from_program(&program, 100_000).unwrap();
+        let renamed = verify_single_assignment(&trace);
+        assert!(renamed > 0);
+    }
+}

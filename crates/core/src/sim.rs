@@ -1,0 +1,731 @@
+//! The many-core timing simulator.
+//!
+//! The simulator models the paper's execution as two coupled layers:
+//!
+//! 1. a *functional* layer — [`SectionedTrace`] runs the program, splits it
+//!    into sections and resolves every producer/consumer pair; and
+//! 2. a *timing* layer — this module places sections on cores and advances
+//!    the chip cycle by cycle: every core fetches one instruction per cycle
+//!    along its current section (computing control in the fetch stage
+//!    rather than predicting it), section-creation messages travel over the
+//!    NoC, remote operands are obtained through renaming requests charged
+//!    with the NoC latency, memory instructions go through the
+//!    address-rename and memory-access stages, and each section retires in
+//!    order.
+//!
+//! The output is a per-instruction, per-stage cycle table (Figure 10 of the
+//! paper) plus aggregate fetch/retire IPC (§5).
+
+use std::collections::{HashMap, VecDeque};
+
+use parsecs_isa::Program;
+use parsecs_machine::TraceKind;
+use parsecs_noc::{CoreId, Network, NocStats};
+
+use crate::{
+    InstTiming, Placement, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats,
+    SourceKind,
+};
+
+/// The result of one many-core simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Values emitted by `out` instructions during the run.
+    pub outputs: Vec<u64>,
+    /// Per-instruction stage timings, in sequential order.
+    pub timings: Vec<InstTiming>,
+    /// The sections of the run, in total order.
+    pub sections: Vec<SectionSpan>,
+    /// The core hosting each section (indexed by section id).
+    pub core_of: Vec<CoreId>,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// The timings of one section, in fetch order.
+    pub fn section_timings(&self, id: SectionId) -> Vec<&InstTiming> {
+        self.timings.iter().filter(|t| t.section == id).collect()
+    }
+}
+
+/// The many-core simulator of the sectioned execution model.
+#[derive(Debug, Clone)]
+pub struct ManyCoreSim {
+    config: SimConfig,
+}
+
+#[derive(Debug, Default)]
+struct CoreState {
+    queue: VecDeque<SectionId>,
+    current: Option<SectionId>,
+    next_seq: usize,
+    stall_on: Option<usize>,
+    sections_hosted: usize,
+}
+
+enum Resolution {
+    Resolved,
+    WaitingOn(usize),
+}
+
+impl ManyCoreSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> ManyCoreSim {
+        ManyCoreSim { config }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `program` functionally, splits it into sections and simulates
+    /// its distributed execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration and
+    /// [`SimError::Machine`] if the functional pre-execution fails.
+    pub fn run(&self, program: &Program) -> Result<SimResult, SimError> {
+        self.config.validate().map_err(SimError::Config)?;
+        let trace = SectionedTrace::from_program(program, self.config.fuel)?;
+        self.simulate(&trace)
+    }
+
+    /// Simulates an already-sectioned trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration.
+    pub fn simulate(&self, trace: &SectionedTrace) -> Result<SimResult, SimError> {
+        self.config.validate().map_err(SimError::Config)?;
+        let records = trace.records();
+        let sections = trace.sections();
+        let n = records.len();
+
+        // --- placement ---------------------------------------------------
+        let core_of = self.place(sections);
+        let topology = self.config.effective_topology();
+        let mut network: Network<SectionId> = Network::new(topology, self.config.noc);
+
+        // Which section does each dynamic fork create?
+        let created_by: HashMap<usize, SectionId> = sections
+            .iter()
+            .filter_map(|s| s.creator.map(|(_, fork_seq)| (fork_seq, s.id)))
+            .collect();
+
+        // --- per-instruction timing state ---------------------------------
+        let mut fd: Vec<Option<u64>> = vec![None; n];
+        let mut rr: Vec<Option<u64>> = vec![None; n];
+        let mut ew: Vec<Option<u64>> = vec![None; n];
+        let mut ar: Vec<Option<u64>> = vec![None; n];
+        let mut ma: Vec<Option<u64>> = vec![None; n];
+        let mut ret: Vec<Option<u64>> = vec![None; n];
+        let mut complete: Vec<Option<u64>> = vec![None; n];
+
+        let mut waiters: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut ret_waiters: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut resolve_queue: Vec<usize> = Vec::new();
+
+        let mut cores: Vec<CoreState> = (0..self.config.cores).map(|_| CoreState::default()).collect();
+
+        // Statistics accumulated as instructions resolve.
+        let mut remote_register_requests = 0u64;
+        let mut remote_memory_requests = 0u64;
+        let mut fork_copied_sources = 0u64;
+        let mut dmh_accesses = 0u64;
+
+        // The initial section is live from cycle 0 on its core.
+        if !sections.is_empty() {
+            let root_core = core_of[0].0;
+            cores[root_core].current = Some(SectionId(0));
+            cores[root_core].next_seq = sections[0].start;
+            cores[root_core].sections_hosted = 1;
+        }
+
+        let mut fetched = 0usize;
+        let mut resolved = 0usize;
+        let mut cycle: u64 = 0;
+        let safety = 200 * n as u64 + 10_000;
+
+        while fetched < n || resolved < n {
+            cycle += 1;
+            assert!(cycle < safety, "many-core simulation did not converge after {cycle} cycles");
+            let progress_before = fetched + resolved;
+
+            // Section-creation messages arriving this cycle.
+            for envelope in network.deliver(cycle) {
+                let core = &mut cores[envelope.dst.0];
+                core.queue.push_back(envelope.payload);
+                core.sections_hosted += 1;
+            }
+
+            // Fetch-decode: one instruction per core per cycle.
+            for (core_index, core) in cores.iter_mut().enumerate() {
+                if core.current.is_none() {
+                    // Dequeuing the next section-creation message consumes
+                    // this cycle; fetch starts on the next one.
+                    if let Some(next) = core.queue.pop_front() {
+                        core.current = Some(next);
+                        core.next_seq = sections[next.0].start;
+                    }
+                    continue;
+                }
+                if let Some(stalled_on) = core.stall_on {
+                    match complete[stalled_on] {
+                        Some(c) if c < cycle => core.stall_on = None,
+                        _ => continue,
+                    }
+                }
+                let sid = core.current.expect("checked above");
+                let span = &sections[sid.0];
+                if core.next_seq >= span.end {
+                    core.current = None;
+                    continue;
+                }
+                let seq = core.next_seq;
+                let record = &records[seq];
+                fd[seq] = Some(cycle);
+                rr[seq] = Some(cycle + 1);
+                fetched += 1;
+                core.next_seq += 1;
+                resolve_queue.push(seq);
+
+                // A fork sends a section-creation message to the host core
+                // of the created section.
+                if record.kind == TraceKind::Fork {
+                    if let Some(&child) = created_by.get(&seq) {
+                        network.send(CoreId(core_index), core_of[child.0], child, cycle);
+                    }
+                }
+
+                let ends_section = record.kind == TraceKind::EndFork
+                    || record.kind == TraceKind::Halt
+                    || core.next_seq >= span.end;
+                if ends_section {
+                    core.current = None;
+                } else if self.config.fetch_stalls_on_unresolved_control
+                    && record.is_control
+                    && !fetch_computable(record, &complete, cycle)
+                {
+                    // The fetch stage could not compute this control
+                    // instruction (empty sources): the IP stays empty until
+                    // the instruction executes.
+                    core.stall_on = Some(seq);
+                }
+            }
+
+            // Dependence resolution, in two decoupled steps.
+            //
+            // Step 1 (value completion): an instruction's result becomes
+            // available as soon as its own sources are — it does *not* wait
+            // for older instructions of its section to retire. This is the
+            // out-of-order execute/memory behaviour of the paper's core.
+            //
+            // Step 2 (retirement): retirement is in order within a section,
+            // so the retire cycle additionally waits for the previous
+            // instruction's retire cycle.
+            while let Some(seq) = resolve_queue.pop() {
+                if complete[seq].is_some() {
+                    // Value already known; only retirement may be pending.
+                    try_retire(seq, records, &complete, &mut ret, &mut resolved, &mut ret_waiters, &mut resolve_queue);
+                    continue;
+                }
+                let record = &records[seq];
+                let my_fd = fd[seq].expect("queued after fetch");
+                let my_rr = rr[seq].expect("queued after fetch");
+                let my_core = core_of[record.section.0];
+
+                let resolution = (|| {
+                    let mut local_remote_reg = 0u64;
+                    let mut local_fork_copied = 0u64;
+                    let mut reg_ready = 0u64;
+                    let mut available_at_fetch = true;
+                    for dep in &record.reg_sources {
+                        let t = match dep.kind {
+                            SourceKind::ForkCopy => {
+                                local_fork_copied += 1;
+                                0
+                            }
+                            SourceKind::InitialRegister | SourceKind::InitialMemory => 0,
+                            SourceKind::Local { producer } => match complete[producer] {
+                                Some(c) => {
+                                    if c > my_fd {
+                                        available_at_fetch = false;
+                                    }
+                                    c
+                                }
+                                None => return Resolution::WaitingOn(producer),
+                            },
+                            SourceKind::Remote { producer, producer_section } => {
+                                available_at_fetch = false;
+                                let c = match complete[producer] {
+                                    Some(c) => c,
+                                    None => return Resolution::WaitingOn(producer),
+                                };
+                                local_remote_reg += 1;
+                                let hop = self.request_latency(
+                                    &network,
+                                    my_core,
+                                    core_of[producer_section.0],
+                                    record.section,
+                                    producer_section,
+                                );
+                                c.max(my_rr + hop) + hop
+                            }
+                        };
+                        reg_ready = reg_ready.max(t);
+                    }
+
+                    let is_mem = record.is_load || record.is_store;
+                    let my_ew = if !is_mem && available_at_fetch && reg_ready <= my_fd {
+                        // Computed directly in the fetch-decode stage.
+                        my_fd
+                    } else {
+                        reg_ready.max(my_rr) + 1
+                    };
+
+                    let mut local_remote_mem = 0u64;
+                    let mut local_dmh = 0u64;
+                    let (my_ar, my_ma, completion) = if is_mem {
+                        let a = my_ew + 1;
+                        let mut mem_ready = a + 1;
+                        for dep in &record.mem_sources {
+                            let t = match dep.kind {
+                                SourceKind::InitialMemory => {
+                                    local_dmh += 1;
+                                    a + self.config.dmh_latency
+                                }
+                                SourceKind::Local { producer } => match complete[producer] {
+                                    Some(c) => c.max(a + 1),
+                                    None => return Resolution::WaitingOn(producer),
+                                },
+                                SourceKind::Remote { producer, producer_section } => {
+                                    let c = match complete[producer] {
+                                        Some(c) => c,
+                                        None => return Resolution::WaitingOn(producer),
+                                    };
+                                    local_remote_mem += 1;
+                                    let hop = self.request_latency(
+                                        &network,
+                                        my_core,
+                                        core_of[producer_section.0],
+                                        record.section,
+                                        producer_section,
+                                    );
+                                    c.max(a + hop) + hop
+                                }
+                                SourceKind::ForkCopy | SourceKind::InitialRegister => a + 1,
+                            };
+                            mem_ready = mem_ready.max(t);
+                        }
+                        (Some(a), Some(mem_ready), mem_ready)
+                    } else {
+                        (None, None, my_ew)
+                    };
+
+                    ew[seq] = Some(my_ew);
+                    ar[seq] = my_ar;
+                    ma[seq] = my_ma;
+                    complete[seq] = Some(completion);
+                    remote_register_requests += local_remote_reg;
+                    remote_memory_requests += local_remote_mem;
+                    fork_copied_sources += local_fork_copied;
+                    dmh_accesses += local_dmh;
+                    Resolution::Resolved
+                })();
+
+                match resolution {
+                    Resolution::Resolved => {
+                        // Wake value consumers.
+                        if let Some(waiting) = waiters.remove(&seq) {
+                            resolve_queue.extend(waiting);
+                        }
+                        try_retire(seq, records, &complete, &mut ret, &mut resolved, &mut ret_waiters, &mut resolve_queue);
+                    }
+                    Resolution::WaitingOn(dep) => {
+                        waiters.entry(dep).or_default().push(seq);
+                    }
+                }
+            }
+
+            // Deadlock avoidance. A fetch stall can wait on a value produced
+            // by a section that is queued *behind* the stalled section on
+            // the same core (the "devil in the details" case the paper
+            // acknowledges). When a whole cycle makes no progress and no
+            // message is in flight, release the stalled fetch stages: the
+            // stalled branch will simply resolve out of order in the
+            // execute stage, as a real implementation must allow.
+            if fetched + resolved == progress_before && network.in_flight() == 0 && fetched < n {
+                for core in &mut cores {
+                    core.stall_on = None;
+                }
+            }
+        }
+
+        // --- assemble the result -------------------------------------------
+        let timings: Vec<InstTiming> = records
+            .iter()
+            .map(|record| InstTiming {
+                seq: record.seq,
+                name: record.name(),
+                ip: record.ip,
+                mnemonic: record.mnemonic,
+                section: record.section,
+                core: core_of[record.section.0],
+                fd: fd[record.seq].expect("fetched"),
+                rr: rr[record.seq].expect("renamed"),
+                ew: ew[record.seq].expect("executed"),
+                ar: ar[record.seq],
+                ma: ma[record.seq],
+                ret: ret[record.seq].expect("retired"),
+            })
+            .collect();
+
+        let stats = self.stats(
+            trace,
+            &timings,
+            &core_of,
+            &cores,
+            network.stats(),
+            remote_register_requests,
+            remote_memory_requests,
+            fork_copied_sources,
+            dmh_accesses,
+        );
+
+        Ok(SimResult {
+            outputs: trace.outputs().to_vec(),
+            timings,
+            sections: sections.to_vec(),
+            core_of,
+            stats,
+        })
+    }
+
+    /// Latency of one leg (request or response) of a renaming exchange
+    /// between the consumer's and the producer's cores, including the
+    /// optional per-intermediate-section charge for the backward walk.
+    fn request_latency(
+        &self,
+        network: &Network<SectionId>,
+        consumer: CoreId,
+        producer: CoreId,
+        consumer_section: SectionId,
+        producer_section: SectionId,
+    ) -> u64 {
+        let gap = consumer_section.0.saturating_sub(producer_section.0).saturating_sub(1) as u64;
+        network.latency(consumer, producer) + self.config.per_section_hop * gap
+    }
+
+    fn place(&self, sections: &[SectionSpan]) -> Vec<CoreId> {
+        match self.config.placement {
+            Placement::RoundRobin => {
+                let cores = self.config.cores;
+                let capacity = self.config.max_sections_per_core;
+                let mut hosted = vec![0usize; cores];
+                sections
+                    .iter()
+                    .map(|s| {
+                        let preferred = s.id.0 % cores;
+                        // Spill to the next core with free capacity; relax
+                        // the limit when the whole chip is full.
+                        let chosen = (0..cores)
+                            .map(|offset| (preferred + offset) % cores)
+                            .find(|c| hosted[*c] < capacity)
+                            .unwrap_or(preferred);
+                        hosted[chosen] += 1;
+                        CoreId(chosen)
+                    })
+                    .collect()
+            }
+            Placement::LeastLoaded => {
+                let mut load = vec![0usize; self.config.cores];
+                sections
+                    .iter()
+                    .map(|s| {
+                        let (core, _) = load
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| **l)
+                            .expect("at least one core");
+                        load[core] += s.len();
+                        CoreId(core)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stats(
+        &self,
+        trace: &SectionedTrace,
+        timings: &[InstTiming],
+        core_of: &[CoreId],
+        cores: &[CoreState],
+        noc: NocStats,
+        remote_register_requests: u64,
+        remote_memory_requests: u64,
+        fork_copied_sources: u64,
+        dmh_accesses: u64,
+    ) -> SimStats {
+        let instructions = timings.len() as u64;
+        let fetch_cycles = timings.iter().map(|t| t.fd).max().unwrap_or(0);
+        let total_cycles = timings.iter().map(|t| t.ret).max().unwrap_or(0);
+        let mut used: Vec<CoreId> = core_of.to_vec();
+        used.sort();
+        used.dedup();
+        SimStats {
+            instructions,
+            sections: trace.sections().len(),
+            cores_used: used.len(),
+            fetch_cycles,
+            total_cycles,
+            fetch_ipc: if fetch_cycles == 0 { 0.0 } else { instructions as f64 / fetch_cycles as f64 },
+            retire_ipc: if total_cycles == 0 { 0.0 } else { instructions as f64 / total_cycles as f64 },
+            remote_register_requests,
+            remote_memory_requests,
+            fork_copied_sources,
+            dmh_accesses,
+            peak_sections_per_core: cores.iter().map(|c| c.sections_hosted).max().unwrap_or(0),
+            noc,
+        }
+    }
+}
+
+/// Step 2 of dependence resolution: in-order retirement within a section.
+/// Sets `ret[seq]` once the instruction's value is complete and its
+/// predecessor in the section has retired, then wakes the successor that
+/// may be waiting on this retirement.
+#[allow(clippy::too_many_arguments)]
+fn try_retire(
+    seq: usize,
+    records: &[crate::InstRecord],
+    complete: &[Option<u64>],
+    ret: &mut [Option<u64>],
+    resolved: &mut usize,
+    ret_waiters: &mut HashMap<usize, Vec<usize>>,
+    resolve_queue: &mut Vec<usize>,
+) {
+    if ret[seq].is_some() {
+        return;
+    }
+    let Some(completion) = complete[seq] else { return };
+    let record = &records[seq];
+    let prev_ret = if record.index_in_section == 0 { Some(0) } else { ret[seq - 1] };
+    match prev_ret {
+        Some(prev) => {
+            ret[seq] = Some(completion.max(prev) + 1);
+            *resolved += 1;
+            if let Some(waiting) = ret_waiters.remove(&seq) {
+                resolve_queue.extend(waiting);
+            }
+        }
+        None => {
+            ret_waiters.entry(seq - 1).or_default().push(seq);
+        }
+    }
+}
+
+/// Whether a control instruction can be computed by the fetch-decode stage
+/// at fetch time: all of its register/flags sources are already full in the
+/// local register file (fork-copied, initial, or produced locally and
+/// complete no later than the fetch cycle).
+fn fetch_computable(
+    record: &crate::InstRecord,
+    complete: &[Option<u64>],
+    fetch_cycle: u64,
+) -> bool {
+    if record.is_load || record.is_store {
+        return false;
+    }
+    record.reg_sources.iter().all(|dep| match dep.kind {
+        SourceKind::ForkCopy | SourceKind::InitialRegister | SourceKind::InitialMemory => true,
+        SourceKind::Local { producer } => {
+            matches!(complete[producer], Some(c) if c <= fetch_cycle)
+        }
+        SourceKind::Remote { .. } => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::tests::sum_fork_program;
+    use crate::format_figure10;
+
+    fn sim_sum(data: &[u64], config: SimConfig) -> SimResult {
+        let program = sum_fork_program(data);
+        ManyCoreSim::new(config).run(&program).expect("simulates")
+    }
+
+    #[test]
+    fn sum_of_five_reproduces_the_papers_shape() {
+        let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
+        assert_eq!(result.outputs, vec![21]);
+        assert_eq!(result.stats.sections, 6);
+        assert_eq!(result.stats.instructions, 50);
+        // The paper's Figure 10 fetches the 45 sum instructions in 30
+        // cycles and retires them by cycle 43; our run adds a 5-instruction
+        // main wrapper, so allow a modest band around those values.
+        assert!(
+            (25..=45).contains(&result.stats.fetch_cycles),
+            "fetch span {} outside the expected band",
+            result.stats.fetch_cycles
+        );
+        assert!(
+            (35..=90).contains(&result.stats.total_cycles),
+            "retire span {} outside the expected band",
+            result.stats.total_cycles
+        );
+        assert!(result.stats.fetch_ipc > 1.0);
+        // The first instruction is fetched at cycle 1 on the root core.
+        assert_eq!(result.timings[0].fd, 1);
+    }
+
+    #[test]
+    fn stage_cycles_are_monotone_within_an_instruction() {
+        let result = sim_sum(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3], SimConfig::with_cores(16));
+        for t in &result.timings {
+            assert!(t.rr > t.fd, "{}: rr after fd", t.name);
+            assert!(t.ew >= t.fd, "{}: ew at or after fd", t.name);
+            if let (Some(a), Some(m)) = (t.ar, t.ma) {
+                assert!(a > t.ew, "{}: ar after ew", t.name);
+                assert!(m > a, "{}: ma after ar", t.name);
+            }
+            assert!(t.ret > t.ew, "{}: retire after execute", t.name);
+        }
+    }
+
+    #[test]
+    fn fetch_is_one_instruction_per_core_per_cycle() {
+        let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
+        let mut per_core_cycle: HashMap<(CoreId, u64), u64> = HashMap::new();
+        for t in &result.timings {
+            *per_core_cycle.entry((t.core, t.fd)).or_insert(0) += 1;
+        }
+        assert!(per_core_cycle.values().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn retirement_is_in_order_within_a_section() {
+        let result = sim_sum(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], SimConfig::with_cores(16));
+        for span in &result.sections {
+            let timings = result.section_timings(span.id);
+            for pair in timings.windows(2) {
+                assert!(pair[1].ret > pair[0].ret, "retirement must be in order within {}", span.id);
+                assert!(pair[1].fd > pair[0].fd, "fetch must be in order within {}", span.id);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_operands_are_charged_noc_latency() {
+        let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
+        assert!(result.stats.remote_register_requests >= 2, "each resume waits for %rax");
+        assert!(result.stats.remote_memory_requests >= 1, "the final sum reads a remote stack word");
+        assert!(result.stats.fork_copied_sources > 0);
+        assert_eq!(result.stats.dmh_accesses, 5, "five array elements come from the loader");
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_the_run_down() {
+        let data: Vec<u64> = (1..=40).collect();
+        let few = sim_sum(&data, SimConfig::with_cores(2));
+        let many = sim_sum(&data, SimConfig::with_cores(64));
+        assert_eq!(few.outputs, many.outputs);
+        assert!(many.stats.fetch_cycles <= few.stats.fetch_cycles);
+        assert!(many.stats.fetch_ipc >= few.stats.fetch_ipc);
+    }
+
+    #[test]
+    fn single_core_still_works_and_is_slower() {
+        let data: Vec<u64> = (1..=20).collect();
+        let one = sim_sum(&data, SimConfig::with_cores(1));
+        let many = sim_sum(&data, SimConfig::with_cores(32));
+        assert_eq!(one.outputs, vec![210]);
+        assert!(one.stats.fetch_cycles >= many.stats.fetch_cycles);
+        assert_eq!(one.stats.cores_used, 1);
+    }
+
+    #[test]
+    fn least_loaded_placement_balances_instructions() {
+        let data: Vec<u64> = (1..=40).collect();
+        let mut config = SimConfig::with_cores(4);
+        config.placement = Placement::LeastLoaded;
+        let result = sim_sum(&data, config);
+        let mut per_core = vec![0usize; 4];
+        for (sid, core) in result.core_of.iter().enumerate() {
+            per_core[core.0] += result.sections[sid].len();
+        }
+        let max = *per_core.iter().max().unwrap();
+        let min = *per_core.iter().filter(|c| **c > 0).min().unwrap();
+        assert!(max <= min * 3, "placement should spread work: {per_core:?}");
+    }
+
+    #[test]
+    fn call_based_program_runs_on_one_section() {
+        let program = parsecs_asm::assemble(
+            "main: movq $6, %rdi
+                   call fact
+                   out  %rax
+                   halt
+             fact: movq $1, %rax
+                   movq %rdi, %rcx
+             loop: imulq %rcx, %rax
+                   subq $1, %rcx
+                   jne loop
+                   ret",
+        )
+        .unwrap();
+        let result = ManyCoreSim::new(SimConfig::with_cores(4)).run(&program).unwrap();
+        assert_eq!(result.outputs, vec![720]);
+        assert_eq!(result.stats.sections, 1);
+        assert_eq!(result.stats.cores_used, 1);
+        assert!(result.stats.fetch_ipc <= 1.0, "a single section fetches at most 1 IPC");
+    }
+
+    #[test]
+    fn invalid_configuration_is_reported() {
+        let program = sum_fork_program(&[1, 2, 3]);
+        let err = ManyCoreSim::new(SimConfig::with_cores(0)).run(&program).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn figure10_table_lists_every_instruction_grouped_by_core() {
+        let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
+        let table = format_figure10(&result);
+        assert!(table.contains("core0 pipeline"));
+        assert!(table.contains("fork"));
+        assert!(table.contains("endfork"));
+        let instruction_rows = table
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert_eq!(instruction_rows, result.timings.len());
+    }
+
+    #[test]
+    fn per_section_hop_penalty_increases_latency() {
+        let data: Vec<u64> = (1..=20).collect();
+        let base = sim_sum(&data, SimConfig::with_cores(8));
+        let mut slow_cfg = SimConfig::with_cores(8);
+        slow_cfg.per_section_hop = 10;
+        let slow = sim_sum(&data, slow_cfg);
+        assert_eq!(base.outputs, slow.outputs);
+        assert!(slow.stats.total_cycles >= base.stats.total_cycles);
+    }
+
+    #[test]
+    fn disabling_fetch_stalls_never_slows_fetch() {
+        let data: Vec<u64> = (1..=20).collect();
+        let mut cfg = SimConfig::with_cores(8);
+        cfg.fetch_stalls_on_unresolved_control = false;
+        let ideal = sim_sum(&data, cfg);
+        let real = sim_sum(&data, SimConfig::with_cores(8));
+        assert!(ideal.stats.fetch_cycles <= real.stats.fetch_cycles);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-instruction stage timings and aggregate statistics.
+
+use std::fmt::Write as _;
+
+use parsecs_noc::{CoreId, NocStats};
+
+use crate::{SectionId, SimResult};
+
+/// The cycle at which one dynamic instruction is handled by each pipeline
+/// stage — one row of the paper's Figure 10 tables.
+///
+/// The six columns follow the paper's naming: `fd` (fetch-decode), `rr`
+/// (register-rename), `ew` (execute-write-back), `ar` (address-rename),
+/// `ma` (memory-access) and `ret` (retire). `ar`/`ma` are `None` for
+/// instructions that do not access data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstTiming {
+    /// Position in the sequential trace.
+    pub seq: usize,
+    /// Paper-style name, e.g. `"2-13"`.
+    pub name: String,
+    /// Static instruction index.
+    pub ip: usize,
+    /// Mnemonic.
+    pub mnemonic: &'static str,
+    /// Section of the instruction.
+    pub section: SectionId,
+    /// Core hosting that section.
+    pub core: CoreId,
+    /// Fetch-decode cycle.
+    pub fd: u64,
+    /// Register-rename cycle.
+    pub rr: u64,
+    /// Execute / write-back cycle (equals `fd` when the instruction is
+    /// computed in the fetch stage, as the paper's design does for simple
+    /// in-order-computable instructions).
+    pub ew: u64,
+    /// Address-rename cycle (memory instructions only).
+    pub ar: Option<u64>,
+    /// Memory-access cycle (memory instructions only).
+    pub ma: Option<u64>,
+    /// Retirement cycle.
+    pub ret: u64,
+}
+
+impl InstTiming {
+    /// The cycle at which the instruction's result is available to
+    /// consumers.
+    pub fn completion(&self) -> u64 {
+        self.ma.unwrap_or(self.ew)
+    }
+}
+
+/// Aggregate statistics of one many-core simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Number of dynamic instructions simulated.
+    pub instructions: u64,
+    /// Number of sections.
+    pub sections: usize,
+    /// Number of distinct cores that hosted at least one section.
+    pub cores_used: usize,
+    /// Cycle at which the last instruction was fetched.
+    pub fetch_cycles: u64,
+    /// Cycle at which the last instruction retired.
+    pub total_cycles: u64,
+    /// `instructions / fetch_cycles` — the paper's headline fetch
+    /// parallelism metric (§5).
+    pub fetch_ipc: f64,
+    /// `instructions / total_cycles`.
+    pub retire_ipc: f64,
+    /// Renaming requests served by a remote section (register sources).
+    pub remote_register_requests: u64,
+    /// Renaming requests served by a remote section (memory sources).
+    pub remote_memory_requests: u64,
+    /// Register sources satisfied by the fork-copied registers.
+    pub fork_copied_sources: u64,
+    /// Memory sources served by the loader / data memory hierarchy.
+    pub dmh_accesses: u64,
+    /// Largest number of sections hosted by a single core.
+    pub peak_sections_per_core: usize,
+    /// Statistics of the underlying NoC model.
+    pub noc: NocStats,
+}
+
+/// Formats the per-core timing tables in the layout of the paper's
+/// Figure 10: one table per core, one row per instruction, the six stage
+/// columns `fd rr ew ar ma ret`.
+pub fn format_figure10(result: &SimResult) -> String {
+    let mut out = String::new();
+    let mut cores: Vec<CoreId> = result.timings.iter().map(|t| t.core).collect();
+    cores.sort();
+    cores.dedup();
+    for core in cores {
+        let _ = writeln!(out, "{core} pipeline");
+        let _ = writeln!(out, "{:>6} {:>22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}", "insn", "mnemonic", "fd", "rr", "ew", "ar", "ma", "ret");
+        for t in result.timings.iter().filter(|t| t.core == core) {
+            let ar = t.ar.map(|c| c.to_string()).unwrap_or_default();
+            let ma = t.ma.map(|c| c.to_string()).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{:>6} {:>22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+                t.name, t.mnemonic, t.fd, t.rr, t.ew, ar, ma, t.ret
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_prefers_memory_access() {
+        let mut t = InstTiming {
+            seq: 0,
+            name: "1-1".into(),
+            ip: 0,
+            mnemonic: "movq",
+            section: SectionId(0),
+            core: CoreId(0),
+            fd: 1,
+            rr: 2,
+            ew: 3,
+            ar: None,
+            ma: None,
+            ret: 4,
+        };
+        assert_eq!(t.completion(), 3);
+        t.ar = Some(4);
+        t.ma = Some(7);
+        assert_eq!(t.completion(), 7);
+    }
+}

@@ -1,0 +1,361 @@
+//! The dataflow scheduler.
+
+use std::collections::HashMap;
+
+use parsecs_machine::{Location, Trace};
+
+use crate::IlpModel;
+
+/// The outcome of scheduling a trace under a dependence model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpResult {
+    /// Number of dynamic instructions scheduled.
+    pub instructions: u64,
+    /// Number of cycles of the schedule (the critical path under the
+    /// chosen model, including resource constraints).
+    pub cycles: u64,
+    /// `instructions / cycles`.
+    pub ilp: f64,
+    /// Largest number of instructions scheduled in a single cycle.
+    pub peak_parallelism: u64,
+}
+
+impl IlpResult {
+    fn new(instructions: u64, cycles: u64, peak_parallelism: u64) -> IlpResult {
+        let ilp = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
+        IlpResult { instructions, cycles, ilp, peak_parallelism }
+    }
+}
+
+/// Schedules every instruction of `trace` at the earliest cycle permitted
+/// by `model` and reports the achieved ILP.
+///
+/// Cycle numbering starts at 1; an instruction with no constraining
+/// dependence issues at cycle 1 and completes at cycle `latency`.
+///
+/// # Example
+///
+/// ```
+/// use parsecs_ilp::{analyze, IlpModel};
+/// use parsecs_machine::Trace;
+///
+/// let result = analyze(&Trace::new(), &IlpModel::parallel_ideal());
+/// assert_eq!(result.instructions, 0);
+/// assert_eq!(result.cycles, 0);
+/// ```
+pub fn analyze(trace: &Trace, model: &IlpModel) -> IlpResult {
+    let mut last_write: HashMap<Location, u64> = HashMap::new();
+    let mut last_read: HashMap<Location, u64> = HashMap::new();
+    let mut last_control_complete: u64 = 0;
+    let mut completions: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut issued_per_cycle: HashMap<u64, u64> = HashMap::new();
+    let mut per_cycle_peak: u64 = 0;
+    let mut max_completion: u64 = 0;
+
+    let relevant = |loc: &Location| -> bool {
+        !(model.ignore_stack_pointer && loc.is_stack_pointer())
+    };
+
+    for (i, event) in trace.iter().enumerate() {
+        // Earliest cycle at which all dependences are satisfied.
+        let mut ready: u64 = 0;
+
+        // True (producer → consumer) dependences.
+        for loc in event.reads.iter().filter(|l| relevant(l)) {
+            if let Some(c) = last_write.get(loc) {
+                ready = ready.max(*c);
+            }
+        }
+
+        // False dependences, kept only when renaming is disabled.
+        for loc in event.writes.iter().filter(|l| relevant(l)) {
+            let rename = if loc.is_mem() { model.rename_memory } else { model.rename_registers };
+            if !rename {
+                if let Some(c) = last_write.get(loc) {
+                    ready = ready.max(*c);
+                }
+                if let Some(c) = last_read.get(loc) {
+                    ready = ready.max(*c);
+                }
+            }
+        }
+
+        // Control dependences, kept only without perfect prediction.
+        if !model.perfect_branch_prediction {
+            ready = ready.max(last_control_complete);
+        }
+
+        // Finite window: instruction i waits for instruction i - W to
+        // complete before it can even enter the window.
+        if let Some(window) = model.window {
+            if i >= window {
+                ready = ready.max(completions[i - window]);
+            }
+        }
+
+        // Issue at the cycle after every dependence has completed.
+        let mut issue = ready + 1;
+
+        // Finite issue width: move to the next cycle with a free slot.
+        if let Some(width) = model.issue_width {
+            let width = width.max(1) as u64;
+            loop {
+                let used = issued_per_cycle.get(&issue).copied().unwrap_or(0);
+                if used < width {
+                    break;
+                }
+                issue += 1;
+            }
+        }
+        let slot = issued_per_cycle.entry(issue).or_insert(0);
+        *slot += 1;
+        per_cycle_peak = per_cycle_peak.max(*slot);
+
+        let complete = issue + model.latency - 1;
+        completions.push(complete);
+        max_completion = max_completion.max(complete);
+
+        // Update the location tables.
+        for loc in &event.reads {
+            let entry = last_read.entry(*loc).or_insert(0);
+            *entry = (*entry).max(complete);
+        }
+        for loc in &event.writes {
+            last_write.insert(*loc, complete);
+        }
+        if event.is_control {
+            last_control_complete = last_control_complete.max(complete);
+        }
+    }
+
+    IlpResult::new(trace.len() as u64, max_completion, per_cycle_peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsecs_isa::Reg;
+    use parsecs_machine::{TraceEvent, TraceKind};
+    use proptest::prelude::*;
+
+    fn reg(r: Reg) -> Location {
+        Location::Reg(r)
+    }
+
+    fn event(seq: u64, reads: Vec<Location>, writes: Vec<Location>) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ip: seq as usize,
+            mnemonic: "test",
+            reads,
+            writes,
+            is_control: false,
+            updates_stack_pointer: false,
+            kind: TraceKind::Other,
+            out_value: None,
+        }
+    }
+
+    fn trace_of(events: Vec<TraceEvent>) -> Trace {
+        events.into_iter().collect()
+    }
+
+    #[test]
+    fn independent_instructions_all_issue_in_cycle_one() {
+        let regs = [Reg::Rax, Reg::Rbx, Reg::Rcx, Reg::Rdx];
+        let t = trace_of(
+            (0..4u64).map(|i| event(i, vec![], vec![reg(regs[i as usize])])).collect(),
+        );
+        let r = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(r.cycles, 1);
+        assert_eq!(r.instructions, 4);
+        assert_eq!(r.ilp, 4.0);
+        assert_eq!(r.peak_parallelism, 4);
+    }
+
+    #[test]
+    fn dependence_chain_has_ilp_one() {
+        // Each instruction reads and writes %rax: a pure RAW chain.
+        let t = trace_of(
+            (0..8u64).map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)])).collect(),
+        );
+        let r = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(r.cycles, 8);
+        assert!((r.ilp - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn register_renaming_removes_war_and_waw() {
+        // i0 writes rax; i1 reads rax (RAW); i2 writes rax again (WAW with
+        // i0, WAR with i1).
+        let t = trace_of(vec![
+            event(0, vec![], vec![reg(Reg::Rax)]),
+            event(1, vec![reg(Reg::Rax)], vec![reg(Reg::Rbx)]),
+            event(2, vec![], vec![reg(Reg::Rax)]),
+        ]);
+        let renamed = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(renamed.cycles, 2, "WAW/WAR disappear with renaming");
+        let mut no_rename = IlpModel::parallel_ideal();
+        no_rename.rename_registers = false;
+        let kept = analyze(&t, &no_rename);
+        assert_eq!(kept.cycles, 3, "i2 must wait for the read of i1");
+    }
+
+    #[test]
+    fn memory_renaming_removes_memory_false_dependences() {
+        // store [a]; load [a]; store [a] — the second store has WAW+WAR.
+        let a = Location::Mem(0x1000);
+        let t = trace_of(vec![
+            event(0, vec![], vec![a]),
+            event(1, vec![a], vec![reg(Reg::Rax)]),
+            event(2, vec![], vec![a]),
+        ]);
+        let seq = analyze(&t, &IlpModel::sequential_oracle());
+        assert_eq!(seq.cycles, 3);
+        let par = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(par.cycles, 2);
+    }
+
+    #[test]
+    fn control_dependences_serialize_without_prediction() {
+        let mut branch = event(1, vec![], vec![]);
+        branch.is_control = true;
+        let t = trace_of(vec![
+            event(0, vec![], vec![reg(Reg::Rax)]),
+            branch,
+            event(2, vec![], vec![reg(Reg::Rbx)]),
+        ]);
+        let predicted = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(predicted.cycles, 1);
+        let in_order = analyze(&t, &IlpModel::in_order());
+        assert_eq!(in_order.cycles, 2, "the instruction after the branch waits for it");
+    }
+
+    #[test]
+    fn stack_pointer_dependences_can_be_ignored() {
+        // A chain of push-like instructions: read+write %rsp each time.
+        let t = trace_of(
+            (0..6u64)
+                .map(|i| event(i, vec![reg(Reg::Rsp)], vec![reg(Reg::Rsp), Location::Mem(0x100 + 8 * i)]))
+                .collect(),
+        );
+        let seq = analyze(&t, &IlpModel::sequential_oracle());
+        assert_eq!(seq.cycles, 6, "the rsp chain serialises the pushes");
+        let par = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(par.cycles, 1, "dropping rsp dependences exposes the parallelism");
+    }
+
+    #[test]
+    fn finite_window_limits_ilp() {
+        // 16 independent instructions; a window of 4 forces them to trickle.
+        let t = trace_of(
+            (0..16u64).map(|i| event(i, vec![], vec![Location::Mem(8 * i)])).collect(),
+        );
+        let unlimited = analyze(&t, &IlpModel::parallel_ideal());
+        assert_eq!(unlimited.cycles, 1);
+        let windowed = analyze(&t, &IlpModel::parallel_ideal().with_window(4));
+        assert!(windowed.cycles > 1);
+        assert!(windowed.ilp <= 4.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn issue_width_limits_throughput() {
+        let t = trace_of(
+            (0..12u64).map(|i| event(i, vec![], vec![Location::Mem(8 * i)])).collect(),
+        );
+        let r = analyze(&t, &IlpModel::parallel_ideal().with_issue_width(3));
+        assert_eq!(r.cycles, 4);
+        assert_eq!(r.peak_parallelism, 3);
+    }
+
+    #[test]
+    fn latency_scales_the_critical_path() {
+        let t = trace_of(
+            (0..4u64).map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)])).collect(),
+        );
+        let r = analyze(&t, &IlpModel::parallel_ideal().with_latency(3));
+        assert_eq!(r.cycles, 12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = analyze(&Trace::new(), &IlpModel::parallel_ideal());
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.ilp, 0.0);
+    }
+
+    #[test]
+    fn end_to_end_sum_trace_parallel_beats_sequential() {
+        let program = parsecs_asm::assemble(
+            "t:   .quad 1, 2, 3, 4, 5, 6, 7, 8
+             main: movq $t, %rdi
+                   movq $8, %rsi
+                   call sum
+                   out  %rax
+                   halt
+             sum:  cmpq $2, %rsi
+                   ja .L2
+                   movq (%rdi), %rax
+                   jne .L1
+                   addq 8(%rdi), %rax
+             .L1:  ret
+             .L2:  pushq %rbx
+                   pushq %rdi
+                   pushq %rsi
+                   shrq %rsi
+                   call sum
+                   popq %rbx
+                   pushq %rbx
+                   subq $8, %rsp
+                   movq %rax, 0(%rsp)
+                   leaq (%rdi,%rsi,8), %rdi
+                   subq %rsi, %rbx
+                   movq %rbx, %rsi
+                   call sum
+                   addq 0(%rsp), %rax
+                   addq $8, %rsp
+                   popq %rsi
+                   popq %rdi
+                   popq %rbx
+                   ret",
+        )
+        .unwrap();
+        let mut machine = parsecs_machine::Machine::load(&program).unwrap();
+        let (outcome, trace) = machine.run_traced(100_000).unwrap();
+        assert_eq!(outcome.outputs, vec![36]);
+        let par = analyze(&trace, &IlpModel::parallel_ideal());
+        let seq = analyze(&trace, &IlpModel::sequential_oracle());
+        assert!(par.ilp > seq.ilp, "parallel {par:?} must beat sequential {seq:?}");
+        assert!(par.ilp > 1.5);
+    }
+
+    proptest! {
+        /// Structural invariants on random traces: ILP is at least 1, the
+        /// schedule never exceeds the instruction count, and removing
+        /// constraints (parallel model) never hurts.
+        #[test]
+        fn invariants_on_random_traces(spec in proptest::collection::vec(
+            (0u8..16, 0u8..16, 0u8..8, 0u8..8, any::<bool>()), 1..200))
+        {
+            let events: Vec<TraceEvent> = spec.iter().enumerate().map(|(i, (r1, w1, ma, mb, ctl))| {
+                let mut e = event(
+                    i as u64,
+                    vec![reg(Reg::from_index(*r1 as usize).unwrap()), Location::Mem(8 * *ma as u64)],
+                    vec![reg(Reg::from_index(*w1 as usize).unwrap()), Location::Mem(8 * *mb as u64)],
+                );
+                e.is_control = *ctl;
+                e
+            }).collect();
+            let t = trace_of(events);
+            let par = analyze(&t, &IlpModel::parallel_ideal());
+            let seq = analyze(&t, &IlpModel::sequential_oracle());
+            let ino = analyze(&t, &IlpModel::in_order());
+            prop_assert!(par.cycles >= 1 && par.cycles <= t.len() as u64);
+            prop_assert!(seq.cycles >= par.cycles);
+            prop_assert!(ino.cycles >= seq.cycles);
+            prop_assert!(par.ilp >= 1.0 - f64::EPSILON);
+            prop_assert!(par.ilp >= seq.ilp - f64::EPSILON);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Dependence-distance analysis.
+//!
+//! Austin & Sohi (ISCA '92) — cited by the paper — showed that ILP is
+//! *arbitrarily distant* from the instruction pointer: many producer →
+//! consumer pairs are separated by a large number of dynamic instructions,
+//! which is exactly why the paper argues for multiple instruction pointers
+//! (sections) instead of one deep speculative window. This module measures
+//! that distribution on a trace.
+
+use std::collections::HashMap;
+
+use parsecs_machine::{Location, Trace};
+
+/// A histogram of producer→consumer distances (in dynamic instructions),
+/// bucketed by powers of two.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistanceHistogram {
+    /// `buckets[k]` counts dependences with distance in `[2^k, 2^(k+1))`.
+    buckets: Vec<u64>,
+    /// Total number of RAW dependences observed.
+    total: u64,
+    /// Largest observed distance.
+    max_distance: u64,
+}
+
+impl DistanceHistogram {
+    /// The bucket counts; `buckets()[k]` counts distances in
+    /// `[2^k, 2^(k+1))`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of true dependences observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observed producer→consumer distance.
+    pub fn max_distance(&self) -> u64 {
+        self.max_distance
+    }
+
+    /// Fraction of dependences with distance at least `threshold`
+    /// ("distant ILP" in the paper's terminology).
+    pub fn fraction_at_least(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let distant: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| (1u64 << *k) >= threshold)
+            .map(|(_, c)| *c)
+            .sum();
+        distant as f64 / self.total as f64
+    }
+
+    fn record(&mut self, distance: u64) {
+        let bucket = 64 - distance.max(1).leading_zeros() as usize - 1;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.total += 1;
+        self.max_distance = self.max_distance.max(distance);
+    }
+}
+
+/// Measures the distance (in dynamic instructions) between every value
+/// producer and its consumers.
+///
+/// Only true (read-after-write) dependences are counted; stack-pointer
+/// dependences can be excluded to match the paper's parallel model.
+///
+/// # Example
+///
+/// ```
+/// use parsecs_ilp::dependence_distances;
+/// use parsecs_machine::Trace;
+///
+/// let h = dependence_distances(&Trace::new(), true);
+/// assert_eq!(h.total(), 0);
+/// ```
+pub fn dependence_distances(trace: &Trace, ignore_stack_pointer: bool) -> DistanceHistogram {
+    let mut histogram = DistanceHistogram::default();
+    let mut last_writer: HashMap<Location, u64> = HashMap::new();
+    for event in trace.iter() {
+        for loc in &event.reads {
+            if ignore_stack_pointer && loc.is_stack_pointer() {
+                continue;
+            }
+            if let Some(producer) = last_writer.get(loc) {
+                histogram.record(event.seq - producer);
+            }
+        }
+        for loc in &event.writes {
+            last_writer.insert(*loc, event.seq);
+        }
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsecs_isa::Reg;
+    use parsecs_machine::{TraceEvent, TraceKind};
+
+    fn event(seq: u64, reads: Vec<Location>, writes: Vec<Location>) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ip: seq as usize,
+            mnemonic: "t",
+            reads,
+            writes,
+            is_control: false,
+            updates_stack_pointer: false,
+            kind: TraceKind::Other,
+            out_value: None,
+        }
+    }
+
+    #[test]
+    fn adjacent_dependence_has_distance_one() {
+        let t: Trace = vec![
+            event(0, vec![], vec![Location::Reg(Reg::Rax)]),
+            event(1, vec![Location::Reg(Reg::Rax)], vec![]),
+        ]
+        .into_iter()
+        .collect();
+        let h = dependence_distances(&t, false);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.max_distance(), 1);
+        assert_eq!(h.buckets()[0], 1);
+    }
+
+    #[test]
+    fn distant_dependences_fall_in_higher_buckets() {
+        let mut events = vec![event(0, vec![], vec![Location::Mem(0x10)])];
+        for i in 1..100u64 {
+            events.push(event(i, vec![], vec![Location::Reg(Reg::Rbx)]));
+        }
+        events.push(event(100, vec![Location::Mem(0x10)], vec![]));
+        let t: Trace = events.into_iter().collect();
+        let h = dependence_distances(&t, false);
+        assert_eq!(h.max_distance(), 100);
+        // 100 lies in [64, 128) = bucket 6.
+        assert_eq!(h.buckets()[6], 1);
+        assert!(h.fraction_at_least(64) > 0.0);
+        assert_eq!(h.fraction_at_least(256), 0.0);
+    }
+
+    #[test]
+    fn stack_pointer_reads_can_be_excluded() {
+        let t: Trace = vec![
+            event(0, vec![], vec![Location::Reg(Reg::Rsp)]),
+            event(1, vec![Location::Reg(Reg::Rsp)], vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(dependence_distances(&t, false).total(), 1);
+        assert_eq!(dependence_distances(&t, true).total(), 0);
+    }
+
+    #[test]
+    fn unwritten_sources_are_not_dependences() {
+        let t: Trace = vec![event(0, vec![Location::Reg(Reg::Rax)], vec![])].into_iter().collect();
+        assert_eq!(dependence_distances(&t, false).total(), 0);
+    }
+}

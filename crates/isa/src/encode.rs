@@ -1,0 +1,450 @@
+//! Binary encoding and decoding of instructions and programs.
+//!
+//! The encoding is a simple, compact byte format used by the instruction
+//! memory model of the simulators: code addresses stay instruction indices,
+//! so the encoding does not need to be fixed-width, only deterministic and
+//! round-trippable.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    AluOp, Cond, DataItem, Inst, IsaError, MemRef, Operand, Program, Reg, Target, UnaryOp,
+};
+
+const OP_MOV: u8 = 0;
+const OP_LEA: u8 = 1;
+const OP_PUSH: u8 = 2;
+const OP_POP: u8 = 3;
+const OP_ALU: u8 = 4;
+const OP_UNARY: u8 = 5;
+const OP_CMP: u8 = 6;
+const OP_TEST: u8 = 7;
+const OP_JMP: u8 = 8;
+const OP_JCC: u8 = 9;
+const OP_CALL: u8 = 10;
+const OP_RET: u8 = 11;
+const OP_FORK: u8 = 12;
+const OP_ENDFORK: u8 = 13;
+const OP_OUT: u8 = 14;
+const OP_NOP: u8 = 15;
+const OP_HALT: u8 = 16;
+
+const TAG_IMM: u8 = 0;
+const TAG_REG: u8 = 1;
+const TAG_MEM: u8 = 2;
+
+/// Encodes one instruction to bytes.
+///
+/// # Errors
+///
+/// Returns an error if the instruction still contains an unresolved branch
+/// target or an unresolved data symbol.
+pub fn encode(inst: &Inst) -> Result<Vec<u8>, IsaError> {
+    let mut out = Vec::with_capacity(16);
+    match inst {
+        Inst::Mov { src, dst } => {
+            out.push(OP_MOV);
+            encode_operand(src, &mut out)?;
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Lea { addr, dst } => {
+            out.push(OP_LEA);
+            encode_mem(addr, &mut out);
+            out.push(dst.index() as u8);
+        }
+        Inst::Push { src } => {
+            out.push(OP_PUSH);
+            encode_operand(src, &mut out)?;
+        }
+        Inst::Pop { dst } => {
+            out.push(OP_POP);
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Alu { op, src, dst } => {
+            out.push(OP_ALU);
+            out.push(AluOp::ALL.iter().position(|o| o == op).expect("listed") as u8);
+            encode_operand(src, &mut out)?;
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Unary { op, dst } => {
+            out.push(OP_UNARY);
+            out.push(UnaryOp::ALL.iter().position(|o| o == op).expect("listed") as u8);
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Cmp { src, dst } => {
+            out.push(OP_CMP);
+            encode_operand(src, &mut out)?;
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Test { src, dst } => {
+            out.push(OP_TEST);
+            encode_operand(src, &mut out)?;
+            encode_operand(dst, &mut out)?;
+        }
+        Inst::Jmp { target } => {
+            out.push(OP_JMP);
+            encode_target(target, &mut out)?;
+        }
+        Inst::Jcc { cond, target } => {
+            out.push(OP_JCC);
+            out.push(cond.index());
+            encode_target(target, &mut out)?;
+        }
+        Inst::Call { target } => {
+            out.push(OP_CALL);
+            encode_target(target, &mut out)?;
+        }
+        Inst::Ret => out.push(OP_RET),
+        Inst::Fork { target } => {
+            out.push(OP_FORK);
+            encode_target(target, &mut out)?;
+        }
+        Inst::EndFork => out.push(OP_ENDFORK),
+        Inst::Out { src } => {
+            out.push(OP_OUT);
+            encode_operand(src, &mut out)?;
+        }
+        Inst::Nop => out.push(OP_NOP),
+        Inst::Halt => out.push(OP_HALT),
+    }
+    Ok(out)
+}
+
+/// Decodes one instruction from the front of `bytes`, returning the
+/// instruction and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] on truncated or malformed input.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), IsaError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let opcode = cursor.u8()?;
+    let inst = match opcode {
+        OP_MOV => Inst::Mov { src: cursor.operand()?, dst: cursor.operand()? },
+        OP_LEA => Inst::Lea { addr: cursor.mem()?, dst: cursor.reg()? },
+        OP_PUSH => Inst::Push { src: cursor.operand()? },
+        OP_POP => Inst::Pop { dst: cursor.operand()? },
+        OP_ALU => {
+            let op = *AluOp::ALL
+                .get(cursor.u8()? as usize)
+                .ok_or_else(|| IsaError::Decode("bad alu op".into()))?;
+            Inst::Alu { op, src: cursor.operand()?, dst: cursor.operand()? }
+        }
+        OP_UNARY => {
+            let op = *UnaryOp::ALL
+                .get(cursor.u8()? as usize)
+                .ok_or_else(|| IsaError::Decode("bad unary op".into()))?;
+            Inst::Unary { op, dst: cursor.operand()? }
+        }
+        OP_CMP => Inst::Cmp { src: cursor.operand()?, dst: cursor.operand()? },
+        OP_TEST => Inst::Test { src: cursor.operand()?, dst: cursor.operand()? },
+        OP_JMP => Inst::Jmp { target: cursor.target()? },
+        OP_JCC => {
+            let cond = Cond::from_index(cursor.u8()?)
+                .ok_or_else(|| IsaError::Decode("bad condition code".into()))?;
+            Inst::Jcc { cond, target: cursor.target()? }
+        }
+        OP_CALL => Inst::Call { target: cursor.target()? },
+        OP_RET => Inst::Ret,
+        OP_FORK => Inst::Fork { target: cursor.target()? },
+        OP_ENDFORK => Inst::EndFork,
+        OP_OUT => Inst::Out { src: cursor.operand()? },
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        other => return Err(IsaError::Decode(format!("unknown opcode {other}"))),
+    };
+    Ok((inst, cursor.pos))
+}
+
+/// Encodes a whole resolved program (instructions, data segment and entry
+/// point). Code labels are not preserved — targets are already absolute.
+///
+/// # Errors
+///
+/// Returns an error if any instruction cannot be encoded.
+pub fn encode_program(program: &Program) -> Result<Vec<u8>, IsaError> {
+    let mut out = Vec::new();
+    out.extend((program.entry() as u64).to_le_bytes());
+    out.extend((program.len() as u64).to_le_bytes());
+    for inst in program.insns() {
+        let bytes = encode(inst)?;
+        out.extend((bytes.len() as u16).to_le_bytes());
+        out.extend(bytes);
+    }
+    out.extend((program.data().len() as u64).to_le_bytes());
+    for item in program.data() {
+        out.extend((item.name.len() as u16).to_le_bytes());
+        out.extend(item.name.as_bytes());
+        out.extend(item.offset.to_le_bytes());
+        out.extend((item.words.len() as u64).to_le_bytes());
+        for w in &item.words {
+            out.extend(w.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a program produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] on malformed input, or a resolution error if
+/// the decoded program is structurally invalid.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, IsaError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let entry = cursor.u64()? as usize;
+    let count = cursor.u64()? as usize;
+    let mut insns = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let len = cursor.u16()? as usize;
+        let slice = cursor.slice(len)?;
+        let (inst, used) = decode(slice)?;
+        if used != len {
+            return Err(IsaError::Decode("trailing bytes in instruction record".into()));
+        }
+        insns.push(inst);
+    }
+    let data_count = cursor.u64()? as usize;
+    let mut data = Vec::with_capacity(data_count.min(1 << 16));
+    for _ in 0..data_count {
+        let name_len = cursor.u16()? as usize;
+        let name_bytes = cursor.slice(name_len)?;
+        let name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| IsaError::Decode("data symbol name is not utf-8".into()))?;
+        let offset = cursor.u64()?;
+        let words_len = cursor.u64()? as usize;
+        let mut words = Vec::with_capacity(words_len.min(1 << 20));
+        for _ in 0..words_len {
+            words.push(cursor.u64()?);
+        }
+        data.push(DataItem { name, offset, words });
+    }
+    Program::new(insns, BTreeMap::new(), data, Some(entry))
+}
+
+fn encode_operand(op: &Operand, out: &mut Vec<u8>) -> Result<(), IsaError> {
+    match op {
+        Operand::Imm(v) => {
+            out.push(TAG_IMM);
+            out.extend(v.to_le_bytes());
+        }
+        Operand::Reg(r) => {
+            out.push(TAG_REG);
+            out.push(r.index() as u8);
+        }
+        Operand::Mem(m) => {
+            out.push(TAG_MEM);
+            encode_mem(m, out);
+        }
+        Operand::Sym(name) => return Err(IsaError::UndefinedSymbol(name.clone())),
+    }
+    Ok(())
+}
+
+fn encode_mem(m: &MemRef, out: &mut Vec<u8>) {
+    let mut flags = 0u8;
+    if m.base.is_some() {
+        flags |= 1;
+    }
+    if m.index.is_some() {
+        flags |= 2;
+    }
+    out.push(flags);
+    out.push(m.base.map(|r| r.index() as u8).unwrap_or(0));
+    out.push(m.index.map(|r| r.index() as u8).unwrap_or(0));
+    out.push(m.scale);
+    out.extend(m.disp.to_le_bytes());
+}
+
+fn encode_target(t: &Target, out: &mut Vec<u8>) -> Result<(), IsaError> {
+    let index = t.resolved()?;
+    out.extend((index as u64).to_le_bytes());
+    Ok(())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn slice(&mut self, len: usize) -> Result<&'a [u8], IsaError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|e| *e <= self.bytes.len())
+            .ok_or_else(|| IsaError::Decode("truncated input".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, IsaError> {
+        Ok(self.slice(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, IsaError> {
+        Ok(u16::from_le_bytes(self.slice(2)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, IsaError> {
+        Ok(u64::from_le_bytes(self.slice(8)?.try_into().expect("length checked")))
+    }
+
+    fn i64(&mut self) -> Result<i64, IsaError> {
+        Ok(i64::from_le_bytes(self.slice(8)?.try_into().expect("length checked")))
+    }
+
+    fn reg(&mut self) -> Result<Reg, IsaError> {
+        Reg::from_index(self.u8()? as usize).ok_or_else(|| IsaError::Decode("bad register".into()))
+    }
+
+    fn mem(&mut self) -> Result<MemRef, IsaError> {
+        let flags = self.u8()?;
+        let base_raw = self.u8()?;
+        let index_raw = self.u8()?;
+        let scale = self.u8()?;
+        let disp = self.i64()?;
+        let base = if flags & 1 != 0 {
+            Some(
+                Reg::from_index(base_raw as usize)
+                    .ok_or_else(|| IsaError::Decode("bad base register".into()))?,
+            )
+        } else {
+            None
+        };
+        let index = if flags & 2 != 0 {
+            Some(
+                Reg::from_index(index_raw as usize)
+                    .ok_or_else(|| IsaError::Decode("bad index register".into()))?,
+            )
+        } else {
+            None
+        };
+        Ok(MemRef { base, index, scale, disp })
+    }
+
+    fn operand(&mut self) -> Result<Operand, IsaError> {
+        match self.u8()? {
+            TAG_IMM => Ok(Operand::Imm(self.i64()?)),
+            TAG_REG => Ok(Operand::Reg(self.reg()?)),
+            TAG_MEM => Ok(Operand::Mem(self.mem()?)),
+            other => Err(IsaError::Decode(format!("unknown operand tag {other}"))),
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, IsaError> {
+        Ok(Target::abs(self.u64()? as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn mem_strategy() -> impl Strategy<Value = MemRef> {
+        (
+            proptest::option::of(reg_strategy()),
+            proptest::option::of(reg_strategy()),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            -1024i64..1024,
+        )
+            .prop_map(|(base, index, scale, disp)| MemRef { base, index, scale, disp })
+    }
+
+    fn operand_strategy() -> impl Strategy<Value = Operand> {
+        prop_oneof![
+            any::<i64>().prop_map(Operand::Imm),
+            reg_strategy().prop_map(Operand::Reg),
+            mem_strategy().prop_map(Operand::Mem),
+        ]
+    }
+
+    fn target_strategy() -> impl Strategy<Value = Target> {
+        (0usize..4096).prop_map(Target::abs)
+    }
+
+    fn inst_strategy() -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            (operand_strategy(), operand_strategy()).prop_map(|(src, dst)| Inst::Mov { src, dst }),
+            (mem_strategy(), reg_strategy()).prop_map(|(addr, dst)| Inst::Lea { addr, dst }),
+            operand_strategy().prop_map(|src| Inst::Push { src }),
+            operand_strategy().prop_map(|dst| Inst::Pop { dst }),
+            (0usize..AluOp::ALL.len(), operand_strategy(), operand_strategy())
+                .prop_map(|(op, src, dst)| Inst::Alu { op: AluOp::ALL[op], src, dst }),
+            (0usize..UnaryOp::ALL.len(), operand_strategy())
+                .prop_map(|(op, dst)| Inst::Unary { op: UnaryOp::ALL[op], dst }),
+            (operand_strategy(), operand_strategy()).prop_map(|(src, dst)| Inst::Cmp { src, dst }),
+            (operand_strategy(), operand_strategy()).prop_map(|(src, dst)| Inst::Test { src, dst }),
+            target_strategy().prop_map(|target| Inst::Jmp { target }),
+            (0usize..Cond::ALL.len(), target_strategy())
+                .prop_map(|(c, target)| Inst::Jcc { cond: Cond::ALL[c], target }),
+            target_strategy().prop_map(|target| Inst::Call { target }),
+            Just(Inst::Ret),
+            target_strategy().prop_map(|target| Inst::Fork { target }),
+            Just(Inst::EndFork),
+            operand_strategy().prop_map(|src| Inst::Out { src }),
+            Just(Inst::Nop),
+            Just(Inst::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in inst_strategy()) {
+            let bytes = encode(&inst).unwrap();
+            let (decoded, used) = decode(&bytes).unwrap();
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(decoded, inst);
+        }
+
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn unresolved_target_cannot_be_encoded() {
+        let inst = Inst::Jmp { target: Target::label("somewhere") };
+        assert!(encode(&inst).is_err());
+        let inst = Inst::Mov { src: Operand::sym("t"), dst: Operand::Reg(Reg::Rax) };
+        assert!(encode(&inst).is_err());
+    }
+
+    #[test]
+    fn program_roundtrip_preserves_code_data_and_entry() {
+        use crate::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        b.global_data("t", &[5, 6, 7]);
+        b.nop();
+        b.label("main");
+        b.movq(Operand::sym("t"), Reg::Rdi);
+        b.movq(Operand::mem(Reg::Rdi, 16), Reg::Rax);
+        b.out(Reg::Rax);
+        b.halt();
+        let p = b.build().unwrap();
+        let bytes = encode_program(&p).unwrap();
+        let q = decode_program(&bytes).unwrap();
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.insns(), p.insns());
+        assert_eq!(q.data(), p.data());
+    }
+
+    #[test]
+    fn truncated_program_is_rejected() {
+        use crate::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let bytes = encode_program(&p).unwrap();
+        for cut in 1..bytes.len() {
+            assert!(decode_program(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+}

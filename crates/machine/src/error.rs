@@ -1,0 +1,88 @@
+//! Machine execution errors.
+
+use std::error::Error;
+use std::fmt;
+
+use parsecs_isa::IsaError;
+
+/// Errors produced while loading or executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The instruction pointer left the program.
+    InvalidIp {
+        /// The offending instruction index.
+        ip: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// The fuel (maximum step count) was exhausted before `halt`.
+    OutOfFuel {
+        /// Number of steps executed.
+        steps: u64,
+    },
+    /// A data memory access was not 8-byte aligned.
+    UnalignedAccess {
+        /// The offending address.
+        addr: u64,
+        /// Index of the instruction performing the access.
+        ip: usize,
+    },
+    /// `ret` or `endfork` was executed with an empty call/continuation
+    /// context and no enclosing `main` to return to.
+    EmptyReturnContext {
+        /// Index of the offending instruction.
+        ip: usize,
+    },
+    /// A structural ISA problem surfaced at run time (e.g. an unresolved
+    /// target in a hand-constructed program).
+    Isa(IsaError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidIp { ip, len } => {
+                write!(f, "instruction pointer {ip} outside program of length {len}")
+            }
+            MachineError::OutOfFuel { steps } => {
+                write!(f, "execution did not halt after {steps} steps")
+            }
+            MachineError::UnalignedAccess { addr, ip } => {
+                write!(f, "unaligned 64-bit access to {addr:#x} at instruction {ip}")
+            }
+            MachineError::EmptyReturnContext { ip } => {
+                write!(f, "return without caller at instruction {ip}")
+            }
+            MachineError::Isa(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for MachineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MachineError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for MachineError {
+    fn from(e: IsaError) -> MachineError {
+        MachineError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(MachineError::InvalidIp { ip: 9, len: 3 }.to_string().contains('9'));
+        assert!(MachineError::OutOfFuel { steps: 10 }.to_string().contains("10"));
+        assert!(MachineError::UnalignedAccess { addr: 0x11, ip: 2 }.to_string().contains("0x11"));
+        let e: MachineError = IsaError::UndefinedLabel("f".into()).into();
+        assert!(e.to_string().contains("undefined label"));
+    }
+}

@@ -1,0 +1,668 @@
+//! The sequential executor.
+
+use parsecs_isa::{AluOp, Effects, Flags, Inst, Operand, Program, Reg};
+
+use crate::{CpuState, Location, MachineError, Memory, Trace, TraceEvent, TraceKind};
+
+/// The result of one execution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The machine executed one instruction and can continue.
+    Continue,
+    /// The machine halted (a `halt`, or the outermost flow reached
+    /// `endfork`).
+    Halted,
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Values emitted by `out` instructions, in program order.
+    pub outputs: Vec<u64>,
+    /// Number of dynamic instructions executed.
+    pub instructions: u64,
+    /// Number of dynamic loads.
+    pub loads: u64,
+    /// Number of dynamic stores.
+    pub stores: u64,
+}
+
+/// A saved continuation used to give `fork` programs a sequential,
+/// depth-first semantics (the paper's section total order).
+#[derive(Debug, Clone)]
+struct Continuation {
+    resume_ip: usize,
+    saved_callee: Vec<(Reg, u64)>,
+}
+
+/// The sequential reference machine.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    cpu: CpuState,
+    memory: Memory,
+    outputs: Vec<u64>,
+    continuations: Vec<Continuation>,
+    steps: u64,
+    loads: u64,
+    stores: u64,
+    halted: bool,
+}
+
+impl Machine {
+    /// Loads a program: initialises memory from its data segment and places
+    /// the instruction pointer at the entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the program is empty.
+    pub fn load(program: &Program) -> Result<Machine, MachineError> {
+        if program.is_empty() {
+            return Err(MachineError::InvalidIp { ip: 0, len: 0 });
+        }
+        let mut memory = Memory::new();
+        for (addr, value) in program.data_words() {
+            memory.write(addr, value);
+        }
+        Ok(Machine {
+            program: program.clone(),
+            cpu: CpuState::at_entry(program.entry()),
+            memory,
+            outputs: Vec::new(),
+            continuations: Vec::new(),
+            steps: 0,
+            loads: 0,
+            stores: 0,
+            halted: false,
+        })
+    }
+
+    /// The current architectural register state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// The current data memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Values emitted so far by `out` instructions.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Whether the machine has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs until `halt` (or outermost `endfork`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfFuel`] if the program does not halt
+    /// within `fuel` instructions, or any execution error.
+    pub fn run(&mut self, fuel: u64) -> Result<Outcome, MachineError> {
+        self.run_inner(fuel, &mut None)
+    }
+
+    /// Runs until halt, recording the dynamic trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_traced(&mut self, fuel: u64) -> Result<(Outcome, Trace), MachineError> {
+        let mut trace = Some(Trace::new());
+        let outcome = self.run_inner(fuel, &mut trace)?;
+        Ok((outcome, trace.expect("installed above")))
+    }
+
+    fn run_inner(&mut self, fuel: u64, trace: &mut Option<Trace>) -> Result<Outcome, MachineError> {
+        let mut remaining = fuel;
+        while !self.halted {
+            if remaining == 0 {
+                return Err(MachineError::OutOfFuel { steps: self.steps });
+            }
+            remaining -= 1;
+            self.step(trace)?;
+        }
+        Ok(Outcome {
+            outputs: self.outputs.clone(),
+            instructions: self.steps,
+            loads: self.loads,
+            stores: self.stores,
+        })
+    }
+
+    /// Executes a single instruction, optionally recording it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid instruction pointer, an unaligned
+    /// memory access, or an unresolved target.
+    pub fn step(&mut self, trace: &mut Option<Trace>) -> Result<StepEvent, MachineError> {
+        if self.halted {
+            return Ok(StepEvent::Halted);
+        }
+        let ip = self.cpu.ip;
+        let inst = self
+            .program
+            .get(ip)
+            .cloned()
+            .ok_or(MachineError::InvalidIp { ip, len: self.program.len() })?;
+
+        let mut mem_reads: Vec<u64> = Vec::new();
+        let mut mem_writes: Vec<u64> = Vec::new();
+        let mut out_value = None;
+        let mut next_ip = ip + 1;
+        let mut kind = TraceKind::Other;
+
+        match &inst {
+            Inst::Mov { src, dst } => {
+                let v = self.read_operand(src, ip, &mut mem_reads)?;
+                self.write_operand(dst, v, ip, &mut mem_writes)?;
+            }
+            Inst::Lea { addr, dst } => {
+                let ea = self.cpu.effective_address(addr);
+                self.cpu.set(*dst, ea);
+            }
+            Inst::Push { src } => {
+                let v = self.read_operand(src, ip, &mut mem_reads)?;
+                let rsp = self.cpu.get(Reg::Rsp).wrapping_sub(8);
+                self.cpu.set(Reg::Rsp, rsp);
+                self.store_word(rsp, v, ip, &mut mem_writes)?;
+            }
+            Inst::Pop { dst } => {
+                let rsp = self.cpu.get(Reg::Rsp);
+                let v = self.load_word(rsp, ip, &mut mem_reads)?;
+                self.cpu.set(Reg::Rsp, rsp.wrapping_add(8));
+                self.write_operand(dst, v, ip, &mut mem_writes)?;
+            }
+            Inst::Alu { op, src, dst } => {
+                let s = self.read_operand(src, ip, &mut mem_reads)?;
+                let d = self.read_operand(dst, ip, &mut mem_reads)?;
+                let result = op.apply(d, s);
+                self.cpu.flags = match op {
+                    AluOp::Add => Flags::from_add(d, s),
+                    AluOp::Sub => Flags::from_sub(d, s),
+                    _ => Flags::from_logic(result),
+                };
+                self.write_operand(dst, result, ip, &mut mem_writes)?;
+            }
+            Inst::Unary { op, dst } => {
+                let d = self.read_operand(dst, ip, &mut mem_reads)?;
+                let result = op.apply(d);
+                self.cpu.flags = match op {
+                    parsecs_isa::UnaryOp::Neg => Flags::from_sub(0, d),
+                    parsecs_isa::UnaryOp::Not => self.cpu.flags,
+                    parsecs_isa::UnaryOp::Inc => Flags::from_add(d, 1),
+                    parsecs_isa::UnaryOp::Dec => Flags::from_sub(d, 1),
+                };
+                self.write_operand(dst, result, ip, &mut mem_writes)?;
+            }
+            Inst::Cmp { src, dst } => {
+                let s = self.read_operand(src, ip, &mut mem_reads)?;
+                let d = self.read_operand(dst, ip, &mut mem_reads)?;
+                self.cpu.flags = Flags::from_sub(d, s);
+            }
+            Inst::Test { src, dst } => {
+                let s = self.read_operand(src, ip, &mut mem_reads)?;
+                let d = self.read_operand(dst, ip, &mut mem_reads)?;
+                self.cpu.flags = Flags::from_logic(d & s);
+            }
+            Inst::Jmp { target } => {
+                next_ip = target.resolved()?;
+            }
+            Inst::Jcc { cond, target } => {
+                if cond.eval(self.cpu.flags) {
+                    next_ip = target.resolved()?;
+                }
+            }
+            Inst::Call { target } => {
+                kind = TraceKind::Call;
+                let rsp = self.cpu.get(Reg::Rsp).wrapping_sub(8);
+                self.cpu.set(Reg::Rsp, rsp);
+                self.store_word(rsp, (ip + 1) as u64, ip, &mut mem_writes)?;
+                next_ip = target.resolved()?;
+            }
+            Inst::Ret => {
+                kind = TraceKind::Ret;
+                let rsp = self.cpu.get(Reg::Rsp);
+                let ret = self.load_word(rsp, ip, &mut mem_reads)?;
+                self.cpu.set(Reg::Rsp, rsp.wrapping_add(8));
+                next_ip = ret as usize;
+            }
+            Inst::Fork { target } => {
+                kind = TraceKind::Fork;
+                // Depth-first sequentialisation: the callee path runs now;
+                // the forked continuation resumes at the next instruction
+                // with the callee-saved registers (and %rsp) as they are at
+                // the fork, exactly the register set the paper copies into
+                // the section-creation message.
+                self.continuations.push(Continuation {
+                    resume_ip: ip + 1,
+                    saved_callee: self.cpu.fork_copied(),
+                });
+                next_ip = target.resolved()?;
+            }
+            Inst::EndFork => {
+                kind = TraceKind::EndFork;
+                match self.continuations.pop() {
+                    Some(cont) => {
+                        for (r, v) in cont.saved_callee {
+                            self.cpu.set(r, v);
+                        }
+                        next_ip = cont.resume_ip;
+                    }
+                    None => {
+                        // The outermost flow ended: the run is complete.
+                        self.halted = true;
+                    }
+                }
+            }
+            Inst::Out { src } => {
+                let v = self.read_operand(src, ip, &mut mem_reads)?;
+                self.outputs.push(v);
+                out_value = Some(v);
+            }
+            Inst::Nop => {}
+            Inst::Halt => {
+                kind = TraceKind::Halt;
+                self.halted = true;
+            }
+        }
+
+        self.steps += 1;
+        self.loads += mem_reads.len() as u64;
+        self.stores += mem_writes.len() as u64;
+
+        if let Some(trace) = trace {
+            trace.push(self.make_event(&inst, ip, kind, mem_reads, mem_writes, out_value));
+        }
+
+        if self.halted {
+            return Ok(StepEvent::Halted);
+        }
+        if next_ip >= self.program.len() {
+            return Err(MachineError::InvalidIp { ip: next_ip, len: self.program.len() });
+        }
+        self.cpu.ip = next_ip;
+        Ok(StepEvent::Continue)
+    }
+
+    fn make_event(
+        &self,
+        inst: &Inst,
+        ip: usize,
+        kind: TraceKind,
+        mem_reads: Vec<u64>,
+        mem_writes: Vec<u64>,
+        out_value: Option<u64>,
+    ) -> TraceEvent {
+        let effects = Effects::of(inst);
+        let mut reads: Vec<Location> = effects.reg_reads.iter().map(|r| Location::Reg(*r)).collect();
+        if effects.reads_flags {
+            reads.push(Location::Flags);
+        }
+        reads.extend(mem_reads.into_iter().map(Location::Mem));
+        let mut writes: Vec<Location> =
+            effects.reg_writes.iter().map(|r| Location::Reg(*r)).collect();
+        if effects.writes_flags {
+            writes.push(Location::Flags);
+        }
+        writes.extend(mem_writes.into_iter().map(Location::Mem));
+        reads.sort();
+        reads.dedup();
+        writes.sort();
+        writes.dedup();
+        TraceEvent {
+            seq: self.steps - 1,
+            ip,
+            mnemonic: inst.mnemonic(),
+            reads,
+            writes,
+            is_control: effects.is_control,
+            updates_stack_pointer: effects.updates_stack_pointer,
+            kind,
+            out_value,
+        }
+    }
+
+    fn read_operand(
+        &mut self,
+        op: &Operand,
+        ip: usize,
+        mem_reads: &mut Vec<u64>,
+    ) -> Result<u64, MachineError> {
+        match op {
+            Operand::Imm(v) => Ok(*v as u64),
+            Operand::Reg(r) => Ok(self.cpu.get(*r)),
+            Operand::Mem(m) => {
+                let addr = self.cpu.effective_address(m);
+                self.load_word(addr, ip, mem_reads)
+            }
+            Operand::Sym(name) => Err(parsecs_isa::IsaError::UndefinedSymbol(name.clone()).into()),
+        }
+    }
+
+    fn write_operand(
+        &mut self,
+        op: &Operand,
+        value: u64,
+        ip: usize,
+        mem_writes: &mut Vec<u64>,
+    ) -> Result<(), MachineError> {
+        match op {
+            Operand::Reg(r) => {
+                self.cpu.set(*r, value);
+                Ok(())
+            }
+            Operand::Mem(m) => {
+                let addr = self.cpu.effective_address(m);
+                self.store_word(addr, value, ip, mem_writes)
+            }
+            Operand::Imm(_) | Operand::Sym(_) => Err(parsecs_isa::IsaError::InvalidOperands {
+                mnemonic: "store",
+                reason: "destination must be a register or memory".into(),
+            }
+            .into()),
+        }
+    }
+
+    fn load_word(&mut self, addr: u64, ip: usize, mem_reads: &mut Vec<u64>) -> Result<u64, MachineError> {
+        if !Memory::is_aligned(addr) {
+            return Err(MachineError::UnalignedAccess { addr, ip });
+        }
+        mem_reads.push(addr);
+        Ok(self.memory.read(addr))
+    }
+
+    fn store_word(
+        &mut self,
+        addr: u64,
+        value: u64,
+        ip: usize,
+        mem_writes: &mut Vec<u64>,
+    ) -> Result<(), MachineError> {
+        if !Memory::is_aligned(addr) {
+            return Err(MachineError::UnalignedAccess { addr, ip });
+        }
+        mem_writes.push(addr);
+        self.memory.write(addr, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsecs_asm::assemble;
+    use proptest::prelude::*;
+
+    fn run_source(src: &str) -> Outcome {
+        let program = assemble(src).expect("assembles");
+        let mut m = Machine::load(&program).expect("loads");
+        m.run(1_000_000).expect("halts")
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let out = run_source(
+            "main: movq $40, %rax
+                   addq $2, %rax
+                   movq $10, %rbx
+                   imulq %rbx, %rax
+                   out  %rax
+                   halt",
+        );
+        assert_eq!(out.outputs, vec![420]);
+        assert_eq!(out.instructions, 6);
+    }
+
+    #[test]
+    fn loads_stores_and_lea() {
+        let out = run_source(
+            "t:    .quad 7, 11, 13
+             main: movq $t, %rdi
+                   movq $2, %rsi
+                   movq (%rdi,%rsi,8), %rax   # rax = t[2] = 13
+                   leaq 8(%rdi), %rbx         # rbx = &t[1]
+                   movq (%rbx), %rcx          # rcx = 11
+                   addq %rcx, %rax
+                   movq %rax, 16(%rdi)        # t[2] = 24
+                   movq (%rdi,%rsi,8), %rdx
+                   out  %rdx
+                   halt",
+        );
+        assert_eq!(out.outputs, vec![24]);
+        assert_eq!(out.loads, 3);
+        assert_eq!(out.stores, 1);
+    }
+
+    #[test]
+    fn conditional_branch_loop() {
+        // Sum the integers 1..=10 with a countdown loop.
+        let out = run_source(
+            "main: movq $10, %rcx
+                   movq $0, %rax
+             loop: addq %rcx, %rax
+                   subq $1, %rcx
+                   jne  loop
+                   out  %rax
+                   halt",
+        );
+        assert_eq!(out.outputs, vec![55]);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let out = run_source(
+            "main:   movq $5, %rdi
+                     call square
+                     out  %rax
+                     halt
+             square: movq %rdi, %rax
+                     imulq %rdi, %rax
+                     ret",
+        );
+        assert_eq!(out.outputs, vec![25]);
+    }
+
+    #[test]
+    fn recursive_call_version_of_sum_matches_rust() {
+        let data = [4u64, 2, 6, 4, 5, 1, 9, 3];
+        let quads: Vec<String> = data.iter().map(u64::to_string).collect();
+        let src = format!(
+            "t:   .quad {}
+             main: movq $t, %rdi
+                   movq ${}, %rsi
+                   call sum
+                   out  %rax
+                   halt
+             sum:  cmpq $2, %rsi
+                   ja .L2
+                   movq (%rdi), %rax
+                   jne .L1
+                   addq 8(%rdi), %rax
+             .L1:  ret
+             .L2:  pushq %rbx
+                   pushq %rdi
+                   pushq %rsi
+                   shrq %rsi
+                   call sum
+                   popq %rbx
+                   pushq %rbx
+                   subq $8, %rsp
+                   movq %rax, 0(%rsp)
+                   leaq (%rdi,%rsi,8), %rdi
+                   subq %rsi, %rbx
+                   movq %rbx, %rsi
+                   call sum
+                   addq 0(%rsp), %rax
+                   addq $8, %rsp
+                   popq %rsi
+                   popq %rdi
+                   popq %rbx
+                   ret",
+            quads.join(", "),
+            data.len(),
+        );
+        let out = run_source(&src);
+        assert_eq!(out.outputs, vec![data.iter().sum::<u64>()]);
+    }
+
+    #[test]
+    fn fork_version_of_sum_matches_call_version() {
+        let data = [4u64, 2, 6, 4, 5];
+        let quads: Vec<String> = data.iter().map(u64::to_string).collect();
+        let src = format!(
+            "t:   .quad {}
+             main: movq $t, %rdi
+                   movq ${}, %rsi
+                   fork sum
+                   out  %rax
+                   halt
+             sum:  cmpq $2, %rsi
+                   ja .L2
+                   movq (%rdi), %rax
+                   jne .L1
+                   addq 8(%rdi), %rax
+             .L1:  endfork
+             .L2:  movq %rsi, %rbx
+                   shrq %rsi
+                   fork sum
+                   subq $8, %rsp
+                   movq %rax, 0(%rsp)
+                   leaq (%rdi,%rsi,8), %rdi
+                   subq %rsi, %rbx
+                   movq %rbx, %rsi
+                   fork sum
+                   addq 0(%rsp), %rax
+                   addq $8, %rsp
+                   endfork",
+            quads.join(", "),
+            data.len(),
+        );
+        let out = run_source(&src);
+        assert_eq!(out.outputs, vec![21]);
+    }
+
+    #[test]
+    fn fork_as_main_flow_halts_on_outermost_endfork() {
+        let out = run_source(
+            "main: movq $1, %rax
+                   fork child
+                   out %rax
+                   endfork
+             child: addq $41, %rax
+                   endfork",
+        );
+        // The child runs first (depth-first), then the continuation prints.
+        assert_eq!(out.outputs, vec![42]);
+    }
+
+    #[test]
+    fn trace_records_locations() {
+        let program = assemble(
+            "t:   .quad 3
+             main: movq $t, %rdi
+                   movq (%rdi), %rax
+                   addq $1, %rax
+                   movq %rax, (%rdi)
+                   halt",
+        )
+        .unwrap();
+        let mut m = Machine::load(&program).unwrap();
+        let (outcome, trace) = m.run_traced(100).unwrap();
+        assert_eq!(outcome.instructions, 5);
+        assert_eq!(trace.len(), 5);
+        let load = &trace.events()[1];
+        assert!(load.reads.contains(&Location::Mem(parsecs_isa::DATA_BASE)));
+        assert!(load.writes.contains(&Location::Reg(Reg::Rax)));
+        let store = &trace.events()[3];
+        assert!(store.writes.contains(&Location::Mem(parsecs_isa::DATA_BASE)));
+        assert_eq!(trace.loads(), 1);
+        assert_eq!(trace.stores(), 1);
+        assert_eq!(trace.count_kind(TraceKind::Halt), 1);
+    }
+
+    #[test]
+    fn out_of_fuel_is_reported() {
+        let program = assemble("main: jmp main").unwrap();
+        let mut m = Machine::load(&program).unwrap();
+        assert_eq!(m.run(10).unwrap_err(), MachineError::OutOfFuel { steps: 10 });
+    }
+
+    #[test]
+    fn falling_off_the_program_is_reported() {
+        let program = assemble("main: nop\n nop").unwrap();
+        let mut m = Machine::load(&program).unwrap();
+        let err = m.run(10).unwrap_err();
+        assert!(matches!(err, MachineError::InvalidIp { .. }));
+    }
+
+    #[test]
+    fn unaligned_access_is_reported() {
+        let program = assemble("main: movq $3, %rdi\n movq (%rdi), %rax\n halt").unwrap();
+        let mut m = Machine::load(&program).unwrap();
+        let err = m.run(10).unwrap_err();
+        assert_eq!(err, MachineError::UnalignedAccess { addr: 3, ip: 1 });
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let program = assemble("").unwrap();
+        assert!(Machine::load(&program).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn alu_matches_native_semantics(a in any::<i64>(), b in any::<i64>()) {
+            let src = format!(
+                "main: movq ${a}, %rax
+                       movq ${b}, %rbx
+                       movq %rax, %rcx
+                       addq %rbx, %rcx
+                       out  %rcx
+                       movq %rax, %rcx
+                       subq %rbx, %rcx
+                       out  %rcx
+                       movq %rax, %rcx
+                       imulq %rbx, %rcx
+                       out  %rcx
+                       movq %rax, %rcx
+                       xorq %rbx, %rcx
+                       out  %rcx
+                       halt"
+            );
+            let out = run_source(&src);
+            prop_assert_eq!(out.outputs[0], a.wrapping_add(b) as u64);
+            prop_assert_eq!(out.outputs[1], a.wrapping_sub(b) as u64);
+            prop_assert_eq!(out.outputs[2], a.wrapping_mul(b) as u64);
+            prop_assert_eq!(out.outputs[3], (a ^ b) as u64);
+        }
+
+        #[test]
+        fn branch_decisions_match_rust_comparisons(a in -1000i64..1000, b in -1000i64..1000) {
+            let src = format!(
+                "main: movq ${a}, %rax
+                       cmpq ${b}, %rax
+                       jg   greater
+                       out  $0
+                       halt
+                 greater: out $1
+                       halt"
+            );
+            let out = run_source(&src);
+            prop_assert_eq!(out.outputs[0], (a > b) as u64);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Cycle-driven message delivery.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::{CoreId, Topology};
+
+/// Timing and bandwidth parameters of the on-chip network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Fixed cost added to every message (injection + ejection), in cycles.
+    pub base_latency: u64,
+    /// Cost per router hop, in cycles.
+    pub per_hop_latency: u64,
+    /// Maximum number of messages a single core can *receive* per cycle;
+    /// `None` means unlimited. Excess messages are delayed to later cycles.
+    pub link_bandwidth: Option<usize>,
+}
+
+impl Default for NocConfig {
+    /// One cycle per hop, one cycle of fixed overhead, unlimited ejection
+    /// bandwidth — the charge model implied by the paper's Figure 10
+    /// (3 cycles to reach a neighbouring producer and return).
+    fn default() -> NocConfig {
+        NocConfig { base_latency: 1, per_hop_latency: 1, link_bandwidth: None }
+    }
+}
+
+/// A message travelling through the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<T> {
+    /// Sender.
+    pub src: CoreId,
+    /// Receiver.
+    pub dst: CoreId,
+    /// Cycle at which the message was injected.
+    pub sent_at: u64,
+    /// Cycle at which the message becomes visible at the receiver.
+    pub arrives_at: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Messages injected.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Sum of hop counts over all injected messages.
+    pub total_hops: u64,
+    /// Sum of (arrival − send) latencies over delivered messages.
+    pub total_latency: u64,
+    /// Largest number of messages in flight at any injection point.
+    pub peak_in_flight: usize,
+}
+
+impl NocStats {
+    /// Average end-to-end latency of delivered messages, in cycles.
+    pub fn average_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pending<T> {
+    arrives_at: u64,
+    sequence: u64,
+    envelope: Envelope<T>,
+}
+
+impl<T: Eq> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest arrival (then the
+        // earliest injection order) pops first.
+        other
+            .arrives_at
+            .cmp(&self.arrives_at)
+            .then(other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T: Eq> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The on-chip network: messages are injected with [`Network::send`] and
+/// collected, cycle by cycle, with [`Network::deliver`].
+#[derive(Debug, Clone)]
+pub struct Network<T> {
+    topology: Topology,
+    config: NocConfig,
+    pending: BinaryHeap<Pending<T>>,
+    stats: NocStats,
+    sequence: u64,
+}
+
+impl<T: Eq> Network<T> {
+    /// Creates an empty network over `topology` with `config` timing.
+    pub fn new(topology: Topology, config: NocConfig) -> Network<T> {
+        Network { topology, config, pending: BinaryHeap::new(), stats: NocStats::default(), sequence: 0 }
+    }
+
+    /// The chip topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> NocConfig {
+        self.config
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Computes the raw transit latency from `src` to `dst` (excluding
+    /// bandwidth effects).
+    pub fn latency(&self, src: CoreId, dst: CoreId) -> u64 {
+        let hops = self.topology.hops(src, dst) as u64;
+        self.config.base_latency + hops * self.config.per_hop_latency
+    }
+
+    /// Injects a message at cycle `now`. The message becomes visible at the
+    /// destination no earlier than `now + latency(src, dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a core of the topology.
+    pub fn send(&mut self, src: CoreId, dst: CoreId, payload: T, now: u64) {
+        assert!(self.topology.contains(src), "{src} outside {}", self.topology);
+        assert!(self.topology.contains(dst), "{dst} outside {}", self.topology);
+        let arrives_at = now + self.latency(src, dst);
+        let envelope = Envelope { src, dst, sent_at: now, arrives_at, payload };
+        self.stats.sent += 1;
+        self.stats.total_hops += self.topology.hops(src, dst) as u64;
+        self.sequence += 1;
+        self.pending.push(Pending { arrives_at, sequence: self.sequence, envelope });
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.pending.len());
+    }
+
+    /// Removes and returns every message that arrives at or before cycle
+    /// `now`, respecting the per-destination ejection bandwidth: messages
+    /// beyond the limit stay queued and arrive on a later cycle.
+    pub fn deliver(&mut self, now: u64) -> Vec<Envelope<T>> {
+        let mut delivered = Vec::new();
+        let mut per_dst: HashMap<CoreId, usize> = HashMap::new();
+        let mut postponed: Vec<Pending<T>> = Vec::new();
+
+        while let Some(head) = self.pending.peek() {
+            if head.arrives_at > now {
+                break;
+            }
+            let mut item = self.pending.pop().expect("peeked");
+            if let Some(limit) = self.config.link_bandwidth {
+                let used = per_dst.entry(item.envelope.dst).or_insert(0);
+                if *used >= limit {
+                    // The ejection port is saturated this cycle; retry next
+                    // cycle.
+                    item.arrives_at = now + 1;
+                    item.envelope.arrives_at = now + 1;
+                    postponed.push(item);
+                    continue;
+                }
+                *used += 1;
+            }
+            let mut envelope = item.envelope;
+            envelope.arrives_at = envelope.arrives_at.max(envelope.sent_at);
+            self.stats.delivered += 1;
+            self.stats.total_latency += now.saturating_sub(envelope.sent_at);
+            delivered.push(envelope);
+        }
+        for item in postponed {
+            self.pending.push(item);
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(config: NocConfig) -> Network<u32> {
+        Network::new(Topology::mesh(4, 4), config)
+    }
+
+    #[test]
+    fn latency_charges_base_plus_hops() {
+        let n = net(NocConfig::default());
+        assert_eq!(n.latency(CoreId(0), CoreId(0)), 1);
+        assert_eq!(n.latency(CoreId(0), CoreId(1)), 2);
+        assert_eq!(n.latency(CoreId(0), CoreId(15)), 7);
+        let n = net(NocConfig { base_latency: 0, per_hop_latency: 3, link_bandwidth: None });
+        assert_eq!(n.latency(CoreId(0), CoreId(1)), 3);
+    }
+
+    #[test]
+    fn messages_arrive_in_latency_order() {
+        let mut n = net(NocConfig::default());
+        n.send(CoreId(0), CoreId(15), 1, 0); // arrives at 7
+        n.send(CoreId(0), CoreId(1), 2, 0); // arrives at 2
+        assert_eq!(n.in_flight(), 2);
+        assert!(n.deliver(1).is_empty());
+        let at2 = n.deliver(2);
+        assert_eq!(at2.len(), 1);
+        assert_eq!(at2[0].payload, 2);
+        let at7 = n.deliver(7);
+        assert_eq!(at7.len(), 1);
+        assert_eq!(at7[0].payload, 1);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.stats().delivered, 2);
+    }
+
+    #[test]
+    fn deliver_collects_everything_due() {
+        let mut n = net(NocConfig::default());
+        for i in 0..5 {
+            n.send(CoreId(0), CoreId(1), i, 0);
+        }
+        let all = n.deliver(10);
+        assert_eq!(all.len(), 5);
+        // FIFO among equal arrival times.
+        let payloads: Vec<u32> = all.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bandwidth_limit_spreads_deliveries() {
+        let config = NocConfig { link_bandwidth: Some(2), ..NocConfig::default() };
+        let mut n = net(config);
+        for i in 0..5 {
+            n.send(CoreId(0), CoreId(1), i, 0);
+        }
+        assert_eq!(n.deliver(2).len(), 2);
+        assert_eq!(n.deliver(3).len(), 2);
+        assert_eq!(n.deliver(4).len(), 1);
+        assert_eq!(n.stats().delivered, 5);
+    }
+
+    #[test]
+    fn bandwidth_limit_is_per_destination() {
+        let config = NocConfig { link_bandwidth: Some(1), ..NocConfig::default() };
+        let mut n = net(config);
+        n.send(CoreId(0), CoreId(1), 1, 0);
+        n.send(CoreId(0), CoreId(2), 2, 0);
+        assert_eq!(n.deliver(3).len(), 2, "different destinations do not contend");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(NocConfig::default());
+        n.send(CoreId(0), CoreId(3), 1, 0);
+        n.send(CoreId(3), CoreId(0), 2, 0);
+        n.deliver(100);
+        let s = n.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.total_hops, 6);
+        assert!(s.average_latency() > 0.0);
+        assert_eq!(s.peak_in_flight, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn sending_outside_the_chip_panics() {
+        let mut n = net(NocConfig::default());
+        n.send(CoreId(0), CoreId(99), 0, 0);
+    }
+}

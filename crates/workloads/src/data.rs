@@ -1,0 +1,87 @@
+//! Seeded dataset generators.
+//!
+//! All generators are deterministic in `(size, seed)` so that a program,
+//! its Rust oracle and any benchmark harness observe the same data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random number generator for a workload instance.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` uniformly random 64-bit values below `bound`.
+pub fn values(n: usize, bound: u64, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// A random directed graph with `n` nodes of constant out-degree `degree`,
+/// stored as a flat adjacency array of length `n · degree`
+/// (`edges[u·degree + j]` is the j-th neighbour of `u`).
+pub fn graph(n: usize, degree: usize, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n * degree).map(|_| r.gen_range(0..n as u64)).collect()
+}
+
+/// `n` random 2-D points with coordinates in `[0, 2^16)`, returned as
+/// separate x and y arrays (the representation the mini-C kernels use).
+pub fn points(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut r = rng(seed);
+    let xs = (0..n).map(|_| r.gen_range(0..1u64 << 16)).collect();
+    let ys = (0..n).map(|_| r.gen_range(0..1u64 << 16)).collect();
+    (xs, ys)
+}
+
+/// `m` random weighted edges over `n` nodes, returned as `(src, dst,
+/// weight)` arrays with weights below `2^20`.
+pub fn weighted_edges(n: usize, m: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut r = rng(seed);
+    let src = (0..m).map(|_| r.gen_range(0..n as u64)).collect();
+    let dst = (0..m).map(|_| r.gen_range(0..n as u64)).collect();
+    let weight = (0..m).map(|_| r.gen_range(0..1u64 << 20)).collect();
+    (src, dst, weight)
+}
+
+/// The smallest power of two that is at least `n` and at least 2.
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(2).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        assert_eq!(values(16, 100, 7), values(16, 100, 7));
+        assert_ne!(values(16, 100, 7), values(16, 100, 8));
+        assert_eq!(graph(8, 4, 3), graph(8, 4, 3));
+        assert_eq!(points(8, 3), points(8, 3));
+        assert_eq!(weighted_edges(8, 20, 3), weighted_edges(8, 20, 3));
+    }
+
+    #[test]
+    fn shapes_and_bounds() {
+        let v = values(100, 50, 1);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|x| *x < 50));
+        let g = graph(10, 4, 1);
+        assert_eq!(g.len(), 40);
+        assert!(g.iter().all(|x| *x < 10));
+        let (xs, ys) = points(5, 1);
+        assert_eq!((xs.len(), ys.len()), (5, 5));
+        let (s, d, w) = weighted_edges(6, 12, 1);
+        assert_eq!((s.len(), d.len(), w.len()), (12, 12, 12));
+        assert!(w.iter().all(|x| *x < (1 << 20)));
+    }
+
+    #[test]
+    fn power_of_two_helper() {
+        assert_eq!(next_power_of_two(0), 2);
+        assert_eq!(next_power_of_two(2), 2);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(1000), 1024);
+    }
+}

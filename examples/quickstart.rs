@@ -1,0 +1,49 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Assembles the Figure 2 (call) and Figure 5 (fork) versions of the
+//! recursive vector sum, runs the call version sequentially, splits the
+//! fork version into sections, and simulates it on a many-core chip.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use parsecs::asm::listing_numbered;
+use parsecs::core::{ManyCoreSim, SectionedTrace, SimConfig};
+use parsecs::machine::Machine;
+use parsecs::workloads::sum;
+
+fn main() {
+    let data = [4u64, 2, 6, 4, 5];
+
+    // --- Figure 2: the call version, run sequentially --------------------
+    let call = sum::call_program(&data);
+    println!("== Figure 2: sum, call version ==");
+    println!("{}", listing_numbered(&call));
+    let mut machine = Machine::load(&call).expect("program loads");
+    let outcome = machine.run(100_000).expect("program halts");
+    println!(
+        "sequential run: {} instructions, result {:?}\n",
+        outcome.instructions, outcome.outputs
+    );
+
+    // --- Figure 5 / Figure 6: the fork version, split into sections ------
+    let fork = sum::fork_program(&data);
+    println!("== Figure 5: sum, fork version ==");
+    println!("{}", listing_numbered(&fork));
+    let sectioned = SectionedTrace::from_program(&fork, 100_000).expect("program runs");
+    println!(
+        "parallel run: {} instructions in {} sections (sizes {:?})\n",
+        sectioned.len(),
+        sectioned.sections().len(),
+        sectioned.section_sizes()
+    );
+
+    // --- Figure 10: simulate the distributed execution -------------------
+    let sim = ManyCoreSim::new(SimConfig::with_cores(8));
+    let result = sim.run(&fork).expect("simulation succeeds");
+    println!("== Many-core simulation ==");
+    println!("result            : {:?}", result.outputs);
+    println!("last fetch cycle  : {}", result.stats.fetch_cycles);
+    println!("last retire cycle : {}", result.stats.total_cycles);
+    println!("fetch IPC         : {:.2}", result.stats.fetch_ipc);
+    println!("retire IPC        : {:.2}", result.stats.retire_ipc);
+}

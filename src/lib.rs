@@ -1,0 +1,44 @@
+//! # parsecs — Parallel Sections Execution
+//!
+//! A reproduction of *"Toward a Core Design to Distribute an Execution on a
+//! Many-Core Processor"* (Goossens, Parello, Porada, Rahmoune — PaCT 2015).
+//!
+//! This facade crate re-exports the workspace crates so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`isa`] — the x86-64-style instruction set with the paper's
+//!   `fork`/`endfork` extension.
+//! * [`asm`] — gas-syntax assembler and pretty printer.
+//! * [`machine`] — sequential reference machine and dynamic tracer.
+//! * [`ilp`] — trace-based ILP limit analysis (the paper's Figure 7
+//!   methodology).
+//! * [`noc`] — network-on-chip substrate.
+//! * [`core`] — the paper's contribution: the sectioned parallel execution
+//!   model and its many-core, six-stage-pipeline simulator.
+//! * [`cc`] — a mini-C compiler with the call→fork transformation.
+//! * [`workloads`] — the sum running example and the ten PBBS-analog
+//!   benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parsecs::workloads::sum;
+//! use parsecs::machine::Machine;
+//!
+//! // Build the paper's Figure 2 program for a 5-element array and run it
+//! // sequentially on the reference machine.
+//! let data = [4u64, 2, 6, 4, 5];
+//! let program = sum::call_program(&data);
+//! let mut machine = Machine::load(&program).expect("program loads");
+//! let outcome = machine.run(100_000).expect("program halts");
+//! assert_eq!(outcome.outputs, vec![21]);
+//! ```
+
+pub use parsecs_asm as asm;
+pub use parsecs_cc as cc;
+pub use parsecs_core as core;
+pub use parsecs_ilp as ilp;
+pub use parsecs_isa as isa;
+pub use parsecs_machine as machine;
+pub use parsecs_noc as noc;
+pub use parsecs_workloads as workloads;

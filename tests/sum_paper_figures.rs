@@ -1,0 +1,112 @@
+//! Integration tests pinning the paper's concrete numbers for the running
+//! example (Figures 2–6 and 10, §5).
+
+use parsecs::core::{analytic, ManyCoreSim, SectionId, SectionedTrace, SimConfig};
+use parsecs::machine::Machine;
+use parsecs::workloads::sum;
+
+const PAPER_DATA: [u64; 5] = [4, 2, 6, 4, 5];
+
+#[test]
+fn figure2_listing_has_25_instructions_and_figure5_has_18() {
+    assert_eq!(parsecs::asm::assemble(sum::SUM_CALL_BODY).map(|p| p.len()).unwrap(), 25);
+    assert_eq!(parsecs::asm::assemble(sum::SUM_FORK_BODY).map(|p| p.len()).unwrap(), 18);
+}
+
+#[test]
+fn figure3_the_call_run_of_sum_t5_is_a_59_instruction_trace() {
+    let mut machine = Machine::load(&sum::call_program(&PAPER_DATA)).unwrap();
+    let (outcome, trace) = machine.run_traced(10_000).unwrap();
+    assert_eq!(outcome.outputs, vec![21]);
+    // 59 sum instructions plus the 5-instruction main/out/halt wrapper.
+    assert_eq!(trace.len(), 59 + 5);
+}
+
+#[test]
+fn figure4_and_6_the_fork_run_has_five_sections_of_the_published_sizes() {
+    let sectioned = SectionedTrace::from_program(&sum::fork_program(&PAPER_DATA), 10_000).unwrap();
+    assert_eq!(sectioned.outputs(), &[21]);
+    // 45 sum instructions plus the wrapper; the paper's five sections are
+    // 11, 16, 12, 3 and 3 instructions (our first section carries the
+    // 3-instruction main prologue, and the main continuation adds a sixth,
+    // 2-instruction section).
+    assert_eq!(sectioned.len(), 45 + 5);
+    assert_eq!(sectioned.section_sizes(), vec![14, 16, 12, 3, 3, 2]);
+    assert_eq!(sectioned.longest_section(), 16);
+}
+
+#[test]
+fn figure6_renaming_matches_the_papers_producer_consumer_pairs() {
+    use parsecs::core::SourceKind;
+    use parsecs::machine::Location;
+
+    let sectioned = SectionedTrace::from_program(&sum::fork_program(&PAPER_DATA), 10_000).unwrap();
+    // 5-1 (addq 0(%rsp), %rax) reads the stack word written by 2-2.
+    let section5 = sectioned.section_records(SectionId(4));
+    let final_add = &section5[0];
+    assert_eq!(final_add.mnemonic, "addq");
+    match final_add.mem_sources[0].kind {
+        SourceKind::Remote { producer_section, .. } => assert_eq!(producer_section, SectionId(1)),
+        other => panic!("expected remote memory renaming, found {other:?}"),
+    }
+    // ... and its %rax comes from section 4 (the second half of the sum).
+    let rax = final_add
+        .reg_sources
+        .iter()
+        .find(|d| d.location == Location::Reg(parsecs::isa::Reg::Rax))
+        .unwrap();
+    match rax.kind {
+        SourceKind::Remote { producer_section, .. } => assert_eq!(producer_section, SectionId(3)),
+        other => panic!("expected remote register renaming, found {other:?}"),
+    }
+}
+
+#[test]
+fn figure10_the_many_core_run_fetches_fast_and_retires_shortly_after() {
+    let sim = ManyCoreSim::new(SimConfig::with_cores(8));
+    let result = sim.run(&sum::fork_program(&PAPER_DATA)).unwrap();
+    assert_eq!(result.outputs, vec![21]);
+    assert_eq!(result.stats.sections, 6);
+    // Paper: 45 instructions fetched by cycle 30, retired by cycle 43.
+    // Our charge model is slightly more expensive; check the band and the
+    // ordering rather than the exact constants.
+    assert!(result.stats.fetch_cycles >= 30 && result.stats.fetch_cycles <= 45);
+    assert!(result.stats.total_cycles > result.stats.fetch_cycles);
+    assert!(result.stats.total_cycles <= 90);
+    assert!(result.stats.fetch_ipc > 1.0, "parallel fetch beats one-per-cycle sequential fetch");
+}
+
+#[test]
+fn section5_scaling_doubles_instructions_but_adds_constant_fetch_cycles() {
+    let mut previous_fetch = 0;
+    for n in 0..5u32 {
+        let model = analytic::sum_model(n);
+        let data = sum::dataset(n, 3);
+        let sim = ManyCoreSim::new(SimConfig::with_cores(128));
+        let result = sim.run(&sum::fork_program(&data)).unwrap();
+        assert_eq!(result.outputs, sum::expected(&data));
+        // Instruction counts match the closed form exactly.
+        assert_eq!(result.stats.instructions - 5, model.instructions);
+        // Fetch time grows by a small additive step per doubling (12 in the
+        // paper; allow up to 25 for our more expensive NoC charge), not
+        // multiplicatively.
+        if n > 0 {
+            let step = result.stats.fetch_cycles - previous_fetch;
+            assert!(step <= 25, "fetch step {step} too large at n={n}");
+        }
+        previous_fetch = result.stats.fetch_cycles;
+    }
+}
+
+#[test]
+fn the_fork_rewrite_preserves_the_result_on_random_datasets() {
+    for seed in 0..5u64 {
+        let data = sum::dataset(3, seed);
+        let mut call = Machine::load(&sum::call_program(&data)).unwrap();
+        let mut fork = Machine::load(&sum::fork_program(&data)).unwrap();
+        assert_eq!(
+            call.run(1_000_000).unwrap().outputs,
+            fork.run(1_000_000).unwrap().outputs
+        );
+    }
+}
