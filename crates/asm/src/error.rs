@@ -22,7 +22,10 @@ pub enum AsmError {
 
 impl AsmError {
     pub(crate) fn syntax(line: usize, message: impl Into<String>) -> AsmError {
-        AsmError::Syntax { line, message: message.into() }
+        AsmError::Syntax {
+            line,
+            message: message.into(),
+        }
     }
 }
 

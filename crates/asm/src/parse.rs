@@ -47,7 +47,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             let (label, tail) = rest.split_at(colon);
             let label = label.trim();
             if !is_identifier(label) {
-                return Err(AsmError::syntax(line_no, format!("invalid label name `{label}`")));
+                return Err(AsmError::syntax(
+                    line_no,
+                    format!("invalid label name `{label}`"),
+                ));
             }
             rest = tail[1..].trim();
             if rest.starts_with(".quad") || rest.starts_with(".zero") {
@@ -95,7 +98,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             continue;
         }
         if rest.starts_with('.') && !rest.starts_with(".L") {
-            return Err(AsmError::syntax(line_no, format!("unknown directive `{rest}`")));
+            return Err(AsmError::syntax(
+                line_no,
+                format!("unknown directive `{rest}`"),
+            ));
         }
 
         let inst = parse_instruction(rest, line_no)?;
@@ -147,9 +153,13 @@ fn parse_int(s: &str) -> Option<i64> {
         None => (false, s),
     };
     let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16).ok().or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64))?
+        i64::from_str_radix(hex, 16)
+            .ok()
+            .or_else(|| u64::from_str_radix(hex, 16).ok().map(|v| v as i64))?
     } else {
-        body.parse::<i64>().ok().or_else(|| body.parse::<u64>().ok().map(|v| v as i64))?
+        body.parse::<i64>()
+            .ok()
+            .or_else(|| body.parse::<u64>().ok().map(|v| v as i64))?
     };
     Some(if neg { -value } else { value })
 }
@@ -165,7 +175,10 @@ fn parse_instruction(text: &str, line_no: usize) -> Result<Inst, AsmError> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(err(format!("`{mnemonic}` expects {n} operand(s), found {}", args.len())))
+            Err(err(format!(
+                "`{mnemonic}` expects {n} operand(s), found {}",
+                args.len()
+            )))
         }
     };
     let operand = |i: usize| parse_operand(args[i], line_no);
@@ -173,14 +186,25 @@ fn parse_instruction(text: &str, line_no: usize) -> Result<Inst, AsmError> {
     let alu = |op: AluOp| -> Result<Inst, AsmError> {
         if args.len() == 1 && matches!(op, AluOp::Shl | AluOp::Shr | AluOp::Sar) {
             // One-operand shift form: shift by one (Figure 2's `shrq %rsi`).
-            return Ok(Inst::Alu { op, src: Operand::Imm(1), dst: parse_operand(args[0], line_no)? });
+            return Ok(Inst::Alu {
+                op,
+                src: Operand::Imm(1),
+                dst: parse_operand(args[0], line_no)?,
+            });
         }
         expect(2)?;
-        Ok(Inst::Alu { op, src: operand(0)?, dst: operand(1)? })
+        Ok(Inst::Alu {
+            op,
+            src: operand(0)?,
+            dst: operand(1)?,
+        })
     };
     let unary = |op: UnaryOp| -> Result<Inst, AsmError> {
         expect(1)?;
-        Ok(Inst::Unary { op, dst: operand(0)? })
+        Ok(Inst::Unary {
+            op,
+            dst: operand(0)?,
+        })
     };
     let target = |i: usize| -> Result<Target, AsmError> {
         let t = args[i];
@@ -193,17 +217,28 @@ fn parse_instruction(text: &str, line_no: usize) -> Result<Inst, AsmError> {
     let inst = match mnemonic {
         "movq" | "mov" => {
             expect(2)?;
-            Inst::Mov { src: operand(0)?, dst: operand(1)? }
+            Inst::Mov {
+                src: operand(0)?,
+                dst: operand(1)?,
+            }
         }
         "leaq" | "lea" => {
             expect(2)?;
             let addr = match parse_operand(args[0], line_no)? {
                 Operand::Mem(m) => m,
-                other => return Err(err(format!("leaq source must be a memory reference, found `{other}`"))),
+                other => {
+                    return Err(err(format!(
+                        "leaq source must be a memory reference, found `{other}`"
+                    )))
+                }
             };
             let dst = match parse_operand(args[1], line_no)? {
                 Operand::Reg(r) => r,
-                other => return Err(err(format!("leaq destination must be a register, found `{other}`"))),
+                other => {
+                    return Err(err(format!(
+                        "leaq destination must be a register, found `{other}`"
+                    )))
+                }
             };
             Inst::Lea { addr, dst }
         }
@@ -230,11 +265,17 @@ fn parse_instruction(text: &str, line_no: usize) -> Result<Inst, AsmError> {
         "decq" => unary(UnaryOp::Dec)?,
         "cmpq" | "cmp" => {
             expect(2)?;
-            Inst::Cmp { src: operand(0)?, dst: operand(1)? }
+            Inst::Cmp {
+                src: operand(0)?,
+                dst: operand(1)?,
+            }
         }
         "testq" | "test" => {
             expect(2)?;
-            Inst::Test { src: operand(0)?, dst: operand(1)? }
+            Inst::Test {
+                src: operand(0)?,
+                dst: operand(1)?,
+            }
         }
         "jmp" => {
             expect(1)?;
@@ -273,7 +314,10 @@ fn parse_instruction(text: &str, line_no: usize) -> Result<Inst, AsmError> {
                 .parse()
                 .map_err(|_| AsmError::syntax(line_no, format!("unknown mnemonic `{other}`")))?;
             expect(1)?;
-            Inst::Jcc { cond, target: target(0)? }
+            Inst::Jcc {
+                cond,
+                target: target(0)?,
+            }
         }
         other => return Err(err(format!("unknown mnemonic `{other}`"))),
     };
@@ -317,7 +361,9 @@ fn parse_operand(text: &str, line_no: usize) -> Result<Operand, AsmError> {
         return Err(err(format!("invalid immediate `{text}`")));
     }
     if text.starts_with('%') {
-        let reg: Reg = text.parse().map_err(|_| err(format!("unknown register `{text}`")))?;
+        let reg: Reg = text
+            .parse()
+            .map_err(|_| err(format!("unknown register `{text}`")))?;
         return Ok(Operand::Reg(reg));
     }
     if text.contains('(') {
@@ -334,7 +380,9 @@ fn parse_operand(text: &str, line_no: usize) -> Result<Operand, AsmError> {
 fn parse_memref(text: &str, line_no: usize) -> Result<MemRef, AsmError> {
     let err = |msg: String| AsmError::syntax(line_no, msg);
     let open = text.find('(').expect("caller checked");
-    let close = text.rfind(')').ok_or_else(|| err(format!("unbalanced parentheses in `{text}`")))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| err(format!("unbalanced parentheses in `{text}`")))?;
     let disp_text = text[..open].trim();
     let disp = if disp_text.is_empty() {
         0
@@ -347,12 +395,24 @@ fn parse_memref(text: &str, line_no: usize) -> Result<MemRef, AsmError> {
         if s.is_empty() {
             Ok(None)
         } else {
-            s.parse::<Reg>().map(Some).map_err(|_| err(format!("unknown register `{s}`")))
+            s.parse::<Reg>()
+                .map(Some)
+                .map_err(|_| err(format!("unknown register `{s}`")))
         }
     };
     match parts.as_slice() {
-        [base] => Ok(MemRef { base: parse_reg(base)?, index: None, scale: 1, disp }),
-        [base, index] => Ok(MemRef { base: parse_reg(base)?, index: parse_reg(index)?, scale: 1, disp }),
+        [base] => Ok(MemRef {
+            base: parse_reg(base)?,
+            index: None,
+            scale: 1,
+            disp,
+        }),
+        [base, index] => Ok(MemRef {
+            base: parse_reg(base)?,
+            index: parse_reg(index)?,
+            scale: 1,
+            disp,
+        }),
         [base, index, scale] => {
             let scale: u8 = scale
                 .parse()
@@ -360,7 +420,12 @@ fn parse_memref(text: &str, line_no: usize) -> Result<MemRef, AsmError> {
             if ![1, 2, 4, 8].contains(&scale) {
                 return Err(err(format!("scale must be 1, 2, 4 or 8, found {scale}")));
             }
-            Ok(MemRef { base: parse_reg(base)?, index: parse_reg(index)?, scale, disp })
+            Ok(MemRef {
+                base: parse_reg(base)?,
+                index: parse_reg(index)?,
+                scale,
+                disp,
+            })
         }
         _ => Err(err(format!("invalid memory reference `{text}`"))),
     }
@@ -413,7 +478,11 @@ sum:    cmpq    $2, %rsi        # n>2
         // `shrq %rsi` became a shift-by-one.
         assert_eq!(
             p.get(9).unwrap(),
-            &Inst::Alu { op: AluOp::Shr, src: Operand::Imm(1), dst: Operand::Reg(Reg::Rsi) }
+            &Inst::Alu {
+                op: AluOp::Shr,
+                src: Operand::Imm(1),
+                dst: Operand::Reg(Reg::Rsi)
+            }
         );
         // Both calls target `sum` (index 0).
         assert_eq!(p.get(10).unwrap().target().unwrap().resolved().unwrap(), 0);
@@ -463,7 +532,10 @@ sum:    cmpq    $2, %rsi        # n>2
             .insns()
             .iter()
             .filter_map(|i| match i {
-                Inst::Mov { src: Operand::Mem(m), .. } => Some(*m),
+                Inst::Mov {
+                    src: Operand::Mem(m),
+                    ..
+                } => Some(*m),
                 _ => None,
             })
             .collect();
@@ -480,7 +552,16 @@ sum:    cmpq    $2, %rsi        # n>2
         for cond in Cond::ALL {
             let src = format!("main: j{} main\n halt", cond.suffix());
             let p = assemble(&src).unwrap();
-            assert_eq!(p.get(0).unwrap(), &Inst::Jcc { cond, target: Target { label: Some("main".into()), index: Some(0) } });
+            assert_eq!(
+                p.get(0).unwrap(),
+                &Inst::Jcc {
+                    cond,
+                    target: Target {
+                        label: Some("main".into()),
+                        index: Some(0)
+                    }
+                }
+            );
         }
     }
 
@@ -518,13 +599,28 @@ sum:    cmpq    $2, %rsi        # n>2
     fn negative_and_hex_immediates() {
         let src = "main: movq $-8, %rax\n movq $0xff, %rbx\n halt";
         let p = assemble(src).unwrap();
-        assert_eq!(p.get(0).unwrap(), &Inst::Mov { src: Operand::Imm(-8), dst: Operand::Reg(Reg::Rax) });
-        assert_eq!(p.get(1).unwrap(), &Inst::Mov { src: Operand::Imm(255), dst: Operand::Reg(Reg::Rbx) });
+        assert_eq!(
+            p.get(0).unwrap(),
+            &Inst::Mov {
+                src: Operand::Imm(-8),
+                dst: Operand::Reg(Reg::Rax)
+            }
+        );
+        assert_eq!(
+            p.get(1).unwrap(),
+            &Inst::Mov {
+                src: Operand::Imm(255),
+                dst: Operand::Reg(Reg::Rbx)
+            }
+        );
     }
 
     #[test]
     fn split_operands_respects_parentheses() {
-        assert_eq!(split_operands("(%rdi,%rsi,8), %rdi"), vec!["(%rdi,%rsi,8)", "%rdi"]);
+        assert_eq!(
+            split_operands("(%rdi,%rsi,8), %rdi"),
+            vec!["(%rdi,%rsi,8)", "%rdi"]
+        );
         assert_eq!(split_operands("$2, %rsi"), vec!["$2", "%rsi"]);
         assert_eq!(split_operands(""), Vec::<&str>::new());
     }

@@ -71,7 +71,8 @@ sum:    cmpq    $2, %rsi
 
     #[test]
     fn listing_roundtrips_with_data() {
-        let src = "t: .quad 4, 2, 6, 4, 5\nmain: movq $t, %rdi\n movq (%rdi), %rax\n out %rax\n halt";
+        let src =
+            "t: .quad 4, 2, 6, 4, 5\nmain: movq $t, %rdi\n movq (%rdi), %rax\n out %rax\n halt";
         let p = assemble(src).unwrap();
         let q = assemble(&listing(&p)).unwrap();
         assert_eq!(p.insns(), q.insns());

@@ -13,26 +13,42 @@ fn bench_machine(c: &mut Criterion) {
     for n in [1u32, 3, 5] {
         let data = sum::dataset(n, 7);
         let program = sum::call_program(&data);
-        let instructions = Machine::load(&program).unwrap().run(10_000_000).unwrap().instructions;
+        let instructions = Machine::load(&program)
+            .unwrap()
+            .run(10_000_000)
+            .unwrap()
+            .instructions;
         group.throughput(Throughput::Elements(instructions));
-        group.bench_with_input(BenchmarkId::new("sum_call", data.len()), &program, |b, p| {
-            b.iter(|| {
-                let mut machine = Machine::load(p).unwrap();
-                machine.run(10_000_000).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sum_call", data.len()),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let mut machine = Machine::load(p).unwrap();
+                    machine.run(10_000_000).unwrap()
+                })
+            },
+        );
     }
 
     for benchmark in [Benchmark::IntegerSort, Benchmark::Bfs] {
         let program = benchmark.program(128, 1, Backend::Calls).unwrap();
-        let instructions = Machine::load(&program).unwrap().run(100_000_000).unwrap().instructions;
+        let instructions = Machine::load(&program)
+            .unwrap()
+            .run(100_000_000)
+            .unwrap()
+            .instructions;
         group.throughput(Throughput::Elements(instructions));
-        group.bench_with_input(BenchmarkId::new(benchmark.kernel(), 128), &program, |b, p| {
-            b.iter(|| {
-                let mut machine = Machine::load(p).unwrap();
-                machine.run(100_000_000).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new(benchmark.kernel(), 128),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let mut machine = Machine::load(p).unwrap();
+                    machine.run(100_000_000).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

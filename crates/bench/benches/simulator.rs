@@ -18,9 +18,11 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| sim.simulate(t).unwrap())
         });
     }
-    group.bench_with_input(BenchmarkId::new("section_split", "sum160"), &program, |b, p| {
-        b.iter(|| SectionedTrace::from_program(p, 10_000_000).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("section_split", "sum160"),
+        &program,
+        |b, p| b.iter(|| SectionedTrace::from_program(p, 10_000_000).unwrap()),
+    );
     group.finish();
 }
 

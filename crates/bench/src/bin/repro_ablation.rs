@@ -1,57 +1,114 @@
-//! Ablations over the design choices called out in DESIGN.md: number of
+//! Ablations over the design choices called out in DESIGN.md — number of
 //! cores, NoC hop latency, section placement policy, fetch-stall behaviour
-//! and the per-section renaming walk penalty, measured on the fork-based
+//! and the per-section renaming walk penalty — measured on the fork-based
 //! sum and on the fork-compiled quicksort.
+//!
+//! All configurations are expressed as [`ExecutionBackend`]s and executed
+//! concurrently by one [`Sweep`]. Pass `--json [PATH]` to also emit the
+//! sweep results as JSON (default path `BENCH_sweep.json`), which is the
+//! artefact the perf trajectory records.
 
 use parsecs_cc::Backend;
-use parsecs_core::{ManyCoreSim, Placement, SimConfig};
-use parsecs_isa::Program;
+use parsecs_core::{LoadAware, Placement, SimConfig};
+use parsecs_driver::{sweep_to_json, ManyCoreBackend, Sweep, SweepPoint};
 use parsecs_noc::NocConfig;
 use parsecs_workloads::{pbbs::Benchmark, sum};
 
-fn row(label: &str, program: &Program, config: SimConfig) {
-    let result = ManyCoreSim::new(config).run(program).expect("simulates");
-    println!(
-        "{:<44} {:>8} {:>8} {:>9} {:>10.2} {:>10.2}",
-        label,
-        result.stats.sections,
-        result.stats.fetch_cycles,
-        result.stats.total_cycles,
-        result.stats.fetch_ipc,
-        result.stats.retire_ipc,
-    );
-}
+/// The 7-point chip-size axis (1 → 64 cores).
+const CORE_AXIS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
-fn sweep(name: &str, program: &Program) {
-    println!("== {name} ==");
-    println!(
-        "{:<44} {:>8} {:>8} {:>9} {:>10} {:>10}",
-        "configuration", "sections", "fetch", "retire", "fetchIPC", "retireIPC"
-    );
-    for cores in [1, 2, 4, 16, 64] {
-        row(&format!("{cores} cores (crossbar, default NoC)"), program, SimConfig::with_cores(cores));
-    }
+fn build_sweep() -> Sweep {
+    let data = sum::dataset(4, 7); // 80 elements
+    let quicksort = Benchmark::ComparisonSort
+        .program(64, 3, Backend::Forks)
+        .expect("compiles");
+
+    let mut sweep = Sweep::new()
+        .fuel(10_000_000)
+        .program("fork-sum-80", sum::fork_program(&data))
+        .program("fork-quicksort-64", quicksort)
+        .manycore_cores(&CORE_AXIS);
+
+    // Off-axis ablations, all at 16 cores.
     let mut slow = SimConfig::with_cores(16);
-    slow.noc = NocConfig { base_latency: 2, per_hop_latency: 4, link_bandwidth: None };
-    row("16 cores, slow NoC (2 + 4/hop)", program, slow);
+    slow.noc = NocConfig {
+        base_latency: 2,
+        per_hop_latency: 4,
+        link_bandwidth: None,
+    };
+    sweep = sweep.backend(ManyCoreBackend::new(slow));
     let mut walk = SimConfig::with_cores(16);
     walk.per_section_hop = 4;
-    row("16 cores, 4-cycle per-section renaming walk", program, walk);
-    let mut least = SimConfig::with_cores(16);
-    least.placement = Placement::LeastLoaded;
-    row("16 cores, least-loaded placement", program, least);
+    sweep = sweep.backend(ManyCoreBackend::new(walk));
+    sweep = sweep.backend(ManyCoreBackend::new(
+        SimConfig::with_cores(16).with_placement(Placement::LeastLoaded),
+    ));
+    sweep = sweep.backend(ManyCoreBackend::new(
+        SimConfig::with_cores(16).with_placement(LoadAware),
+    ));
     let mut no_stall = SimConfig::with_cores(16);
     no_stall.fetch_stalls_on_unresolved_control = false;
-    row("16 cores, fetch never stalls on control", program, no_stall);
+    sweep.backend(ManyCoreBackend::new(no_stall))
+}
+
+fn print_table(points: &[SweepPoint]) {
+    let mut current_program = String::new();
+    for point in points {
+        if point.program != current_program {
+            current_program = point.program.clone();
+            println!("== {current_program} ==");
+            println!(
+                "{:<36} {:>8} {:>8} {:>9} {:>10} {:>10}",
+                "backend", "sections", "fetch", "retire", "fetchIPC", "retireIPC"
+            );
+        }
+        match &point.outcome {
+            Ok(report) => {
+                let sections = report
+                    .sim()
+                    .map(|s| s.stats.sections.to_string())
+                    .unwrap_or_default();
+                println!(
+                    "{:<36} {:>8} {:>8} {:>9} {:>10.2} {:>10.2}",
+                    point.backend,
+                    sections,
+                    report.fetch_cycles(),
+                    report.cycles,
+                    report.fetch_ipc,
+                    report.retire_ipc,
+                );
+            }
+            Err(e) => println!("{:<36} failed: {e}", point.backend),
+        }
+    }
     println!();
 }
 
 fn main() {
-    let data = sum::dataset(4, 7); // 80 elements
-    sweep("fork-based sum, 80 elements", &sum::fork_program(&data));
+    let mut args = std::env::args().skip(1);
+    let json_path = match args.next().as_deref() {
+        Some("--json") => Some(args.next().unwrap_or_else(|| "BENCH_sweep.json".into())),
+        Some(other) => {
+            eprintln!("unknown argument '{other}' (supported: --json [PATH])");
+            std::process::exit(2);
+        }
+        None => None,
+    };
 
-    let quicksort = Benchmark::ComparisonSort
-        .program(64, 3, Backend::Forks)
-        .expect("compiles");
-    sweep("fork-compiled quicksort, 64 keys", &quicksort);
+    let sweep = build_sweep();
+    eprintln!("running {} sweep cells concurrently...", sweep.len());
+    let points = sweep.run();
+    print_table(&points);
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, sweep_to_json(&points)).expect("write sweep JSON");
+        eprintln!("wrote {} sweep points to {path}", points.len());
+    }
+
+    // A broken cell must fail the run (and CI), not just print a row.
+    let failed = points.iter().filter(|p| p.outcome.is_err()).count();
+    if failed > 0 {
+        eprintln!("{failed} of {} sweep cells failed", points.len());
+        std::process::exit(1);
+    }
 }

@@ -4,17 +4,24 @@
 //! sections.
 
 use parsecs_core::SectionedTrace;
-use parsecs_machine::Machine;
+use parsecs_driver::{Runner, SequentialBackend};
 use parsecs_workloads::sum;
 
 fn main() {
     let data = [4u64, 2, 6, 4, 5];
 
-    // Figure 3: the call-version trace.
+    // Figure 3: the call-version trace, recorded by the sequential backend.
     let call = sum::call_program(&data);
-    let mut machine = Machine::load(&call).expect("loads");
-    let (outcome, trace) = machine.run_traced(100_000).expect("halts");
-    println!("Figure 3: sequential trace of sum(t,5) — {} instructions", outcome.instructions - 5);
+    let report = Runner::new(&call)
+        .fuel(100_000)
+        .on(SequentialBackend)
+        .run()
+        .expect("halts");
+    let trace = report.trace().expect("sequential backend records a trace");
+    println!(
+        "Figure 3: sequential trace of sum(t,5) — {} instructions",
+        report.instructions - 5
+    );
     println!("(59 in the paper; the count excludes the 5-instruction main/out/halt wrapper)");
     println!("{trace}");
 
@@ -37,5 +44,9 @@ fn main() {
             println!("    {:>6}  {}", record.name(), record.mnemonic);
         }
     }
-    println!("result: {:?} (expected {:?})", sectioned.outputs(), sum::expected(&data));
+    println!(
+        "result: {:?} (expected {:?})",
+        sectioned.outputs(),
+        sum::expected(&data)
+    );
 }

@@ -19,10 +19,21 @@ fn main() {
     let sizes = dataset_sweep(base, count);
 
     println!("Figure 7: ILP of the ten benchmarks, parallel vs sequential models");
-    println!("(parallel-model ILP per dataset size, then the sequential oracle on the largest size)");
+    println!(
+        "(parallel-model ILP per dataset size, then the sequential oracle on the largest size)"
+    );
     println!();
     let header: Vec<String> = sizes.iter().map(|s| format!("n={s}")).collect();
-    println!("{:<4} {:<40} {} {:>10}", "id", "benchmark", header.iter().map(|h| format!("{h:>10}")).collect::<String>(), "seq");
+    println!(
+        "{:<4} {:<40} {} {:>10}",
+        "id",
+        "benchmark",
+        header
+            .iter()
+            .map(|h| format!("{h:>10}"))
+            .collect::<String>(),
+        "seq"
+    );
 
     for benchmark in Catalog::table1() {
         let mut cells = String::new();

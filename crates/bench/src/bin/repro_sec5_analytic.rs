@@ -5,7 +5,8 @@
 //! Pass the maximum doubling exponent on the command line
 //! (`repro_sec5_analytic [max_n]`, default 6 → up to 320 elements).
 
-use parsecs_core::{analytic, ManyCoreSim, SimConfig};
+use parsecs_core::analytic;
+use parsecs_driver::{ManyCoreBackend, Runner};
 use parsecs_workloads::sum;
 
 fn main() {
@@ -17,28 +18,39 @@ fn main() {
     println!("Section 5: analytic model vs many-core simulation for sum(5*2^n)");
     println!(
         "{:>3} {:>9} {:>12} {:>12} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
-        "n", "elements", "insns(anl)", "insns(sim)", "fetch(anl)", "fetch(sim)", "ret(anl)", "ret(sim)", "fIPC(anl)", "fIPC(sim)"
+        "n",
+        "elements",
+        "insns(anl)",
+        "insns(sim)",
+        "fetch(anl)",
+        "fetch(sim)",
+        "ret(anl)",
+        "ret(sim)",
+        "fIPC(anl)",
+        "fIPC(sim)"
     );
     for n in 0..=max_n {
         let model = analytic::sum_model(n);
         let data = sum::dataset(n, 7);
         let program = sum::fork_program(&data);
-        let cores = (model.elements as usize).min(256).max(8);
-        let sim = ManyCoreSim::new(SimConfig::with_cores(cores));
-        let result = sim.run(&program).expect("simulates");
-        assert_eq!(result.outputs, sum::expected(&data));
+        let cores = (model.elements as usize).clamp(8, 256);
+        let report = Runner::new(&program)
+            .on(ManyCoreBackend::with_cores(cores))
+            .run()
+            .expect("simulates");
+        assert_eq!(report.outputs, sum::expected(&data));
         println!(
             "{:>3} {:>9} {:>12} {:>12} {:>11} {:>11} {:>11} {:>11} {:>9.1} {:>9.1}",
             n,
             model.elements,
             model.instructions,
-            result.stats.instructions - 5,
+            report.instructions - 5,
             model.fetch_cycles,
-            result.stats.fetch_cycles,
+            report.fetch_cycles(),
             model.retire_cycles,
-            result.stats.total_cycles,
+            report.cycles,
             model.fetch_ipc(),
-            result.stats.fetch_ipc,
+            report.fetch_ipc,
         );
     }
     println!();

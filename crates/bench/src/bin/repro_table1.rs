@@ -3,27 +3,31 @@
 //! smoke run proving the analogue matches its oracle.
 
 use parsecs_cc::Backend;
-use parsecs_machine::Machine;
+use parsecs_driver::{ExecutionBackend, SequentialBackend};
 use parsecs_workloads::pbbs::Catalog;
 
 fn main() {
     println!("Table 1: Ten benchmarks of the PBBS suite (parsecs analogues)");
-    println!("{:<4} {:<40} {:<18} {:>14} {:>10}", "id", "benchmark", "kernel", "instructions", "checked");
+    println!(
+        "{:<4} {:<40} {:<18} {:>14} {:>10}",
+        "id", "benchmark", "kernel", "instructions", "checked"
+    );
     for benchmark in Catalog::table1() {
         let size = 48;
         let seed = 1;
         let program = benchmark
             .program(size, seed, Backend::Calls)
             .expect("embedded benchmarks compile");
-        let mut machine = Machine::load(&program).expect("programs load");
-        let outcome = machine.run(500_000_000).expect("programs halt");
-        let ok = outcome.outputs == benchmark.expected(size, seed);
+        let report = SequentialBackend
+            .execute_fueled(&program, 500_000_000)
+            .expect("programs halt");
+        let ok = report.outputs == benchmark.expected(size, seed);
         println!(
             "{:<4} {:<40} {:<18} {:>14} {:>10}",
             format!("{:02}", benchmark.id()),
             benchmark.name(),
             benchmark.kernel(),
-            outcome.instructions,
+            report.instructions,
             if ok { "ok" } else { "MISMATCH" },
         );
     }

@@ -10,23 +10,28 @@
 //! | `repro_fig7_ilp` | Figure 7 — sequential vs parallel ILP across datasets |
 //! | `repro_fig10_timing` | Figure 10 — per-stage timing of `sum(t,5)` on one core per section |
 //! | `repro_sec5_analytic` | §5 — closed-form model vs simulated fetch/retire IPC |
-//! | `repro_ablation` | design-choice ablations (NoC latency, cores, placement, fetch stalls) |
+//! | `repro_ablation` | design-choice ablations (cores, NoC latency, placement, fetch stalls), run as a parallel `Sweep`; `--json [PATH]` emits `BENCH_sweep.json` |
 //!
-//! The Criterion benches (`cargo bench -p parsecs-bench`) measure the
-//! throughput of the three engines themselves (reference machine, ILP
-//! analyzer, many-core simulator) so regressions in the reproduction
-//! infrastructure are visible.
+//! The benches (`cargo bench -p parsecs-bench`) measure the throughput of
+//! the three engines themselves (reference machine, ILP analyzer,
+//! many-core simulator) so regressions in the reproduction infrastructure
+//! are visible.
 //!
 //! This crate's library exposes the small amount of shared code the
-//! binaries use: dataset sweeps and ILP measurement for a workload.
+//! binaries use — dataset sweeps and ILP measurement for a workload —
+//! built on the unified [`parsecs_driver`] backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use parsecs_cc::Backend;
-use parsecs_ilp::{analyze, IlpModel, IlpResult};
-use parsecs_machine::{Machine, Trace};
+use parsecs_driver::{ExecutionBackend, SequentialBackend};
+use parsecs_ilp::{analyze, IlpModel};
+use parsecs_machine::Trace;
 use parsecs_workloads::pbbs::Benchmark;
+
+/// Fuel used for tracing the embedded benchmarks.
+pub const TRACE_FUEL: u64 = 2_000_000_000;
 
 /// The ILP of one benchmark instance under both of the paper's models.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,36 +48,49 @@ pub struct IlpRow {
     pub sequential_ilp: f64,
 }
 
-/// Traces one benchmark instance on the reference machine.
+/// Traces one benchmark instance through the [`SequentialBackend`].
 ///
 /// # Panics
 ///
-/// Panics if the embedded benchmark fails to compile or run — both would
-/// be bugs in the workload definitions.
+/// Panics if the embedded benchmark fails to compile or run, or disagrees
+/// with its Rust oracle — all would be bugs in the workload definitions.
 pub fn trace_benchmark(benchmark: Benchmark, size: usize, seed: u64) -> Trace {
     let program = benchmark
         .program(size, seed, Backend::Calls)
         .expect("embedded benchmarks compile");
-    let mut machine = Machine::load(&program).expect("programs load");
-    let (outcome, trace) = machine.run_traced(2_000_000_000).expect("programs halt");
+    let report = SequentialBackend
+        .execute_fueled(&program, TRACE_FUEL)
+        .expect("programs halt");
     assert_eq!(
-        outcome.outputs,
+        report.outputs,
         benchmark.expected(size, seed),
         "{} disagrees with its oracle",
         benchmark.name()
     );
-    trace
+    match report.detail {
+        parsecs_driver::ReportDetail::Trace(trace) => trace,
+        other => unreachable!("sequential backend always yields a trace, got {other:?}"),
+    }
 }
 
 /// Measures one benchmark instance under the paper's two ILP models.
+///
+/// The expensive part — the oracle-checked functional trace — runs once
+/// (through [`trace_benchmark`]); both models then schedule the same
+/// trace.
+///
+/// # Panics
+///
+/// Panics if the embedded benchmark fails to compile or run, or disagrees
+/// with its Rust oracle — all would be bugs in the workload definitions.
 pub fn ilp_row(benchmark: Benchmark, size: usize, seed: u64) -> IlpRow {
     let trace = trace_benchmark(benchmark, size, seed);
-    let parallel: IlpResult = analyze(&trace, &IlpModel::parallel_ideal());
-    let sequential: IlpResult = analyze(&trace, &IlpModel::sequential_oracle());
+    let parallel = analyze(&trace, &IlpModel::parallel_ideal());
+    let sequential = analyze(&trace, &IlpModel::sequential_oracle());
     IlpRow {
         benchmark,
         size,
-        instructions: trace.len() as u64,
+        instructions: parallel.instructions,
         parallel_ilp: parallel.ilp,
         sequential_ilp: sequential.ilp,
     }
@@ -100,5 +118,11 @@ mod tests {
         let row = ilp_row(Benchmark::IntegerSort, 48, 1);
         assert!(row.parallel_ilp > row.sequential_ilp);
         assert!(row.instructions > 100);
+    }
+
+    #[test]
+    fn trace_benchmark_yields_the_full_trace() {
+        let trace = trace_benchmark(Benchmark::IntegerSort, 48, 1);
+        assert!(trace.len() > 100);
     }
 }

@@ -107,7 +107,11 @@ mod tests {
             Box::new(Expr::Ident("x".into())),
         );
         assert_eq!(e, e.clone());
-        let f = Function { name: "f".into(), params: vec!["x".into()], body: vec![Stmt::Return(e)] };
+        let f = Function {
+            name: "f".into(),
+            params: vec!["x".into()],
+            body: vec![Stmt::Return(e)],
+        };
         let item = Item::Function(f.clone());
         assert_eq!(item.as_function(), &f);
     }

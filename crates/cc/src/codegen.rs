@@ -41,7 +41,10 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// Options for the given backend with no data arrays.
     pub fn new(backend: Backend) -> CompileOptions {
-        CompileOptions { backend, data: Vec::new() }
+        CompileOptions {
+            backend,
+            data: Vec::new(),
+        }
     }
 
     /// Adds a named data array (builder style).
@@ -82,7 +85,11 @@ impl<'a> FunctionContext<'a> {
             slots.insert(p.clone(), -8 * (i as i64 + 1));
         }
         collect_locals(&function.body, &mut slots);
-        FunctionContext { function, backend, slots }
+        FunctionContext {
+            function,
+            backend,
+            slots,
+        }
     }
 
     fn is_main(&self) -> bool {
@@ -90,7 +97,9 @@ impl<'a> FunctionContext<'a> {
     }
 
     fn slot(&self, name: &str) -> Option<MemRef> {
-        self.slots.get(name).map(|off| MemRef::base_disp(Reg::Rbp, *off))
+        self.slots
+            .get(name)
+            .map(|off| MemRef::base_disp(Reg::Rbp, *off))
     }
 
     fn emit(&mut self, b: &mut ProgramBuilder) {
@@ -235,9 +244,13 @@ impl<'a> FunctionContext<'a> {
                         b.unary(UnaryOp::Neg, Reg::Rax);
                     }
                     UnOp::Not => {
-                        self.boolean_from_flags(Cond::E, |b| {
-                            b.cmpq(Operand::imm(0), Reg::Rax);
-                        }, b);
+                        self.boolean_from_flags(
+                            Cond::E,
+                            |b| {
+                                b.cmpq(Operand::imm(0), Reg::Rax);
+                            },
+                            b,
+                        );
                     }
                 }
             }
@@ -267,9 +280,13 @@ impl<'a> FunctionContext<'a> {
                     BinOp::Eq => Cond::E,
                     _ => Cond::Ne,
                 };
-                self.boolean_from_flags(cond, |b| {
-                    b.cmpq(Reg::Rcx, Reg::Rax);
-                }, b);
+                self.boolean_from_flags(
+                    cond,
+                    |b| {
+                        b.cmpq(Reg::Rcx, Reg::Rax);
+                    },
+                    b,
+                );
             }
         }
     }
@@ -295,12 +312,11 @@ impl<'a> FunctionContext<'a> {
 fn collect_locals(stmts: &[Stmt], slots: &mut HashMap<String, i64>) {
     for stmt in stmts {
         match stmt {
-            Stmt::Var(name, _) => {
-                if !slots.contains_key(name) {
-                    let offset = -8 * (slots.len() as i64 + 1);
-                    slots.insert(name.clone(), offset);
-                }
+            Stmt::Var(name, _) if !slots.contains_key(name) => {
+                let offset = -8 * (slots.len() as i64 + 1);
+                slots.insert(name.clone(), offset);
             }
+            Stmt::Var(..) => {}
             Stmt::If(_, a, b) => {
                 collect_locals(a, slots);
                 collect_locals(b, slots);
@@ -353,10 +369,7 @@ mod tests {
                 out(0 - 1 < 1); out(!0); out(!42); out(-(5));
              }",
         );
-        assert_eq!(
-            outputs,
-            vec![1, 0, 1, 0, 1, 1, 0, 1, 1, 0, (-5i64) as u64]
-        );
+        assert_eq!(outputs, vec![1, 0, 1, 0, 1, 1, 0, 1, 1, 0, (-5i64) as u64]);
     }
 
     #[test]
@@ -439,8 +452,7 @@ mod tests {
         let data: Vec<u64> = (1..=16).collect();
         let options = CompileOptions::new(Backend::Forks).with_data("data", data);
         let program = compile(source, &options).unwrap();
-        let trace =
-            parsecs_core_like_section_count(&program);
+        let trace = parsecs_core_like_section_count(&program);
         assert!(trace > 10, "expected many sections, found {trace}");
     }
 

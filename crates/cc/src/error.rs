@@ -34,15 +34,23 @@ pub enum CcError {
 
 impl CcError {
     pub(crate) fn lex(line: usize, message: impl Into<String>) -> CcError {
-        CcError::Lex { line, message: message.into() }
+        CcError::Lex {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> CcError {
-        CcError::Parse { line, message: message.into() }
+        CcError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn sema(message: impl Into<String>) -> CcError {
-        CcError::Sema { message: message.into() }
+        CcError::Sema {
+            message: message.into(),
+        }
     }
 }
 
@@ -79,7 +87,11 @@ mod tests {
     #[test]
     fn messages_mention_the_line() {
         assert!(CcError::lex(3, "bad char").to_string().contains("line 3"));
-        assert!(CcError::parse(9, "expected )").to_string().contains("line 9"));
-        assert!(CcError::sema("unknown function f").to_string().contains("unknown function"));
+        assert!(CcError::parse(9, "expected )")
+            .to_string()
+            .contains("line 9"));
+        assert!(CcError::sema("unknown function f")
+            .to_string()
+            .contains("unknown function"));
     }
 }

@@ -30,8 +30,9 @@ const KEYWORDS: [&str; 7] = ["fn", "var", "if", "else", "while", "return", "out"
 
 /// Multi-character operators, longest first.
 const OPERATORS: [&str; 10] = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")"];
-const SINGLE: [char; 16] =
-    ['(', ')', '{', '}', '[', ']', ',', ';', '=', '+', '-', '*', '&', '|', '^', '<'];
+const SINGLE: [char; 16] = [
+    '(', ')', '{', '}', '[', ']', ',', ';', '=', '+', '-', '*', '&', '|', '^', '<',
+];
 
 /// Tokenises `source`.
 ///
@@ -67,10 +68,13 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
                 i += 1;
             }
             let text: String = bytes[start..i].iter().collect();
-            let value: i64 = text
-                .parse()
-                .map_err(|_| CcError::lex(line, format!("integer literal `{text}` is too large")))?;
-            tokens.push(Token { kind: TokenKind::Number(value), line });
+            let value: i64 = text.parse().map_err(|_| {
+                CcError::lex(line, format!("integer literal `{text}` is too large"))
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Number(value),
+                line,
+            });
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
@@ -90,7 +94,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
         if i + 1 < bytes.len() {
             let pair: String = bytes[i..i + 2].iter().collect();
             if let Some(op) = OPERATORS.iter().find(|o| **o == pair && o.len() == 2) {
-                tokens.push(Token { kind: TokenKind::Punct(op), line });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(op),
+                    line,
+                });
                 i += 2;
                 continue;
             }
@@ -119,10 +126,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
                 return Err(CcError::lex(line, format!("unexpected character `{c}`")));
             }
         };
-        tokens.push(Token { kind: TokenKind::Punct(single), line });
+        tokens.push(Token {
+            kind: TokenKind::Punct(single),
+            line,
+        });
         i += 1;
     }
-    tokens.push(Token { kind: TokenKind::Eof, line });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(tokens)
 }
 
@@ -149,7 +162,9 @@ mod tests {
         assert!(toks.contains(&TokenKind::Number(42)));
         assert!(toks.contains(&TokenKind::Punct("<<")));
         assert!(toks.contains(&TokenKind::Punct(">=")));
-        assert!(!toks.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "shift")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "shift")));
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl<'a> Parser<'a> {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            Err(CcError::parse(self.line(), format!("expected `{p}`, found {:?}", self.peek())))
+            Err(CcError::parse(
+                self.line(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            ))
         }
     }
 
@@ -74,7 +77,10 @@ impl<'a> Parser<'a> {
         if self.eat_keyword(k) {
             Ok(())
         } else {
-            Err(CcError::parse(self.line(), format!("expected `{k}`, found {:?}", self.peek())))
+            Err(CcError::parse(
+                self.line(),
+                format!("expected `{k}`, found {:?}", self.peek()),
+            ))
         }
     }
 
@@ -82,7 +88,10 @@ impl<'a> Parser<'a> {
         let line = self.line();
         match self.bump() {
             TokenKind::Ident(name) => Ok(name.clone()),
-            other => Err(CcError::parse(line, format!("expected an identifier, found {other:?}"))),
+            other => Err(CcError::parse(
+                line,
+                format!("expected an identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -109,7 +118,10 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while !self.eat_punct("}") {
             if self.at_eof() {
-                return Err(CcError::parse(self.line(), "unterminated block".to_string()));
+                return Err(CcError::parse(
+                    self.line(),
+                    "unterminated block".to_string(),
+                ));
             }
             stmts.push(self.statement()?);
         }
@@ -129,7 +141,11 @@ impl<'a> Parser<'a> {
             let cond = self.expression()?;
             self.expect_punct(")")?;
             let then_body = self.block()?;
-            let else_body = if self.eat_keyword("else") { self.block()? } else { Vec::new() };
+            let else_body = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
             return Ok(Stmt::If(cond, then_body, else_body));
         }
         if self.eat_keyword("while") {
@@ -160,7 +176,10 @@ impl<'a> Parser<'a> {
             return match expr {
                 Expr::Ident(name) => Ok(Stmt::Assign(name, value)),
                 Expr::Index(base, index) => Ok(Stmt::Store(*base, *index, value)),
-                _ => Err(CcError::parse(line, "only variables and array elements can be assigned".to_string())),
+                _ => Err(CcError::parse(
+                    line,
+                    "only variables and array elements can be assigned".to_string(),
+                )),
             };
         }
         self.expect_punct(";")?;
@@ -303,7 +322,10 @@ impl<'a> Parser<'a> {
                 self.expect_punct(")")?;
                 Ok(inner)
             }
-            other => Err(CcError::parse(line, format!("expected an expression, found {other:?}"))),
+            other => Err(CcError::parse(
+                line,
+                format!("expected an expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -340,7 +362,9 @@ mod tests {
             Stmt::Return(Expr::Bin(BinOp::Lt, left, right)) => {
                 assert!(matches!(**right, Expr::Number(10)));
                 match &**left {
-                    Expr::Bin(BinOp::Add, _, mul) => assert!(matches!(**mul, Expr::Bin(BinOp::Mul, _, _))),
+                    Expr::Bin(BinOp::Add, _, mul) => {
+                        assert!(matches!(**mul, Expr::Bin(BinOp::Mul, _, _)))
+                    }
                     other => panic!("unexpected {other:?}"),
                 }
             }

@@ -19,7 +19,10 @@ pub fn check(items: &[Item], options: &CompileOptions) -> Result<(), CcError> {
     for item in items {
         let f = item.as_function();
         if arities.insert(&f.name, f.params.len()).is_some() {
-            return Err(CcError::sema(format!("function `{}` is defined twice", f.name)));
+            return Err(CcError::sema(format!(
+                "function `{}` is defined twice",
+                f.name
+            )));
         }
         if f.params.len() > 6 {
             return Err(CcError::sema(format!(
@@ -31,14 +34,21 @@ pub fn check(items: &[Item], options: &CompileOptions) -> Result<(), CcError> {
         let mut seen = HashSet::new();
         for p in &f.params {
             if !seen.insert(p) {
-                return Err(CcError::sema(format!("parameter `{p}` of `{}` is duplicated", f.name)));
+                return Err(CcError::sema(format!(
+                    "parameter `{p}` of `{}` is duplicated",
+                    f.name
+                )));
             }
         }
     }
     match arities.get("main") {
         None => return Err(CcError::sema("no `main` function".to_string())),
         Some(0) => {}
-        Some(n) => return Err(CcError::sema(format!("`main` must take no parameters, it takes {n}"))),
+        Some(n) => {
+            return Err(CcError::sema(format!(
+                "`main` must take no parameters, it takes {n}"
+            )))
+        }
     }
 
     let data_symbols: HashSet<&str> = options.data.iter().map(|(name, _)| name.as_str()).collect();
@@ -58,17 +68,20 @@ fn check_function(
     check_stmts(&f.body, &names, arities, data, f)
 }
 
-fn collect_locals(stmts: &[Stmt], names: &mut HashSet<String>, f: &Function) -> Result<(), CcError> {
+fn collect_locals(
+    stmts: &[Stmt],
+    names: &mut HashSet<String>,
+    f: &Function,
+) -> Result<(), CcError> {
     for stmt in stmts {
         match stmt {
-            Stmt::Var(name, _) => {
-                if !names.insert(name.clone()) {
-                    return Err(CcError::sema(format!(
-                        "variable `{name}` is declared twice in `{}`",
-                        f.name
-                    )));
-                }
+            Stmt::Var(name, _) if !names.insert(name.clone()) => {
+                return Err(CcError::sema(format!(
+                    "variable `{name}` is declared twice in `{}`",
+                    f.name
+                )));
             }
+            Stmt::Var(..) => {}
             Stmt::If(_, a, b) => {
                 collect_locals(a, names, f)?;
                 collect_locals(b, names, f)?;
@@ -133,7 +146,10 @@ fn check_expr(
             if names.contains(name) || data.contains(name.as_str()) {
                 Ok(())
             } else {
-                Err(CcError::sema(format!("unknown identifier `{name}` in `{}`", f.name)))
+                Err(CcError::sema(format!(
+                    "unknown identifier `{name}` in `{}`",
+                    f.name
+                )))
             }
         }
         Expr::Index(base, index) => {
@@ -141,9 +157,9 @@ fn check_expr(
             check_expr(index, names, arities, data, f)
         }
         Expr::Call(name, args) => {
-            let arity = arities
-                .get(name.as_str())
-                .ok_or_else(|| CcError::sema(format!("call to unknown function `{name}` in `{}`", f.name)))?;
+            let arity = arities.get(name.as_str()).ok_or_else(|| {
+                CcError::sema(format!("call to unknown function `{name}` in `{}`", f.name))
+            })?;
             if *arity != args.len() {
                 return Err(CcError::sema(format!(
                     "`{name}` takes {arity} argument(s), {} supplied in `{}`",

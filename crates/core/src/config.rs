@@ -1,20 +1,10 @@
 //! Configuration of the many-core simulator.
 
+use std::sync::Arc;
+
 use parsecs_noc::{NocConfig, Topology};
 
-/// How sections are placed on cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Placement {
-    /// Sections are assigned to cores in creation order, round robin.
-    /// This is the policy implied by the paper's example ("we assume the 5
-    /// sections can be hosted in 5 different cores").
-    #[default]
-    RoundRobin,
-    /// Each new section goes to the core with the fewest instructions
-    /// currently assigned (a simple load-balancing heuristic; the paper
-    /// leaves the hosting-core choice out of scope).
-    LeastLoaded,
-}
+use crate::placement::{ChipView, Placement, PlacementPolicy};
 
 /// Parameters of the many-core timing model.
 ///
@@ -22,7 +12,7 @@ pub enum Placement {
 /// one instruction per pipeline stage per cycle, an always-hitting L1
 /// instruction cache, and a small fixed cost for reaching a remote producer
 /// over the NoC.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Number of cores on the chip.
     pub cores: usize,
@@ -32,8 +22,10 @@ pub struct SimConfig {
     pub topology: Option<Topology>,
     /// NoC timing.
     pub noc: NocConfig,
-    /// Section placement policy.
-    pub placement: Placement,
+    /// Section placement policy. Built-in policies live in [`Placement`]
+    /// and [`crate::LoadAware`]; any [`PlacementPolicy`] implementation
+    /// can be plugged in via [`SimConfig::with_placement`].
+    pub placement: Arc<dyn PlacementPolicy>,
     /// Maximum number of sections placed on a single core
     /// (`max_section` in the paper). The round-robin placement spills to
     /// the next core with free capacity; when every core is at capacity the
@@ -56,13 +48,31 @@ pub struct SimConfig {
     pub fetch_stalls_on_unresolved_control: bool,
 }
 
+impl PartialEq for SimConfig {
+    fn eq(&self, other: &SimConfig) -> bool {
+        self.cores == other.cores
+            && self.topology == other.topology
+            && self.noc == other.noc
+            && self.placement.name() == other.placement.name()
+            && self.max_sections_per_core == other.max_sections_per_core
+            && self.dmh_latency == other.dmh_latency
+            && self.per_section_hop == other.per_section_hop
+            && self.fuel == other.fuel
+            && self.fetch_stalls_on_unresolved_control == other.fetch_stalls_on_unresolved_control
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
             cores: 64,
             topology: None,
-            noc: NocConfig { base_latency: 1, per_hop_latency: 1, link_bandwidth: None },
-            placement: Placement::RoundRobin,
+            noc: NocConfig {
+                base_latency: 1,
+                per_hop_latency: 1,
+                link_bandwidth: None,
+            },
+            placement: Arc::new(Placement::RoundRobin),
             max_sections_per_core: 8,
             dmh_latency: 3,
             per_section_hop: 0,
@@ -76,13 +86,33 @@ impl SimConfig {
     /// A configuration with `cores` cores and the other parameters at their
     /// defaults.
     pub fn with_cores(cores: usize) -> SimConfig {
-        SimConfig { cores, ..SimConfig::default() }
+        SimConfig {
+            cores,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replaces the placement policy (builder style).
+    pub fn with_placement(mut self, policy: impl PlacementPolicy + 'static) -> SimConfig {
+        self.placement = Arc::new(policy);
+        self
     }
 
     /// The effective topology: the configured one, or a crossbar over
     /// `cores`.
     pub fn effective_topology(&self) -> Topology {
-        self.topology.unwrap_or(Topology::Crossbar { size: self.cores })
+        self.topology
+            .unwrap_or(Topology::Crossbar { size: self.cores })
+    }
+
+    /// The chip description handed to the placement policy.
+    pub fn chip_view(&self) -> ChipView {
+        ChipView {
+            cores: self.cores,
+            max_sections_per_core: self.max_sections_per_core,
+            topology: self.effective_topology(),
+            noc: self.noc,
+        }
     }
 
     /// Checks the configuration.
@@ -112,6 +142,7 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::LoadAware;
 
     #[test]
     fn defaults_are_valid() {
@@ -122,8 +153,10 @@ mod tests {
     #[test]
     fn invalid_configurations_are_rejected() {
         assert!(SimConfig::with_cores(0).validate().is_err());
-        let mut c = SimConfig::default();
-        c.max_sections_per_core = 0;
+        let c = SimConfig {
+            max_sections_per_core: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = SimConfig::with_cores(16);
         c.topology = Some(Topology::mesh(2, 2));
@@ -137,5 +170,16 @@ mod tests {
         let mut c = SimConfig::with_cores(4);
         c.topology = Some(Topology::mesh(2, 2));
         assert_eq!(c.effective_topology(), Topology::mesh(2, 2));
+    }
+
+    #[test]
+    fn equality_distinguishes_placement_policies_by_name() {
+        let a = SimConfig::with_cores(8);
+        let b = SimConfig::with_cores(8);
+        assert_eq!(a, b);
+        let c = SimConfig::with_cores(8).with_placement(LoadAware);
+        assert_ne!(a, c);
+        let d = SimConfig::with_cores(8).with_placement(Placement::RoundRobin);
+        assert_eq!(a, d);
     }
 }

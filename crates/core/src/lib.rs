@@ -69,13 +69,15 @@
 pub mod analytic;
 mod config;
 mod error;
+mod placement;
 mod rename;
 mod section;
 mod sim;
 mod timing;
 
-pub use config::{Placement, SimConfig};
+pub use config::SimConfig;
 pub use error::SimError;
+pub use placement::{ChipView, LoadAware, Placement, PlacementPolicy};
 pub use rename::{verify_single_assignment, MemoryAliasTable, RegisterAliasTable, RenameTag};
 pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceKind};
 pub use sim::{ManyCoreSim, SimResult};

@@ -1,0 +1,286 @@
+//! Section-to-core placement policies.
+//!
+//! The paper leaves the hosting-core choice out of scope ("we assume the 5
+//! sections can be hosted in 5 different cores"), so the simulator makes
+//! the policy pluggable: anything implementing [`PlacementPolicy`] can
+//! decide which core hosts each section. The built-in policies are the
+//! closed set the simulator historically offered ([`Placement`]) plus a
+//! load- and communication-aware heuristic ([`LoadAware`]) in the spirit
+//! of the AMTHA task-to-processor assignment algorithm (De Giusti et al.):
+//! each section goes to the core where it is estimated to *finish*
+//! earliest, accounting for the NoC latency between the creator's core and
+//! the candidate core.
+
+use std::fmt;
+
+use parsecs_noc::{CoreId, NocConfig, Topology};
+
+use crate::{SectionId, SectionSpan};
+
+/// A static description of the chip a placement decides over.
+#[derive(Debug, Clone)]
+pub struct ChipView {
+    /// Number of cores available for hosting.
+    pub cores: usize,
+    /// Soft per-core section capacity (`max_section` in the paper).
+    /// Policies should prefer cores below this limit but may exceed it
+    /// when every core is full, so that runs always complete.
+    pub max_sections_per_core: usize,
+    /// The interconnect topology.
+    pub topology: Topology,
+    /// The interconnect timing.
+    pub noc: NocConfig,
+}
+
+impl ChipView {
+    /// One-way message latency between two cores under the chip's NoC
+    /// timing.
+    pub fn link_latency(&self, from: CoreId, to: CoreId) -> u64 {
+        self.noc.base_latency + self.noc.per_hop_latency * self.topology.hops(from, to) as u64
+    }
+}
+
+/// Decides which core hosts each section of a run.
+///
+/// Policies see the full totally-ordered section list up front (the
+/// simulator replays a functional pre-execution, so the section structure
+/// is known before timing starts) and return one [`CoreId`] per section.
+/// The returned vector must be the same length as `sections` and every
+/// core id must be below `chip.cores`; the simulator validates both.
+pub trait PlacementPolicy: fmt::Debug + Send + Sync {
+    /// A short, stable, human-readable policy name (used in reports,
+    /// sweep labels and configuration equality).
+    fn name(&self) -> &str;
+
+    /// Assigns a hosting core to every section.
+    fn assign(&self, sections: &[SectionSpan], chip: &ChipView) -> Vec<CoreId>;
+}
+
+/// The built-in placement policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Sections are assigned to cores in creation order, round robin,
+    /// spilling to the next core with free capacity. This is the policy
+    /// implied by the paper's example ("we assume the 5 sections can be
+    /// hosted in 5 different cores").
+    #[default]
+    RoundRobin,
+    /// Each new section goes to the core with the fewest instructions
+    /// currently assigned (a simple load-balancing heuristic).
+    LeastLoaded,
+}
+
+impl PlacementPolicy for Placement {
+    fn name(&self) -> &str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::LeastLoaded => "least-loaded",
+        }
+    }
+
+    fn assign(&self, sections: &[SectionSpan], chip: &ChipView) -> Vec<CoreId> {
+        match self {
+            Placement::RoundRobin => {
+                let cores = chip.cores;
+                let capacity = chip.max_sections_per_core;
+                let mut hosted = vec![0usize; cores];
+                sections
+                    .iter()
+                    .map(|s| {
+                        let preferred = s.id.0 % cores;
+                        // Spill to the next core with free capacity; relax
+                        // the limit when the whole chip is full.
+                        let chosen = (0..cores)
+                            .map(|offset| (preferred + offset) % cores)
+                            .find(|c| hosted[*c] < capacity)
+                            .unwrap_or(preferred);
+                        hosted[chosen] += 1;
+                        CoreId(chosen)
+                    })
+                    .collect()
+            }
+            Placement::LeastLoaded => {
+                let mut load = vec![0usize; chip.cores];
+                sections
+                    .iter()
+                    .map(|s| {
+                        let (core, _) = load
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| **l)
+                            .expect("at least one core");
+                        load[core] += s.len();
+                        CoreId(core)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// An AMTHA-inspired, load- and communication-aware policy: each section
+/// is placed on the core where its estimated *finish time* is earliest.
+///
+/// The estimate models what the timing simulator charges: a section
+/// cannot start before its creator's fork has run and the section-creation
+/// message has crossed the NoC from the creator's core, and a core runs
+/// the sections queued on it one after another (one instruction per
+/// cycle). Ties go to the lowest core id, which keeps small runs compact
+/// and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadAware;
+
+impl PlacementPolicy for LoadAware {
+    fn name(&self) -> &str {
+        "load-aware"
+    }
+
+    fn assign(&self, sections: &[SectionSpan], chip: &ChipView) -> Vec<CoreId> {
+        let cores = chip.cores;
+        let capacity = chip.max_sections_per_core;
+        // Per-core time at which the core becomes free, per-core hosted
+        // count, and per-section estimated fetch-start time.
+        let mut free_at = vec![0u64; cores];
+        let mut hosted = vec![0usize; cores];
+        let mut start_at: Vec<u64> = Vec::with_capacity(sections.len());
+        let mut core_of: Vec<CoreId> = Vec::with_capacity(sections.len());
+
+        for span in sections {
+            // A section becomes available once its creator has fetched the
+            // fork (sections run concurrently with their creator from that
+            // point on) and the section-creation message has crossed the
+            // NoC to the candidate core.
+            let candidate = |c: usize| -> u64 {
+                let ready = match span.creator {
+                    Some((SectionId(creator), fork_seq)) => {
+                        let fork_offset =
+                            fork_seq.saturating_sub(sections[creator].start) as u64 + 1;
+                        let creator_core = core_of[creator];
+                        start_at[creator] + fork_offset + chip.link_latency(creator_core, CoreId(c))
+                    }
+                    None => 0,
+                };
+                ready.max(free_at[c])
+            };
+            // Prefer cores below the capacity limit; relax when full.
+            let pool: Vec<usize> = {
+                let below: Vec<usize> = (0..cores).filter(|c| hosted[*c] < capacity).collect();
+                if below.is_empty() {
+                    (0..cores).collect()
+                } else {
+                    below
+                }
+            };
+            let chosen = pool
+                .into_iter()
+                .min_by_key(|c| (candidate(*c) + span.len() as u64, *c))
+                .expect("at least one core");
+            let begun = candidate(chosen);
+            free_at[chosen] = begun + span.len() as u64;
+            hosted[chosen] += 1;
+            start_at.push(begun);
+            core_of.push(CoreId(chosen));
+        }
+        core_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(cores: usize) -> ChipView {
+        ChipView {
+            cores,
+            max_sections_per_core: 8,
+            topology: Topology::Crossbar { size: cores },
+            noc: NocConfig {
+                base_latency: 1,
+                per_hop_latency: 1,
+                link_bandwidth: None,
+            },
+        }
+    }
+
+    fn spans(sizes: &[usize]) -> Vec<SectionSpan> {
+        let mut start = 0;
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, len)| {
+                let span = SectionSpan {
+                    id: SectionId(i),
+                    start,
+                    end: start + len,
+                    creator: if i == 0 {
+                        None
+                    } else {
+                        Some((SectionId(0), 0))
+                    },
+                    start_ip: 0,
+                };
+                start += len;
+                span
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_over_cores() {
+        let assigned = Placement::RoundRobin.assign(&spans(&[4, 4, 4, 4]), &chip(2));
+        assert_eq!(assigned, vec![CoreId(0), CoreId(1), CoreId(0), CoreId(1)]);
+    }
+
+    #[test]
+    fn round_robin_respects_capacity_until_full() {
+        let mut c = chip(2);
+        c.max_sections_per_core = 1;
+        let assigned = Placement::RoundRobin.assign(&spans(&[1, 1, 1]), &c);
+        // Two sections fit; the third relaxes the limit at its preferred
+        // core rather than failing.
+        assert_eq!(assigned[0], CoreId(0));
+        assert_eq!(assigned[1], CoreId(1));
+        assert!(assigned[2].0 < 2);
+    }
+
+    #[test]
+    fn least_loaded_balances_instruction_counts() {
+        let assigned = Placement::LeastLoaded.assign(&spans(&[10, 1, 1, 1]), &chip(2));
+        // The big first section claims core 0, the small rest pile on 1.
+        assert_eq!(assigned[0], CoreId(0));
+        assert!(assigned[1..].iter().all(|c| *c == CoreId(1)));
+    }
+
+    #[test]
+    fn load_aware_spreads_across_idle_cores() {
+        let assigned = LoadAware.assign(&spans(&[8, 8, 8, 8]), &chip(4));
+        let mut distinct: Vec<CoreId> = assigned.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            4,
+            "equal sections on an idle chip spread out: {assigned:?}"
+        );
+    }
+
+    #[test]
+    fn load_aware_avoids_the_busy_creator_core() {
+        // One very long section forks short ones early: the short ones
+        // should pay the NoC hop to the idle core rather than queue for
+        // ~100 cycles behind their creator.
+        let assigned = LoadAware.assign(&spans(&[100, 2, 2, 2]), &chip(2));
+        assert_eq!(assigned[0], CoreId(0));
+        assert!(
+            assigned[1..].iter().all(|c| *c == CoreId(1)),
+            "{assigned:?}"
+        );
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(Placement::RoundRobin.name(), "round-robin");
+        assert_eq!(Placement::LeastLoaded.name(), "least-loaded");
+        assert_eq!(LoadAware.name(), "load-aware");
+    }
+}

@@ -31,7 +31,10 @@ pub struct RenameTag {
 impl RenameTag {
     /// Creates a tag.
     pub fn new(section: SectionId, instruction: usize) -> RenameTag {
-        RenameTag { section, instruction }
+        RenameTag {
+            section,
+            instruction,
+        }
     }
 }
 
@@ -61,7 +64,8 @@ impl RegisterAliasTable {
             if r.is_fork_copied() {
                 // The copied registers are "produced" by the section
                 // creation itself; use instruction index 0 as their tag.
-                t.entries.insert(Location::Reg(r), (RenameTag::new(section, 0), true));
+                t.entries
+                    .insert(Location::Reg(r), (RenameTag::new(section, 0), true));
             }
         }
         t
@@ -155,8 +159,11 @@ pub fn verify_single_assignment(trace: &SectionedTrace) -> usize {
         .iter()
         .map(|s| RegisterAliasTable::with_fork_copy(s.id))
         .collect();
-    let mut maats: Vec<MemoryAliasTable> =
-        trace.sections().iter().map(|_| MemoryAliasTable::new()).collect();
+    let mut maats: Vec<MemoryAliasTable> = trace
+        .sections()
+        .iter()
+        .map(|_| MemoryAliasTable::new())
+        .collect();
     let mut renamed = 0usize;
 
     for record in trace.records() {
@@ -201,7 +208,10 @@ mod tests {
         assert!(rat.lookup(Location::Reg(Reg::Rsp)).is_some());
         assert!(rat.lookup(Location::Reg(Reg::Rdi)).is_some());
         assert!(rat.lookup(Location::Reg(Reg::Rsi)).is_some());
-        assert!(rat.lookup(Location::Reg(Reg::Rax)).is_none(), "the result register starts empty");
+        assert!(
+            rat.lookup(Location::Reg(Reg::Rax)).is_none(),
+            "the result register starts empty"
+        );
         assert_eq!(rat.len(), 13);
     }
 
@@ -217,7 +227,11 @@ mod tests {
         assert_eq!(maat.lookup(0x1008), Some(t2));
         assert_eq!(maat.lookup(0x1010), None);
         maat.define(0x1000, t2);
-        assert_eq!(maat.lookup(0x1000), Some(t2), "the most recent local store wins");
+        assert_eq!(
+            maat.lookup(0x1000),
+            Some(t2),
+            "the most recent local store wins"
+        );
     }
 
     #[test]

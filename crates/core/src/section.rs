@@ -200,7 +200,9 @@ impl SectionedTrace {
         }
         // Close a trailing section if the trace ended without a terminator
         // (does not happen for halting programs, kept for robustness).
-        if current_start < events.len() && sections.last().map(|s| s.end).unwrap_or(0) < events.len() {
+        if current_start < events.len()
+            && sections.last().map(|s| s.end).unwrap_or(0) < events.len()
+        {
             sections.push(SectionSpan {
                 id: SectionId(sections.len()),
                 start: current_start,
@@ -212,7 +214,9 @@ impl SectionedTrace {
 
         // --- pass 2: dependence resolution -----------------------------
         let creator_fork_of = |id: SectionId| -> Option<usize> {
-            sections.get(id.0).and_then(|s| s.creator.map(|(_, seq)| seq))
+            sections
+                .get(id.0)
+                .and_then(|s| s.creator.map(|(_, seq)| seq))
         };
         let mut last_writer: HashMap<Location, usize> = HashMap::new();
 
@@ -245,7 +249,10 @@ impl SectionedTrace {
                             if copied && creator_fork_of(section).is_some() {
                                 SourceKind::ForkCopy
                             } else {
-                                SourceKind::Remote { producer, producer_section }
+                                SourceKind::Remote {
+                                    producer,
+                                    producer_section,
+                                }
                             }
                         }
                     }
@@ -254,7 +261,10 @@ impl SectionedTrace {
                         _ => SourceKind::InitialRegister,
                     },
                 };
-                let dep = SourceDep { location: *loc, kind };
+                let dep = SourceDep {
+                    location: *loc,
+                    kind,
+                };
                 if loc.is_mem() {
                     mem_sources.push(dep);
                 } else {
@@ -280,7 +290,11 @@ impl SectionedTrace {
             }
         }
 
-        SectionedTrace { records, sections, outputs }
+        SectionedTrace {
+            records,
+            sections,
+            outputs,
+        }
     }
 
     /// The dependence-annotated dynamic instructions, in sequential order.
@@ -432,7 +446,9 @@ pub(crate) mod tests {
             .find(|d| d.location == Location::Reg(Reg::Rax))
             .expect("reads %rax");
         match rax.kind {
-            SourceKind::Remote { producer_section, .. } => {
+            SourceKind::Remote {
+                producer_section, ..
+            } => {
                 assert_eq!(producer_section, SectionId(0));
             }
             other => panic!("expected a remote source, found {other:?}"),
@@ -469,7 +485,10 @@ pub(crate) mod tests {
         assert!(add.is_load);
         let mem = &add.mem_sources[0];
         match mem.kind {
-            SourceKind::Remote { producer_section, producer } => {
+            SourceKind::Remote {
+                producer_section,
+                producer,
+            } => {
                 assert_eq!(producer_section, SectionId(1));
                 assert_eq!(st.records()[producer].mnemonic, "movq");
             }
@@ -497,7 +516,10 @@ pub(crate) mod tests {
             .flat_map(|r| r.mem_sources.iter())
             .filter(|d| d.kind == SourceKind::InitialMemory)
             .count();
-        assert_eq!(initial_loads, 5, "each of the five array elements is loaded once");
+        assert_eq!(
+            initial_loads, 5,
+            "each of the five array elements is loaded once"
+        );
     }
 
     #[test]

@@ -23,8 +23,7 @@ use parsecs_machine::TraceKind;
 use parsecs_noc::{CoreId, Network, NocStats};
 
 use crate::{
-    InstTiming, Placement, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats,
-    SourceKind,
+    InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats, SourceKind,
 };
 
 /// The result of one many-core simulation.
@@ -105,7 +104,7 @@ impl ManyCoreSim {
         let n = records.len();
 
         // --- placement ---------------------------------------------------
-        let core_of = self.place(sections);
+        let core_of = self.place(sections)?;
         let topology = self.config.effective_topology();
         let mut network: Network<SectionId> = Network::new(topology, self.config.noc);
 
@@ -128,7 +127,9 @@ impl ManyCoreSim {
         let mut ret_waiters: HashMap<usize, Vec<usize>> = HashMap::new();
         let mut resolve_queue: Vec<usize> = Vec::new();
 
-        let mut cores: Vec<CoreState> = (0..self.config.cores).map(|_| CoreState::default()).collect();
+        let mut cores: Vec<CoreState> = (0..self.config.cores)
+            .map(|_| CoreState::default())
+            .collect();
 
         // Statistics accumulated as instructions resolve.
         let mut remote_register_requests = 0u64;
@@ -151,7 +152,10 @@ impl ManyCoreSim {
 
         while fetched < n || resolved < n {
             cycle += 1;
-            assert!(cycle < safety, "many-core simulation did not converge after {cycle} cycles");
+            assert!(
+                cycle < safety,
+                "many-core simulation did not converge after {cycle} cycles"
+            );
             let progress_before = fetched + resolved;
 
             // Section-creation messages arriving this cycle.
@@ -229,7 +233,15 @@ impl ManyCoreSim {
             while let Some(seq) = resolve_queue.pop() {
                 if complete[seq].is_some() {
                     // Value already known; only retirement may be pending.
-                    try_retire(seq, records, &complete, &mut ret, &mut resolved, &mut ret_waiters, &mut resolve_queue);
+                    try_retire(
+                        seq,
+                        records,
+                        &complete,
+                        &mut ret,
+                        &mut resolved,
+                        &mut ret_waiters,
+                        &mut resolve_queue,
+                    );
                     continue;
                 }
                 let record = &records[seq];
@@ -258,7 +270,10 @@ impl ManyCoreSim {
                                 }
                                 None => return Resolution::WaitingOn(producer),
                             },
-                            SourceKind::Remote { producer, producer_section } => {
+                            SourceKind::Remote {
+                                producer,
+                                producer_section,
+                            } => {
                                 available_at_fetch = false;
                                 let c = match complete[producer] {
                                     Some(c) => c,
@@ -301,7 +316,10 @@ impl ManyCoreSim {
                                     Some(c) => c.max(a + 1),
                                     None => return Resolution::WaitingOn(producer),
                                 },
-                                SourceKind::Remote { producer, producer_section } => {
+                                SourceKind::Remote {
+                                    producer,
+                                    producer_section,
+                                } => {
                                     let c = match complete[producer] {
                                         Some(c) => c,
                                         None => return Resolution::WaitingOn(producer),
@@ -342,7 +360,15 @@ impl ManyCoreSim {
                         if let Some(waiting) = waiters.remove(&seq) {
                             resolve_queue.extend(waiting);
                         }
-                        try_retire(seq, records, &complete, &mut ret, &mut resolved, &mut ret_waiters, &mut resolve_queue);
+                        try_retire(
+                            seq,
+                            records,
+                            &complete,
+                            &mut ret,
+                            &mut resolved,
+                            &mut ret_waiters,
+                            &mut resolve_queue,
+                        );
                     }
                     Resolution::WaitingOn(dep) => {
                         waiters.entry(dep).or_default().push(seq);
@@ -415,47 +441,34 @@ impl ManyCoreSim {
         consumer_section: SectionId,
         producer_section: SectionId,
     ) -> u64 {
-        let gap = consumer_section.0.saturating_sub(producer_section.0).saturating_sub(1) as u64;
+        let gap = consumer_section
+            .0
+            .saturating_sub(producer_section.0)
+            .saturating_sub(1) as u64;
         network.latency(consumer, producer) + self.config.per_section_hop * gap
     }
 
-    fn place(&self, sections: &[SectionSpan]) -> Vec<CoreId> {
-        match self.config.placement {
-            Placement::RoundRobin => {
-                let cores = self.config.cores;
-                let capacity = self.config.max_sections_per_core;
-                let mut hosted = vec![0usize; cores];
-                sections
-                    .iter()
-                    .map(|s| {
-                        let preferred = s.id.0 % cores;
-                        // Spill to the next core with free capacity; relax
-                        // the limit when the whole chip is full.
-                        let chosen = (0..cores)
-                            .map(|offset| (preferred + offset) % cores)
-                            .find(|c| hosted[*c] < capacity)
-                            .unwrap_or(preferred);
-                        hosted[chosen] += 1;
-                        CoreId(chosen)
-                    })
-                    .collect()
-            }
-            Placement::LeastLoaded => {
-                let mut load = vec![0usize; self.config.cores];
-                sections
-                    .iter()
-                    .map(|s| {
-                        let (core, _) = load
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| **l)
-                            .expect("at least one core");
-                        load[core] += s.len();
-                        CoreId(core)
-                    })
-                    .collect()
-            }
+    /// Delegates the section-to-core assignment to the configured
+    /// [`crate::PlacementPolicy`] and validates its output.
+    fn place(&self, sections: &[SectionSpan]) -> Result<Vec<CoreId>, SimError> {
+        let chip = self.config.chip_view();
+        let core_of = self.config.placement.assign(sections, &chip);
+        if core_of.len() != sections.len() {
+            return Err(SimError::Config(format!(
+                "placement policy '{}' assigned {} cores for {} sections",
+                self.config.placement.name(),
+                core_of.len(),
+                sections.len()
+            )));
         }
+        if let Some(bad) = core_of.iter().find(|c| c.0 >= self.config.cores) {
+            return Err(SimError::Config(format!(
+                "placement policy '{}' chose {bad} on a {}-core chip",
+                self.config.placement.name(),
+                self.config.cores
+            )));
+        }
+        Ok(core_of)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -483,8 +496,16 @@ impl ManyCoreSim {
             cores_used: used.len(),
             fetch_cycles,
             total_cycles,
-            fetch_ipc: if fetch_cycles == 0 { 0.0 } else { instructions as f64 / fetch_cycles as f64 },
-            retire_ipc: if total_cycles == 0 { 0.0 } else { instructions as f64 / total_cycles as f64 },
+            fetch_ipc: if fetch_cycles == 0 {
+                0.0
+            } else {
+                instructions as f64 / fetch_cycles as f64
+            },
+            retire_ipc: if total_cycles == 0 {
+                0.0
+            } else {
+                instructions as f64 / total_cycles as f64
+            },
             remote_register_requests,
             remote_memory_requests,
             fork_copied_sources,
@@ -512,9 +533,15 @@ fn try_retire(
     if ret[seq].is_some() {
         return;
     }
-    let Some(completion) = complete[seq] else { return };
+    let Some(completion) = complete[seq] else {
+        return;
+    };
     let record = &records[seq];
-    let prev_ret = if record.index_in_section == 0 { Some(0) } else { ret[seq - 1] };
+    let prev_ret = if record.index_in_section == 0 {
+        Some(0)
+    } else {
+        ret[seq - 1]
+    };
     match prev_ret {
         Some(prev) => {
             ret[seq] = Some(completion.max(prev) + 1);
@@ -553,8 +580,8 @@ fn fetch_computable(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::section::tests::sum_fork_program;
     use crate::format_figure10;
+    use crate::section::tests::sum_fork_program;
 
     fn sim_sum(data: &[u64], config: SimConfig) -> SimResult {
         let program = sum_fork_program(data);
@@ -615,8 +642,16 @@ mod tests {
         for span in &result.sections {
             let timings = result.section_timings(span.id);
             for pair in timings.windows(2) {
-                assert!(pair[1].ret > pair[0].ret, "retirement must be in order within {}", span.id);
-                assert!(pair[1].fd > pair[0].fd, "fetch must be in order within {}", span.id);
+                assert!(
+                    pair[1].ret > pair[0].ret,
+                    "retirement must be in order within {}",
+                    span.id
+                );
+                assert!(
+                    pair[1].fd > pair[0].fd,
+                    "fetch must be in order within {}",
+                    span.id
+                );
             }
         }
     }
@@ -624,10 +659,19 @@ mod tests {
     #[test]
     fn remote_operands_are_charged_noc_latency() {
         let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
-        assert!(result.stats.remote_register_requests >= 2, "each resume waits for %rax");
-        assert!(result.stats.remote_memory_requests >= 1, "the final sum reads a remote stack word");
+        assert!(
+            result.stats.remote_register_requests >= 2,
+            "each resume waits for %rax"
+        );
+        assert!(
+            result.stats.remote_memory_requests >= 1,
+            "the final sum reads a remote stack word"
+        );
         assert!(result.stats.fork_copied_sources > 0);
-        assert_eq!(result.stats.dmh_accesses, 5, "five array elements come from the loader");
+        assert_eq!(
+            result.stats.dmh_accesses, 5,
+            "five array elements come from the loader"
+        );
     }
 
     #[test]
@@ -653,8 +697,7 @@ mod tests {
     #[test]
     fn least_loaded_placement_balances_instructions() {
         let data: Vec<u64> = (1..=40).collect();
-        let mut config = SimConfig::with_cores(4);
-        config.placement = Placement::LeastLoaded;
+        let config = SimConfig::with_cores(4).with_placement(crate::Placement::LeastLoaded);
         let result = sim_sum(&data, config);
         let mut per_core = vec![0usize; 4];
         for (sid, core) in result.core_of.iter().enumerate() {
@@ -680,17 +723,24 @@ mod tests {
                    ret",
         )
         .unwrap();
-        let result = ManyCoreSim::new(SimConfig::with_cores(4)).run(&program).unwrap();
+        let result = ManyCoreSim::new(SimConfig::with_cores(4))
+            .run(&program)
+            .unwrap();
         assert_eq!(result.outputs, vec![720]);
         assert_eq!(result.stats.sections, 1);
         assert_eq!(result.stats.cores_used, 1);
-        assert!(result.stats.fetch_ipc <= 1.0, "a single section fetches at most 1 IPC");
+        assert!(
+            result.stats.fetch_ipc <= 1.0,
+            "a single section fetches at most 1 IPC"
+        );
     }
 
     #[test]
     fn invalid_configuration_is_reported() {
         let program = sum_fork_program(&[1, 2, 3]);
-        let err = ManyCoreSim::new(SimConfig::with_cores(0)).run(&program).unwrap_err();
+        let err = ManyCoreSim::new(SimConfig::with_cores(0))
+            .run(&program)
+            .unwrap_err();
         assert!(matches!(err, SimError::Config(_)));
     }
 
@@ -703,7 +753,12 @@ mod tests {
         assert!(table.contains("endfork"));
         let instruction_rows = table
             .lines()
-            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
             .count();
         assert_eq!(instruction_rows, result.timings.len());
     }

@@ -93,7 +93,11 @@ pub fn format_figure10(result: &SimResult) -> String {
     cores.dedup();
     for core in cores {
         let _ = writeln!(out, "{core} pipeline");
-        let _ = writeln!(out, "{:>6} {:>22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}", "insn", "mnemonic", "fd", "rr", "ew", "ar", "ma", "ret");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            "insn", "mnemonic", "fd", "rr", "ew", "ar", "ma", "ret"
+        );
         for t in result.timings.iter().filter(|t| t.core == core) {
             let ar = t.ar.map(|c| c.to_string()).unwrap_or_default();
             let ma = t.ma.map(|c| c.to_string()).unwrap_or_default();

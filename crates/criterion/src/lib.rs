@@ -1,0 +1,205 @@
+//! Vendored offline stand-in for the crates.io `criterion` crate.
+//!
+//! See `README.md`: only the API subset used by this workspace's benches
+//! is provided — warm-up plus median-of-samples timing, printed one line
+//! per benchmark, with no statistical machinery.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then a fixed number of timed
+    /// samples, each over enough iterations to be observable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration calibration: aim for samples of
+        // at least ~10 ms without spending more than ~1 s calibrating.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        const SAMPLES: usize = 11;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters.max(1) as u32);
+        }
+        self.samples.sort();
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            self.samples[self.samples.len() / 2]
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work each subsequent benchmark performs per
+    /// iteration, enabling a throughput column.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Times `routine` against `input`, printing one result line.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        let per_iter = bencher.median();
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        let rate = self.throughput.map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = if per_iter.is_zero() {
+                f64::INFINITY
+            } else {
+                count as f64 / per_iter.as_secs_f64()
+            };
+            format!("  {:>14.0} {unit}/s", per_sec)
+        });
+        println!(
+            "{label:<56} {:>12.3?}/iter{}",
+            per_iter,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (prints a separating blank line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner function, as in the real
+/// criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

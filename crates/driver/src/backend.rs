@@ -1,0 +1,318 @@
+//! The [`ExecutionBackend`] trait and its three engine implementations.
+
+use parsecs_core::{ManyCoreSim, SimConfig};
+use parsecs_ilp::{analyze, IlpModel};
+use parsecs_isa::Program;
+use parsecs_machine::Machine;
+
+use crate::{DriverError, ReportDetail, RunReport};
+
+/// Fuel used when the caller does not specify one: matches the many-core
+/// simulator's default functional pre-execution budget.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// A uniform way to execute one [`Program`] on one of the three engines
+/// (sequential reference machine, trace-based ILP analyzer, many-core
+/// sectioned simulator) and get back a comparable [`RunReport`].
+///
+/// Backends are stateless with respect to programs — `execute` borrows the
+/// backend immutably — and `Send + Sync`, so one backend can serve many
+/// programs from many threads (the property [`crate::Sweep`] relies on).
+pub trait ExecutionBackend: Send + Sync {
+    /// A short, stable name identifying the backend and its configuration
+    /// (used in reports and sweep labels).
+    fn name(&self) -> String;
+
+    /// Executes `program` with an explicit fuel (maximum dynamic
+    /// instruction count for the functional execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError`] when the program fails to load, does not
+    /// halt within `fuel` instructions, faults, or the backend is
+    /// misconfigured.
+    fn execute_fueled(&self, program: &Program, fuel: u64) -> Result<RunReport, DriverError>;
+
+    /// Executes `program` with [`DEFAULT_FUEL`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecutionBackend::execute_fueled`].
+    fn execute(&self, program: &Program) -> Result<RunReport, DriverError> {
+        self.execute_fueled(program, DEFAULT_FUEL)
+    }
+}
+
+/// Boxed backends execute by delegation, so `Runner`/`Sweep` can hold
+/// heterogeneous backend lists.
+impl ExecutionBackend for Box<dyn ExecutionBackend> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn execute_fueled(&self, program: &Program, fuel: u64) -> Result<RunReport, DriverError> {
+        self.as_ref().execute_fueled(program, fuel)
+    }
+}
+
+/// The sequential reference machine as a backend: one instruction per
+/// cycle, and the dynamic [`parsecs_machine::Trace`] as detail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialBackend;
+
+impl ExecutionBackend for SequentialBackend {
+    fn name(&self) -> String {
+        "sequential".into()
+    }
+
+    fn execute_fueled(&self, program: &Program, fuel: u64) -> Result<RunReport, DriverError> {
+        let mut machine = Machine::load(program)?;
+        let (outcome, trace) = machine.run_traced(fuel)?;
+        Ok(RunReport {
+            backend: self.name(),
+            outputs: outcome.outputs,
+            instructions: outcome.instructions,
+            // The reference machine models a scalar in-order core: one
+            // instruction fetched and retired per cycle.
+            cycles: outcome.instructions,
+            fetch_ipc: 1.0,
+            retire_ipc: 1.0,
+            detail: ReportDetail::Trace(trace),
+        })
+    }
+}
+
+/// The trace-based ILP limit analyzer as a backend: the program is traced
+/// on the reference machine and scheduled under an [`IlpModel`]; `cycles`
+/// is the dataflow schedule length and both IPC fields report the
+/// achieved ILP.
+#[derive(Debug, Clone)]
+pub struct IlpBackend {
+    label: String,
+    model: IlpModel,
+}
+
+impl IlpBackend {
+    /// An analyzer backend under an explicit model, labelled for reports.
+    pub fn new(label: impl Into<String>, model: IlpModel) -> IlpBackend {
+        IlpBackend {
+            label: label.into(),
+            model,
+        }
+    }
+
+    /// The paper's *parallel ideal* model (every destination renamed,
+    /// control computed, stack-pointer dependences excluded).
+    pub fn parallel_ideal() -> IlpBackend {
+        IlpBackend::new("parallel-ideal", IlpModel::parallel_ideal())
+    }
+
+    /// The paper's *sequential oracle* model (unlimited register renaming
+    /// and perfect prediction, but no memory renaming).
+    pub fn sequential_oracle() -> IlpBackend {
+        IlpBackend::new("sequential-oracle", IlpModel::sequential_oracle())
+    }
+
+    /// The dependence model this backend schedules under.
+    pub fn model(&self) -> &IlpModel {
+        &self.model
+    }
+}
+
+impl ExecutionBackend for IlpBackend {
+    fn name(&self) -> String {
+        format!("ilp:{}", self.label)
+    }
+
+    fn execute_fueled(&self, program: &Program, fuel: u64) -> Result<RunReport, DriverError> {
+        let mut machine = Machine::load(program)?;
+        let (outcome, trace) = machine.run_traced(fuel)?;
+        let result = analyze(&trace, &self.model);
+        Ok(RunReport {
+            backend: self.name(),
+            outputs: outcome.outputs,
+            instructions: result.instructions,
+            cycles: result.cycles,
+            fetch_ipc: result.ilp,
+            retire_ipc: result.ilp,
+            detail: ReportDetail::Ilp(result),
+        })
+    }
+}
+
+/// The many-core sectioned simulator as a backend: `cycles` is the last
+/// retirement cycle and the full [`parsecs_core::SimResult`] rides along
+/// as detail.
+#[derive(Debug, Clone)]
+pub struct ManyCoreBackend {
+    config: SimConfig,
+}
+
+impl ManyCoreBackend {
+    /// A simulator backend over an explicit configuration.
+    pub fn new(config: SimConfig) -> ManyCoreBackend {
+        ManyCoreBackend { config }
+    }
+
+    /// A simulator backend with `cores` cores and default parameters.
+    pub fn with_cores(cores: usize) -> ManyCoreBackend {
+        ManyCoreBackend::new(SimConfig::with_cores(cores))
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl ExecutionBackend for ManyCoreBackend {
+    /// Encodes the configuration — core count, placement policy, and
+    /// every other setting that differs from [`SimConfig::default`] — so
+    /// that no two distinct sweep configurations share a label.
+    fn name(&self) -> String {
+        let defaults = SimConfig::default();
+        let mut name = format!(
+            "manycore:{}c:{}",
+            self.config.cores,
+            self.config.placement.name()
+        );
+        if self.config.noc.base_latency != defaults.noc.base_latency
+            || self.config.noc.per_hop_latency != defaults.noc.per_hop_latency
+        {
+            name.push_str(&format!(
+                ":noc{}+{}",
+                self.config.noc.base_latency, self.config.noc.per_hop_latency
+            ));
+        }
+        if let Some(bandwidth) = self.config.noc.link_bandwidth {
+            name.push_str(&format!(":bw{bandwidth}"));
+        }
+        if let Some(topology) = self.config.topology {
+            name.push_str(&format!(":{}", topology.to_string().replace(' ', "-")));
+        }
+        if self.config.max_sections_per_core != defaults.max_sections_per_core {
+            name.push_str(&format!(":cap{}", self.config.max_sections_per_core));
+        }
+        if self.config.dmh_latency != defaults.dmh_latency {
+            name.push_str(&format!(":dmh{}", self.config.dmh_latency));
+        }
+        if self.config.per_section_hop != defaults.per_section_hop {
+            name.push_str(&format!(":walk{}", self.config.per_section_hop));
+        }
+        if !self.config.fetch_stalls_on_unresolved_control {
+            name.push_str(":nostall");
+        }
+        name
+    }
+
+    /// Runs with the *configuration's* own fuel budget (unlike the trait
+    /// default, which would substitute [`DEFAULT_FUEL`]).
+    fn execute(&self, program: &Program) -> Result<RunReport, DriverError> {
+        self.execute_fueled(program, self.config.fuel)
+    }
+
+    /// The explicit `fuel` overrides the configuration's `fuel` field.
+    fn execute_fueled(&self, program: &Program, fuel: u64) -> Result<RunReport, DriverError> {
+        let mut config = self.config.clone();
+        config.fuel = fuel;
+        let result = ManyCoreSim::new(config).run(program)?;
+        Ok(RunReport {
+            backend: self.name(),
+            outputs: result.outputs.clone(),
+            instructions: result.stats.instructions,
+            cycles: result.stats.total_cycles,
+            fetch_ipc: result.stats.fetch_ipc,
+            retire_ipc: result.stats.retire_ipc,
+            detail: ReportDetail::Sim(result),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsecs_machine::MachineError;
+    use parsecs_workloads::sum;
+
+    #[test]
+    fn sequential_backend_reports_one_ipc_and_a_trace() {
+        let program = sum::call_program(&[4, 2, 6, 4, 5]);
+        let report = SequentialBackend.execute(&program).unwrap();
+        assert_eq!(report.outputs, vec![21]);
+        assert_eq!(report.cycles, report.instructions);
+        assert_eq!(report.fetch_ipc, 1.0);
+        assert_eq!(report.trace().unwrap().len() as u64, report.instructions);
+        assert!(report.to_string().contains("sequential"));
+    }
+
+    #[test]
+    fn ilp_backend_schedules_shorter_than_sequential() {
+        let program = sum::call_program(&[4, 2, 6, 4, 5]);
+        let parallel = IlpBackend::parallel_ideal().execute(&program).unwrap();
+        let oracle = IlpBackend::sequential_oracle().execute(&program).unwrap();
+        assert_eq!(parallel.outputs, vec![21]);
+        assert!(parallel.cycles <= oracle.cycles);
+        assert!(parallel.fetch_ipc >= oracle.fetch_ipc);
+        assert!(parallel.ilp().is_some());
+        assert_eq!(parallel.backend, "ilp:parallel-ideal");
+    }
+
+    #[test]
+    fn manycore_backend_beats_one_fetch_ipc_on_forked_sum() {
+        let program = sum::fork_program(&[4, 2, 6, 4, 5]);
+        let report = ManyCoreBackend::with_cores(8).execute(&program).unwrap();
+        assert_eq!(report.outputs, vec![21]);
+        assert!(report.fetch_ipc > 1.0);
+        assert!(report.fetch_cycles() <= report.cycles);
+        assert_eq!(report.sim().unwrap().stats.sections, 6);
+        assert_eq!(report.backend, "manycore:8c:round-robin");
+    }
+
+    #[test]
+    fn fuel_is_respected() {
+        let program = sum::call_program(&[1, 2, 3, 4]);
+        let err = SequentialBackend.execute_fueled(&program, 3).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::Machine(MachineError::OutOfFuel { steps: 3 })
+        );
+        let err = ManyCoreBackend::with_cores(4)
+            .execute_fueled(&program, 3)
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Sim(_)));
+    }
+
+    #[test]
+    fn manycore_execute_respects_the_configs_own_fuel() {
+        let program = sum::call_program(&[1, 2, 3, 4]);
+        let mut starved = SimConfig::with_cores(4);
+        starved.fuel = 3;
+        // execute() uses the config's budget, not DEFAULT_FUEL...
+        let err = ManyCoreBackend::new(starved.clone())
+            .execute(&program)
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Sim(_)));
+        // ...while an explicit fuel overrides it.
+        let report = ManyCoreBackend::new(starved)
+            .execute_fueled(&program, 100_000)
+            .unwrap();
+        assert_eq!(report.outputs, vec![10]);
+    }
+
+    #[test]
+    fn manycore_names_distinguish_every_ablation_axis() {
+        let mut config = SimConfig::with_cores(16);
+        config.noc.link_bandwidth = Some(2);
+        config.dmh_latency = 7;
+        config.max_sections_per_core = 2;
+        config.per_section_hop = 4;
+        config.fetch_stalls_on_unresolved_control = false;
+        let name = ManyCoreBackend::new(config).name();
+        assert_eq!(name, "manycore:16c:round-robin:bw2:cap2:dmh7:walk4:nostall");
+        assert_ne!(
+            ManyCoreBackend::with_cores(16).name(),
+            ManyCoreBackend::new(SimConfig::with_cores(16).with_placement(parsecs_core::LoadAware))
+                .name()
+        );
+    }
+}

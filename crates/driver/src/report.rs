@@ -1,0 +1,97 @@
+//! The shared run report every backend produces.
+
+use std::fmt;
+
+use parsecs_core::SimResult;
+use parsecs_ilp::IlpResult;
+use parsecs_machine::Trace;
+
+/// Engine-specific extras attached to a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportDetail {
+    /// The dynamic trace recorded by the sequential reference machine.
+    Trace(Trace),
+    /// The schedule produced by the ILP limit analyzer.
+    Ilp(IlpResult),
+    /// The full per-instruction timing of the many-core simulator.
+    Sim(SimResult),
+}
+
+/// What every backend reports about one program execution.
+///
+/// The shared fields mean the same thing across engines — `outputs` are
+/// the values emitted by `out` instructions, `instructions` the dynamic
+/// instruction count, `cycles` the number of cycles to the last
+/// retirement under that engine's timing model — so reports from
+/// different backends are directly comparable. Engine-specific extras
+/// live in [`RunReport::detail`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Name of the backend that produced the report.
+    pub backend: String,
+    /// Values emitted by `out` instructions, in program order.
+    pub outputs: Vec<u64>,
+    /// Number of dynamic instructions executed.
+    pub instructions: u64,
+    /// Cycles to the last retirement under the backend's timing model.
+    pub cycles: u64,
+    /// Instructions fetched per cycle.
+    pub fetch_ipc: f64,
+    /// Instructions retired per cycle.
+    pub retire_ipc: f64,
+    /// Engine-specific extras.
+    pub detail: ReportDetail,
+}
+
+impl RunReport {
+    /// Cycles to the last *fetch*: the many-core simulator distinguishes
+    /// fetch completion from retirement; the other engines fetch one
+    /// instruction per modelled cycle.
+    pub fn fetch_cycles(&self) -> u64 {
+        match &self.detail {
+            ReportDetail::Sim(sim) => sim.stats.fetch_cycles,
+            ReportDetail::Trace(_) => self.instructions,
+            ReportDetail::Ilp(_) => self.cycles,
+        }
+    }
+
+    /// The dynamic trace, when the backend recorded one.
+    pub fn trace(&self) -> Option<&Trace> {
+        match &self.detail {
+            ReportDetail::Trace(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The ILP schedule, when the backend is the analyzer.
+    pub fn ilp(&self) -> Option<&IlpResult> {
+        match &self.detail {
+            ReportDetail::Ilp(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The simulator result, when the backend is the many-core model.
+    pub fn sim(&self) -> Option<&SimResult> {
+        match &self.detail {
+            ReportDetail::Sim(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    /// One line: backend, instruction count, cycles, IPCs and outputs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>10} insns {:>9} cycles  fetch IPC {:>8.2}  retire IPC {:>8.2}  outputs {:?}",
+            self.backend,
+            self.instructions,
+            self.cycles,
+            self.fetch_ipc,
+            self.retire_ipc,
+            self.outputs
+        )
+    }
+}

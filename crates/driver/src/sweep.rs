@@ -1,0 +1,302 @@
+//! Design-space sweeps: fan programs across backend configurations on a
+//! thread pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use parsecs_isa::Program;
+
+use crate::{DriverError, ExecutionBackend, ManyCoreBackend, RunReport};
+
+/// One cell of a sweep: a `(program, backend)` pair and its outcome.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Label of the program swept.
+    pub program: String,
+    /// Name of the backend configuration.
+    pub backend: String,
+    /// The run's report, or the error that stopped it.
+    pub outcome: Result<RunReport, DriverError>,
+}
+
+impl SweepPoint {
+    /// The report, when the run succeeded.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// This point as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"program\":{}", json_string(&self.program)),
+            format!("\"backend\":{}", json_string(&self.backend)),
+            format!("\"ok\":{}", self.outcome.is_ok()),
+        ];
+        match &self.outcome {
+            Ok(report) => {
+                let outputs: Vec<String> = report.outputs.iter().map(u64::to_string).collect();
+                fields.push(format!("\"outputs\":[{}]", outputs.join(",")));
+                fields.push(format!("\"instructions\":{}", report.instructions));
+                fields.push(format!("\"cycles\":{}", report.cycles));
+                fields.push(format!("\"fetch_cycles\":{}", report.fetch_cycles()));
+                fields.push(format!("\"fetch_ipc\":{}", json_f64(report.fetch_ipc)));
+                fields.push(format!("\"retire_ipc\":{}", json_f64(report.retire_ipc)));
+            }
+            Err(e) => fields.push(format!("\"error\":{}", json_string(&e.to_string()))),
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// Renders sweep results as one pretty-printed JSON array (one object per
+/// line, ready for `BENCH_sweep.json`-style artefacts).
+pub fn sweep_to_json(points: &[SweepPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| format!("  {}", p.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Fans a list of labelled programs across a list of backend
+/// configurations, executing the cells concurrently on scoped OS threads,
+/// and returns one [`SweepPoint`] per `(program, backend)` cell in grid
+/// order (programs outermost).
+///
+/// ```
+/// use parsecs_driver::{Sweep};
+/// use parsecs_workloads::sum;
+///
+/// let points = Sweep::new()
+///     .fuel(100_000)
+///     .program("sum-5", sum::fork_program(&[4, 2, 6, 4, 5]))
+///     .manycore_cores(&[1, 4])
+///     .run();
+/// assert_eq!(points.len(), 2);
+/// assert!(points.iter().all(|p| p.report().unwrap().outputs == vec![21]));
+/// ```
+#[derive(Default)]
+pub struct Sweep {
+    fuel: Option<u64>,
+    threads: Option<usize>,
+    programs: Vec<(String, Program)>,
+    backends: Vec<Box<dyn ExecutionBackend>>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Sets an explicit fuel for every cell. Without it, each backend
+    /// runs with its own default budget ([`crate::DEFAULT_FUEL`], or the
+    /// configuration's `fuel` for a [`ManyCoreBackend`]).
+    pub fn fuel(mut self, fuel: u64) -> Sweep {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps the number of worker threads (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Sweep {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Adds one labelled program (call repeatedly for a workload ×
+    /// dataset-size grid).
+    pub fn program(mut self, label: impl Into<String>, program: Program) -> Sweep {
+        self.programs.push((label.into(), program));
+        self
+    }
+
+    /// Adds one backend configuration.
+    pub fn backend(mut self, backend: impl ExecutionBackend + 'static) -> Sweep {
+        self.backends.push(Box::new(backend));
+        self
+    }
+
+    /// Adds one default-configured [`ManyCoreBackend`] per core count —
+    /// the chip-size axis of the paper's design space.
+    pub fn manycore_cores(mut self, counts: &[usize]) -> Sweep {
+        for &cores in counts {
+            self.backends
+                .push(Box::new(ManyCoreBackend::with_cores(cores)));
+        }
+        self
+    }
+
+    /// Number of cells the sweep will run.
+    pub fn len(&self) -> usize {
+        self.programs.len() * self.backends.len()
+    }
+
+    /// Whether the sweep has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs every cell and returns the points in grid order.
+    pub fn run(&self) -> Vec<SweepPoint> {
+        let cells = self.len();
+        if cells == 0 {
+            return Vec::new();
+        }
+        let hardware = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = self.threads.unwrap_or(hardware).min(cells).max(1);
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(cells));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= cells {
+                        break;
+                    }
+                    let (label, program) = &self.programs[cell / self.backends.len()];
+                    let backend = &self.backends[cell % self.backends.len()];
+                    let outcome = match self.fuel {
+                        Some(fuel) => backend.execute_fueled(program, fuel),
+                        None => backend.execute(program),
+                    };
+                    let point = SweepPoint {
+                        program: label.clone(),
+                        backend: backend.name(),
+                        outcome,
+                    };
+                    collected
+                        .lock()
+                        .expect("no panics while holding the lock")
+                        .push((cell, point));
+                });
+            }
+        });
+
+        let mut indexed = collected.into_inner().expect("workers joined");
+        indexed.sort_by_key(|(cell, _)| *cell);
+        indexed.into_iter().map(|(_, point)| point).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IlpBackend, SequentialBackend};
+    use parsecs_workloads::sum;
+
+    #[test]
+    fn grid_order_is_programs_outermost() {
+        let points = Sweep::new()
+            .fuel(100_000)
+            .program("a", sum::fork_program(&[1, 2]))
+            .program("b", sum::fork_program(&[3, 4]))
+            .backend(SequentialBackend)
+            .manycore_cores(&[4])
+            .run();
+        let labels: Vec<(String, String)> = points
+            .iter()
+            .map(|p| (p.program.clone(), p.backend.clone()))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("a".into(), "sequential".into()),
+                ("a".into(), "manycore:4c:round-robin".into()),
+                ("b".into(), "sequential".into()),
+                ("b".into(), "manycore:4c:round-robin".into()),
+            ]
+        );
+        assert_eq!(points[0].report().unwrap().outputs, vec![3]);
+        assert_eq!(points[2].report().unwrap().outputs, vec![7]);
+    }
+
+    #[test]
+    fn all_three_engines_sweep_concurrently_and_agree() {
+        let data: Vec<u64> = (1..=16).collect();
+        let points = Sweep::new()
+            .fuel(1_000_000)
+            .program("sum-16", sum::fork_program(&data))
+            .backend(SequentialBackend)
+            .backend(IlpBackend::parallel_ideal())
+            .manycore_cores(&[1, 2, 8])
+            .run();
+        assert_eq!(points.len(), 5);
+        for point in &points {
+            assert_eq!(
+                point.report().unwrap().outputs,
+                vec![136],
+                "{}",
+                point.backend
+            );
+        }
+    }
+
+    #[test]
+    fn failing_cells_report_errors_without_poisoning_the_rest() {
+        let points = Sweep::new()
+            .fuel(4)
+            .program(
+                "starved",
+                sum::call_program(&(1..=64).collect::<Vec<u64>>()),
+            )
+            .backend(SequentialBackend)
+            .run();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].outcome.is_err());
+        let json = sweep_to_json(&points);
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"error\""));
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(2.5), "2.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let points = Sweep::new()
+            .fuel(10_000)
+            .program("sum", sum::fork_program(&[4, 2, 6, 4, 5]))
+            .manycore_cores(&[4])
+            .run();
+        let json = sweep_to_json(&points);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"fetch_cycles\""));
+        assert!(json.contains("\"outputs\":[21]"));
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(Sweep::new().is_empty());
+        assert!(Sweep::new().run().is_empty());
+    }
+}

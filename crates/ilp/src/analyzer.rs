@@ -22,8 +22,17 @@ pub struct IlpResult {
 
 impl IlpResult {
     fn new(instructions: u64, cycles: u64, peak_parallelism: u64) -> IlpResult {
-        let ilp = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
-        IlpResult { instructions, cycles, ilp, peak_parallelism }
+        let ilp = if cycles == 0 {
+            0.0
+        } else {
+            instructions as f64 / cycles as f64
+        };
+        IlpResult {
+            instructions,
+            cycles,
+            ilp,
+            peak_parallelism,
+        }
     }
 }
 
@@ -52,9 +61,8 @@ pub fn analyze(trace: &Trace, model: &IlpModel) -> IlpResult {
     let mut per_cycle_peak: u64 = 0;
     let mut max_completion: u64 = 0;
 
-    let relevant = |loc: &Location| -> bool {
-        !(model.ignore_stack_pointer && loc.is_stack_pointer())
-    };
+    let relevant =
+        |loc: &Location| -> bool { !(model.ignore_stack_pointer && loc.is_stack_pointer()) };
 
     for (i, event) in trace.iter().enumerate() {
         // Earliest cycle at which all dependences are satisfied.
@@ -69,7 +77,11 @@ pub fn analyze(trace: &Trace, model: &IlpModel) -> IlpResult {
 
         // False dependences, kept only when renaming is disabled.
         for loc in event.writes.iter().filter(|l| relevant(l)) {
-            let rename = if loc.is_mem() { model.rename_memory } else { model.rename_registers };
+            let rename = if loc.is_mem() {
+                model.rename_memory
+            } else {
+                model.rename_registers
+            };
             if !rename {
                 if let Some(c) = last_write.get(loc) {
                     ready = ready.max(*c);
@@ -164,7 +176,9 @@ mod tests {
     fn independent_instructions_all_issue_in_cycle_one() {
         let regs = [Reg::Rax, Reg::Rbx, Reg::Rcx, Reg::Rdx];
         let t = trace_of(
-            (0..4u64).map(|i| event(i, vec![], vec![reg(regs[i as usize])])).collect(),
+            (0..4u64)
+                .map(|i| event(i, vec![], vec![reg(regs[i as usize])]))
+                .collect(),
         );
         let r = analyze(&t, &IlpModel::parallel_ideal());
         assert_eq!(r.cycles, 1);
@@ -177,7 +191,9 @@ mod tests {
     fn dependence_chain_has_ilp_one() {
         // Each instruction reads and writes %rax: a pure RAW chain.
         let t = trace_of(
-            (0..8u64).map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)])).collect(),
+            (0..8u64)
+                .map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)]))
+                .collect(),
         );
         let r = analyze(&t, &IlpModel::parallel_ideal());
         assert_eq!(r.cycles, 8);
@@ -228,7 +244,10 @@ mod tests {
         let predicted = analyze(&t, &IlpModel::parallel_ideal());
         assert_eq!(predicted.cycles, 1);
         let in_order = analyze(&t, &IlpModel::in_order());
-        assert_eq!(in_order.cycles, 2, "the instruction after the branch waits for it");
+        assert_eq!(
+            in_order.cycles, 2,
+            "the instruction after the branch waits for it"
+        );
     }
 
     #[test]
@@ -236,20 +255,31 @@ mod tests {
         // A chain of push-like instructions: read+write %rsp each time.
         let t = trace_of(
             (0..6u64)
-                .map(|i| event(i, vec![reg(Reg::Rsp)], vec![reg(Reg::Rsp), Location::Mem(0x100 + 8 * i)]))
+                .map(|i| {
+                    event(
+                        i,
+                        vec![reg(Reg::Rsp)],
+                        vec![reg(Reg::Rsp), Location::Mem(0x100 + 8 * i)],
+                    )
+                })
                 .collect(),
         );
         let seq = analyze(&t, &IlpModel::sequential_oracle());
         assert_eq!(seq.cycles, 6, "the rsp chain serialises the pushes");
         let par = analyze(&t, &IlpModel::parallel_ideal());
-        assert_eq!(par.cycles, 1, "dropping rsp dependences exposes the parallelism");
+        assert_eq!(
+            par.cycles, 1,
+            "dropping rsp dependences exposes the parallelism"
+        );
     }
 
     #[test]
     fn finite_window_limits_ilp() {
         // 16 independent instructions; a window of 4 forces them to trickle.
         let t = trace_of(
-            (0..16u64).map(|i| event(i, vec![], vec![Location::Mem(8 * i)])).collect(),
+            (0..16u64)
+                .map(|i| event(i, vec![], vec![Location::Mem(8 * i)]))
+                .collect(),
         );
         let unlimited = analyze(&t, &IlpModel::parallel_ideal());
         assert_eq!(unlimited.cycles, 1);
@@ -261,7 +291,9 @@ mod tests {
     #[test]
     fn issue_width_limits_throughput() {
         let t = trace_of(
-            (0..12u64).map(|i| event(i, vec![], vec![Location::Mem(8 * i)])).collect(),
+            (0..12u64)
+                .map(|i| event(i, vec![], vec![Location::Mem(8 * i)]))
+                .collect(),
         );
         let r = analyze(&t, &IlpModel::parallel_ideal().with_issue_width(3));
         assert_eq!(r.cycles, 4);
@@ -271,7 +303,9 @@ mod tests {
     #[test]
     fn latency_scales_the_critical_path() {
         let t = trace_of(
-            (0..4u64).map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)])).collect(),
+            (0..4u64)
+                .map(|i| event(i, vec![reg(Reg::Rax)], vec![reg(Reg::Rax)]))
+                .collect(),
         );
         let r = analyze(&t, &IlpModel::parallel_ideal().with_latency(3));
         assert_eq!(r.cycles, 12);
@@ -326,7 +360,10 @@ mod tests {
         assert_eq!(outcome.outputs, vec![36]);
         let par = analyze(&trace, &IlpModel::parallel_ideal());
         let seq = analyze(&trace, &IlpModel::sequential_oracle());
-        assert!(par.ilp > seq.ilp, "parallel {par:?} must beat sequential {seq:?}");
+        assert!(
+            par.ilp > seq.ilp,
+            "parallel {par:?} must beat sequential {seq:?}"
+        );
         assert!(par.ilp > 1.5);
     }
 

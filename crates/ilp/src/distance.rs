@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn unwritten_sources_are_not_dependences() {
-        let t: Trace = vec![event(0, vec![Location::Reg(Reg::Rax)], vec![])].into_iter().collect();
+        let t: Trace = vec![event(0, vec![Location::Reg(Reg::Rax)], vec![])]
+            .into_iter()
+            .collect();
         assert_eq!(dependence_distances(&t, false).total(), 0);
     }
 }

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let m = IlpModel::parallel_ideal().with_window(64).with_issue_width(4).with_latency(0);
+        let m = IlpModel::parallel_ideal()
+            .with_window(64)
+            .with_issue_width(4)
+            .with_latency(0);
         assert_eq!(m.window, Some(64));
         assert_eq!(m.issue_width, Some(4));
         assert_eq!(m.latency, 1, "latency is clamped to at least one cycle");

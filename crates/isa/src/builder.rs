@@ -6,7 +6,9 @@
 
 use std::collections::BTreeMap;
 
-use crate::{AluOp, Cond, DataItem, Inst, IsaError, MemRef, Operand, Program, Reg, Target, UnaryOp};
+use crate::{
+    AluOp, Cond, DataItem, Inst, IsaError, MemRef, Operand, Program, Reg, Target, UnaryOp,
+};
 
 /// Incrementally builds a [`Program`].
 ///
@@ -80,7 +82,11 @@ impl ProgramBuilder {
             self.pending_errors.push(IsaError::DuplicateSymbol(name));
             return self;
         }
-        let item = DataItem { name, offset: self.data_offset, words: words.to_vec() };
+        let item = DataItem {
+            name,
+            offset: self.data_offset,
+            words: words.to_vec(),
+        };
         self.data_offset += 8 * words.len().max(1) as u64;
         self.data.push(item);
         self
@@ -102,7 +108,10 @@ impl ProgramBuilder {
 
     /// `movq src, dst`
     pub fn movq(&mut self, src: impl Into<Operand>, dst: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Mov { src: src.into(), dst: dst.into() })
+        self.push(Inst::Mov {
+            src: src.into(),
+            dst: dst.into(),
+        })
     }
 
     /// `leaq addr, dst`
@@ -121,8 +130,17 @@ impl ProgramBuilder {
     }
 
     /// Binary ALU operation `op src, dst`.
-    pub fn alu(&mut self, op: AluOp, src: impl Into<Operand>, dst: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Alu { op, src: src.into(), dst: dst.into() })
+    pub fn alu(
+        &mut self,
+        op: AluOp,
+        src: impl Into<Operand>,
+        dst: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Inst::Alu {
+            op,
+            src: src.into(),
+            dst: dst.into(),
+        })
     }
 
     /// `addq src, dst`
@@ -147,32 +165,48 @@ impl ProgramBuilder {
 
     /// Unary operation on `dst`.
     pub fn unary(&mut self, op: UnaryOp, dst: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Unary { op, dst: dst.into() })
+        self.push(Inst::Unary {
+            op,
+            dst: dst.into(),
+        })
     }
 
     /// `cmpq src, dst`
     pub fn cmpq(&mut self, src: impl Into<Operand>, dst: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Cmp { src: src.into(), dst: dst.into() })
+        self.push(Inst::Cmp {
+            src: src.into(),
+            dst: dst.into(),
+        })
     }
 
     /// `testq src, dst`
     pub fn testq(&mut self, src: impl Into<Operand>, dst: impl Into<Operand>) -> &mut Self {
-        self.push(Inst::Test { src: src.into(), dst: dst.into() })
+        self.push(Inst::Test {
+            src: src.into(),
+            dst: dst.into(),
+        })
     }
 
     /// `jmp label`
     pub fn jmp(&mut self, label: impl Into<String>) -> &mut Self {
-        self.push(Inst::Jmp { target: Target::label(label) })
+        self.push(Inst::Jmp {
+            target: Target::label(label),
+        })
     }
 
     /// `jcc label`
     pub fn jcc(&mut self, cond: Cond, label: impl Into<String>) -> &mut Self {
-        self.push(Inst::Jcc { cond, target: Target::label(label) })
+        self.push(Inst::Jcc {
+            cond,
+            target: Target::label(label),
+        })
     }
 
     /// `call label`
     pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
-        self.push(Inst::Call { target: Target::label(label) })
+        self.push(Inst::Call {
+            target: Target::label(label),
+        })
     }
 
     /// `ret`
@@ -182,7 +216,9 @@ impl ProgramBuilder {
 
     /// `fork label`
     pub fn fork(&mut self, label: impl Into<String>) -> &mut Self {
-        self.push(Inst::Fork { target: Target::label(label) })
+        self.push(Inst::Fork {
+            target: Target::label(label),
+        })
     }
 
     /// `endfork`
@@ -217,7 +253,12 @@ impl ProgramBuilder {
         if let Some(err) = self.pending_errors.first() {
             return Err(err.clone());
         }
-        Program::new(self.insns.clone(), self.labels.clone(), self.data.clone(), self.entry)
+        Program::new(
+            self.insns.clone(),
+            self.labels.clone(),
+            self.data.clone(),
+            self.entry,
+        )
     }
 }
 
@@ -241,7 +282,10 @@ mod tests {
         b.global_data("t", &[1]);
         b.global_data("t", &[2]);
         b.halt();
-        assert_eq!(b.build().unwrap_err(), IsaError::DuplicateSymbol("t".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            IsaError::DuplicateSymbol("t".into())
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl Effects {
                 read_operand(&mut e, src, true);
                 e.reg_reads.push(Reg::Rsp);
                 e.reg_writes.push(Reg::Rsp);
-                e.mem = if e.mem.loads() { MemEffect::LoadStore } else { MemEffect::Store };
+                e.mem = if e.mem.loads() {
+                    MemEffect::LoadStore
+                } else {
+                    MemEffect::Store
+                };
                 e.updates_stack_pointer = true;
             }
             Inst::Pop { dst } => {
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn mov_register_to_register() {
-        let e = effects(Inst::Mov { src: Operand::Reg(Reg::Rsi), dst: Operand::Reg(Reg::Rbx) });
+        let e = effects(Inst::Mov {
+            src: Operand::Reg(Reg::Rsi),
+            dst: Operand::Reg(Reg::Rbx),
+        });
         assert_eq!(e.reg_reads, vec![Reg::Rsi]);
         assert_eq!(e.reg_writes, vec![Reg::Rbx]);
         assert_eq!(e.mem, MemEffect::None);
@@ -201,12 +208,18 @@ mod tests {
 
     #[test]
     fn mov_load_and_store() {
-        let load = effects(Inst::Mov { src: Operand::mem(Reg::Rdi, 0), dst: Operand::Reg(Reg::Rax) });
+        let load = effects(Inst::Mov {
+            src: Operand::mem(Reg::Rdi, 0),
+            dst: Operand::Reg(Reg::Rax),
+        });
         assert_eq!(load.mem, MemEffect::Load);
         assert_eq!(load.reg_reads, vec![Reg::Rdi]);
         assert_eq!(load.reg_writes, vec![Reg::Rax]);
 
-        let store = effects(Inst::Mov { src: Operand::Reg(Reg::Rax), dst: Operand::mem(Reg::Rsp, 0) });
+        let store = effects(Inst::Mov {
+            src: Operand::Reg(Reg::Rax),
+            dst: Operand::mem(Reg::Rsp, 0),
+        });
         assert_eq!(store.mem, MemEffect::Store);
         assert_eq!(store.reg_reads, vec![Reg::Rax, Reg::Rsp]);
         assert!(store.reg_writes.is_empty());
@@ -238,9 +251,24 @@ mod tests {
 
     #[test]
     fn stack_pointer_classification() {
-        assert!(effects(Inst::Push { src: Operand::Reg(Reg::Rbx) }).updates_stack_pointer);
-        assert!(effects(Inst::Pop { dst: Operand::Reg(Reg::Rbx) }).updates_stack_pointer);
-        assert!(effects(Inst::Call { target: Target::label("f") }).updates_stack_pointer);
+        assert!(
+            effects(Inst::Push {
+                src: Operand::Reg(Reg::Rbx)
+            })
+            .updates_stack_pointer
+        );
+        assert!(
+            effects(Inst::Pop {
+                dst: Operand::Reg(Reg::Rbx)
+            })
+            .updates_stack_pointer
+        );
+        assert!(
+            effects(Inst::Call {
+                target: Target::label("f")
+            })
+            .updates_stack_pointer
+        );
         assert!(effects(Inst::Ret).updates_stack_pointer);
         let sub_rsp = effects(Inst::Alu {
             op: AluOp::Sub,
@@ -258,16 +286,22 @@ mod tests {
 
     #[test]
     fn push_pop_call_ret_touch_memory_and_rsp() {
-        let push = effects(Inst::Push { src: Operand::Reg(Reg::Rbx) });
+        let push = effects(Inst::Push {
+            src: Operand::Reg(Reg::Rbx),
+        });
         assert_eq!(push.mem, MemEffect::Store);
         assert!(push.reg_reads.contains(&Reg::Rsp));
         assert_eq!(push.reg_writes, vec![Reg::Rsp]);
 
-        let pop = effects(Inst::Pop { dst: Operand::Reg(Reg::Rbx) });
+        let pop = effects(Inst::Pop {
+            dst: Operand::Reg(Reg::Rbx),
+        });
         assert_eq!(pop.mem, MemEffect::Load);
         assert_eq!(pop.reg_writes, vec![Reg::Rsp, Reg::Rbx]);
 
-        let call = effects(Inst::Call { target: Target::label("f") });
+        let call = effects(Inst::Call {
+            target: Target::label("f"),
+        });
         assert_eq!(call.mem, MemEffect::Store);
         assert!(call.is_control);
 
@@ -278,28 +312,45 @@ mod tests {
 
     #[test]
     fn branch_reads_flags_compare_writes_them() {
-        let cmp = effects(Inst::Cmp { src: Operand::imm(2), dst: Operand::Reg(Reg::Rsi) });
+        let cmp = effects(Inst::Cmp {
+            src: Operand::imm(2),
+            dst: Operand::Reg(Reg::Rsi),
+        });
         assert!(cmp.writes_flags && !cmp.reads_flags);
         assert_eq!(cmp.mem, MemEffect::None);
 
-        let ja = effects(Inst::Jcc { cond: Cond::A, target: Target::label(".L2") });
+        let ja = effects(Inst::Jcc {
+            cond: Cond::A,
+            target: Target::label(".L2"),
+        });
         assert!(ja.reads_flags && !ja.writes_flags);
         assert!(ja.is_control);
 
-        let jmp = effects(Inst::Jmp { target: Target::label(".L1") });
+        let jmp = effects(Inst::Jmp {
+            target: Target::label(".L1"),
+        });
         assert!(!jmp.reads_flags && jmp.is_control);
     }
 
     #[test]
     fn fork_reads_nonvolatile_state_endfork_reads_nothing() {
-        let fork = effects(Inst::Fork { target: Target::label("sum") });
+        let fork = effects(Inst::Fork {
+            target: Target::label("sum"),
+        });
         assert!(fork.is_control);
         assert!(fork.reg_reads.contains(&Reg::Rsp));
         assert!(fork.reg_reads.contains(&Reg::Rbx));
         assert!(fork.reg_reads.contains(&Reg::R15));
-        assert!(!fork.reg_reads.contains(&Reg::Rax), "volatile registers are not copied");
+        assert!(
+            !fork.reg_reads.contains(&Reg::Rax),
+            "volatile registers are not copied"
+        );
         assert!(fork.reg_writes.is_empty());
-        assert_eq!(fork.mem, MemEffect::None, "fork does not save a return address");
+        assert_eq!(
+            fork.mem,
+            MemEffect::None,
+            "fork does not save a return address"
+        );
 
         let end = effects(Inst::EndFork);
         assert!(end.is_control);
@@ -320,12 +371,17 @@ mod tests {
 
     #[test]
     fn unary_and_out() {
-        let inc = effects(Inst::Unary { op: UnaryOp::Inc, dst: Operand::Reg(Reg::Rcx) });
+        let inc = effects(Inst::Unary {
+            op: UnaryOp::Inc,
+            dst: Operand::Reg(Reg::Rcx),
+        });
         assert_eq!(inc.reg_reads, vec![Reg::Rcx]);
         assert_eq!(inc.reg_writes, vec![Reg::Rcx]);
         assert!(inc.writes_flags);
 
-        let out = effects(Inst::Out { src: Operand::Reg(Reg::Rax) });
+        let out = effects(Inst::Out {
+            src: Operand::Reg(Reg::Rax),
+        });
         assert_eq!(out.reg_reads, vec![Reg::Rax]);
         assert!(out.reg_writes.is_empty());
         assert!(!out.is_control);

@@ -120,35 +120,69 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), IsaError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let opcode = cursor.u8()?;
     let inst = match opcode {
-        OP_MOV => Inst::Mov { src: cursor.operand()?, dst: cursor.operand()? },
-        OP_LEA => Inst::Lea { addr: cursor.mem()?, dst: cursor.reg()? },
-        OP_PUSH => Inst::Push { src: cursor.operand()? },
-        OP_POP => Inst::Pop { dst: cursor.operand()? },
+        OP_MOV => Inst::Mov {
+            src: cursor.operand()?,
+            dst: cursor.operand()?,
+        },
+        OP_LEA => Inst::Lea {
+            addr: cursor.mem()?,
+            dst: cursor.reg()?,
+        },
+        OP_PUSH => Inst::Push {
+            src: cursor.operand()?,
+        },
+        OP_POP => Inst::Pop {
+            dst: cursor.operand()?,
+        },
         OP_ALU => {
             let op = *AluOp::ALL
                 .get(cursor.u8()? as usize)
                 .ok_or_else(|| IsaError::Decode("bad alu op".into()))?;
-            Inst::Alu { op, src: cursor.operand()?, dst: cursor.operand()? }
+            Inst::Alu {
+                op,
+                src: cursor.operand()?,
+                dst: cursor.operand()?,
+            }
         }
         OP_UNARY => {
             let op = *UnaryOp::ALL
                 .get(cursor.u8()? as usize)
                 .ok_or_else(|| IsaError::Decode("bad unary op".into()))?;
-            Inst::Unary { op, dst: cursor.operand()? }
+            Inst::Unary {
+                op,
+                dst: cursor.operand()?,
+            }
         }
-        OP_CMP => Inst::Cmp { src: cursor.operand()?, dst: cursor.operand()? },
-        OP_TEST => Inst::Test { src: cursor.operand()?, dst: cursor.operand()? },
-        OP_JMP => Inst::Jmp { target: cursor.target()? },
+        OP_CMP => Inst::Cmp {
+            src: cursor.operand()?,
+            dst: cursor.operand()?,
+        },
+        OP_TEST => Inst::Test {
+            src: cursor.operand()?,
+            dst: cursor.operand()?,
+        },
+        OP_JMP => Inst::Jmp {
+            target: cursor.target()?,
+        },
         OP_JCC => {
             let cond = Cond::from_index(cursor.u8()?)
                 .ok_or_else(|| IsaError::Decode("bad condition code".into()))?;
-            Inst::Jcc { cond, target: cursor.target()? }
+            Inst::Jcc {
+                cond,
+                target: cursor.target()?,
+            }
         }
-        OP_CALL => Inst::Call { target: cursor.target()? },
+        OP_CALL => Inst::Call {
+            target: cursor.target()?,
+        },
         OP_RET => Inst::Ret,
-        OP_FORK => Inst::Fork { target: cursor.target()? },
+        OP_FORK => Inst::Fork {
+            target: cursor.target()?,
+        },
         OP_ENDFORK => Inst::EndFork,
-        OP_OUT => Inst::Out { src: cursor.operand()? },
+        OP_OUT => Inst::Out {
+            src: cursor.operand()?,
+        },
         OP_NOP => Inst::Nop,
         OP_HALT => Inst::Halt,
         other => return Err(IsaError::Decode(format!("unknown opcode {other}"))),
@@ -200,7 +234,9 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, IsaError> {
         let slice = cursor.slice(len)?;
         let (inst, used) = decode(slice)?;
         if used != len {
-            return Err(IsaError::Decode("trailing bytes in instruction record".into()));
+            return Err(IsaError::Decode(
+                "trailing bytes in instruction record".into(),
+            ));
         }
         insns.push(inst);
     }
@@ -217,7 +253,11 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, IsaError> {
         for _ in 0..words_len {
             words.push(cursor.u64()?);
         }
-        data.push(DataItem { name, offset, words });
+        data.push(DataItem {
+            name,
+            offset,
+            words,
+        });
     }
     Program::new(insns, BTreeMap::new(), data, Some(entry))
 }
@@ -284,15 +324,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, IsaError> {
-        Ok(u16::from_le_bytes(self.slice(2)?.try_into().expect("length checked")))
+        Ok(u16::from_le_bytes(
+            self.slice(2)?.try_into().expect("length checked"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, IsaError> {
-        Ok(u64::from_le_bytes(self.slice(8)?.try_into().expect("length checked")))
+        Ok(u64::from_le_bytes(
+            self.slice(8)?.try_into().expect("length checked"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64, IsaError> {
-        Ok(i64::from_le_bytes(self.slice(8)?.try_into().expect("length checked")))
+        Ok(i64::from_le_bytes(
+            self.slice(8)?.try_into().expect("length checked"),
+        ))
     }
 
     fn reg(&mut self) -> Result<Reg, IsaError> {
@@ -321,7 +367,12 @@ impl<'a> Cursor<'a> {
         } else {
             None
         };
-        Ok(MemRef { base, index, scale, disp })
+        Ok(MemRef {
+            base,
+            index,
+            scale,
+            disp,
+        })
     }
 
     fn operand(&mut self) -> Result<Operand, IsaError> {
@@ -354,7 +405,12 @@ mod tests {
             prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
             -1024i64..1024,
         )
-            .prop_map(|(base, index, scale, disp)| MemRef { base, index, scale, disp })
+            .prop_map(|(base, index, scale, disp)| MemRef {
+                base,
+                index,
+                scale,
+                disp,
+            })
     }
 
     fn operand_strategy() -> impl Strategy<Value = Operand> {
@@ -375,15 +431,27 @@ mod tests {
             (mem_strategy(), reg_strategy()).prop_map(|(addr, dst)| Inst::Lea { addr, dst }),
             operand_strategy().prop_map(|src| Inst::Push { src }),
             operand_strategy().prop_map(|dst| Inst::Pop { dst }),
-            (0usize..AluOp::ALL.len(), operand_strategy(), operand_strategy())
-                .prop_map(|(op, src, dst)| Inst::Alu { op: AluOp::ALL[op], src, dst }),
-            (0usize..UnaryOp::ALL.len(), operand_strategy())
-                .prop_map(|(op, dst)| Inst::Unary { op: UnaryOp::ALL[op], dst }),
+            (
+                0usize..AluOp::ALL.len(),
+                operand_strategy(),
+                operand_strategy()
+            )
+                .prop_map(|(op, src, dst)| Inst::Alu {
+                    op: AluOp::ALL[op],
+                    src,
+                    dst
+                }),
+            (0usize..UnaryOp::ALL.len(), operand_strategy()).prop_map(|(op, dst)| Inst::Unary {
+                op: UnaryOp::ALL[op],
+                dst
+            }),
             (operand_strategy(), operand_strategy()).prop_map(|(src, dst)| Inst::Cmp { src, dst }),
             (operand_strategy(), operand_strategy()).prop_map(|(src, dst)| Inst::Test { src, dst }),
             target_strategy().prop_map(|target| Inst::Jmp { target }),
-            (0usize..Cond::ALL.len(), target_strategy())
-                .prop_map(|(c, target)| Inst::Jcc { cond: Cond::ALL[c], target }),
+            (0usize..Cond::ALL.len(), target_strategy()).prop_map(|(c, target)| Inst::Jcc {
+                cond: Cond::ALL[c],
+                target
+            }),
             target_strategy().prop_map(|target| Inst::Call { target }),
             Just(Inst::Ret),
             target_strategy().prop_map(|target| Inst::Fork { target }),
@@ -411,9 +479,14 @@ mod tests {
 
     #[test]
     fn unresolved_target_cannot_be_encoded() {
-        let inst = Inst::Jmp { target: Target::label("somewhere") };
+        let inst = Inst::Jmp {
+            target: Target::label("somewhere"),
+        };
         assert!(encode(&inst).is_err());
-        let inst = Inst::Mov { src: Operand::sym("t"), dst: Operand::Reg(Reg::Rax) };
+        let inst = Inst::Mov {
+            src: Operand::sym("t"),
+            dst: Operand::Reg(Reg::Rax),
+        };
         assert!(encode(&inst).is_err());
     }
 
@@ -444,7 +517,10 @@ mod tests {
         let p = b.build().unwrap();
         let bytes = encode_program(&p).unwrap();
         for cut in 1..bytes.len() {
-            assert!(decode_program(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                decode_program(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 }

@@ -48,7 +48,9 @@ impl fmt::Display for IsaError {
             IsaError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
             IsaError::DuplicateLabel(name) => write!(f, "label `{name}` defined more than once"),
             IsaError::UndefinedSymbol(name) => write!(f, "undefined data symbol `{name}`"),
-            IsaError::DuplicateSymbol(name) => write!(f, "data symbol `{name}` defined more than once"),
+            IsaError::DuplicateSymbol(name) => {
+                write!(f, "data symbol `{name}` defined more than once")
+            }
             IsaError::TargetOutOfRange { at, target, len } => write!(
                 f,
                 "instruction {at} targets index {target}, but the program has {len} instructions"
@@ -72,7 +74,11 @@ mod tests {
         let errors = [
             IsaError::UnknownRegister("%zz".into()),
             IsaError::UndefinedLabel("loop".into()),
-            IsaError::TargetOutOfRange { at: 3, target: 99, len: 10 },
+            IsaError::TargetOutOfRange {
+                at: 3,
+                target: 99,
+                len: 10,
+            },
             IsaError::Decode("truncated".into()),
         ];
         for e in errors {

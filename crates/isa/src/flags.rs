@@ -177,7 +177,10 @@ impl Cond {
 
     /// Dense index used by the binary encoding.
     pub fn index(self) -> u8 {
-        Cond::ALL.iter().position(|c| *c == self).expect("cond listed in ALL") as u8
+        Cond::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("cond listed in ALL") as u8
     }
 
     /// Inverse of [`Cond::index`].
@@ -229,9 +232,17 @@ mod tests {
             assert_eq!(Cond::B.eval(f), a < b, "below {a} {b}");
             assert_eq!(Cond::Be.eval(f), a <= b, "below-eq {a} {b}");
             assert_eq!(Cond::G.eval(f), (a as i64) > (b as i64), "greater {a} {b}");
-            assert_eq!(Cond::Ge.eval(f), (a as i64) >= (b as i64), "greater-eq {a} {b}");
+            assert_eq!(
+                Cond::Ge.eval(f),
+                (a as i64) >= (b as i64),
+                "greater-eq {a} {b}"
+            );
             assert_eq!(Cond::L.eval(f), (a as i64) < (b as i64), "less {a} {b}");
-            assert_eq!(Cond::Le.eval(f), (a as i64) <= (b as i64), "less-eq {a} {b}");
+            assert_eq!(
+                Cond::Le.eval(f),
+                (a as i64) <= (b as i64),
+                "less-eq {a} {b}"
+            );
         }
     }
 
@@ -239,12 +250,33 @@ mod tests {
     fn negation_is_involutive_and_exclusive() {
         let flag_values = [
             Flags::default(),
-            Flags { zf: true, ..Flags::default() },
-            Flags { sf: true, ..Flags::default() },
-            Flags { cf: true, ..Flags::default() },
-            Flags { of: true, ..Flags::default() },
-            Flags { sf: true, of: true, ..Flags::default() },
-            Flags { zf: true, cf: true, sf: true, of: true },
+            Flags {
+                zf: true,
+                ..Flags::default()
+            },
+            Flags {
+                sf: true,
+                ..Flags::default()
+            },
+            Flags {
+                cf: true,
+                ..Flags::default()
+            },
+            Flags {
+                of: true,
+                ..Flags::default()
+            },
+            Flags {
+                sf: true,
+                of: true,
+                ..Flags::default()
+            },
+            Flags {
+                zf: true,
+                cf: true,
+                sf: true,
+                of: true,
+            },
         ];
         for c in Cond::ALL {
             assert_eq!(c.negate().negate(), c);

@@ -21,12 +21,18 @@ pub struct Target {
 impl Target {
     /// A symbolic, unresolved target.
     pub fn label(name: impl Into<String>) -> Target {
-        Target { label: Some(name.into()), index: None }
+        Target {
+            label: Some(name.into()),
+            index: None,
+        }
     }
 
     /// An absolute, already-resolved target.
     pub fn abs(index: usize) -> Target {
-        Target { label: None, index: Some(index) }
+        Target {
+            label: None,
+            index: Some(index),
+        }
     }
 
     /// Whether the target has been resolved to an instruction index.
@@ -359,7 +365,10 @@ impl Inst {
     /// refuses to execute, such as memory-to-memory moves, immediate
     /// destinations, or a data-symbol destination.
     pub fn validate(&self) -> Result<(), IsaError> {
-        let invalid = |reason: String| IsaError::InvalidOperands { mnemonic: self.mnemonic(), reason };
+        let invalid = |reason: String| IsaError::InvalidOperands {
+            mnemonic: self.mnemonic(),
+            reason,
+        };
         let check_dst = |dst: &Operand| -> Result<(), IsaError> {
             match dst {
                 Operand::Imm(_) => Err(invalid("destination cannot be an immediate".into())),
@@ -371,13 +380,17 @@ impl Inst {
             Inst::Mov { src, dst } | Inst::Alu { src, dst, .. } => {
                 check_dst(dst)?;
                 if src.is_mem() && dst.is_mem() {
-                    return Err(invalid("memory-to-memory operations are not allowed".into()));
+                    return Err(invalid(
+                        "memory-to-memory operations are not allowed".into(),
+                    ));
                 }
                 Ok(())
             }
             Inst::Cmp { src, dst } | Inst::Test { src, dst } => {
                 if src.is_mem() && dst.is_mem() {
-                    return Err(invalid("memory-to-memory operations are not allowed".into()));
+                    return Err(invalid(
+                        "memory-to-memory operations are not allowed".into(),
+                    ));
                 }
                 Ok(())
             }
@@ -422,23 +435,42 @@ mod tests {
     #[test]
     fn display_matches_paper_listings() {
         // Lines from Figure 2 of the paper.
-        let cmp = Inst::Cmp { src: Operand::imm(2), dst: Operand::Reg(Reg::Rsi) };
+        let cmp = Inst::Cmp {
+            src: Operand::imm(2),
+            dst: Operand::Reg(Reg::Rsi),
+        };
         assert_eq!(cmp.to_string(), "cmpq    $2, %rsi");
-        let ja = Inst::Jcc { cond: Cond::A, target: Target::label(".L2") };
+        let ja = Inst::Jcc {
+            cond: Cond::A,
+            target: Target::label(".L2"),
+        };
         assert_eq!(ja.to_string(), "ja      .L2");
-        let mov = Inst::Mov { src: Operand::mem(Reg::Rdi, 0), dst: rax() };
+        let mov = Inst::Mov {
+            src: Operand::mem(Reg::Rdi, 0),
+            dst: rax(),
+        };
         assert_eq!(mov.to_string(), "movq    (%rdi), %rax");
-        let add = Inst::Alu { op: AluOp::Add, src: Operand::mem(Reg::Rdi, 8), dst: rax() };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            src: Operand::mem(Reg::Rdi, 8),
+            dst: rax(),
+        };
         assert_eq!(add.to_string(), "addq    8(%rdi), %rax");
         let lea = Inst::Lea {
             addr: MemRef::base_index_scale(Reg::Rdi, Reg::Rsi, 8, 0),
             dst: Reg::Rdi,
         };
         assert_eq!(lea.to_string(), "leaq    (%rdi,%rsi,8), %rdi");
-        let fork = Inst::Fork { target: Target::label("sum") };
+        let fork = Inst::Fork {
+            target: Target::label("sum"),
+        };
         assert_eq!(fork.to_string(), "fork    sum");
         assert_eq!(Inst::EndFork.to_string(), "endfork");
-        let shr = Inst::Alu { op: AluOp::Shr, src: Operand::imm(1), dst: Operand::Reg(Reg::Rsi) };
+        let shr = Inst::Alu {
+            op: AluOp::Shr,
+            src: Operand::imm(1),
+            dst: Operand::Reg(Reg::Rsi),
+        };
         assert_eq!(shr.to_string(), "shrq    $1, %rsi");
     }
 
@@ -446,12 +478,22 @@ mod tests {
     fn control_classification() {
         assert!(Inst::Ret.is_control());
         assert!(Inst::Halt.is_control());
-        assert!(Inst::Fork { target: Target::label("f") }.is_control());
+        assert!(Inst::Fork {
+            target: Target::label("f")
+        }
+        .is_control());
         assert!(Inst::EndFork.is_control());
         assert!(Inst::EndFork.is_section_boundary());
         assert!(!Inst::Nop.is_control());
-        assert!(!Inst::Mov { src: rax(), dst: Operand::Reg(Reg::Rbx) }.is_control());
-        assert!(!Inst::Call { target: Target::label("f") }.is_section_boundary());
+        assert!(!Inst::Mov {
+            src: rax(),
+            dst: Operand::Reg(Reg::Rbx)
+        }
+        .is_control());
+        assert!(!Inst::Call {
+            target: Target::label("f")
+        }
+        .is_section_boundary());
     }
 
     #[test]
@@ -460,7 +502,11 @@ mod tests {
         assert_eq!(AluOp::Sub.apply(3, 4), u64::MAX);
         assert_eq!(AluOp::Shr.apply(5, 1), 2);
         assert_eq!(AluOp::Sar.apply((-8i64) as u64, 1), (-4i64) as u64);
-        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift count is masked to 6 bits");
+        assert_eq!(
+            AluOp::Shl.apply(1, 65),
+            2,
+            "shift count is masked to 6 bits"
+        );
         assert_eq!(AluOp::Imul.apply(7, 6), 42);
         assert_eq!(AluOp::Imul.apply((-7i64) as u64, 6), (-42i64) as u64);
         assert_eq!(UnaryOp::Neg.apply(5), (-5i64) as u64);
@@ -472,13 +518,25 @@ mod tests {
     #[test]
     fn validation_rejects_bad_operand_combinations() {
         let mem = Operand::mem(Reg::Rsp, 0);
-        let bad_mov = Inst::Mov { src: mem.clone(), dst: mem.clone() };
+        let bad_mov = Inst::Mov {
+            src: mem.clone(),
+            dst: mem.clone(),
+        };
         assert!(bad_mov.validate().is_err());
-        let bad_dst = Inst::Mov { src: rax(), dst: Operand::imm(3) };
+        let bad_dst = Inst::Mov {
+            src: rax(),
+            dst: Operand::imm(3),
+        };
         assert!(bad_dst.validate().is_err());
-        let bad_pop = Inst::Pop { dst: Operand::sym("t") };
+        let bad_pop = Inst::Pop {
+            dst: Operand::sym("t"),
+        };
         assert!(bad_pop.validate().is_err());
-        let good = Inst::Alu { op: AluOp::Add, src: mem, dst: rax() };
+        let good = Inst::Alu {
+            op: AluOp::Add,
+            src: mem,
+            dst: rax(),
+        };
         assert!(good.validate().is_ok());
         assert!(Inst::Ret.validate().is_ok());
     }
@@ -491,13 +549,19 @@ mod tests {
         let t = Target::abs(12);
         assert_eq!(t.resolved().unwrap(), 12);
         assert_eq!(t.to_string(), "@12");
-        let named = Target { label: Some("sum".into()), index: Some(3) };
+        let named = Target {
+            label: Some("sum".into()),
+            index: Some(3),
+        };
         assert_eq!(named.to_string(), "sum");
     }
 
     #[test]
     fn symbols_and_operands() {
-        let i = Inst::Mov { src: Operand::sym("t"), dst: rax() };
+        let i = Inst::Mov {
+            src: Operand::sym("t"),
+            dst: rax(),
+        };
         assert_eq!(i.symbols(), vec!["t"]);
         assert_eq!(i.operands().len(), 2);
         assert!(Inst::Ret.operands().is_empty());

@@ -23,17 +23,32 @@ pub struct MemRef {
 impl MemRef {
     /// A `disp(base)` reference.
     pub fn base_disp(base: Reg, disp: i64) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// A `disp(base, index, scale)` reference.
     pub fn base_index_scale(base: Reg, index: Reg, scale: u8, disp: i64) -> MemRef {
-        MemRef { base: Some(base), index: Some(index), scale, disp }
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 
     /// An absolute reference (`disp` only), used for global data accesses.
     pub fn absolute(disp: i64) -> MemRef {
-        MemRef { base: None, index: None, scale: 1, disp }
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// Registers read to form the effective address.

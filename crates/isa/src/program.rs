@@ -51,7 +51,12 @@ impl Program {
         entry: Option<usize>,
     ) -> Result<Program, IsaError> {
         let entry = entry.or_else(|| labels.get("main").copied()).unwrap_or(0);
-        let mut program = Program { insns, labels, data, entry };
+        let mut program = Program {
+            insns,
+            labels,
+            data,
+            entry,
+        };
         program.resolve()?;
         Ok(program)
     }
@@ -61,8 +66,11 @@ impl Program {
     fn resolve(&mut self) -> Result<(), IsaError> {
         let len = self.insns.len();
         let labels = self.labels.clone();
-        let symbols: BTreeMap<String, u64> =
-            self.data.iter().map(|d| (d.name.clone(), d.address())).collect();
+        let symbols: BTreeMap<String, u64> = self
+            .data
+            .iter()
+            .map(|d| (d.name.clone(), d.address()))
+            .collect();
 
         for (at, inst) in self.insns.iter_mut().enumerate() {
             inst.validate()?;
@@ -77,14 +85,22 @@ impl Program {
                 }
                 let index = target.index.expect("just resolved");
                 if index >= len {
-                    return Err(IsaError::TargetOutOfRange { at, target: index, len });
+                    return Err(IsaError::TargetOutOfRange {
+                        at,
+                        target: index,
+                        len,
+                    });
                 }
             }
             // Resolve data symbols to absolute immediates.
             resolve_symbols(inst, &symbols)?;
         }
         if self.entry >= len && len != 0 {
-            return Err(IsaError::TargetOutOfRange { at: 0, target: self.entry, len });
+            return Err(IsaError::TargetOutOfRange {
+                at: 0,
+                target: self.entry,
+                len,
+            });
         }
         Ok(())
     }
@@ -135,7 +151,10 @@ impl Program {
 
     /// Looks up a data symbol's absolute address.
     pub fn data_address(&self, name: &str) -> Option<u64> {
-        self.data.iter().find(|d| d.name == name).map(|d| d.address())
+        self.data
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.address())
     }
 
     /// Total size of the initialised data segment, in bytes.
@@ -192,7 +211,10 @@ impl fmt::Display for Program {
             writeln!(f, "{}: .quad {}", item.name, words.join(", "))?;
         }
         for (i, inst) in self.insns.iter().enumerate() {
-            let label = self.label_at(i).map(|l| format!("{l}:")).unwrap_or_default();
+            let label = self
+                .label_at(i)
+                .map(|l| format!("{l}:"))
+                .unwrap_or_default();
             writeln!(f, "{label:<8}{inst}")?;
         }
         Ok(())
@@ -235,31 +257,44 @@ mod tests {
         assert_eq!(p.data_address("t"), Some(DATA_BASE));
         assert_eq!(p.data_size(), 24);
         let words: Vec<(u64, u64)> = p.data_words().collect();
-        assert_eq!(words, vec![(DATA_BASE, 10), (DATA_BASE + 8, 20), (DATA_BASE + 16, 30)]);
+        assert_eq!(
+            words,
+            vec![(DATA_BASE, 10), (DATA_BASE + 8, 20), (DATA_BASE + 16, 30)]
+        );
         // The `$t` operand became an absolute immediate.
         match p.get(0).unwrap() {
-            Inst::Mov { src: Operand::Imm(v), .. } => assert_eq!(*v as u64, DATA_BASE),
+            Inst::Mov {
+                src: Operand::Imm(v),
+                ..
+            } => assert_eq!(*v as u64, DATA_BASE),
             other => panic!("unexpected instruction {other:?}"),
         }
     }
 
     #[test]
     fn undefined_label_is_rejected() {
-        let insns = vec![Inst::Jmp { target: Target::label("nowhere") }];
+        let insns = vec![Inst::Jmp {
+            target: Target::label("nowhere"),
+        }];
         let err = Program::new(insns, BTreeMap::new(), Vec::new(), None).unwrap_err();
         assert_eq!(err, IsaError::UndefinedLabel("nowhere".into()));
     }
 
     #[test]
     fn undefined_symbol_is_rejected() {
-        let insns = vec![Inst::Mov { src: Operand::sym("ghost"), dst: Operand::Reg(Reg::Rax) }];
+        let insns = vec![Inst::Mov {
+            src: Operand::sym("ghost"),
+            dst: Operand::Reg(Reg::Rax),
+        }];
         let err = Program::new(insns, BTreeMap::new(), Vec::new(), None).unwrap_err();
         assert_eq!(err, IsaError::UndefinedSymbol("ghost".into()));
     }
 
     #[test]
     fn out_of_range_target_is_rejected() {
-        let insns = vec![Inst::Jmp { target: Target::abs(10) }];
+        let insns = vec![Inst::Jmp {
+            target: Target::abs(10),
+        }];
         let err = Program::new(insns, BTreeMap::new(), Vec::new(), None).unwrap_err();
         assert!(matches!(err, IsaError::TargetOutOfRange { target: 10, .. }));
     }
@@ -267,7 +302,10 @@ mod tests {
     #[test]
     fn invalid_operands_are_rejected_at_build_time() {
         let mem = Operand::mem(Reg::Rsp, 0);
-        let insns = vec![Inst::Mov { src: mem.clone(), dst: mem }];
+        let insns = vec![Inst::Mov {
+            src: mem.clone(),
+            dst: mem,
+        }];
         assert!(matches!(
             Program::new(insns, BTreeMap::new(), Vec::new(), None),
             Err(IsaError::InvalidOperands { .. })

@@ -183,10 +183,21 @@ mod tests {
 
     #[test]
     fn sysv_volatility() {
-        let callee_saved: Vec<Reg> = Reg::ALL.into_iter().filter(|r| r.is_callee_saved()).collect();
+        let callee_saved: Vec<Reg> = Reg::ALL
+            .into_iter()
+            .filter(|r| r.is_callee_saved())
+            .collect();
         assert_eq!(
             callee_saved,
-            vec![Reg::Rbx, Reg::Rbp, Reg::Rsp, Reg::R12, Reg::R13, Reg::R14, Reg::R15]
+            vec![
+                Reg::Rbx,
+                Reg::Rbp,
+                Reg::Rsp,
+                Reg::R12,
+                Reg::R13,
+                Reg::R14,
+                Reg::R15
+            ]
         );
         for r in Reg::ALL {
             assert_ne!(r.is_callee_saved(), r.is_volatile());

@@ -16,7 +16,11 @@ impl CpuState {
     /// A fresh state: all registers zero except `%rsp`, which points to
     /// [`STACK_TOP`], flags cleared, `ip` at `entry`.
     pub fn at_entry(entry: usize) -> CpuState {
-        let mut s = CpuState { regs: [0; Reg::COUNT], flags: Flags::default(), ip: entry };
+        let mut s = CpuState {
+            regs: [0; Reg::COUNT],
+            flags: Flags::default(),
+            ip: entry,
+        };
         s.set(Reg::Rsp, STACK_TOP);
         s
     }

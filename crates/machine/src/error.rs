@@ -42,13 +42,19 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::InvalidIp { ip, len } => {
-                write!(f, "instruction pointer {ip} outside program of length {len}")
+                write!(
+                    f,
+                    "instruction pointer {ip} outside program of length {len}"
+                )
             }
             MachineError::OutOfFuel { steps } => {
                 write!(f, "execution did not halt after {steps} steps")
             }
             MachineError::UnalignedAccess { addr, ip } => {
-                write!(f, "unaligned 64-bit access to {addr:#x} at instruction {ip}")
+                write!(
+                    f,
+                    "unaligned 64-bit access to {addr:#x} at instruction {ip}"
+                )
             }
             MachineError::EmptyReturnContext { ip } => {
                 write!(f, "return without caller at instruction {ip}")
@@ -79,9 +85,15 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(MachineError::InvalidIp { ip: 9, len: 3 }.to_string().contains('9'));
-        assert!(MachineError::OutOfFuel { steps: 10 }.to_string().contains("10"));
-        assert!(MachineError::UnalignedAccess { addr: 0x11, ip: 2 }.to_string().contains("0x11"));
+        assert!(MachineError::InvalidIp { ip: 9, len: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(MachineError::OutOfFuel { steps: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(MachineError::UnalignedAccess { addr: 0x11, ip: 2 }
+            .to_string()
+            .contains("0x11"));
         let e: MachineError = IsaError::UndefinedLabel("f".into()).into();
         assert!(e.to_string().contains("undefined label"));
     }

@@ -157,7 +157,10 @@ impl Machine {
             .program
             .get(ip)
             .cloned()
-            .ok_or(MachineError::InvalidIp { ip, len: self.program.len() })?;
+            .ok_or(MachineError::InvalidIp {
+                ip,
+                len: self.program.len(),
+            })?;
 
         let mut mem_reads: Vec<u64> = Vec::new();
         let mut mem_writes: Vec<u64> = Vec::new();
@@ -292,7 +295,10 @@ impl Machine {
             return Ok(StepEvent::Halted);
         }
         if next_ip >= self.program.len() {
-            return Err(MachineError::InvalidIp { ip: next_ip, len: self.program.len() });
+            return Err(MachineError::InvalidIp {
+                ip: next_ip,
+                len: self.program.len(),
+            });
         }
         self.cpu.ip = next_ip;
         Ok(StepEvent::Continue)
@@ -308,13 +314,20 @@ impl Machine {
         out_value: Option<u64>,
     ) -> TraceEvent {
         let effects = Effects::of(inst);
-        let mut reads: Vec<Location> = effects.reg_reads.iter().map(|r| Location::Reg(*r)).collect();
+        let mut reads: Vec<Location> = effects
+            .reg_reads
+            .iter()
+            .map(|r| Location::Reg(*r))
+            .collect();
         if effects.reads_flags {
             reads.push(Location::Flags);
         }
         reads.extend(mem_reads.into_iter().map(Location::Mem));
-        let mut writes: Vec<Location> =
-            effects.reg_writes.iter().map(|r| Location::Reg(*r)).collect();
+        let mut writes: Vec<Location> = effects
+            .reg_writes
+            .iter()
+            .map(|r| Location::Reg(*r))
+            .collect();
         if effects.writes_flags {
             writes.push(Location::Flags);
         }
@@ -377,7 +390,12 @@ impl Machine {
         }
     }
 
-    fn load_word(&mut self, addr: u64, ip: usize, mem_reads: &mut Vec<u64>) -> Result<u64, MachineError> {
+    fn load_word(
+        &mut self,
+        addr: u64,
+        ip: usize,
+        mem_reads: &mut Vec<u64>,
+    ) -> Result<u64, MachineError> {
         if !Memory::is_aligned(addr) {
             return Err(MachineError::UnalignedAccess { addr, ip });
         }
@@ -588,7 +606,9 @@ mod tests {
         assert!(load.reads.contains(&Location::Mem(parsecs_isa::DATA_BASE)));
         assert!(load.writes.contains(&Location::Reg(Reg::Rax)));
         let store = &trace.events()[3];
-        assert!(store.writes.contains(&Location::Mem(parsecs_isa::DATA_BASE)));
+        assert!(store
+            .writes
+            .contains(&Location::Mem(parsecs_isa::DATA_BASE)));
         assert_eq!(trace.loads(), 1);
         assert_eq!(trace.stores(), 1);
         assert_eq!(trace.count_kind(TraceKind::Halt), 1);
@@ -598,7 +618,10 @@ mod tests {
     fn out_of_fuel_is_reported() {
         let program = assemble("main: jmp main").unwrap();
         let mut m = Machine::load(&program).unwrap();
-        assert_eq!(m.run(10).unwrap_err(), MachineError::OutOfFuel { steps: 10 });
+        assert_eq!(
+            m.run(10).unwrap_err(),
+            MachineError::OutOfFuel { steps: 10 }
+        );
     }
 
     #[test]

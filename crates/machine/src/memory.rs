@@ -21,7 +21,7 @@ impl Memory {
 
     /// Whether `addr` is 8-byte aligned.
     pub fn is_aligned(addr: u64) -> bool {
-        addr % 8 == 0
+        addr.is_multiple_of(8)
     }
 
     /// Reads the 64-bit word at `addr`.

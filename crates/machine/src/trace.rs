@@ -146,7 +146,9 @@ impl Trace {
 
 impl FromIterator<TraceEvent> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Trace {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -21,7 +21,11 @@ impl Default for NocConfig {
     /// bandwidth — the charge model implied by the paper's Figure 10
     /// (3 cycles to reach a neighbouring producer and return).
     fn default() -> NocConfig {
-        NocConfig { base_latency: 1, per_hop_latency: 1, link_bandwidth: None }
+        NocConfig {
+            base_latency: 1,
+            per_hop_latency: 1,
+            link_bandwidth: None,
+        }
     }
 }
 
@@ -104,7 +108,13 @@ pub struct Network<T> {
 impl<T: Eq> Network<T> {
     /// Creates an empty network over `topology` with `config` timing.
     pub fn new(topology: Topology, config: NocConfig) -> Network<T> {
-        Network { topology, config, pending: BinaryHeap::new(), stats: NocStats::default(), sequence: 0 }
+        Network {
+            topology,
+            config,
+            pending: BinaryHeap::new(),
+            stats: NocStats::default(),
+            sequence: 0,
+        }
     }
 
     /// The chip topology.
@@ -141,14 +151,32 @@ impl<T: Eq> Network<T> {
     ///
     /// Panics if `src` or `dst` is not a core of the topology.
     pub fn send(&mut self, src: CoreId, dst: CoreId, payload: T, now: u64) {
-        assert!(self.topology.contains(src), "{src} outside {}", self.topology);
-        assert!(self.topology.contains(dst), "{dst} outside {}", self.topology);
+        assert!(
+            self.topology.contains(src),
+            "{src} outside {}",
+            self.topology
+        );
+        assert!(
+            self.topology.contains(dst),
+            "{dst} outside {}",
+            self.topology
+        );
         let arrives_at = now + self.latency(src, dst);
-        let envelope = Envelope { src, dst, sent_at: now, arrives_at, payload };
+        let envelope = Envelope {
+            src,
+            dst,
+            sent_at: now,
+            arrives_at,
+            payload,
+        };
         self.stats.sent += 1;
         self.stats.total_hops += self.topology.hops(src, dst) as u64;
         self.sequence += 1;
-        self.pending.push(Pending { arrives_at, sequence: self.sequence, envelope });
+        self.pending.push(Pending {
+            arrives_at,
+            sequence: self.sequence,
+            envelope,
+        });
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.pending.len());
     }
 
@@ -204,7 +232,11 @@ mod tests {
         assert_eq!(n.latency(CoreId(0), CoreId(0)), 1);
         assert_eq!(n.latency(CoreId(0), CoreId(1)), 2);
         assert_eq!(n.latency(CoreId(0), CoreId(15)), 7);
-        let n = net(NocConfig { base_latency: 0, per_hop_latency: 3, link_bandwidth: None });
+        let n = net(NocConfig {
+            base_latency: 0,
+            per_hop_latency: 3,
+            link_bandwidth: None,
+        });
         assert_eq!(n.latency(CoreId(0), CoreId(1)), 3);
     }
 
@@ -240,7 +272,10 @@ mod tests {
 
     #[test]
     fn bandwidth_limit_spreads_deliveries() {
-        let config = NocConfig { link_bandwidth: Some(2), ..NocConfig::default() };
+        let config = NocConfig {
+            link_bandwidth: Some(2),
+            ..NocConfig::default()
+        };
         let mut n = net(config);
         for i in 0..5 {
             n.send(CoreId(0), CoreId(1), i, 0);
@@ -253,11 +288,18 @@ mod tests {
 
     #[test]
     fn bandwidth_limit_is_per_destination() {
-        let config = NocConfig { link_bandwidth: Some(1), ..NocConfig::default() };
+        let config = NocConfig {
+            link_bandwidth: Some(1),
+            ..NocConfig::default()
+        };
         let mut n = net(config);
         n.send(CoreId(0), CoreId(1), 1, 0);
         n.send(CoreId(0), CoreId(2), 2, 0);
-        assert_eq!(n.deliver(3).len(), 2, "different destinations do not contend");
+        assert_eq!(
+            n.deliver(3).len(),
+            2,
+            "different destinations do not contend"
+        );
     }
 
     #[test]

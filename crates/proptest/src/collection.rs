@@ -1,0 +1,42 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s whose length is drawn from `len` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, prng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(prng);
+        (0..n).map(|_| self.element.generate(prng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn length_is_in_range() {
+        let mut prng = TestRng::deterministic("vec");
+        let s = vec(any::<u8>(), 1..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut prng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` or `Some` of the inner strategy, roughly evenly.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, prng: &mut TestRng) -> Option<S::Value> {
+        if prng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(prng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_appear() {
+        let mut prng = TestRng::deterministic("option");
+        let s = of(0u64..10);
+        let drawn: Vec<Option<u64>> = (0..100).map(|_| s.generate(&mut prng)).collect();
+        assert!(drawn.iter().any(Option::is_none));
+        assert!(drawn.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,4 @@
+//! The imports property tests conventionally glob in.
+
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

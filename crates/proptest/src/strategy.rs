@@ -1,0 +1,190 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy: Sized {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, prng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            gen: Box::new(move |prng| self.generate(prng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, prng: &mut TestRng) -> T {
+        (self.gen)(prng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, prng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(prng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _prng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one value type (see
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, prng: &mut TestRng) -> T {
+        let i = prng.index(self.arms.len());
+        self.arms[i].generate(prng)
+    }
+}
+
+/// Generates any value of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, prng: &mut TestRng) -> T {
+        T::arbitrary(prng)
+    }
+}
+
+/// Types [`any`] can draw.
+pub trait Arbitrary {
+    /// Draws one uniformly random value.
+    fn arbitrary(prng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(prng: &mut TestRng) -> $t {
+                prng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(prng: &mut TestRng) -> bool {
+        prng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, prng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (prng.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $t
+            }
+        })*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, prng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(prng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut prng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (-1024i64..1024).generate(&mut prng);
+            assert!((-1024..1024).contains(&v));
+            let u = (3usize..9).generate(&mut prng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn map_tuple_just_and_union_compose() {
+        let mut prng = TestRng::deterministic("compose");
+        let s = crate::prop_oneof![(0u64..10).prop_map(|x| x * 2), Just(1u64),];
+        for _ in 0..100 {
+            let v = s.generate(&mut prng);
+            assert!(v == 1 || (v % 2 == 0 && v < 20));
+        }
+        let pair = ((0u8..4), any::<bool>()).generate(&mut prng);
+        assert!(pair.0 < 4);
+    }
+}

@@ -1,20 +1,45 @@
 //! Seeded dataset generators.
 //!
 //! All generators are deterministic in `(size, seed)` so that a program,
-//! its Rust oracle and any benchmark harness observe the same data.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! its Rust oracle and any benchmark harness observe the same data. The
+//! generator is a local splitmix64 (the workspace builds offline, without
+//! the `rand` crate); its exact output stream is part of no contract
+//! beyond determinism.
 
 /// A deterministic random number generator for a workload instance.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// The next 64 uniformly random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random value below `bound` (which must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A deterministic random number generator for a workload instance.
+pub fn rng(seed: u64) -> Rng {
+    // Scramble the seed so that nearby seeds give unrelated streams.
+    Rng {
+        state: seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x5851_f42d_4c95_7f2d,
+    }
 }
 
 /// `n` uniformly random 64-bit values below `bound`.
 pub fn values(n: usize, bound: u64, seed: u64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..bound)).collect()
+    (0..n).map(|_| r.below(bound)).collect()
 }
 
 /// A random directed graph with `n` nodes of constant out-degree `degree`,
@@ -22,15 +47,15 @@ pub fn values(n: usize, bound: u64, seed: u64) -> Vec<u64> {
 /// (`edges[u·degree + j]` is the j-th neighbour of `u`).
 pub fn graph(n: usize, degree: usize, seed: u64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..n * degree).map(|_| r.gen_range(0..n as u64)).collect()
+    (0..n * degree).map(|_| r.below(n as u64)).collect()
 }
 
 /// `n` random 2-D points with coordinates in `[0, 2^16)`, returned as
 /// separate x and y arrays (the representation the mini-C kernels use).
 pub fn points(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
     let mut r = rng(seed);
-    let xs = (0..n).map(|_| r.gen_range(0..1u64 << 16)).collect();
-    let ys = (0..n).map(|_| r.gen_range(0..1u64 << 16)).collect();
+    let xs = (0..n).map(|_| r.below(1 << 16)).collect();
+    let ys = (0..n).map(|_| r.below(1 << 16)).collect();
     (xs, ys)
 }
 
@@ -38,9 +63,9 @@ pub fn points(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
 /// weight)` arrays with weights below `2^20`.
 pub fn weighted_edges(n: usize, m: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
     let mut r = rng(seed);
-    let src = (0..m).map(|_| r.gen_range(0..n as u64)).collect();
-    let dst = (0..m).map(|_| r.gen_range(0..n as u64)).collect();
-    let weight = (0..m).map(|_| r.gen_range(0..1u64 << 20)).collect();
+    let src = (0..m).map(|_| r.below(n as u64)).collect();
+    let dst = (0..m).map(|_| r.below(n as u64)).collect();
+    let weight = (0..m).map(|_| r.below(1 << 20)).collect();
     (src, dst, weight)
 }
 

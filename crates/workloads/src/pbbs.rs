@@ -73,7 +73,11 @@ impl Benchmark {
 
     /// Table 1 number (1-based).
     pub fn id(&self) -> usize {
-        Benchmark::ALL.iter().position(|b| b == self).expect("listed") + 1
+        Benchmark::ALL
+            .iter()
+            .position(|b| b == self)
+            .expect("listed")
+            + 1
     }
 
     /// The PBBS benchmark/implementation name of Table 1.
@@ -662,10 +666,9 @@ fn oracle_bfs(n: usize, seed: u64) -> Vec<u64> {
 
 fn oracle_sorted_checksum(mut a: Vec<u64>) -> Vec<u64> {
     a.sort_unstable();
-    let check = a
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, v)| acc.wrapping_add(v.wrapping_mul(i as u64 + 1)));
+    let check = a.iter().enumerate().fold(0u64, |acc, (i, v)| {
+        acc.wrapping_add(v.wrapping_mul(i as u64 + 1))
+    });
     vec![check, a[0], *a.last().expect("non-empty")]
 }
 
@@ -849,8 +852,11 @@ mod tests {
         assert_eq!(table[0].id(), 1);
         assert_eq!(table[0].name(), "breadthFirstSearch/ndBFS");
         assert_eq!(table[9].name(), "removeDuplicates/deterministicHash");
-        let data_parallel: Vec<usize> =
-            table.iter().filter(|b| b.is_data_parallel()).map(|b| b.id()).collect();
+        let data_parallel: Vec<usize> = table
+            .iter()
+            .filter(|b| b.is_data_parallel())
+            .map(|b| b.id())
+            .collect();
         assert_eq!(data_parallel, vec![1, 2, 5, 6, 9, 10]);
     }
 
@@ -902,7 +908,10 @@ mod tests {
     fn kruskal_picks_a_spanning_forest() {
         let outputs = run(Benchmark::Mst, 32, 9, Backend::Calls);
         let picked = outputs[1];
-        assert!(picked < 32, "a forest over 32 nodes has fewer than 32 edges");
+        assert!(
+            picked < 32,
+            "a forest over 32 nodes has fewer than 32 edges"
+        );
         assert!(picked > 0);
     }
 

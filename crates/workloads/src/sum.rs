@@ -84,7 +84,10 @@ main:   movq $t, %rdi
 ///
 /// Panics if `data` is empty — the paper's listing assumes `n ≥ 1`.
 pub fn call_program(data: &[u64]) -> Program {
-    assert!(!data.is_empty(), "the sum example needs at least one element");
+    assert!(
+        !data.is_empty(),
+        "the sum example needs at least one element"
+    );
     wrap(SUM_CALL_BODY, "call", data)
 }
 
@@ -94,7 +97,10 @@ pub fn call_program(data: &[u64]) -> Program {
 ///
 /// Panics if `data` is empty.
 pub fn fork_program(data: &[u64]) -> Program {
-    assert!(!data.is_empty(), "the sum example needs at least one element");
+    assert!(
+        !data.is_empty(),
+        "the sum example needs at least one element"
+    );
     wrap(SUM_FORK_BODY, "fork", data)
 }
 

@@ -7,8 +7,7 @@
 //! Run with `cargo run --release --example compile_and_fork [elements]`.
 
 use parsecs::cc::{compile, Backend, CompileOptions};
-use parsecs::core::{ManyCoreSim, SimConfig};
-use parsecs::machine::Machine;
+use parsecs::driver::{ManyCoreBackend, Runner, SequentialBackend};
 
 const SOURCE: &str = "
 fn sum(t, n) {
@@ -21,7 +20,10 @@ fn main() { out(sum(values, n_elements[0])); }
 ";
 
 fn main() {
-    let elements: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let elements: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
     let data: Vec<u64> = (1..=elements as u64).collect();
     let expected: u64 = data.iter().sum();
 
@@ -33,8 +35,11 @@ fn main() {
 
     // Conventional compilation and sequential execution.
     let call_program = compile(SOURCE, &options(Backend::Calls)).expect("compiles");
-    let mut machine = Machine::load(&call_program).expect("loads");
-    let sequential = machine.run(100_000_000).expect("halts");
+    let sequential = Runner::new(&call_program)
+        .fuel(100_000_000)
+        .on(SequentialBackend)
+        .run()
+        .expect("halts");
     println!(
         "call backend : {} dynamic instructions, result {:?}",
         sequential.instructions, sequential.outputs
@@ -43,21 +48,23 @@ fn main() {
 
     // The paper's rewrite: calls become forks, returns become endforks.
     let fork_program = compile(SOURCE, &options(Backend::Forks)).expect("compiles");
-    let sim = ManyCoreSim::new(SimConfig::with_cores(64));
-    let result = sim.run(&fork_program).expect("simulates");
-    assert_eq!(result.outputs, vec![expected]);
+    let report = Runner::new(&fork_program)
+        .fuel(100_000_000)
+        .on(ManyCoreBackend::with_cores(64))
+        .run()
+        .expect("simulates");
+    assert_eq!(report.outputs, vec![expected]);
+    let stats = &report.sim().expect("many-core detail").stats;
     println!(
         "fork backend : {} dynamic instructions in {} sections on {} cores",
-        result.stats.instructions, result.stats.sections, result.stats.cores_used
+        report.instructions, stats.sections, stats.cores_used
     );
     println!(
         "               fetch IPC {:.1}, retire IPC {:.1} (a single core fetches at most 1 IPC)",
-        result.stats.fetch_ipc, result.stats.retire_ipc
+        report.fetch_ipc, report.retire_ipc
     );
     println!(
         "               remote renaming requests: {} register, {} memory; {} loader accesses",
-        result.stats.remote_register_requests,
-        result.stats.remote_memory_requests,
-        result.stats.dmh_accesses
+        stats.remote_register_requests, stats.remote_memory_requests, stats.dmh_accesses
     );
 }

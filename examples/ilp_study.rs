@@ -1,41 +1,59 @@
-//! The Figure 7 methodology on one benchmark: trace a PBBS-analog workload
-//! on the reference machine and measure its ILP under the paper's
-//! sequential-oracle and parallel-ideal dependence models, plus the
+//! The Figure 7 methodology on one benchmark: run a PBBS-analog workload
+//! through one `IlpBackend` per dependence model of the paper, plus the
 //! dependence-distance distribution that motivates multiple instruction
 //! pointers.
 //!
 //! Run with `cargo run --release --example ilp_study [size]`.
 
 use parsecs::cc::Backend;
-use parsecs::ilp::{analyze, dependence_distances, IlpModel};
-use parsecs::machine::Machine;
+use parsecs::driver::{IlpBackend, Runner, SequentialBackend};
+use parsecs::ilp::{dependence_distances, IlpModel};
 use parsecs::workloads::pbbs::Benchmark;
 
 fn main() {
-    let size: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(96);
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(96);
     let benchmark = Benchmark::ComparisonSort;
     println!("benchmark: {} (n = {size})", benchmark.name());
 
-    let program = benchmark.program(size, 1, Backend::Calls).expect("compiles");
-    let mut machine = Machine::load(&program).expect("loads");
-    let (outcome, trace) = machine.run_traced(1_000_000_000).expect("halts");
-    assert_eq!(outcome.outputs, benchmark.expected(size, 1), "oracle check");
-    println!("dynamic instructions: {}", trace.len());
+    let program = benchmark
+        .program(size, 1, Backend::Calls)
+        .expect("compiles");
+    let reports = Runner::new(&program)
+        .fuel(1_000_000_000)
+        .on(SequentialBackend)
+        .on(IlpBackend::new("in-order", IlpModel::in_order()))
+        .on(IlpBackend::new(
+            "speculative-2K-64w",
+            IlpModel::speculative_core(),
+        ))
+        .on(IlpBackend::sequential_oracle())
+        .on(IlpBackend::parallel_ideal())
+        .run_all()
+        .expect("halts");
+    assert_eq!(
+        reports[0].outputs,
+        benchmark.expected(size, 1),
+        "oracle check"
+    );
+    println!("dynamic instructions: {}", reports[0].instructions);
 
-    for (name, model) in [
-        ("in-order (every dependence kept)", IlpModel::in_order()),
-        ("speculative core (2K window, 64-wide)", IlpModel::speculative_core()),
-        ("sequential oracle (paper's seq bars)", IlpModel::sequential_oracle()),
-        ("parallel ideal (paper's numbered bars)", IlpModel::parallel_ideal()),
-    ] {
-        let result = analyze(&trace, &model);
+    for report in &reports[1..] {
         println!(
-            "{name:<40} cycles {:>8}  ILP {:>8.2}  peak/cycle {:>6}",
-            result.cycles, result.ilp, result.peak_parallelism
+            "{:<40} cycles {:>8}  ILP {:>8.2}  peak/cycle {:>6}",
+            report.backend,
+            report.cycles,
+            report.fetch_ipc,
+            report.ilp().expect("ilp backend").peak_parallelism
         );
     }
 
-    let distances = dependence_distances(&trace, true);
+    let trace = reports[0]
+        .trace()
+        .expect("sequential backend records a trace");
+    let distances = dependence_distances(trace, true);
     println!(
         "\ntrue dependences: {} (max distance {} instructions, {:.1}% at distance >= 64)",
         distances.total(),

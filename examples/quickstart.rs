@@ -1,49 +1,39 @@
-//! Quickstart: the paper's running example end to end.
+//! Quickstart: one program, all three engines, one uniform report each.
 //!
-//! Assembles the Figure 2 (call) and Figure 5 (fork) versions of the
-//! recursive vector sum, runs the call version sequentially, splits the
-//! fork version into sections, and simulates it on a many-core chip.
+//! Runs the paper's Figure 2 program (the recursive vector sum) through
+//! the sequential reference machine, the ILP limit analyzer and the
+//! many-core sectioned simulator via the unified `Runner`, printing one
+//! `RunReport` line per backend — then shows the Figure 5 fork rewrite
+//! beating sequential fetch on the same chip.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use parsecs::asm::listing_numbered;
-use parsecs::core::{ManyCoreSim, SectionedTrace, SimConfig};
-use parsecs::machine::Machine;
+use parsecs::driver::{IlpBackend, ManyCoreBackend, Runner, SequentialBackend};
 use parsecs::workloads::sum;
 
 fn main() {
     let data = [4u64, 2, 6, 4, 5];
 
-    // --- Figure 2: the call version, run sequentially --------------------
+    println!("== Figure 2 sum (call version) on all three backends ==");
     let call = sum::call_program(&data);
-    println!("== Figure 2: sum, call version ==");
-    println!("{}", listing_numbered(&call));
-    let mut machine = Machine::load(&call).expect("program loads");
-    let outcome = machine.run(100_000).expect("program halts");
-    println!(
-        "sequential run: {} instructions, result {:?}\n",
-        outcome.instructions, outcome.outputs
-    );
+    let reports = Runner::new(&call)
+        .fuel(100_000)
+        .on(SequentialBackend)
+        .on(IlpBackend::parallel_ideal())
+        .on(ManyCoreBackend::with_cores(8))
+        .run_all()
+        .expect("all three engines run");
+    for report in &reports {
+        println!("{report}");
+    }
 
-    // --- Figure 5 / Figure 6: the fork version, split into sections ------
+    println!("\n== Figure 5 sum (fork version) on the many-core chip ==");
     let fork = sum::fork_program(&data);
-    println!("== Figure 5: sum, fork version ==");
-    println!("{}", listing_numbered(&fork));
-    let sectioned = SectionedTrace::from_program(&fork, 100_000).expect("program runs");
-    println!(
-        "parallel run: {} instructions in {} sections (sizes {:?})\n",
-        sectioned.len(),
-        sectioned.sections().len(),
-        sectioned.section_sizes()
-    );
-
-    // --- Figure 10: simulate the distributed execution -------------------
-    let sim = ManyCoreSim::new(SimConfig::with_cores(8));
-    let result = sim.run(&fork).expect("simulation succeeds");
-    println!("== Many-core simulation ==");
-    println!("result            : {:?}", result.outputs);
-    println!("last fetch cycle  : {}", result.stats.fetch_cycles);
-    println!("last retire cycle : {}", result.stats.total_cycles);
-    println!("fetch IPC         : {:.2}", result.stats.fetch_ipc);
-    println!("retire IPC        : {:.2}", result.stats.retire_ipc);
+    let report = Runner::new(&fork)
+        .fuel(100_000)
+        .on(ManyCoreBackend::with_cores(8))
+        .run()
+        .expect("simulates");
+    println!("{report}");
+    assert!(report.fetch_ipc > 1.0, "forked sections fetch in parallel");
 }

@@ -14,29 +14,59 @@
 //!   methodology).
 //! * [`noc`] — network-on-chip substrate.
 //! * [`core`] — the paper's contribution: the sectioned parallel execution
-//!   model and its many-core, six-stage-pipeline simulator.
+//!   model, its many-core six-stage-pipeline simulator, and the pluggable
+//!   [`core::PlacementPolicy`] deciding which core hosts each section.
 //! * [`cc`] — a mini-C compiler with the call→fork transformation.
 //! * [`workloads`] — the sum running example and the ten PBBS-analog
 //!   benchmarks.
+//! * [`driver`] — **the front door**: one [`driver::ExecutionBackend`]
+//!   abstraction over the three engines, the [`driver::Runner`] builder,
+//!   and parallel design-space [`driver::Sweep`]s.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use parsecs::workloads::sum;
-//! use parsecs::machine::Machine;
+//! Run the paper's Figure 5 program once on each engine and compare the
+//! uniform [`driver::RunReport`]s:
 //!
-//! // Build the paper's Figure 2 program for a 5-element array and run it
-//! // sequentially on the reference machine.
-//! let data = [4u64, 2, 6, 4, 5];
-//! let program = sum::call_program(&data);
-//! let mut machine = Machine::load(&program).expect("program loads");
-//! let outcome = machine.run(100_000).expect("program halts");
-//! assert_eq!(outcome.outputs, vec![21]);
+//! ```
+//! use parsecs::driver::{IlpBackend, ManyCoreBackend, Runner, SequentialBackend};
+//! use parsecs::workloads::sum;
+//!
+//! let program = sum::fork_program(&[4, 2, 6, 4, 5]);
+//! let reports = Runner::new(&program)
+//!     .fuel(100_000)
+//!     .on(SequentialBackend)
+//!     .on(IlpBackend::parallel_ideal())
+//!     .on(ManyCoreBackend::with_cores(8))
+//!     .run_all()
+//!     .expect("all three engines run");
+//! for report in &reports {
+//!     assert_eq!(report.outputs, vec![21]);
+//! }
+//! // The many-core simulator fetches in parallel; the reference machine
+//! // fetches one instruction per cycle.
+//! assert!(reports[2].fetch_ipc > reports[0].fetch_ipc);
+//! ```
+//!
+//! And sweep a design space concurrently (here: the chip-size axis):
+//!
+//! ```
+//! use parsecs::driver::Sweep;
+//! use parsecs::workloads::sum;
+//!
+//! let points = Sweep::new()
+//!     .fuel(100_000)
+//!     .program("sum-20", sum::fork_program(&(1..=20).collect::<Vec<u64>>()))
+//!     .manycore_cores(&[1, 4, 16])
+//!     .run();
+//! assert_eq!(points.len(), 3);
+//! assert!(points.iter().all(|p| p.report().unwrap().outputs == vec![210]));
 //! ```
 
 pub use parsecs_asm as asm;
 pub use parsecs_cc as cc;
 pub use parsecs_core as core;
+pub use parsecs_driver as driver;
 pub use parsecs_ilp as ilp;
 pub use parsecs_isa as isa;
 pub use parsecs_machine as machine;

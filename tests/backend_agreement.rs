@@ -1,0 +1,105 @@
+//! The point of the unified driver: the three engines are
+//! interchangeable on *what* a program computes, and differ only in the
+//! timing model. Functional agreement is asserted across workloads,
+//! dataset sizes and backends; the chip-size axis is swept concurrently
+//! and must never slow the simulated run down.
+
+use parsecs::cc::Backend;
+use parsecs::driver::{IlpBackend, ManyCoreBackend, Runner, SequentialBackend, Sweep};
+use parsecs::isa::Program;
+use parsecs::workloads::pbbs::Benchmark;
+use parsecs::workloads::sum;
+
+fn fork_workloads(size: usize) -> Vec<(String, Program)> {
+    let data: Vec<u64> = (1..=size as u64).collect();
+    vec![
+        (format!("sum-{size}"), sum::fork_program(&data)),
+        (
+            format!("quicksort-{size}"),
+            Benchmark::ComparisonSort
+                .program(size, 5, Backend::Forks)
+                .expect("compiles"),
+        ),
+        (
+            format!("kruskal-{size}"),
+            Benchmark::Mst
+                .program(size, 5, Backend::Forks)
+                .expect("compiles"),
+        ),
+    ]
+}
+
+#[test]
+fn all_three_backends_report_identical_outputs_across_sizes() {
+    for size in [12, 24, 48] {
+        for (label, program) in fork_workloads(size) {
+            let reports = Runner::new(&program)
+                .fuel(500_000_000)
+                .on(SequentialBackend)
+                .on(IlpBackend::parallel_ideal())
+                .on(ManyCoreBackend::with_cores(16))
+                .run_all()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(reports.len(), 3);
+            let reference = &reports[0].outputs;
+            assert!(!reference.is_empty(), "{label}: no outputs");
+            for report in &reports[1..] {
+                assert_eq!(
+                    &report.outputs, reference,
+                    "{label}: {} disagrees with sequential",
+                    report.backend
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sum_outputs_also_match_the_oracle_under_every_backend() {
+    let data = sum::dataset(3, 11);
+    let program = sum::fork_program(&data);
+    let reports = Runner::new(&program)
+        .fuel(1_000_000)
+        .on(SequentialBackend)
+        .on(IlpBackend::sequential_oracle())
+        .on(ManyCoreBackend::with_cores(8))
+        .run_all()
+        .expect("runs");
+    for report in &reports {
+        assert_eq!(report.outputs, sum::expected(&data), "{}", report.backend);
+    }
+}
+
+#[test]
+fn seven_point_core_sweep_is_concurrent_and_cycles_never_increase() {
+    let data: Vec<u64> = (1..=40).collect();
+    let points = Sweep::new()
+        .fuel(1_000_000)
+        .program("sum-40", sum::fork_program(&data))
+        .manycore_cores(&[1, 2, 4, 8, 16, 32, 64])
+        .run();
+    assert_eq!(points.len(), 7);
+
+    let mut previous_fetch = u64::MAX;
+    let mut previous_total = u64::MAX;
+    for point in &points {
+        let report = point
+            .report()
+            .unwrap_or_else(|| panic!("{} failed", point.backend));
+        assert_eq!(report.outputs, vec![820], "{}", point.backend);
+        let fetch = report.fetch_cycles();
+        assert!(
+            fetch <= previous_fetch,
+            "{}: fetch cycles went up ({previous_fetch} -> {fetch})",
+            point.backend
+        );
+        assert!(
+            report.cycles <= previous_total,
+            "{}: total cycles went up ({previous_total} -> {})",
+            point.backend,
+            report.cycles
+        );
+        previous_fetch = fetch;
+        previous_total = report.cycles;
+    }
+}

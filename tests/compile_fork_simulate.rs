@@ -3,8 +3,8 @@
 //! Rust oracles.
 
 use parsecs::cc::Backend;
-use parsecs::core::{verify_single_assignment, ManyCoreSim, SectionedTrace, SimConfig};
-use parsecs::machine::Machine;
+use parsecs::core::{verify_single_assignment, SectionedTrace};
+use parsecs::driver::{ManyCoreBackend, Runner, SequentialBackend};
 use parsecs::workloads::pbbs::Benchmark;
 
 #[test]
@@ -13,11 +13,23 @@ fn fork_compiled_benchmarks_simulate_to_the_oracle_result() {
     // creates sections; run them through the full many-core model.
     for benchmark in [Benchmark::ComparisonSort, Benchmark::Mst] {
         let program = benchmark.program(24, 5, Backend::Forks).unwrap();
-        let sim = ManyCoreSim::new(SimConfig::with_cores(32));
-        let result = sim.run(&program).unwrap();
-        assert_eq!(result.outputs, benchmark.expected(24, 5), "{}", benchmark.name());
-        assert!(result.stats.sections > 4, "{} should fork sections", benchmark.name());
-        assert!(result.stats.cores_used > 1);
+        let report = Runner::new(&program)
+            .on(ManyCoreBackend::with_cores(32))
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.outputs,
+            benchmark.expected(24, 5),
+            "{}",
+            benchmark.name()
+        );
+        let stats = &report.sim().unwrap().stats;
+        assert!(
+            stats.sections > 4,
+            "{} should fork sections",
+            benchmark.name()
+        );
+        assert!(stats.cores_used > 1);
     }
 }
 
@@ -27,10 +39,13 @@ fn loop_based_benchmarks_also_run_on_the_many_core_model() {
     // produce the right answer and an at-most-1 fetch IPC.
     let benchmark = Benchmark::Matching;
     let program = benchmark.program(32, 2, Backend::Forks).unwrap();
-    let result = ManyCoreSim::new(SimConfig::with_cores(8)).run(&program).unwrap();
-    assert_eq!(result.outputs, benchmark.expected(32, 2));
-    assert_eq!(result.stats.sections, 1);
-    assert!(result.stats.fetch_ipc <= 1.0);
+    let report = Runner::new(&program)
+        .on(ManyCoreBackend::with_cores(8))
+        .run()
+        .unwrap();
+    assert_eq!(report.outputs, benchmark.expected(32, 2));
+    assert_eq!(report.sim().unwrap().stats.sections, 1);
+    assert!(report.fetch_ipc <= 1.0);
 }
 
 #[test]
@@ -38,16 +53,36 @@ fn call_and_fork_backends_agree_for_every_benchmark() {
     for benchmark in Benchmark::ALL {
         let call = benchmark.program(20, 9, Backend::Calls).unwrap();
         let fork = benchmark.program(20, 9, Backend::Forks).unwrap();
-        let a = Machine::load(&call).unwrap().run(500_000_000).unwrap().outputs;
-        let b = Machine::load(&fork).unwrap().run(500_000_000).unwrap().outputs;
-        assert_eq!(a, b, "{} backends disagree", benchmark.name());
-        assert_eq!(a, benchmark.expected(20, 9), "{} oracle disagrees", benchmark.name());
+        let a = Runner::new(&call)
+            .fuel(500_000_000)
+            .on(SequentialBackend)
+            .run()
+            .unwrap();
+        let b = Runner::new(&fork)
+            .fuel(500_000_000)
+            .on(SequentialBackend)
+            .run()
+            .unwrap();
+        assert_eq!(
+            a.outputs,
+            b.outputs,
+            "{} backends disagree",
+            benchmark.name()
+        );
+        assert_eq!(
+            a.outputs,
+            benchmark.expected(20, 9),
+            "{} oracle disagrees",
+            benchmark.name()
+        );
     }
 }
 
 #[test]
 fn renaming_is_single_assignment_for_fork_compiled_programs() {
-    let program = Benchmark::ComparisonSort.program(20, 1, Backend::Forks).unwrap();
+    let program = Benchmark::ComparisonSort
+        .program(20, 1, Backend::Forks)
+        .unwrap();
     let trace = SectionedTrace::from_program(&program, 10_000_000).unwrap();
     let renamed = verify_single_assignment(&trace);
     assert!(renamed > 0);

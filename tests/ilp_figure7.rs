@@ -2,18 +2,21 @@
 //! of §3 must hold on the PBBS-analog workloads.
 
 use parsecs::cc::Backend;
-use parsecs::ilp::{analyze, IlpModel};
-use parsecs::machine::Machine;
+use parsecs::driver::{IlpBackend, Runner};
 use parsecs::workloads::pbbs::{Benchmark, Catalog};
 
 fn ilp_pair(benchmark: Benchmark, size: usize) -> (f64, f64, u64) {
     let program = benchmark.program(size, 1, Backend::Calls).unwrap();
-    let mut machine = Machine::load(&program).unwrap();
-    let (outcome, trace) = machine.run_traced(1_000_000_000).unwrap();
-    assert_eq!(outcome.outputs, benchmark.expected(size, 1));
-    let parallel = analyze(&trace, &IlpModel::parallel_ideal());
-    let sequential = analyze(&trace, &IlpModel::sequential_oracle());
-    (parallel.ilp, sequential.ilp, trace.len() as u64)
+    let reports = Runner::new(&program)
+        .fuel(1_000_000_000)
+        .on(IlpBackend::parallel_ideal())
+        .on(IlpBackend::sequential_oracle())
+        .run_all()
+        .unwrap();
+    assert_eq!(reports[0].outputs, benchmark.expected(size, 1));
+    let parallel = reports[0].ilp().expect("ilp detail");
+    let sequential = reports[1].ilp().expect("ilp detail");
+    (parallel.ilp, sequential.ilp, parallel.instructions)
 }
 
 #[test]
@@ -29,7 +32,11 @@ fn table1_catalog_is_complete() {
 fn parallel_model_ilp_dwarfs_the_sequential_oracle_on_every_benchmark() {
     for benchmark in Benchmark::ALL {
         let (parallel, sequential, instructions) = ilp_pair(benchmark, 40);
-        assert!(instructions > 1_000, "{}: trace too small", benchmark.name());
+        assert!(
+            instructions > 1_000,
+            "{}: trace too small",
+            benchmark.name()
+        );
         assert!(
             parallel >= 3.0 * sequential,
             "{}: parallel ILP {parallel:.1} should dwarf sequential {sequential:.1}",
@@ -37,7 +44,11 @@ fn parallel_model_ilp_dwarfs_the_sequential_oracle_on_every_benchmark() {
         );
         // The paper's sequential-oracle ILP sits between 3.2 and 5.6; our
         // smaller kernels land in a similar single-digit band.
-        assert!(sequential >= 1.0 && sequential < 16.0, "{}: sequential {sequential}", benchmark.name());
+        assert!(
+            (1.0..16.0).contains(&sequential),
+            "{}: sequential {sequential}",
+            benchmark.name()
+        );
     }
 }
 
@@ -50,7 +61,10 @@ fn data_parallel_benchmarks_gain_ilp_with_the_dataset() {
     // others.
     let (small, _, _) = ilp_pair(Benchmark::NearestNeighbors, 24);
     let (large, _, _) = ilp_pair(Benchmark::NearestNeighbors, 96);
-    assert!(large > 1.5 * small, "nearest neighbours: {small:.1} -> {large:.1}");
+    assert!(
+        large > 1.5 * small,
+        "nearest neighbours: {small:.1} -> {large:.1}"
+    );
 
     for benchmark in [Benchmark::Bfs, Benchmark::Mis, Benchmark::RemoveDuplicates] {
         let (small, _, _) = ilp_pair(benchmark, 24);

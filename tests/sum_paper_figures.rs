@@ -1,7 +1,8 @@
 //! Integration tests pinning the paper's concrete numbers for the running
 //! example (Figures 2–6 and 10, §5).
 
-use parsecs::core::{analytic, ManyCoreSim, SectionId, SectionedTrace, SimConfig};
+use parsecs::core::{analytic, SectionId, SectionedTrace};
+use parsecs::driver::{ManyCoreBackend, Runner, SequentialBackend};
 use parsecs::machine::Machine;
 use parsecs::workloads::sum;
 
@@ -9,8 +10,18 @@ const PAPER_DATA: [u64; 5] = [4, 2, 6, 4, 5];
 
 #[test]
 fn figure2_listing_has_25_instructions_and_figure5_has_18() {
-    assert_eq!(parsecs::asm::assemble(sum::SUM_CALL_BODY).map(|p| p.len()).unwrap(), 25);
-    assert_eq!(parsecs::asm::assemble(sum::SUM_FORK_BODY).map(|p| p.len()).unwrap(), 18);
+    assert_eq!(
+        parsecs::asm::assemble(sum::SUM_CALL_BODY)
+            .map(|p| p.len())
+            .unwrap(),
+        25
+    );
+    assert_eq!(
+        parsecs::asm::assemble(sum::SUM_FORK_BODY)
+            .map(|p| p.len())
+            .unwrap(),
+        18
+    );
 }
 
 #[test]
@@ -46,7 +57,9 @@ fn figure6_renaming_matches_the_papers_producer_consumer_pairs() {
     let final_add = &section5[0];
     assert_eq!(final_add.mnemonic, "addq");
     match final_add.mem_sources[0].kind {
-        SourceKind::Remote { producer_section, .. } => assert_eq!(producer_section, SectionId(1)),
+        SourceKind::Remote {
+            producer_section, ..
+        } => assert_eq!(producer_section, SectionId(1)),
         other => panic!("expected remote memory renaming, found {other:?}"),
     }
     // ... and its %rax comes from section 4 (the second half of the sum).
@@ -56,24 +69,33 @@ fn figure6_renaming_matches_the_papers_producer_consumer_pairs() {
         .find(|d| d.location == Location::Reg(parsecs::isa::Reg::Rax))
         .unwrap();
     match rax.kind {
-        SourceKind::Remote { producer_section, .. } => assert_eq!(producer_section, SectionId(3)),
+        SourceKind::Remote {
+            producer_section, ..
+        } => assert_eq!(producer_section, SectionId(3)),
         other => panic!("expected remote register renaming, found {other:?}"),
     }
 }
 
 #[test]
 fn figure10_the_many_core_run_fetches_fast_and_retires_shortly_after() {
-    let sim = ManyCoreSim::new(SimConfig::with_cores(8));
-    let result = sim.run(&sum::fork_program(&PAPER_DATA)).unwrap();
-    assert_eq!(result.outputs, vec![21]);
-    assert_eq!(result.stats.sections, 6);
+    let program = sum::fork_program(&PAPER_DATA);
+    let report = Runner::new(&program)
+        .fuel(10_000)
+        .on(ManyCoreBackend::with_cores(8))
+        .run()
+        .unwrap();
+    assert_eq!(report.outputs, vec![21]);
+    assert_eq!(report.sim().unwrap().stats.sections, 6);
     // Paper: 45 instructions fetched by cycle 30, retired by cycle 43.
     // Our charge model is slightly more expensive; check the band and the
     // ordering rather than the exact constants.
-    assert!(result.stats.fetch_cycles >= 30 && result.stats.fetch_cycles <= 45);
-    assert!(result.stats.total_cycles > result.stats.fetch_cycles);
-    assert!(result.stats.total_cycles <= 90);
-    assert!(result.stats.fetch_ipc > 1.0, "parallel fetch beats one-per-cycle sequential fetch");
+    assert!(report.fetch_cycles() >= 30 && report.fetch_cycles() <= 45);
+    assert!(report.cycles > report.fetch_cycles());
+    assert!(report.cycles <= 90);
+    assert!(
+        report.fetch_ipc > 1.0,
+        "parallel fetch beats one-per-cycle sequential fetch"
+    );
 }
 
 #[test]
@@ -82,19 +104,22 @@ fn section5_scaling_doubles_instructions_but_adds_constant_fetch_cycles() {
     for n in 0..5u32 {
         let model = analytic::sum_model(n);
         let data = sum::dataset(n, 3);
-        let sim = ManyCoreSim::new(SimConfig::with_cores(128));
-        let result = sim.run(&sum::fork_program(&data)).unwrap();
-        assert_eq!(result.outputs, sum::expected(&data));
+        let program = sum::fork_program(&data);
+        let report = Runner::new(&program)
+            .on(ManyCoreBackend::with_cores(128))
+            .run()
+            .unwrap();
+        assert_eq!(report.outputs, sum::expected(&data));
         // Instruction counts match the closed form exactly.
-        assert_eq!(result.stats.instructions - 5, model.instructions);
+        assert_eq!(report.instructions - 5, model.instructions);
         // Fetch time grows by a small additive step per doubling (12 in the
         // paper; allow up to 25 for our more expensive NoC charge), not
         // multiplicatively.
         if n > 0 {
-            let step = result.stats.fetch_cycles - previous_fetch;
+            let step = report.fetch_cycles() - previous_fetch;
             assert!(step <= 25, "fetch step {step} too large at n={n}");
         }
-        previous_fetch = result.stats.fetch_cycles;
+        previous_fetch = report.fetch_cycles();
     }
 }
 
@@ -102,11 +127,18 @@ fn section5_scaling_doubles_instructions_but_adds_constant_fetch_cycles() {
 fn the_fork_rewrite_preserves_the_result_on_random_datasets() {
     for seed in 0..5u64 {
         let data = sum::dataset(3, seed);
-        let mut call = Machine::load(&sum::call_program(&data)).unwrap();
-        let mut fork = Machine::load(&sum::fork_program(&data)).unwrap();
-        assert_eq!(
-            call.run(1_000_000).unwrap().outputs,
-            fork.run(1_000_000).unwrap().outputs
-        );
+        let call_program = sum::call_program(&data);
+        let fork_program = sum::fork_program(&data);
+        let call = Runner::new(&call_program)
+            .fuel(1_000_000)
+            .on(SequentialBackend)
+            .run()
+            .unwrap();
+        let fork = Runner::new(&fork_program)
+            .fuel(1_000_000)
+            .on(SequentialBackend)
+            .run()
+            .unwrap();
+        assert_eq!(call.outputs, fork.outputs);
     }
 }
