@@ -1,0 +1,271 @@
+//! Wall-clock comparison of the event-driven many-core simulator against
+//! the retained cycle-stepping reference on the large-scale workloads of
+//! `parsecs_workloads::scale` — the artefact behind the repository's
+//! simulator performance trajectory.
+//!
+//! Every cell simulates one pre-sectioned trace with both engines,
+//! asserts the two [`SimResult`]s are **bit-identical** (this is the
+//! large-scale differential test), checks the functional outputs against
+//! the workload's Rust oracle, and records the wall-clock times (best of
+//! [`RUNS`] after one warm-up) in `BENCH_sim.json`.
+//!
+//! The headline cell is the serial `chain_sum` under a latency-stress NoC
+//! (a deeply pipelined interconnect charging 96+96 cycles per leg): the
+//! run is dominated by cycles in which every core is idle or stalled on a
+//! known future event, which the event-driven scheduler skips in O(1) and
+//! the cycle stepper scans core by core. The acceptance bar is a ≥5×
+//! speedup there at 64 cores on ≥1M dynamic instructions.
+//!
+//! Usage: `repro_perf [--quick] [--json [PATH]]` — `--quick` shrinks the
+//! grid for CI smoke runs (default JSON path `BENCH_sim.json`).
+
+use std::time::Instant;
+
+use parsecs_core::{ManyCoreSim, SectionedTrace, SimConfig, SimResult};
+use parsecs_isa::Program;
+use parsecs_noc::NocConfig;
+use parsecs_workloads::scale;
+
+/// Timed runs per engine per cell (after one untimed warm-up); the best
+/// run is recorded to damp scheduler noise.
+const RUNS: usize = 2;
+
+/// Functional pre-execution budget.
+const FUEL: u64 = 500_000_000;
+
+struct Cell {
+    workload: String,
+    config: String,
+    sim: ManyCoreSim,
+    trace: SectionedTrace,
+    expected: Vec<u64>,
+    headline: bool,
+}
+
+struct Row {
+    workload: String,
+    config: String,
+    cores: usize,
+    instructions: u64,
+    sections: usize,
+    total_cycles: u64,
+    fetch_ipc: f64,
+    forced_stall_releases: u64,
+    event_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+    headline: bool,
+}
+
+fn stress_noc() -> SimConfig {
+    let mut config = SimConfig::with_cores(64);
+    config.noc = NocConfig {
+        base_latency: 96,
+        per_hop_latency: 96,
+        link_bandwidth: None,
+    };
+    config
+}
+
+fn trace_of(program: &Program) -> SectionedTrace {
+    SectionedTrace::from_program(program, FUEL).expect("workload halts within fuel")
+}
+
+fn build_grid(quick: bool) -> Vec<Cell> {
+    // ~1M+ dynamic instructions per workload at full scale; ~1/12 of that
+    // for the CI smoke grid.
+    let (chain_n, hist_n, tree_n) = if quick {
+        (8_000, 8_000, 20_000)
+    } else {
+        (110_000, 100_000, 250_000)
+    };
+    let seed = 7;
+    let buckets = 64;
+
+    let chain = trace_of(&scale::chain_sum_program(chain_n, seed));
+    let histogram = trace_of(&scale::histogram_program(hist_n, buckets, seed));
+    let tree = trace_of(&scale::tree_sum_program(tree_n, seed));
+
+    vec![
+        Cell {
+            workload: format!("chain_sum-{chain_n}"),
+            config: "64c:default".into(),
+            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            trace: chain.clone(),
+            expected: scale::chain_sum_expected(chain_n, seed),
+            headline: false,
+        },
+        Cell {
+            workload: format!("chain_sum-{chain_n}"),
+            config: "64c:noc96+96".into(),
+            sim: ManyCoreSim::new(stress_noc()),
+            trace: chain,
+            expected: scale::chain_sum_expected(chain_n, seed),
+            headline: true,
+        },
+        Cell {
+            workload: format!("histogram-{hist_n}x{buckets}"),
+            config: "64c:default".into(),
+            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            trace: histogram,
+            expected: scale::histogram_expected(hist_n, buckets, seed),
+            headline: false,
+        },
+        Cell {
+            workload: format!("tree_sum-{tree_n}"),
+            config: "64c:default".into(),
+            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            trace: tree,
+            expected: scale::tree_sum_expected(tree_n, seed),
+            headline: false,
+        },
+    ]
+}
+
+/// One untimed warm-up, then the best of [`RUNS`] timed runs.
+fn time_engine(run: impl Fn() -> SimResult) -> (SimResult, f64) {
+    let mut result = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        result = run();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (result, best)
+}
+
+fn measure(cell: &Cell) -> Row {
+    let (event, event_ms) = time_engine(|| cell.sim.simulate(&cell.trace).expect("simulates"));
+    let (reference, reference_ms) = time_engine(|| {
+        cell.sim
+            .simulate_reference(&cell.trace)
+            .expect("reference simulates")
+    });
+    assert_eq!(
+        event, reference,
+        "{} [{}]: event-driven and reference results diverge",
+        cell.workload, cell.config
+    );
+    assert_eq!(
+        event.outputs, cell.expected,
+        "{} [{}]: outputs disagree with the oracle",
+        cell.workload, cell.config
+    );
+    Row {
+        workload: cell.workload.clone(),
+        config: cell.config.clone(),
+        cores: cell.sim.config().cores,
+        instructions: event.stats.instructions,
+        sections: event.stats.sections,
+        total_cycles: event.stats.total_cycles,
+        fetch_ipc: event.stats.fetch_ipc,
+        forced_stall_releases: event.stats.forced_stall_releases,
+        event_ms,
+        reference_ms,
+        speedup: reference_ms / event_ms,
+        headline: cell.headline,
+    }
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"config\": \"{}\", \"cores\": {}, \
+                 \"instructions\": {}, \"sections\": {}, \"total_cycles\": {}, \
+                 \"fetch_ipc\": {:.4}, \"forced_stall_releases\": {}, \
+                 \"event_ms\": {:.3}, \"reference_ms\": {:.3}, \
+                 \"speedup\": {:.2}, \"headline\": {}}}",
+                r.workload,
+                r.config,
+                r.cores,
+                r.instructions,
+                r.sections,
+                r.total_cycles,
+                r.fetch_ipc,
+                r.forced_stall_releases,
+                r.event_ms,
+                r.reference_ms,
+                r.speedup,
+                r.headline
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<20} {:<14} {:>9} {:>9} {:>11} {:>7} {:>10} {:>10} {:>8}",
+        "workload",
+        "config",
+        "insns",
+        "sections",
+        "cycles",
+        "forced",
+        "event ms",
+        "ref ms",
+        "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<20} {:<14} {:>9} {:>9} {:>11} {:>7} {:>10.1} {:>10.1} {:>7.1}x{}",
+            r.workload,
+            r.config,
+            r.instructions,
+            r.sections,
+            r.total_cycles,
+            r.forced_stall_releases,
+            r.event_ms,
+            r.reference_ms,
+            r.speedup,
+            if r.headline { "  <- headline" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_sim.json".into(),
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid = build_grid(quick);
+    eprintln!(
+        "measuring {} cells ({} mode, best of {RUNS} runs per engine)...",
+        grid.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let rows: Vec<Row> = grid.iter().map(measure).collect();
+    print_table(&rows);
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&rows)).expect("write BENCH_sim.json");
+        eprintln!("wrote {} rows to {path}", rows.len());
+    }
+
+    let headline = rows.iter().find(|r| r.headline).expect("headline cell");
+    if !quick && headline.speedup < 5.0 {
+        eprintln!(
+            "WARNING: headline speedup {:.1}x is below the 5x acceptance bar \
+             (machine noise? rerun on an idle machine)",
+            headline.speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -70,6 +70,7 @@ pub mod analytic;
 mod config;
 mod error;
 mod placement;
+mod reference;
 mod rename;
 mod section;
 mod sim;

@@ -100,16 +100,26 @@ impl PlacementPolicy for Placement {
                     .collect()
             }
             Placement::LeastLoaded => {
+                let capacity = chip.max_sections_per_core;
                 let mut load = vec![0usize; chip.cores];
+                let mut hosted = vec![0usize; chip.cores];
                 sections
                     .iter()
                     .map(|s| {
-                        let (core, _) = load
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| **l)
-                            .expect("at least one core");
+                        // Prefer the least-loaded core that is still below
+                        // the soft section capacity; relax the limit only
+                        // when the whole chip is full, so runs always
+                        // complete (the same rule RoundRobin applies).
+                        let core = (0..chip.cores)
+                            .filter(|c| hosted[*c] < capacity)
+                            .min_by_key(|c| (load[*c], *c))
+                            .unwrap_or_else(|| {
+                                (0..chip.cores)
+                                    .min_by_key(|c| (load[*c], *c))
+                                    .expect("at least one core")
+                            });
                         load[core] += s.len();
+                        hosted[core] += 1;
                         CoreId(core)
                     })
                     .collect()
@@ -249,6 +259,36 @@ mod tests {
         // The big first section claims core 0, the small rest pile on 1.
         assert_eq!(assigned[0], CoreId(0));
         assert!(assigned[1..].iter().all(|c| *c == CoreId(1)));
+    }
+
+    #[test]
+    fn least_loaded_prefers_under_capacity_cores() {
+        // Core 0 carries one huge section; with a capacity of 2 the small
+        // sections must move to core 0 once core 1 is full, even though
+        // core 1 has much less instruction load.
+        let mut c = chip(2);
+        c.max_sections_per_core = 2;
+        let assigned = Placement::LeastLoaded.assign(&spans(&[10, 1, 1, 1]), &c);
+        assert_eq!(
+            assigned,
+            vec![CoreId(0), CoreId(1), CoreId(1), CoreId(0)],
+            "the fourth section must respect core 1's capacity"
+        );
+    }
+
+    #[test]
+    fn least_loaded_relaxes_capacity_only_when_the_chip_is_full() {
+        let mut c = chip(2);
+        c.max_sections_per_core = 1;
+        let assigned = Placement::LeastLoaded.assign(&spans(&[4, 2, 2]), &c);
+        // Two sections fit under the limit; the third relaxes it and goes
+        // back to the least-loaded core.
+        assert_eq!(assigned, vec![CoreId(0), CoreId(1), CoreId(1)]);
+        let mut per_core = [0usize; 2];
+        for core in &assigned {
+            per_core[core.0] += 1;
+        }
+        assert_eq!(per_core.iter().sum::<usize>(), 3, "every section is placed");
     }
 
     #[test]

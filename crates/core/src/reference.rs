@@ -1,0 +1,173 @@
+//! The retained cycle-stepping reference simulator.
+//!
+//! This is the original timing loop of [`crate::ManyCoreSim`]: the chip
+//! advances one cycle at a time and every core is visited every cycle —
+//! deliver section-creation messages, fetch one instruction per active
+//! core, resolve dependences, and apply the deadlock-avoidance heuristic
+//! when a cycle makes no progress while nothing is in flight.
+//!
+//! The event-driven engine in [`crate::sim`] replaces this loop on the hot
+//! path, but the loop is kept verbatim (over the shared
+//! [`crate::sim::Resolver`]) as the oracle: differential tests and the
+//! `repro_perf` benchmark assert that both engines produce bit-identical
+//! [`crate::SimResult`]s.
+
+use std::collections::VecDeque;
+
+use parsecs_machine::TraceKind;
+use parsecs_noc::CoreId;
+
+use crate::sim::{fetch_computable, ManyCoreSim, Prepared, Resolver};
+use crate::{SectionId, SectionedTrace, SimError, SimResult};
+
+#[derive(Debug, Default)]
+struct CoreState {
+    queue: VecDeque<SectionId>,
+    current: Option<SectionId>,
+    next_seq: usize,
+    stall_on: Option<usize>,
+    sections_hosted: usize,
+}
+
+/// Simulates an already-sectioned trace by stepping the chip one cycle at
+/// a time (see the module docs).
+pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimResult, SimError> {
+    let config = sim.config();
+    config.validate().map_err(SimError::Config)?;
+    let records = trace.records();
+    let sections = trace.sections();
+    let n = records.len();
+
+    let Prepared {
+        core_of,
+        mut network,
+        created_by,
+    } = sim.prepare(sections)?;
+    let mut resolver = Resolver::new(config, records, n);
+    let mut completions: Vec<(usize, u64)> = Vec::new();
+
+    let mut cores: Vec<CoreState> = (0..config.cores).map(|_| CoreState::default()).collect();
+    let mut forced_stall_releases = 0u64;
+
+    // The initial section is live from cycle 0 on its core.
+    if !sections.is_empty() {
+        let root_core = core_of[0].0;
+        cores[root_core].current = Some(SectionId(0));
+        cores[root_core].next_seq = sections[0].start;
+        cores[root_core].sections_hosted = 1;
+    }
+
+    let mut fetched = 0usize;
+    let mut cycle: u64 = 0;
+    let safety = 200 * n as u64 + 10_000;
+
+    while fetched < n || resolver.resolved < n {
+        cycle += 1;
+        assert!(
+            cycle < safety,
+            "many-core simulation did not converge after {cycle} cycles"
+        );
+        let progress_before = fetched + resolver.resolved;
+
+        // Section-creation messages arriving this cycle.
+        for envelope in network.deliver(cycle) {
+            let core = &mut cores[envelope.dst.0];
+            core.queue.push_back(envelope.payload);
+            core.sections_hosted += 1;
+        }
+
+        // Fetch-decode: one instruction per core per cycle.
+        for (core_index, core) in cores.iter_mut().enumerate() {
+            if core.current.is_none() {
+                // Dequeuing the next section-creation message consumes
+                // this cycle; fetch starts on the next one.
+                if let Some(next) = core.queue.pop_front() {
+                    core.current = Some(next);
+                    core.next_seq = sections[next.0].start;
+                }
+                continue;
+            }
+            if let Some(stalled_on) = core.stall_on {
+                match resolver.complete[stalled_on] {
+                    Some(c) if c < cycle => core.stall_on = None,
+                    _ => continue,
+                }
+            }
+            let sid = core.current.expect("checked above");
+            let span = &sections[sid.0];
+            if core.next_seq >= span.end {
+                core.current = None;
+                continue;
+            }
+            let seq = core.next_seq;
+            let record = &records[seq];
+            resolver.fetch(seq, cycle);
+            fetched += 1;
+            core.next_seq += 1;
+
+            // A fork sends a section-creation message to the host core
+            // of the created section.
+            if record.kind == TraceKind::Fork {
+                if let Some(&child) = created_by.get(&seq) {
+                    network.send(CoreId(core_index), core_of[child.0], child, cycle);
+                }
+            }
+
+            let ends_section = record.kind == TraceKind::EndFork
+                || record.kind == TraceKind::Halt
+                || core.next_seq >= span.end;
+            if ends_section {
+                core.current = None;
+            } else if config.fetch_stalls_on_unresolved_control
+                && record.is_control
+                && !fetch_computable(record, &resolver.complete, cycle)
+            {
+                // The fetch stage could not compute this control
+                // instruction (empty sources): the IP stays empty until
+                // the instruction executes.
+                core.stall_on = Some(seq);
+            }
+        }
+
+        // Dependence resolution (the engine shared with the event-driven
+        // simulator); the completion list only matters to that engine.
+        completions.clear();
+        resolver.drain(&network, &core_of, &mut completions);
+
+        // Deadlock avoidance. A fetch stall can wait on a value produced
+        // by a section that is queued *behind* the stalled section on
+        // the same core (the "devil in the details" case the paper
+        // acknowledges). The chip is genuinely deadlocked only when a
+        // whole cycle makes no progress, no message is in flight *and* no
+        // stalled fetch stage has a known release cycle ahead of it — a
+        // stall whose control instruction already has a completion cycle
+        // releases by itself, and letting the heuristic fire early would
+        // silently produce optimistic timings. Only then release the
+        // stalled fetch stages: the stalled branches resolve out of order
+        // in the execute stage, as a real implementation must allow.
+        if fetched + resolver.resolved == progress_before && network.in_flight() == 0 && fetched < n
+        {
+            let release_is_pending = cores
+                .iter()
+                .any(|c| matches!(c.stall_on, Some(seq) if resolver.complete[seq].is_some()));
+            if !release_is_pending {
+                for core in &mut cores {
+                    if core.stall_on.is_some() {
+                        core.stall_on = None;
+                        forced_stall_releases += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
+    Ok(sim.finish(
+        trace,
+        resolver,
+        core_of,
+        &hosted,
+        network.stats(),
+        forced_stall_releases,
+    ))
+}

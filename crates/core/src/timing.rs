@@ -17,8 +17,9 @@ use crate::{SectionId, SimResult};
 pub struct InstTiming {
     /// Position in the sequential trace.
     pub seq: usize,
-    /// Paper-style name, e.g. `"2-13"`.
-    pub name: String,
+    /// Position within the section (0-based; the paper writes `s-i` with
+    /// `i` 1-based — see [`InstTiming::name`]).
+    pub index_in_section: usize,
     /// Static instruction index.
     pub ip: usize,
     /// Mnemonic.
@@ -44,6 +45,13 @@ pub struct InstTiming {
 }
 
 impl InstTiming {
+    /// The paper's `s-i` name of the instruction (1-based), e.g. `"2-13"`.
+    /// Derived on demand — a simulation of millions of instructions does
+    /// not pay for millions of row-label allocations.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.section.0 + 1, self.index_in_section + 1)
+    }
+
     /// The cycle at which the instruction's result is available to
     /// consumers.
     pub fn completion(&self) -> u64 {
@@ -77,6 +85,13 @@ pub struct SimStats {
     pub fork_copied_sources: u64,
     /// Memory sources served by the loader / data memory hierarchy.
     pub dmh_accesses: u64,
+    /// Times the deadlock-avoidance heuristic forcibly released a stalled
+    /// fetch stage (one count per core released). A forced release lets a
+    /// control instruction resolve out of order instead of waiting for a
+    /// value produced by a section queued behind it on the same core; a
+    /// non-zero count means the reported timings are optimistic for those
+    /// fetches, so well-formed runs are expected to keep this at zero.
+    pub forced_stall_releases: u64,
     /// Largest number of sections hosted by a single core.
     pub peak_sections_per_core: usize,
     /// Statistics of the underlying NoC model.
@@ -104,7 +119,14 @@ pub fn format_figure10(result: &SimResult) -> String {
             let _ = writeln!(
                 out,
                 "{:>6} {:>22} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
-                t.name, t.mnemonic, t.fd, t.rr, t.ew, ar, ma, t.ret
+                t.name(),
+                t.mnemonic,
+                t.fd,
+                t.rr,
+                t.ew,
+                ar,
+                ma,
+                t.ret
             );
         }
         let _ = writeln!(out);
@@ -120,7 +142,7 @@ mod tests {
     fn completion_prefers_memory_access() {
         let mut t = InstTiming {
             seq: 0,
-            name: "1-1".into(),
+            index_in_section: 0,
             ip: 0,
             mnemonic: "movq",
             section: SectionId(0),
@@ -133,6 +155,7 @@ mod tests {
             ret: 4,
         };
         assert_eq!(t.completion(), 3);
+        assert_eq!(t.name(), "1-1");
         t.ar = Some(4);
         t.ma = Some(7);
         assert_eq!(t.completion(), 7);

@@ -223,7 +223,7 @@ impl ExecutionBackend for ManyCoreBackend {
             cycles: result.stats.total_cycles,
             fetch_ipc: result.stats.fetch_ipc,
             retire_ipc: result.stats.retire_ipc,
-            detail: ReportDetail::Sim(result),
+            detail: ReportDetail::Sim(Box::new(result)),
         })
     }
 }

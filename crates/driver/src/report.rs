@@ -13,8 +13,10 @@ pub enum ReportDetail {
     Trace(Trace),
     /// The schedule produced by the ILP limit analyzer.
     Ilp(IlpResult),
-    /// The full per-instruction timing of the many-core simulator.
-    Sim(SimResult),
+    /// The full per-instruction timing of the many-core simulator
+    /// (boxed: a `SimResult` carries the whole stage table and would
+    /// otherwise dominate the size of every report).
+    Sim(Box<SimResult>),
 }
 
 /// What every backend reports about one program execution.
@@ -74,9 +76,17 @@ impl RunReport {
     /// The simulator result, when the backend is the many-core model.
     pub fn sim(&self) -> Option<&SimResult> {
         match &self.detail {
-            ReportDetail::Sim(r) => Some(r),
+            ReportDetail::Sim(r) => Some(r.as_ref()),
             _ => None,
         }
+    }
+
+    /// How many times the many-core simulator's deadlock-avoidance
+    /// heuristic forcibly released a stalled fetch stage (`None` for the
+    /// other backends, which have no such heuristic). A non-zero count
+    /// flags optimistic timings; well-formed runs keep it at zero.
+    pub fn forced_stall_releases(&self) -> Option<u64> {
+        self.sim().map(|r| r.stats.forced_stall_releases)
     }
 }
 

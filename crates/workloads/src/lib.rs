@@ -5,6 +5,9 @@
 //! * [`sum`] — the paper's running example: the recursive vector sum of
 //!   Figure 1, in its `call`/`ret` form (Figure 2) and its `fork`/`endfork`
 //!   form (Figure 5), as assembly programs parameterised by the dataset.
+//! * [`scale`] — large fork workloads for the simulator's performance
+//!   trajectory: a fork-parallel bucket histogram and a leaf-grained
+//!   tree sum, sized to ≥1M dynamic instructions at benchmark scale.
 //! * [`pbbs`] — analogues of the ten PBBS benchmarks of Table 1
 //!   (breadth-first search, comparison sort, convex hull, dictionary,
 //!   integer sort, maximal independent set, maximal matching, minimum
@@ -36,4 +39,5 @@
 
 pub mod data;
 pub mod pbbs;
+pub mod scale;
 pub mod sum;

@@ -1,0 +1,339 @@
+//! Large-scale fork workloads for the simulator's performance trajectory.
+//!
+//! The paper's evaluation workloads (the Figure 5 `sum` and the Table 1
+//! PBBS analogues) stay small enough that a cycle-stepping simulator can
+//! replay them; this module provides PBBS-style workloads that are sized
+//! for the *event-driven* simulator — ≥1M dynamic instructions at their
+//! benchmark sizes — and that deliberately exercise the machinery a
+//! cycle stepper pays for dearly:
+//!
+//! * [`histogram_program`] — a fork-parallel bucket histogram (the
+//!   counting phase of PBBS `integerSort/blockRadixSort`): leaves update
+//!   shared bucket counters through memory renaming, and each update's
+//!   control flow depends on the *loaded* counter, so fetch stages spend
+//!   long stretches stalled on remote producer chains;
+//! * [`tree_sum_program`] — the paper's recursive `sum` generalised with a
+//!   sequential leaf loop (the reduce phase of PBBS-style tree
+//!   algorithms), giving wide fork trees with configurable leaf grain;
+//! * [`chain_sum_program`] — the serial worst case of the tree sum: a
+//!   linked chain of tiny sections, each accumulating one element into a
+//!   memory cell and forking its successor. Every link costs a NoC round
+//!   trip plus a section-creation message, so the run is latency-bound:
+//!   almost every cycle, every core is idle or stalled on a *known* future
+//!   event — the pattern an event-driven scheduler skips over and a
+//!   cycle stepper scans core by core.
+//!
+//! All come with Rust oracles so functional outputs are checked exactly,
+//! and all are parameterised by a seed for dataset generation.
+
+use parsecs_asm::assemble;
+use parsecs_isa::Program;
+
+use crate::data;
+
+/// Number of elements a histogram leaf processes sequentially before the
+/// recursion stops forking.
+pub const HISTOGRAM_LEAF: usize = 16;
+
+/// Number of elements a tree-sum leaf accumulates sequentially.
+pub const TREE_SUM_LEAF: usize = 16;
+
+/// Dynamic instructions per histogram key (the leaf-loop body), used to
+/// size benchmark runs.
+pub const HISTOGRAM_INSNS_PER_KEY: usize = 11;
+
+/// The key stream of a histogram instance: `keys` uniform values below
+/// `buckets`.
+pub fn histogram_keys(keys: usize, buckets: usize, seed: u64) -> Vec<u64> {
+    data::values(keys, buckets.max(1) as u64, seed)
+}
+
+/// The fork-parallel bucket histogram over `keys` keys and `buckets`
+/// buckets.
+///
+/// The recursion halves the key range until at most [`HISTOGRAM_LEAF`]
+/// keys remain; a leaf walks its keys and increments `table[key]` through
+/// a load/modify/store sequence whose (functionally redundant) conditional
+/// depends on the loaded counter — forcing the fetch stage to wait for the
+/// previous writer of that bucket, wherever on the chip it ran. After the
+/// fork subtree completes, `main` folds the table into the checksum
+/// `Σ table[i]·(i+1)` and emits it.
+///
+/// # Panics
+///
+/// Panics if `keys` is zero or `buckets` is zero.
+pub fn histogram_program(keys: usize, buckets: usize, seed: u64) -> Program {
+    assert!(keys > 0, "the histogram needs at least one key");
+    assert!(buckets > 0, "the histogram needs at least one bucket");
+    let quads: Vec<String> = histogram_keys(keys, buckets, seed)
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    let zeros = vec!["0"; buckets];
+    let source = format!(
+        "keys:   .quad {keys_list}
+table:  .quad {table_list}
+main:   movq $keys, %rdi
+        movq ${keys}, %rsi
+        fork hist
+        movq $table, %rdi
+        movq ${buckets}, %rcx
+        movq $0, %rax
+        movq $1, %rbx
+chk:    movq (%rdi), %rdx
+        imulq %rbx, %rdx
+        addq %rdx, %rax
+        addq $8, %rdi
+        addq $1, %rbx
+        subq $1, %rcx
+        jne chk
+        out  %rax
+        halt
+hist:   cmpq ${leaf}, %rsi
+        ja .split
+.loop:  movq (%rdi), %rbx
+        movq $table, %rcx
+        leaq (%rcx,%rbx,8), %rcx
+        movq (%rcx), %rax
+        cmpq $0, %rax
+        je .bump
+.bump:  addq $1, %rax
+        movq %rax, (%rcx)
+        addq $8, %rdi
+        subq $1, %rsi
+        jne .loop
+        endfork
+.split: movq %rsi, %rbx
+        shrq %rsi
+        fork hist
+        leaq (%rdi,%rsi,8), %rdi
+        subq %rsi, %rbx
+        movq %rbx, %rsi
+        fork hist
+        endfork",
+        keys_list = quads.join(", "),
+        table_list = zeros.join(", "),
+        leaf = HISTOGRAM_LEAF,
+    );
+    assemble(&source).expect("the histogram listing always assembles")
+}
+
+/// The expected output of [`histogram_program`]: the checksum
+/// `Σ count[i]·(i+1)` over the final bucket counts.
+pub fn histogram_expected(keys: usize, buckets: usize, seed: u64) -> Vec<u64> {
+    let mut table = vec![0u64; buckets];
+    for key in histogram_keys(keys, buckets, seed) {
+        table[key as usize] += 1;
+    }
+    let checksum = table.iter().enumerate().fold(0u64, |acc, (i, count)| {
+        acc.wrapping_add(count.wrapping_mul(i as u64 + 1))
+    });
+    vec![checksum]
+}
+
+/// The dataset of a tree-sum instance: `elements` values below `2^20`.
+pub fn tree_sum_data(elements: usize, seed: u64) -> Vec<u64> {
+    data::values(elements, 1 << 20, seed)
+}
+
+/// The paper's recursive fork `sum` generalised with a sequential leaf:
+/// the recursion halves the range until at most [`TREE_SUM_LEAF`] elements
+/// remain, and a leaf accumulates them with a tight load-add loop. Parent
+/// sections combine the two half-sums through a stack temporary, exactly
+/// like Figure 5.
+///
+/// # Panics
+///
+/// Panics if `elements` is zero.
+pub fn tree_sum_program(elements: usize, seed: u64) -> Program {
+    assert!(elements > 0, "the tree sum needs at least one element");
+    let quads: Vec<String> = tree_sum_data(elements, seed)
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    let source = format!(
+        "t:      .quad {data_list}
+main:   movq $t, %rdi
+        movq ${elements}, %rsi
+        fork tsum
+        out  %rax
+        halt
+tsum:   cmpq ${leaf}, %rsi
+        ja .split
+        movq $0, %rax
+.acc:   addq (%rdi), %rax
+        addq $8, %rdi
+        subq $1, %rsi
+        jne .acc
+        endfork
+.split: movq %rsi, %rbx
+        shrq %rsi
+        fork tsum
+        subq $8, %rsp
+        movq %rax, 0(%rsp)
+        leaq (%rdi,%rsi,8), %rdi
+        subq %rsi, %rbx
+        movq %rbx, %rsi
+        fork tsum
+        addq 0(%rsp), %rax
+        addq $8, %rsp
+        endfork",
+        data_list = quads.join(", "),
+        leaf = TREE_SUM_LEAF,
+    );
+    assemble(&source).expect("the tree-sum listing always assembles")
+}
+
+/// The expected output of [`tree_sum_program`]: the wrapping sum of the
+/// dataset.
+pub fn tree_sum_expected(elements: usize, seed: u64) -> Vec<u64> {
+    vec![tree_sum_data(elements, seed)
+        .iter()
+        .copied()
+        .fold(0u64, u64::wrapping_add)]
+}
+
+/// The serial chain sum over `elements` values: `main` forks one `link`
+/// per element, and every fork's continuation — the next loop iteration —
+/// becomes a new section on another core (the sectioning rule splits the
+/// creator at the fork, so the chain forms one section per element). Each
+/// link loads the running total from the shared `acc` word (a renaming
+/// request to the previous link's store, hosted on another core), adds
+/// its element and stores the total back. The (functionally redundant)
+/// conditional between the load and the add makes the fetch stage wait
+/// for the loaded value, so every link costs a full NoC round trip during
+/// which the whole chip has nothing to fetch — the latency-bound regime
+/// of the paper's model.
+///
+/// Unlike the histogram's random bucket contention, the producer of each
+/// load is always already fetched (it sits in the chain's immediate
+/// predecessor), so the head-of-chain stall always has a known release
+/// cycle and the deadlock heuristic never fires: `forced_stall_releases`
+/// stays zero.
+///
+/// # Panics
+///
+/// Panics if `elements` is zero.
+pub fn chain_sum_program(elements: usize, seed: u64) -> Program {
+    assert!(elements > 0, "the chain sum needs at least one element");
+    let quads: Vec<String> = tree_sum_data(elements, seed)
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    let source = format!(
+        "t:      .quad {data_list}
+acc:    .quad 0
+main:   movq $t, %rdi
+        movq ${elements}, %rsi
+loop:   fork link
+        addq $8, %rdi
+        subq $1, %rsi
+        jne loop
+        movq $acc, %rcx
+        movq (%rcx), %rax
+        out  %rax
+        halt
+link:   movq $acc, %rcx
+        movq (%rcx), %rax
+        cmpq $0, %rax
+        je .add
+.add:   addq (%rdi), %rax
+        movq %rax, (%rcx)
+        endfork",
+        data_list = quads.join(", "),
+    );
+    assemble(&source).expect("the chain-sum listing always assembles")
+}
+
+/// The expected output of [`chain_sum_program`]: the wrapping sum of the
+/// dataset (same dataset as [`tree_sum_program`] at the same size/seed).
+pub fn chain_sum_expected(elements: usize, seed: u64) -> Vec<u64> {
+    tree_sum_expected(elements, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsecs_machine::Machine;
+
+    fn run(program: &Program) -> (Vec<u64>, u64) {
+        let mut machine = Machine::load(program).expect("loads");
+        let outcome = machine.run(50_000_000).expect("halts");
+        (outcome.outputs, outcome.instructions)
+    }
+
+    #[test]
+    fn histogram_matches_its_oracle() {
+        for (keys, buckets, seed) in [(40, 8, 1), (130, 16, 2), (257, 5, 3)] {
+            let (outputs, _) = run(&histogram_program(keys, buckets, seed));
+            assert_eq!(
+                outputs,
+                histogram_expected(keys, buckets, seed),
+                "histogram({keys}, {buckets}, {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_sum_matches_its_oracle() {
+        for (elements, seed) in [(1, 1), (16, 2), (40, 3), (333, 4)] {
+            let (outputs, _) = run(&tree_sum_program(elements, seed));
+            assert_eq!(
+                outputs,
+                tree_sum_expected(elements, seed),
+                "tree_sum({elements}, {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_sum_matches_its_oracle() {
+        for (elements, seed) in [(1, 1), (2, 9), (100, 3)] {
+            let (outputs, _) = run(&chain_sum_program(elements, seed));
+            assert_eq!(
+                outputs,
+                chain_sum_expected(elements, seed),
+                "chain_sum({elements}, {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_sum_is_one_section_per_element_plus_the_ends() {
+        let program = chain_sum_program(50, 5);
+        let mut machine = Machine::load(&program).expect("loads");
+        let (_, trace) = machine.run_traced(1_000_000).expect("halts");
+        let sectioned = parsecs_core::SectionedTrace::from_trace(&trace, vec![]);
+        // One section per element (each fork splits the loop at the fork
+        // site) plus the final continuation carrying `out`/`halt`.
+        assert_eq!(sectioned.sections().len(), 51);
+        // The chain is serial: every interior section is small.
+        assert!(sectioned.longest_section() <= 16);
+    }
+
+    #[test]
+    fn benchmark_sizes_reach_a_million_instructions() {
+        // The perf trajectory's headline cell: ~100k keys must cross the
+        // 1M-dynamic-instruction line (checked here at 1/10 scale to keep
+        // the test fast — the instruction count is linear in the keys).
+        let (_, instructions) = run(&histogram_program(10_000, 64, 7));
+        assert!(
+            instructions >= 100_000,
+            "histogram at 10k keys runs {instructions} instructions; \
+             100k keys would miss the 1M line"
+        );
+    }
+
+    #[test]
+    fn histogram_forks_enough_sections_to_spread() {
+        let program = histogram_program(200, 8, 5);
+        let mut machine = Machine::load(&program).expect("loads");
+        let (_, trace) = machine.run_traced(1_000_000).expect("halts");
+        let sectioned = parsecs_core::SectionedTrace::from_trace(&trace, vec![]);
+        assert!(
+            sectioned.sections().len() > 16,
+            "only {} sections",
+            sectioned.sections().len()
+        );
+    }
+}

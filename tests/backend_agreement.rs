@@ -49,6 +49,14 @@ fn all_three_backends_report_identical_outputs_across_sizes() {
                     "{label}: {} disagrees with sequential",
                     report.backend
                 );
+                // The simulated timings must never rest on the deadlock
+                // heuristic: a forced release means optimistic timings.
+                assert_eq!(
+                    report.forced_stall_releases().unwrap_or(0),
+                    0,
+                    "{label}: {} needed forced stall releases",
+                    report.backend
+                );
             }
         }
     }
@@ -87,6 +95,12 @@ fn seven_point_core_sweep_is_concurrent_and_cycles_never_increase() {
             .report()
             .unwrap_or_else(|| panic!("{} failed", point.backend));
         assert_eq!(report.outputs, vec![820], "{}", point.backend);
+        assert_eq!(
+            report.forced_stall_releases(),
+            Some(0),
+            "{}: forced stall releases",
+            point.backend
+        );
         let fetch = report.fetch_cycles();
         assert!(
             fetch <= previous_fetch,

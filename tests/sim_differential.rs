@@ -1,0 +1,233 @@
+//! Property-based differential test of the two simulator engines.
+//!
+//! The event-driven scheduler ([`ManyCoreSim::simulate`]) and the retained
+//! cycle-stepping reference ([`ManyCoreSim::simulate_reference`]) must
+//! produce **bit-identical** [`parsecs::core::SimResult`]s — the same
+//! per-instruction stage table, statistics and NoC counters — on every
+//! program and every configuration. This test generates random small fork
+//! programs (random arithmetic, memory traffic through a scratch array,
+//! forward conditional jumps over random blocks, nested forks) and random
+//! chip configurations (core count, placement policy, topology, NoC
+//! timing, ejection bandwidth, section capacity, renaming-walk and DMH
+//! charges, fetch-stall mode) and asserts full equality.
+
+use parsecs::core::{LoadAware, ManyCoreSim, Placement, SimConfig};
+use parsecs::noc::{NocConfig, Topology};
+use proptest::prelude::*;
+
+/// A tiny deterministic generator used to expand one proptest-drawn seed
+/// into a whole random program (splitmix64).
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.below(options.len() as u64) as usize]
+    }
+}
+
+/// Emits one straight-line operation. The generated programs only jump
+/// forward, never touch `%rdi` (the data pointer) and address memory
+/// through the data array or the scratch array, so every program halts.
+fn push_op(out: &mut String, gen: &mut Gen) {
+    let reg = ["%rax", "%rbx", "%rcx", "%rsi"];
+    match gen.below(8) {
+        0 => {
+            let k = gen.below(100);
+            let r = gen.pick(&reg);
+            out.push_str(&format!("        movq ${k}, {r}\n"));
+        }
+        1 => {
+            let k = gen.below(50);
+            let r = gen.pick(&reg);
+            out.push_str(&format!("        addq ${k}, {r}\n"));
+        }
+        2 => {
+            let a = gen.pick(&reg);
+            let b = gen.pick(&reg);
+            out.push_str(&format!("        imulq {a}, {b}\n"));
+        }
+        3 => {
+            let off = gen.below(3) * 8;
+            let r = gen.pick(&reg);
+            out.push_str(&format!("        movq {off}(%rdi), {r}\n"));
+        }
+        4 => {
+            // Store into the scratch array: cross-section memory renaming.
+            let off = gen.below(4) * 8;
+            let r = gen.pick(&["%rax", "%rbx", "%rsi"]);
+            out.push_str("        movq $scratch, %rcx\n");
+            out.push_str(&format!("        movq {r}, {off}(%rcx)\n"));
+        }
+        5 => {
+            // Load back from the scratch array.
+            let off = gen.below(4) * 8;
+            let r = gen.pick(&["%rax", "%rbx", "%rsi"]);
+            out.push_str("        movq $scratch, %rcx\n");
+            out.push_str(&format!("        movq {off}(%rcx), {r}\n"));
+        }
+        6 => {
+            let a = gen.pick(&reg);
+            let b = gen.pick(&reg);
+            if a != b {
+                out.push_str(&format!("        subq {a}, {b}\n"));
+            } else {
+                out.push_str("        addq $1, %rax\n");
+            }
+        }
+        _ => {
+            let r = gen.pick(&["%rbx", "%rsi"]);
+            out.push_str(&format!("        shrq {r}\n"));
+        }
+    }
+}
+
+/// One random task body: blocks of ops, forward conditional jumps over
+/// random suffixes of a block, and 0–2 forks of the next-deeper task.
+fn push_task(out: &mut String, gen: &mut Gen, task: usize, depth: usize) {
+    out.push_str(&format!("task{task}:\n"));
+    let blocks = 1 + gen.below(3);
+    let mut label = 0usize;
+    let mut forks_left = if task + 1 < depth {
+        1 + gen.below(2)
+    } else {
+        0
+    };
+    for block in 0..blocks {
+        let ops = 1 + gen.below(4);
+        for _ in 0..ops {
+            push_op(out, gen);
+        }
+        // A forward conditional jump over the next couple of ops. The
+        // comparison may read a value loaded from memory, exercising the
+        // fetch stage's control-stall machinery.
+        if gen.below(2) == 0 {
+            let cond = gen.pick(&["jne", "je", "ja", "jbe", "jge", "jl"]);
+            let r = gen.pick(&["%rax", "%rbx", "%rsi"]);
+            let k = gen.below(64);
+            out.push_str(&format!("        cmpq ${k}, {r}\n"));
+            out.push_str(&format!("        {cond} .t{task}_{label}\n"));
+            for _ in 0..1 + gen.below(2) {
+                push_op(out, gen);
+            }
+            out.push_str(&format!(".t{task}_{label}:\n"));
+            label += 1;
+        }
+        if forks_left > 0 && (gen.below(2) == 0 || block + 1 == blocks) {
+            out.push_str(&format!("        fork task{}\n", task + 1));
+            forks_left -= 1;
+        }
+    }
+    out.push_str("        endfork\n");
+}
+
+fn random_program(seed: u64) -> parsecs::isa::Program {
+    let mut gen = Gen::new(seed);
+    let len = 4 + gen.below(8);
+    let data: Vec<String> = (0..len).map(|_| gen.below(1000).to_string()).collect();
+    let depth = 1 + gen.below(3) as usize;
+    let mut src = format!(
+        "t:      .quad {}\nscratch: .quad 0, 0, 0, 0\nmain:   movq $t, %rdi\n        movq ${len}, %rsi\n        fork task0\n        out  %rax\n        halt\n",
+        data.join(", ")
+    );
+    for task in 0..depth {
+        push_task(&mut src, &mut gen, task, depth);
+    }
+    parsecs::asm::assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"))
+}
+
+fn random_config(gen: &mut Gen) -> SimConfig {
+    let cores = [1usize, 2, 3, 4, 6, 8, 16, 64][gen.below(8) as usize];
+    let mut config = SimConfig::with_cores(cores);
+    config = match gen.below(3) {
+        0 => config.with_placement(Placement::RoundRobin),
+        1 => config.with_placement(Placement::LeastLoaded),
+        _ => config.with_placement(LoadAware),
+    };
+    config.noc = NocConfig {
+        base_latency: gen.below(4),
+        per_hop_latency: gen.below(4),
+        link_bandwidth: match gen.below(3) {
+            0 => None,
+            1 => Some(1),
+            _ => Some(2),
+        },
+    };
+    if cores == 4 && gen.below(2) == 0 {
+        config.topology = Some(Topology::mesh(2, 2));
+    }
+    if cores == 16 && gen.below(2) == 0 {
+        config.topology = Some(Topology::mesh(4, 4));
+    }
+    config.max_sections_per_core = [1usize, 2, 8][gen.below(3) as usize];
+    config.dmh_latency = 1 + gen.below(7);
+    config.per_section_hop = gen.below(3);
+    config.fetch_stalls_on_unresolved_control = gen.below(4) != 0;
+    config
+}
+
+proptest! {
+    #[test]
+    fn random_programs_times_random_chips_are_engine_invariant(seed in proptest::strategy::any::<u64>()) {
+        let program = random_program(seed);
+        let mut gen = Gen::new(seed.rotate_left(17) ^ 0xabcd);
+        // Several configurations per generated program.
+        for _ in 0..3 {
+            let config = random_config(&mut gen);
+            let sim = ManyCoreSim::new(config);
+            let event = sim.run(&program).expect("event-driven engine simulates");
+            let reference = sim
+                .run_reference(&program)
+                .expect("reference engine simulates");
+            prop_assert_eq!(
+                &event,
+                &reference,
+                "seed {} under {:?}: engines diverge",
+                seed,
+                sim.config()
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_programs_are_nontrivial() {
+    let mut total_sections = 0usize;
+    let mut max_sections = 0usize;
+    let mut total_insns = 0u64;
+    for seed in 0..40u64 {
+        let program = random_program(seed * 7919 + 13);
+        let sim = ManyCoreSim::new(SimConfig::with_cores(8));
+        let result = sim.run(&program).expect("simulates");
+        total_sections += result.stats.sections;
+        max_sections = max_sections.max(result.stats.sections);
+        total_insns += result.stats.instructions;
+    }
+    // The generator must regularly emit forking, branching programs, not
+    // degenerate straight lines.
+    assert!(max_sections >= 4, "max sections only {max_sections}");
+    assert!(total_sections >= 80, "total sections only {total_sections}");
+    assert!(
+        total_insns >= 1_000,
+        "total instructions only {total_insns}"
+    );
+}
