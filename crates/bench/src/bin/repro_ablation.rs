@@ -8,9 +8,12 @@
 //! sweep results as JSON (default path `BENCH_sweep.json`), which is the
 //! artefact the perf trajectory records.
 
+use std::fs::File;
+use std::io::BufWriter;
+
 use parsecs_cc::Backend;
 use parsecs_core::{LoadAware, Placement, SimConfig};
-use parsecs_driver::{sweep_to_json, ManyCoreBackend, Sweep, SweepPoint};
+use parsecs_driver::{ManyCoreBackend, Sweep, SweepPoint};
 use parsecs_noc::NocConfig;
 use parsecs_workloads::{pbbs::Benchmark, sum};
 
@@ -51,37 +54,33 @@ fn build_sweep() -> Sweep {
     sweep.backend(ManyCoreBackend::new(no_stall))
 }
 
-fn print_table(points: &[SweepPoint]) {
-    let mut current_program = String::new();
-    for point in points {
-        if point.program != current_program {
-            current_program = point.program.clone();
-            println!("== {current_program} ==");
+fn print_row(point: &SweepPoint, current_program: &mut String) {
+    if &point.program != current_program {
+        *current_program = point.program.clone();
+        println!("== {current_program} ==");
+        println!(
+            "{:<36} {:>8} {:>8} {:>9} {:>10} {:>10}",
+            "backend", "sections", "fetch", "retire", "fetchIPC", "retireIPC"
+        );
+    }
+    match &point.outcome {
+        Ok(report) => {
+            let sections = report
+                .sim()
+                .map(|s| s.stats.sections.to_string())
+                .unwrap_or_default();
             println!(
-                "{:<36} {:>8} {:>8} {:>9} {:>10} {:>10}",
-                "backend", "sections", "fetch", "retire", "fetchIPC", "retireIPC"
+                "{:<36} {:>8} {:>8} {:>9} {:>10.2} {:>10.2}",
+                point.backend,
+                sections,
+                report.fetch_cycles(),
+                report.cycles,
+                report.fetch_ipc,
+                report.retire_ipc,
             );
         }
-        match &point.outcome {
-            Ok(report) => {
-                let sections = report
-                    .sim()
-                    .map(|s| s.stats.sections.to_string())
-                    .unwrap_or_default();
-                println!(
-                    "{:<36} {:>8} {:>8} {:>9} {:>10.2} {:>10.2}",
-                    point.backend,
-                    sections,
-                    report.fetch_cycles(),
-                    report.cycles,
-                    report.fetch_ipc,
-                    report.retire_ipc,
-                );
-            }
-            Err(e) => println!("{:<36} failed: {e}", point.backend),
-        }
+        Err(e) => println!("{:<36} failed: {e}", point.backend),
     }
-    println!();
 }
 
 fn main() {
@@ -96,19 +95,42 @@ fn main() {
     };
 
     let sweep = build_sweep();
-    eprintln!("running {} sweep cells concurrently...", sweep.len());
-    let points = sweep.run();
-    print_table(&points);
+    eprintln!("running {} sweep cells on a bounded pool...", sweep.len());
 
-    if let Some(path) = json_path {
-        std::fs::write(&path, sweep_to_json(&points)).expect("write sweep JSON");
-        eprintln!("wrote {} sweep points to {path}", points.len());
+    // Stream every point as it completes (grid order): the table row goes
+    // to stdout and the JSON row to the artefact immediately, so no
+    // report — each one carries a full per-instruction stage table — is
+    // retained once printed.
+    let mut current_program = String::new();
+    let mut failed = 0usize;
+    let mut total = 0usize;
+    let mut on_point = |point: &SweepPoint| {
+        print_row(point, &mut current_program);
+        if point.outcome.is_err() {
+            failed += 1;
+        }
+        total += 1;
+    };
+    match &json_path {
+        Some(path) => {
+            let file = File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+            sweep
+                .run_json_with(BufWriter::new(file), &mut on_point)
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        }
+        None => {
+            sweep.run_with(|point| on_point(&point));
+        }
+    }
+    println!();
+
+    if let Some(path) = &json_path {
+        eprintln!("wrote {total} sweep points to {path}");
     }
 
     // A broken cell must fail the run (and CI), not just print a row.
-    let failed = points.iter().filter(|p| p.outcome.is_err()).count();
     if failed > 0 {
-        eprintln!("{failed} of {} sweep cells failed", points.len());
+        eprintln!("{failed} of {total} sweep cells failed");
         std::process::exit(1);
     }
 }

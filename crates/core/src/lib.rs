@@ -78,7 +78,7 @@ mod timing;
 
 pub use config::SimConfig;
 pub use error::SimError;
-pub use placement::{ChipView, LoadAware, Placement, PlacementPolicy};
+pub use placement::{ChainAffine, ChipView, LoadAware, Placement, PlacementPolicy, SectionDeps};
 pub use rename::{verify_single_assignment, MemoryAliasTable, RegisterAliasTable, RenameTag};
 pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceKind};
 pub use sim::{ManyCoreSim, SimResult};

@@ -11,11 +11,12 @@
 //! earliest, accounting for the NoC latency between the creator's core and
 //! the candidate core.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use parsecs_noc::{CoreId, NocConfig, Topology};
 
-use crate::{SectionId, SectionSpan};
+use crate::{InstRecord, SectionId, SectionSpan, SourceKind};
 
 /// A static description of the chip a placement decides over.
 #[derive(Debug, Clone)]
@@ -40,6 +41,59 @@ impl ChipView {
     }
 }
 
+/// The cross-section dependence summary of a run, as a placement policy
+/// sees it: for every consumer section, which earlier sections produce
+/// its remote operands and with what weight (number of renaming requests
+/// the timing model will charge between the pair).
+///
+/// Renaming always matches a consumer with the closest *preceding*
+/// producer, so every edge points backward in the section total order —
+/// when a policy walks sections in order, each edge's producer is already
+/// placed.
+#[derive(Debug, Clone, Default)]
+pub struct SectionDeps {
+    /// Per consumer section: `(producer section, request count)`, sorted
+    /// by producer id.
+    producers: Vec<Vec<(SectionId, u32)>>,
+}
+
+impl SectionDeps {
+    /// Builds the summary from the resolved instruction records, counting
+    /// one edge weight per remote register or memory source.
+    pub fn from_records(sections: usize, records: &[InstRecord]) -> SectionDeps {
+        let mut weights: Vec<HashMap<usize, u32>> = vec![HashMap::new(); sections];
+        for record in records {
+            for dep in record.reg_sources.iter().chain(&record.mem_sources) {
+                if let SourceKind::Remote {
+                    producer_section, ..
+                } = dep.kind
+                {
+                    *weights[record.section.0]
+                        .entry(producer_section.0)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let producers = weights
+            .into_iter()
+            .map(|map| {
+                let mut edges: Vec<(SectionId, u32)> = map
+                    .into_iter()
+                    .map(|(section, weight)| (SectionId(section), weight))
+                    .collect();
+                edges.sort_unstable();
+                edges
+            })
+            .collect();
+        SectionDeps { producers }
+    }
+
+    /// The remote-operand producers of `section`, with request counts.
+    pub fn producers(&self, section: SectionId) -> &[(SectionId, u32)] {
+        &self.producers[section.0]
+    }
+}
+
 /// Decides which core hosts each section of a run.
 ///
 /// Policies see the full totally-ordered section list up front (the
@@ -54,6 +108,26 @@ pub trait PlacementPolicy: fmt::Debug + Send + Sync {
 
     /// Assigns a hosting core to every section.
     fn assign(&self, sections: &[SectionSpan], chip: &ChipView) -> Vec<CoreId>;
+
+    /// Whether the simulator should compute the [`SectionDeps`] summary
+    /// and call [`PlacementPolicy::assign_with_deps`] instead of
+    /// [`PlacementPolicy::assign`]. Defaults to `false`; communication-
+    /// aware policies opt in.
+    fn wants_dependences(&self) -> bool {
+        false
+    }
+
+    /// Assigns a hosting core to every section, with the run's
+    /// cross-section dependences available. The default ignores them and
+    /// delegates to [`PlacementPolicy::assign`].
+    fn assign_with_deps(
+        &self,
+        sections: &[SectionSpan],
+        chip: &ChipView,
+        _deps: &SectionDeps,
+    ) -> Vec<CoreId> {
+        self.assign(sections, chip)
+    }
 }
 
 /// The built-in placement policies.
@@ -195,6 +269,97 @@ impl PlacementPolicy for LoadAware {
     }
 }
 
+/// A chained-writer co-location policy: each section is placed to
+/// minimise its estimated finish time *plus* the renaming round trips it
+/// will pay to the cores hosting its remote-operand producers.
+///
+/// This targets the workload class where writers of the same datum are
+/// chained across sections (the histogram's bucket counters, the chain
+/// sum's accumulator): the consumer of a chained value stalls its fetch
+/// stage until the producer's value crosses the NoC, so shortening the
+/// consumer→producer path shortens the handoff critical path directly.
+/// The load term (the same one [`LoadAware`] uses) keeps chains from
+/// collapsing onto a single overloaded core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainAffine;
+
+impl PlacementPolicy for ChainAffine {
+    fn name(&self) -> &str {
+        "chain-affine"
+    }
+
+    /// Without dependences the policy degrades to [`LoadAware`].
+    fn assign(&self, sections: &[SectionSpan], chip: &ChipView) -> Vec<CoreId> {
+        LoadAware.assign(sections, chip)
+    }
+
+    fn wants_dependences(&self) -> bool {
+        true
+    }
+
+    fn assign_with_deps(
+        &self,
+        sections: &[SectionSpan],
+        chip: &ChipView,
+        deps: &SectionDeps,
+    ) -> Vec<CoreId> {
+        let cores = chip.cores;
+        let capacity = chip.max_sections_per_core;
+        let mut free_at = vec![0u64; cores];
+        let mut hosted = vec![0usize; cores];
+        let mut start_at: Vec<u64> = Vec::with_capacity(sections.len());
+        let mut core_of: Vec<CoreId> = Vec::with_capacity(sections.len());
+
+        for span in sections {
+            let producers = deps.producers(span.id);
+            // Estimated fetch-start time on candidate core `c` (the
+            // LoadAware model: creator's fork, the creation message's NoC
+            // crossing, and the core's queue).
+            let start_on = |c: usize| -> u64 {
+                let ready = match span.creator {
+                    Some((SectionId(creator), fork_seq)) => {
+                        let fork_offset =
+                            fork_seq.saturating_sub(sections[creator].start) as u64 + 1;
+                        let creator_core = core_of[creator];
+                        start_at[creator] + fork_offset + chip.link_latency(creator_core, CoreId(c))
+                    }
+                    None => 0,
+                };
+                ready.max(free_at[c])
+            };
+            // The selection score adds the renaming round trips charged
+            // from `c` to every remote producer's host core.
+            let candidate = |c: usize| -> u64 {
+                let comm: u64 = producers
+                    .iter()
+                    .map(|&(p, w)| 2 * w as u64 * chip.link_latency(core_of[p.0], CoreId(c)))
+                    .sum();
+                start_on(c) + comm
+            };
+            let pool: Vec<usize> = {
+                let below: Vec<usize> = (0..cores).filter(|c| hosted[*c] < capacity).collect();
+                if below.is_empty() {
+                    (0..cores).collect()
+                } else {
+                    below
+                }
+            };
+            let chosen = pool
+                .into_iter()
+                .min_by_key(|c| (candidate(*c) + span.len() as u64, *c))
+                .expect("at least one core");
+            // The queueing estimate excludes the communication charge:
+            // the core is busy for the section's fetch span only.
+            let begun = start_on(chosen);
+            free_at[chosen] = begun + span.len() as u64;
+            hosted[chosen] += 1;
+            start_at.push(begun);
+            core_of.push(CoreId(chosen));
+        }
+        core_of
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +487,84 @@ mod tests {
         assert_eq!(Placement::RoundRobin.name(), "round-robin");
         assert_eq!(Placement::LeastLoaded.name(), "least-loaded");
         assert_eq!(LoadAware.name(), "load-aware");
+        assert_eq!(ChainAffine.name(), "chain-affine");
+    }
+
+    use crate::section::SourceDep;
+
+    fn record(seq: usize, section: usize, reg_sources: Vec<SourceDep>) -> crate::InstRecord {
+        crate::InstRecord {
+            seq,
+            ip: 0,
+            mnemonic: "movq",
+            section: SectionId(section),
+            index_in_section: 0,
+            kind: parsecs_machine::TraceKind::Other,
+            is_control: false,
+            is_load: false,
+            is_store: false,
+            reg_sources,
+            mem_sources: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn remote_dep(producer: usize, producer_section: usize) -> SourceDep {
+        SourceDep {
+            location: parsecs_machine::Location::Flags,
+            kind: SourceKind::Remote {
+                producer,
+                producer_section: SectionId(producer_section),
+            },
+        }
+    }
+
+    #[test]
+    fn section_deps_count_remote_edges_per_producer() {
+        let records = vec![
+            record(0, 0, vec![]),
+            record(1, 1, vec![remote_dep(0, 0), remote_dep(0, 0)]),
+            record(2, 2, vec![remote_dep(1, 1), remote_dep(0, 0)]),
+        ];
+        let deps = SectionDeps::from_records(3, &records);
+        assert!(deps.producers(SectionId(0)).is_empty());
+        assert_eq!(deps.producers(SectionId(1)), &[(SectionId(0), 2)]);
+        assert_eq!(
+            deps.producers(SectionId(2)),
+            &[(SectionId(0), 1), (SectionId(1), 1)]
+        );
+    }
+
+    #[test]
+    fn chain_affine_co_locates_a_chained_consumer_under_an_expensive_noc() {
+        // Section 2 reads section 1's value heavily; with a costly link,
+        // the round trips dominate the load estimate, so the consumer
+        // must land on its producer's core.
+        let mut c = chip(4);
+        c.noc.base_latency = 50;
+        c.noc.per_hop_latency = 50;
+        let sections = spans(&[4, 4, 4]);
+        let records = vec![record(
+            8,
+            2,
+            (0..4).map(|_| remote_dep(4, 1)).collect::<Vec<_>>(),
+        )];
+        let deps = SectionDeps::from_records(3, &records);
+        let assigned = ChainAffine.assign_with_deps(&sections, &c, &deps);
+        assert_eq!(
+            assigned[2], assigned[1],
+            "the chained consumer shares its producer's core: {assigned:?}"
+        );
+    }
+
+    #[test]
+    fn chain_affine_without_deps_degrades_to_load_aware() {
+        let sections = spans(&[100, 2, 2, 2]);
+        assert_eq!(
+            ChainAffine.assign(&sections, &chip(2)),
+            LoadAware.assign(&sections, &chip(2))
+        );
+        assert!(ChainAffine.wants_dependences());
+        assert!(!LoadAware.wants_dependences());
     }
 }

@@ -2,32 +2,30 @@
 //!
 //! This is the original timing loop of [`crate::ManyCoreSim`]: the chip
 //! advances one cycle at a time and every core is visited every cycle —
-//! deliver section-creation messages, fetch one instruction per active
-//! core, resolve dependences, and apply the deadlock-avoidance heuristic
-//! when a cycle makes no progress while nothing is in flight.
+//! apply due stall-handoff requeues, deliver section-creation messages,
+//! fetch one instruction per active core, resolve dependences, and park
+//! the fetch stalls whose release cycle is still unknown.
+//!
+//! The fetch-stall semantics are the in-order handoff model shared with
+//! the event-driven engine through [`crate::sim::StallTable`]: a stall
+//! with a known completion waits in place and releases just past it; a
+//! stall with an unknown completion parks its section and hands the core
+//! to its queued sections, to be requeued by an explicit event when the
+//! completion is discovered. A forced release can only happen through the
+//! deadlock *detector* (a malformed trace); it is counted in
+//! [`crate::SimStats::forced_stall_releases`] and surfaced as an error by
+//! the driver layer.
 //!
 //! The event-driven engine in [`crate::sim`] replaces this loop on the hot
-//! path, but the loop is kept verbatim (over the shared
-//! [`crate::sim::Resolver`]) as the oracle: differential tests and the
-//! `repro_perf` benchmark assert that both engines produce bit-identical
-//! [`crate::SimResult`]s.
-
-use std::collections::VecDeque;
+//! path, but the loop is kept (over the shared [`crate::sim::Resolver`])
+//! as the oracle: differential tests and the `repro_perf` benchmark assert
+//! that both engines produce bit-identical [`crate::SimResult`]s.
 
 use parsecs_machine::TraceKind;
 use parsecs_noc::CoreId;
 
-use crate::sim::{fetch_computable, ManyCoreSim, Prepared, Resolver};
+use crate::sim::{fetch_computable, CoreState, ManyCoreSim, Prepared, Resolver, StallTable};
 use crate::{SectionId, SectionedTrace, SimError, SimResult};
-
-#[derive(Debug, Default)]
-struct CoreState {
-    queue: VecDeque<SectionId>,
-    current: Option<SectionId>,
-    next_seq: usize,
-    stall_on: Option<usize>,
-    sections_hosted: usize,
-}
 
 /// Simulates an already-sectioned trace by stepping the chip one cycle at
 /// a time (see the module docs).
@@ -42,9 +40,11 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
         core_of,
         mut network,
         created_by,
-    } = sim.prepare(sections)?;
+    } = sim.prepare(trace)?;
     let mut resolver = Resolver::new(config, records, n);
+    let mut stalls = StallTable::new(n, sections.len());
     let mut completions: Vec<(usize, u64)> = Vec::new();
+    let mut newly_stalled: Vec<usize> = Vec::new();
 
     let mut cores: Vec<CoreState> = (0..config.cores).map(|_| CoreState::default()).collect();
     let mut forced_stall_releases = 0u64;
@@ -69,6 +69,11 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
         );
         let progress_before = fetched + resolver.resolved;
 
+        // Parked sections whose stall released rejoin their ready queue.
+        while let Some((idx, sid)) = stalls.pop_due(cycle) {
+            cores[idx].queue.push_back(sid);
+        }
+
         // Section-creation messages arriving this cycle.
         for envelope in network.deliver(cycle) {
             let core = &mut cores[envelope.dst.0];
@@ -79,18 +84,21 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
         // Fetch-decode: one instruction per core per cycle.
         for (core_index, core) in cores.iter_mut().enumerate() {
             if core.current.is_none() {
-                // Dequeuing the next section-creation message consumes
-                // this cycle; fetch starts on the next one.
+                // Dequeuing the next ready section consumes this cycle;
+                // fetch starts on the next one.
                 if let Some(next) = core.queue.pop_front() {
-                    core.current = Some(next);
-                    core.next_seq = sections[next.0].start;
+                    stalls.begin_section(core, sections, next);
                 }
                 continue;
             }
             if let Some(stalled_on) = core.stall_on {
                 match resolver.complete[stalled_on] {
                     Some(c) if c < cycle => core.stall_on = None,
-                    _ => continue,
+                    Some(_) => continue,
+                    // A stall with an unknown completion parks at the end
+                    // of its stall cycle; it never holds the fetch slot
+                    // across cycles.
+                    None => unreachable!("an in-place stall has a known completion"),
                 }
             }
             let sid = core.current.expect("checked above");
@@ -126,38 +134,56 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
                 // instruction (empty sources): the IP stays empty until
                 // the instruction executes.
                 core.stall_on = Some(seq);
+                newly_stalled.push(core_index);
             }
         }
 
         // Dependence resolution (the engine shared with the event-driven
-        // simulator); the completion list only matters to that engine.
+        // simulator).
         completions.clear();
         resolver.drain(&network, &core_of, &mut completions);
 
-        // Deadlock avoidance. A fetch stall can wait on a value produced
-        // by a section that is queued *behind* the stalled section on
-        // the same core (the "devil in the details" case the paper
-        // acknowledges). The chip is genuinely deadlocked only when a
-        // whole cycle makes no progress, no message is in flight *and* no
-        // stalled fetch stage has a known release cycle ahead of it — a
-        // stall whose control instruction already has a completion cycle
-        // releases by itself, and letting the heuristic fire early would
-        // silently produce optimistic timings. Only then release the
-        // stalled fetch stages: the stalled branches resolve out of order
-        // in the execute stage, as a real implementation must allow.
-        if fetched + resolver.resolved == progress_before && network.in_flight() == 0 && fetched < n
-        {
-            let release_is_pending = cores
-                .iter()
-                .any(|c| matches!(c.stall_on, Some(seq) if resolver.complete[seq].is_some()));
-            if !release_is_pending {
-                for core in &mut cores {
-                    if core.stall_on.is_some() {
-                        core.stall_on = None;
-                        forced_stall_releases += 1;
-                    }
+        // A completion that a parked section stalls on is its modeled
+        // release event: requeue the section on the first cycle after both
+        // the completion is known and its cycle is past.
+        if stalls.parked > 0 {
+            for &(seq, completion) in &completions {
+                if let Some(idx) = stalls.unpark(seq) {
+                    stalls.push_requeue((cycle + 1).max(completion + 1), idx, records[seq].section);
                 }
             }
+        }
+        // Dispatch the stalls created this cycle: a known completion
+        // (possibly resolved within this very cycle's drain) stalls in
+        // place — the per-cycle check above releases it once its cycle is
+        // past — while an unknown one hands the core off to its queued
+        // sections and parks.
+        for idx in newly_stalled.drain(..) {
+            let Some(seq) = cores[idx].stall_on else {
+                continue;
+            };
+            if resolver.complete[seq].is_none() {
+                stalls.park(idx, &mut cores[idx], seq);
+            }
+        }
+
+        // Deadlock detector. Under the handoff model every stall has a
+        // modeled release event, so a cycle can only make no progress with
+        // nothing in flight, nothing queued and no requeue pending if the
+        // trace is malformed. The detector escapes by abandoning the
+        // parked stalls (the branches resolve out of order in the execute
+        // stage) and counts the firing; the driver layer surfaces any
+        // non-zero count as an error.
+        if fetched + resolver.resolved == progress_before
+            && stalls.parked > 0
+            && fetched < n
+            && network.in_flight() == 0
+            && !stalls.pending_requeues()
+            && cores
+                .iter()
+                .all(|c| c.current.is_none() && c.queue.is_empty())
+        {
+            forced_stall_releases += stalls.force_release(cycle + 1, records);
         }
     }
 

@@ -14,12 +14,31 @@
 //!
 //! The timing layer is **event-driven**: instead of stepping the chip one
 //! cycle at a time and rescanning every core, the scheduler keeps a
-//! priority queue of per-core wake-up events (next fetch, section dequeue,
-//! stall release) plus the NoC's next message arrival
-//! ([`parsecs_noc::Network::next_arrival`]), and jumps the clock straight
-//! to the next event. Dependence resolution uses producer→consumer wake-up
-//! lists, so a queued instruction is touched only when one of its inputs
-//! completes. The original cycle-stepping loop is retained in
+//! two-level calendar queue of per-core wake-up events (next fetch,
+//! section dequeue, stall release) plus the NoC's next message arrival
+//! ([`parsecs_noc::Network::next_arrival`]) and the pending stall-handoff
+//! requeue events, and jumps the clock straight to the next event.
+//! Dependence resolution uses producer→consumer wake-up lists, so a
+//! queued instruction is touched only when one of its inputs completes.
+//!
+//! Fetch stalls follow the **in-order handoff model** (shared with the
+//! reference loop through [`StallTable`]): a control instruction whose
+//! sources are not full stalls the fetch stage. If the stall's release
+//! cycle is already known — the control instruction's completion has been
+//! resolved, locally or as the arrival cycle of the remote operand's NoC
+//! ack — the section keeps the fetch slot and resumes right after that
+//! cycle. If the release is *unknown*, the section **parks**: it registers
+//! on a wake list keyed to the stalled control instruction and hands the
+//! core back to its queued sections, so the chip keeps fetching the very
+//! producers the stall is waiting for. When the completion is discovered,
+//! an explicit requeue event puts the parked section back on its core's
+//! ready queue at the modeled release cycle. Every stall therefore has a
+//! modeled release event and well-formed traces never deadlock;
+//! [`SimStats::forced_stall_releases`] remains only as a deadlock
+//! *detector* (any firing flags a malformed trace and is surfaced as an
+//! error by the driver layer).
+//!
+//! The original cycle-stepping loop is retained in
 //! [`ManyCoreSim::simulate_reference`] and the two implementations are
 //! held bit-identical by differential tests (every [`SimResult`] field,
 //! including the per-instruction stage table and all statistics, must
@@ -77,61 +96,353 @@ pub(crate) struct Prepared {
     pub(crate) created_by: HashMap<usize, SectionId>,
 }
 
-/// One core of the event-driven scheduler.
+/// One core of the chip, as both timing engines model it.
 #[derive(Debug, Default)]
-struct EventCore {
-    queue: VecDeque<SectionId>,
-    current: Option<SectionId>,
-    next_seq: usize,
-    stall_on: Option<usize>,
-    sections_hosted: usize,
-    /// Cycle of this core's outstanding wake-up event, if any. Heap
-    /// entries that no longer match are stale and skipped on pop.
-    wake_at: Option<u64>,
+pub(crate) struct CoreState {
+    /// Sections delivered (or requeued) to this core, ready to fetch.
+    pub(crate) queue: VecDeque<SectionId>,
+    /// The section currently owning the fetch stage.
+    pub(crate) current: Option<SectionId>,
+    /// Next trace index the fetch stage will fetch from `current`.
+    pub(crate) next_seq: usize,
+    /// Trace index of the control instruction the fetch stage is stalled
+    /// on, when it is stalled in place (known release cycle).
+    pub(crate) stall_on: Option<usize>,
+    /// Total sections ever hosted (delivered) on this core.
+    pub(crate) sections_hosted: usize,
+    /// Cycle of this core's outstanding wake-up event, if any (event
+    /// engine only). Queue entries that no longer match are stale and
+    /// skipped on pop.
+    pub(crate) wake_at: Option<u64>,
+    /// Whether the core is in the event engine's run list (acts every
+    /// cycle). Event engine only.
+    pub(crate) running: bool,
+}
+
+/// The in-order fetch-stall handoff state shared by both timing engines.
+///
+/// A fetch stall whose control instruction has a *known* completion cycle
+/// waits in place (the release event is already modeled). A stall whose
+/// completion is still unknown **parks**: the section leaves the fetch
+/// slot, registers here keyed on the stalled instruction, and the core
+/// goes on to its queued sections. When the completion is discovered, a
+/// requeue event — ordered by `(cycle, core, section)` so both engines
+/// replay it identically — returns the section to its core's ready queue
+/// at the modeled release cycle (strictly after the completion, so the
+/// resumed fetch never re-stalls on the same instruction).
+pub(crate) struct StallTable {
+    /// Core index parked on each trace index (`usize::MAX` = none).
+    parked_core: Vec<usize>,
+    /// Per-section fetch resume point (`usize::MAX` = section start).
+    resume_at: Vec<usize>,
+    /// Pending `(cycle, core, section)` requeue events, earliest first.
+    requeue: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// Number of currently parked sections.
+    pub(crate) parked: usize,
+}
+
+impl StallTable {
+    pub(crate) fn new(instructions: usize, sections: usize) -> StallTable {
+        StallTable {
+            parked_core: vec![usize::MAX; instructions],
+            resume_at: vec![usize::MAX; sections],
+            requeue: BinaryHeap::new(),
+            parked: 0,
+        }
+    }
+
+    /// Makes `sid` the core's current section, resuming a parked section
+    /// at its saved fetch point and a fresh one at its start.
+    pub(crate) fn begin_section(
+        &mut self,
+        core: &mut CoreState,
+        sections: &[SectionSpan],
+        sid: SectionId,
+    ) {
+        core.current = Some(sid);
+        core.next_seq = match std::mem::replace(&mut self.resume_at[sid.0], usize::MAX) {
+            usize::MAX => sections[sid.0].start,
+            resume => resume,
+        };
+    }
+
+    /// Parks the core's current section on its stalled control
+    /// instruction `seq`: the section leaves the fetch slot and will be
+    /// requeued when `seq`'s completion is discovered.
+    pub(crate) fn park(&mut self, idx: usize, core: &mut CoreState, seq: usize) {
+        let sid = core.current.take().expect("a stalled core runs a section");
+        debug_assert_eq!(core.stall_on, Some(seq));
+        debug_assert_eq!(core.next_seq, seq + 1);
+        core.stall_on = None;
+        self.resume_at[sid.0] = core.next_seq;
+        self.parked_core[seq] = idx;
+        self.parked += 1;
+    }
+
+    /// If a section is parked on `seq`, removes it from the park list and
+    /// returns its core.
+    pub(crate) fn unpark(&mut self, seq: usize) -> Option<usize> {
+        match self.parked_core[seq] {
+            usize::MAX => None,
+            idx => {
+                self.parked_core[seq] = usize::MAX;
+                self.parked -= 1;
+                Some(idx)
+            }
+        }
+    }
+
+    /// Schedules section `sid` to rejoin core `idx`'s ready queue at
+    /// cycle `at`.
+    pub(crate) fn push_requeue(&mut self, at: u64, idx: usize, sid: SectionId) {
+        self.requeue.push(Reverse((at, idx, sid.0)));
+    }
+
+    /// The earliest pending requeue cycle.
+    pub(crate) fn next_requeue(&self) -> Option<u64> {
+        self.requeue.peek().map(|&Reverse((at, _, _))| at)
+    }
+
+    /// Whether any requeue event is pending.
+    pub(crate) fn pending_requeues(&self) -> bool {
+        !self.requeue.is_empty()
+    }
+
+    /// Pops the next requeue event due at or before `cycle`.
+    pub(crate) fn pop_due(&mut self, cycle: u64) -> Option<(usize, SectionId)> {
+        match self.requeue.peek() {
+            Some(&Reverse((at, idx, sid))) if at <= cycle => {
+                debug_assert_eq!(at, cycle, "requeue events are never skipped");
+                self.requeue.pop();
+                Some((idx, SectionId(sid)))
+            }
+            _ => None,
+        }
+    }
+
+    /// The deadlock *detector*'s escape: requeues every parked section at
+    /// cycle `at` with its stall abandoned (the branch resolves out of
+    /// order in the execute stage) and returns how many were released.
+    /// Well-formed traces never reach this — any firing is surfaced as an
+    /// error by the driver layer.
+    pub(crate) fn force_release(&mut self, at: u64, records: &[InstRecord]) -> u64 {
+        let mut released = 0u64;
+        for (seq, parked) in self.parked_core.iter_mut().enumerate() {
+            if *parked != usize::MAX {
+                let idx = std::mem::replace(parked, usize::MAX);
+                self.parked -= 1;
+                self.requeue
+                    .push(Reverse((at, idx, records[seq].section.0)));
+                released += 1;
+            }
+        }
+        released
+    }
+}
+
+/// Near-term window of the event scheduler's calendar queue, in cycles.
+/// Almost every wake-up is `cycle + 1` (the fetch continuation each
+/// instruction schedules) or `cycle + 2`; those land in a ring of vectors
+/// instead of paying a binary-heap push per fetched instruction.
+const NEAR_WINDOW: u64 = 8;
+
+/// Two-level per-core wake-up queue: a calendar ring for events within
+/// [`NEAR_WINDOW`] cycles of the clock and a binary heap for the far
+/// future. Entries are `(cycle, core)`; an entry is *stale* when the
+/// core's `wake_at` no longer matches (a sooner wake-up replaced it) and
+/// is dropped when its cycle is visited. The clock never jumps past a
+/// queued entry, so each ring slot only ever holds entries for the single
+/// in-window cycle it maps to.
+struct WakeQueue {
+    near: [Vec<(u64, usize)>; NEAR_WINDOW as usize],
+    far: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Number of entries across the `near` ring, so the common empty-ring
+    /// case skips the slot scan.
+    near_entries: usize,
+    /// Current clock; all queued entries are at cycles `>= horizon`.
+    horizon: u64,
+}
+
+impl WakeQueue {
+    fn new() -> WakeQueue {
+        WakeQueue {
+            near: std::array::from_fn(|_| Vec::new()),
+            far: BinaryHeap::new(),
+            near_entries: 0,
+            horizon: 0,
+        }
+    }
+
+    fn push(&mut self, at: u64, idx: usize) {
+        debug_assert!(at >= self.horizon);
+        if at < self.horizon + NEAR_WINDOW {
+            self.near[(at % NEAR_WINDOW) as usize].push((at, idx));
+            self.near_entries += 1;
+        } else {
+            self.far.push(Reverse((at, idx)));
+        }
+    }
+
+    /// The earliest cycle holding a queued entry (possibly a stale one —
+    /// visiting a stale cycle is a no-op that discards it).
+    fn next_at(&self) -> Option<u64> {
+        let mut best = self.far.peek().map(|&Reverse((at, _))| at);
+        if self.near_entries > 0 {
+            for cycle in self.horizon..self.horizon + NEAR_WINDOW {
+                if !self.near[(cycle % NEAR_WINDOW) as usize].is_empty() {
+                    best = Some(best.map_or(cycle, |b| b.min(cycle)));
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances the clock to `cycle`; subsequent pushes map into the ring
+    /// relative to it.
+    fn advance_to(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.horizon);
+        self.horizon = cycle;
+    }
+
+    /// Drains every entry due at `cycle` into `due` (unsorted core
+    /// indices; stale entries — whose core no longer wakes at `cycle` —
+    /// are filtered by the caller's `wake_at` check).
+    fn drain_due(&mut self, cycle: u64, due: &mut Vec<usize>) {
+        if self.near_entries > 0 {
+            let slot = &mut self.near[(cycle % NEAR_WINDOW) as usize];
+            debug_assert!(slot.iter().all(|&(at, _)| at == cycle));
+            self.near_entries -= slot.len();
+            due.extend(slot.drain(..).map(|(_, idx)| idx));
+        }
+        while let Some(&Reverse((at, idx))) = self.far.peek() {
+            if at > cycle {
+                break;
+            }
+            self.far.pop();
+            due.push(idx);
+        }
+    }
 }
 
 /// Registers `at` as `idx`'s next wake-up cycle (keeping the earlier one
 /// when the core already has a sooner event).
-fn schedule(
-    cores: &mut [EventCore],
-    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    idx: usize,
-    at: u64,
-) {
+fn schedule(cores: &mut [CoreState], queue: &mut WakeQueue, idx: usize, at: u64) {
     match cores[idx].wake_at {
         Some(existing) if existing <= at => {}
         _ => {
             cores[idx].wake_at = Some(at);
-            heap.push(Reverse((at, idx)));
+            queue.push(at, idx);
         }
     }
 }
 
-/// Clears every stalled fetch stage (the deadlock-avoidance heuristic) and
-/// schedules the released cores to resume fetching on the next cycle.
-/// Returns the number of cores that were actually stalled.
-fn force_release(
-    cores: &mut [EventCore],
-    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-    cycle: u64,
-    stalled_count: &mut usize,
-    stall_waiter_of: &mut [usize],
-    stall_waiting: &mut usize,
-) -> u64 {
-    let mut released = 0u64;
-    for idx in 0..cores.len() {
-        if let Some(seq) = cores[idx].stall_on {
-            cores[idx].stall_on = None;
-            if stall_waiter_of[seq] != usize::MAX {
-                stall_waiter_of[seq] = usize::MAX;
-                *stall_waiting -= 1;
-            }
-            released += 1;
-            schedule(cores, heap, idx, cycle + 1);
+/// The sorted set of cores that act on every cycle (fetching, dequeuing,
+/// or releasing a next-cycle stall), kept as an intrusive doubly-linked
+/// list over core indices so that the overwhelmingly common case — a core
+/// fetching straight-line code — costs *zero* scheduling work per cycle:
+/// the core simply stays in the list. Cores join when a calendar wake-up
+/// makes them act and leave when they go idle or wait on a far event.
+struct RunList {
+    head: usize,
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    len: usize,
+    /// Whether `head`/`next`/`prev` reflect the membership flags. Dense
+    /// cycles scan the core array and skip link maintenance entirely
+    /// (membership is just the per-core flag plus `len`); the links are
+    /// rebuilt in one pass when a sparse cycle needs to walk them again.
+    links_valid: bool,
+}
+
+const NO_CORE: usize = usize::MAX;
+
+impl RunList {
+    fn new(cores: usize) -> RunList {
+        RunList {
+            head: NO_CORE,
+            next: vec![NO_CORE; cores],
+            prev: vec![NO_CORE; cores],
+            len: 0,
+            links_valid: true,
         }
     }
-    *stalled_count = 0;
-    released
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops link maintenance until [`RunList::ensure_links`] (a dense
+    /// cycle is about to mutate membership through the flags alone).
+    fn invalidate_links(&mut self) {
+        self.links_valid = false;
+    }
+
+    /// Rebuilds the links from the membership flags if needed.
+    fn ensure_links(&mut self, cores: &[CoreState]) {
+        if self.links_valid {
+            return;
+        }
+        self.head = NO_CORE;
+        let mut last = NO_CORE;
+        for (idx, core) in cores.iter().enumerate() {
+            if core.running {
+                self.prev[idx] = last;
+                self.next[idx] = NO_CORE;
+                if last == NO_CORE {
+                    self.head = idx;
+                } else {
+                    self.next[last] = idx;
+                }
+                last = idx;
+            }
+        }
+        self.links_valid = true;
+    }
+
+    /// Inserts `idx`, keeping the links (when live) sorted by core index.
+    fn insert(&mut self, cores: &mut [CoreState], idx: usize) {
+        debug_assert!(!cores[idx].running);
+        cores[idx].running = true;
+        self.len += 1;
+        if !self.links_valid {
+            return;
+        }
+        let mut after = NO_CORE;
+        let mut cursor = self.head;
+        while cursor != NO_CORE && cursor < idx {
+            after = cursor;
+            cursor = self.next[cursor];
+        }
+        self.next[idx] = cursor;
+        self.prev[idx] = after;
+        if cursor != NO_CORE {
+            self.prev[cursor] = idx;
+        }
+        if after == NO_CORE {
+            self.head = idx;
+        } else {
+            self.next[after] = idx;
+        }
+    }
+
+    fn remove(&mut self, cores: &mut [CoreState], idx: usize) {
+        debug_assert!(cores[idx].running);
+        cores[idx].running = false;
+        self.len -= 1;
+        if !self.links_valid {
+            return;
+        }
+        let (p, n) = (self.prev[idx], self.next[idx]);
+        if p == NO_CORE {
+            self.head = n;
+        } else {
+            self.next[p] = n;
+        }
+        if n != NO_CORE {
+            self.prev[n] = p;
+        }
+    }
 }
 
 impl ManyCoreSim {
@@ -197,21 +508,23 @@ impl ManyCoreSim {
             core_of,
             mut network,
             created_by,
-        } = self.prepare(sections)?;
+        } = self.prepare(trace)?;
         let mut resolver = Resolver::new(&self.config, records, n);
 
-        let mut cores: Vec<EventCore> = (0..self.config.cores)
-            .map(|_| EventCore::default())
+        let mut cores: Vec<CoreState> = (0..self.config.cores)
+            .map(|_| CoreState::default())
             .collect();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        // Cores whose stalled control instruction has not completed yet,
-        // indexed by that instruction (`usize::MAX` = no waiter); woken by
-        // the resolver's completions. `stall_waiting` counts live entries.
-        let mut stall_waiter_of: Vec<usize> = vec![usize::MAX; n];
-        let mut stall_waiting = 0usize;
+        let mut wakes = WakeQueue::new();
+        let mut stalls = StallTable::new(n, sections.len());
+        let mut running = RunList::new(self.config.cores);
+        // Deferred run-list membership changes from the fetch phase
+        // (`true` = join, `false` = leave), applied after the walk so the
+        // dense path can scan `cores` with a single mutable borrow.
+        let mut membership: Vec<(usize, bool)> = Vec::new();
         let mut completions: Vec<(usize, u64)> = Vec::new();
         let mut newly_stalled: Vec<usize> = Vec::new();
-        let mut stalled_count = 0usize;
+        let mut due: Vec<usize> = Vec::new();
+        let mut delivered = Vec::new();
         let mut forced_stall_releases = 0u64;
 
         // The initial section is live from cycle 0 on its core; its first
@@ -221,7 +534,7 @@ impl ManyCoreSim {
             cores[root_core].current = Some(SectionId(0));
             cores[root_core].next_seq = sections[0].start;
             cores[root_core].sections_hosted = 1;
-            schedule(&mut cores, &mut heap, root_core, 1);
+            schedule(&mut cores, &mut wakes, root_core, 1);
         }
 
         let mut fetched = 0usize;
@@ -230,249 +543,292 @@ impl ManyCoreSim {
 
         while fetched < n || resolver.resolved < n {
             // --- pick the next cycle with an event -----------------------
-            let next_wake = loop {
-                match heap.peek() {
-                    Some(&Reverse((c, idx))) if cores[idx].wake_at != Some(c) => {
-                        heap.pop();
+            let target = if running.is_empty() {
+                let candidate = [
+                    wakes.next_at(),
+                    network.next_arrival(),
+                    stalls.next_requeue(),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                match candidate {
+                    Some(at) => at.max(cycle + 1),
+                    None => {
+                        // Nothing is scheduled, nothing is in flight and no
+                        // requeue is pending. Under the handoff model every
+                        // stall has a modeled release event, so this is a
+                        // genuine deadlock (a malformed trace): the detector
+                        // escapes by abandoning the parked stalls — counted,
+                        // and surfaced as an error by the driver layer.
+                        assert!(
+                            fetched < n && stalls.parked > 0,
+                            "many-core simulation deadlocked with no pending event at cycle {cycle}"
+                        );
+                        cycle += 1;
+                        assert!(
+                            cycle < safety,
+                            "many-core simulation did not converge after {cycle} cycles"
+                        );
+                        forced_stall_releases += stalls.force_release(cycle + 1, records);
+                        continue;
                     }
-                    Some(&Reverse((c, _))) => break Some(c),
-                    None => break None,
                 }
+            } else {
+                // The run-list fast path: at least one core acts on the
+                // very next cycle (queued events are never earlier).
+                cycle + 1
             };
-            let candidate = match (next_wake, network.next_arrival()) {
-                (Some(wake), Some(arrival)) => Some(wake.min(arrival)),
-                (wake, arrival) => wake.or(arrival),
-            };
-            let target = match candidate {
-                Some(at) => at.max(cycle + 1),
-                None => {
-                    // No event is scheduled and nothing is in flight: every
-                    // stalled fetch stage waits on a still-unknown
-                    // completion (a known one would have a wake-up event).
-                    // The reference loop would tick once, observe no
-                    // progress and force-release the stalled fetch stages.
-                    assert!(
-                        fetched < n && stalled_count > 0,
-                        "many-core simulation deadlocked with no pending event at cycle {cycle}"
-                    );
-                    cycle += 1;
-                    assert!(
-                        cycle < safety,
-                        "many-core simulation did not converge after {cycle} cycles"
-                    );
-                    forced_stall_releases += force_release(
-                        &mut cores,
-                        &mut heap,
-                        cycle,
-                        &mut stalled_count,
-                        &mut stall_waiter_of,
-                        &mut stall_waiting,
-                    );
-                    continue;
-                }
-            };
-            // The reference loop force-releases stalled fetch stages on any
-            // cycle that fetches nothing while no message is in flight and
-            // no stalled fetch has a known release cycle ahead of it. When
-            // the next event is more than one cycle away, cycle+1 is
-            // exactly such a cycle; replay the release there so the release
-            // (and the resumed fetches) land on the same cycles.
-            if target > cycle + 1
-                && stalled_count > 0
-                && stall_waiting == stalled_count
-                && network.in_flight() == 0
-                && fetched < n
-            {
-                cycle += 1;
-                assert!(
-                    cycle < safety,
-                    "many-core simulation did not converge after {cycle} cycles"
-                );
-                forced_stall_releases += force_release(
-                    &mut cores,
-                    &mut heap,
-                    cycle,
-                    &mut stalled_count,
-                    &mut stall_waiter_of,
-                    &mut stall_waiting,
-                );
-                continue;
-            }
             cycle = target;
             assert!(
                 cycle < safety,
                 "many-core simulation did not converge after {cycle} cycles"
             );
+            wakes.advance_to(cycle);
+
+            // --- requeue phase: parked sections whose stall released -----
+            while let Some((idx, sid)) = stalls.pop_due(cycle) {
+                cores[idx].queue.push_back(sid);
+                if cores[idx].current.is_none() && !cores[idx].running {
+                    // An idle core dequeues the resumed section this cycle.
+                    schedule(&mut cores, &mut wakes, idx, cycle);
+                }
+            }
 
             // --- deliver phase: section-creation messages ----------------
-            for envelope in network.deliver(cycle) {
+            network.deliver_into(cycle, &mut delivered);
+            for envelope in delivered.drain(..) {
                 let idx = envelope.dst.0;
                 let core = &mut cores[idx];
                 core.queue.push_back(envelope.payload);
                 core.sections_hosted += 1;
-                if core.current.is_none() {
+                if core.current.is_none() && !core.running {
                     // An idle core dequeues the message this very cycle.
-                    schedule(&mut cores, &mut heap, idx, cycle);
+                    schedule(&mut cores, &mut wakes, idx, cycle);
                 }
             }
 
             // --- fetch-decode phase: woken cores, in core-index order ----
-            let mut fetched_this_cycle = false;
-            while let Some(&Reverse((at, idx))) = heap.peek() {
-                if at > cycle {
-                    break;
-                }
-                heap.pop();
-                if cores[idx].wake_at != Some(at) {
-                    continue; // stale entry
-                }
-                cores[idx].wake_at = None;
+            // The run list holds every core acting this cycle (sorted);
+            // calendar wake-ups (`due`) — section arrivals at idle cores
+            // and in-place stall releases — are merged in by a two-pointer
+            // walk when present. A due core whose `wake_at` no longer
+            // matches is stale and skipped; run-list members carry no
+            // `wake_at`, so a stale calendar entry can never
+            // double-process a member. The per-core step is a macro so the
+            // common no-wake-up cycle walks the run list with no picker
+            // overhead.
+            due.clear();
+            wakes.drain_due(cycle, &mut due);
+            macro_rules! step_core {
+                ($idx:expr, $is_member:expr, $core:expr) => {{
+                    let idx = $idx;
+                    let is_member = $is_member;
+                    let core: &mut CoreState = $core;
 
-                if cores[idx].current.is_none() {
-                    // Dequeuing the next section-creation message consumes
-                    // this cycle; fetch starts on the next one.
-                    if let Some(next) = cores[idx].queue.pop_front() {
-                        cores[idx].current = Some(next);
-                        cores[idx].next_seq = sections[next.0].start;
-                        schedule(&mut cores, &mut heap, idx, cycle + 1);
-                    }
-                    continue;
-                }
-                if let Some(stalled_on) = cores[idx].stall_on {
-                    match resolver.complete[stalled_on] {
-                        Some(c) if c < cycle => {
-                            cores[idx].stall_on = None;
-                            stalled_count -= 1;
-                        }
-                        Some(c) => {
-                            // Spurious wake: the stall releases once the
-                            // control instruction's completion is past.
-                            schedule(&mut cores, &mut heap, idx, c + 1);
-                            continue;
-                        }
-                        None => {
-                            if stall_waiter_of[stalled_on] == usize::MAX {
-                                stall_waiting += 1;
+                    if core.current.is_none() {
+                        // Dequeuing the next ready section consumes this
+                        // cycle; fetch starts on the next one.
+                        if let Some(next) = core.queue.pop_front() {
+                            stalls.begin_section(core, sections, next);
+                            if !is_member {
+                                membership.push((idx, true));
                             }
-                            stall_waiter_of[stalled_on] = idx;
-                            continue;
+                        } else if is_member {
+                            membership.push((idx, false));
+                        }
+                        continue;
+                    }
+                    if let Some(stalled_on) = core.stall_on {
+                        match resolver.complete[stalled_on] {
+                            Some(c) if c < cycle => {
+                                core.stall_on = None;
+                            }
+                            Some(c) => {
+                                // The stall releases once the control
+                                // instruction's completion is past.
+                                if c + 1 == cycle + 1 {
+                                    if !is_member {
+                                        membership.push((idx, true));
+                                    }
+                                } else {
+                                    if is_member {
+                                        membership.push((idx, false));
+                                    }
+                                    core.wake_at = Some(c + 1);
+                                    wakes.push(c + 1, idx);
+                                }
+                                continue;
+                            }
+                            // A stall with an unknown completion parks at
+                            // the end of its stall cycle; it never holds
+                            // the fetch slot across cycles.
+                            None => unreachable!("an in-place stall has a known completion"),
                         }
                     }
-                }
-                let sid = cores[idx].current.expect("checked above");
-                let span = &sections[sid.0];
-                if cores[idx].next_seq >= span.end {
-                    cores[idx].current = None;
-                    if !cores[idx].queue.is_empty() {
-                        schedule(&mut cores, &mut heap, idx, cycle + 1);
+                    let sid = core.current.expect("checked above");
+                    let span = &sections[sid.0];
+                    if core.next_seq >= span.end {
+                        core.current = None;
+                        if core.queue.is_empty() {
+                            if is_member {
+                                membership.push((idx, false));
+                            }
+                        } else if !is_member {
+                            membership.push((idx, true));
+                        }
+                        continue;
                     }
-                    continue;
-                }
-                let seq = cores[idx].next_seq;
-                let record = &records[seq];
-                resolver.fetch(seq, cycle);
-                fetched += 1;
-                fetched_this_cycle = true;
-                cores[idx].next_seq += 1;
+                    let seq = core.next_seq;
+                    let record = &records[seq];
+                    resolver.fetch(seq, cycle);
+                    fetched += 1;
+                    core.next_seq += 1;
 
-                // A fork sends a section-creation message to the host core
-                // of the created section.
-                if record.kind == TraceKind::Fork {
-                    if let Some(&child) = created_by.get(&seq) {
-                        network.send(CoreId(idx), core_of[child.0], child, cycle);
+                    // A fork sends a section-creation message to the host
+                    // core of the created section.
+                    if record.kind == TraceKind::Fork {
+                        if let Some(&child) = created_by.get(&seq) {
+                            network.send(CoreId(idx), core_of[child.0], child, cycle);
+                        }
                     }
-                }
 
-                let ends_section = record.kind == TraceKind::EndFork
-                    || record.kind == TraceKind::Halt
-                    || cores[idx].next_seq >= span.end;
-                if ends_section {
-                    cores[idx].current = None;
-                    if !cores[idx].queue.is_empty() {
-                        schedule(&mut cores, &mut heap, idx, cycle + 1);
+                    let ends_section = record.kind == TraceKind::EndFork
+                        || record.kind == TraceKind::Halt
+                        || core.next_seq >= span.end;
+                    if ends_section {
+                        core.current = None;
+                        if core.queue.is_empty() {
+                            if is_member {
+                                membership.push((idx, false));
+                            }
+                        } else if !is_member {
+                            membership.push((idx, true));
+                        }
+                    } else if self.config.fetch_stalls_on_unresolved_control
+                        && record.is_control
+                        && !fetch_computable(record, &resolver.complete, cycle)
+                    {
+                        // The fetch stage could not compute this control
+                        // instruction (empty sources): the IP stays empty
+                        // until the instruction executes. Tentatively keep
+                        // the core running; the post-drain dispatch below
+                        // parks or reschedules it if the stall spans
+                        // cycles.
+                        core.stall_on = Some(seq);
+                        newly_stalled.push(idx);
+                        if !is_member {
+                            membership.push((idx, true));
+                        }
+                    } else if !is_member {
+                        // Fetch continuation: members stay in the run list
+                        // at zero cost, joiners enter it.
+                        membership.push((idx, true));
                     }
-                } else if self.config.fetch_stalls_on_unresolved_control
-                    && record.is_control
-                    && !fetch_computable(record, &resolver.complete, cycle)
-                {
-                    // The fetch stage could not compute this control
-                    // instruction (empty sources): the IP stays empty until
-                    // the instruction executes.
-                    cores[idx].stall_on = Some(seq);
-                    stalled_count += 1;
-                    newly_stalled.push(idx);
-                } else {
-                    schedule(&mut cores, &mut heap, idx, cycle + 1);
+                }};
+            }
+            if 2 * running.len >= self.config.cores {
+                // Dense path: most cores act every cycle, so a linear scan
+                // of the core array (the reference loop's shape, minus the
+                // idle-core queue probes) beats walking the list. Calendar
+                // wake-ups due now are exactly the non-members whose
+                // `wake_at` matches, so the scan covers them in index
+                // order and the drained entries are dropped. Membership
+                // updates go through the flags alone; the links are
+                // rebuilt when a sparse cycle next needs them.
+                running.invalidate_links();
+                for (idx, core) in cores.iter_mut().enumerate() {
+                    let is_member = core.running;
+                    if !is_member {
+                        if core.wake_at != Some(cycle) {
+                            continue;
+                        }
+                        core.wake_at = None;
+                    }
+                    step_core!(idx, is_member, core);
+                }
+            } else {
+                // Sparse path: walk the run-list members, merging in the
+                // calendar wake-ups (rare) by a two-pointer pass.
+                running.ensure_links(&cores);
+                due.sort_unstable();
+                let mut di = 0usize;
+                let mut cursor = running.head;
+                loop {
+                    // Pick the smaller of the next due core and the next
+                    // member; a due entry for a member is stale (skipped).
+                    let (idx, is_member) = match (due.get(di), cursor) {
+                        (Some(&d), cur) if cur == NO_CORE || d <= cur => {
+                            di += 1;
+                            if cores[d].wake_at != Some(cycle) {
+                                continue; // stale entry
+                            }
+                            cores[d].wake_at = None;
+                            (d, false)
+                        }
+                        (_, cur) if cur != NO_CORE => {
+                            cursor = running.next[cur];
+                            (cur, true)
+                        }
+                        _ => break,
+                    };
+                    step_core!(idx, is_member, &mut cores[idx]);
                 }
             }
+            // Apply the walk's membership changes before anything below
+            // consults or edits the run list.
+            for &(idx, join) in &membership {
+                if join {
+                    running.insert(&mut cores, idx);
+                } else {
+                    running.remove(&mut cores, idx);
+                }
+            }
+            membership.clear();
 
             // --- dependence resolution -----------------------------------
             completions.clear();
             resolver.drain(&network, &core_of, &mut completions);
 
-            // Wake fetch stages stalled on a value that just completed: the
-            // stall releases on the first cycle after both the completion
-            // is known (next cycle at the earliest) and its value is past.
-            if stall_waiting > 0 {
+            // A completion that a parked section stalls on is its modeled
+            // release event: requeue the section on the first cycle after
+            // both the completion is known and its cycle is past.
+            if stalls.parked > 0 {
                 for &(seq, completion) in &completions {
-                    let idx = stall_waiter_of[seq];
-                    if idx != usize::MAX {
-                        stall_waiter_of[seq] = usize::MAX;
-                        stall_waiting -= 1;
-                        if cores[idx].stall_on == Some(seq) {
-                            schedule(&mut cores, &mut heap, idx, (cycle + 1).max(completion + 1));
-                        }
-                        if stall_waiting == 0 {
-                            break;
-                        }
+                    if let Some(idx) = stalls.unpark(seq) {
+                        stalls.push_requeue(
+                            (cycle + 1).max(completion + 1),
+                            idx,
+                            records[seq].section,
+                        );
                     }
                 }
             }
-            // A control instruction that stalled this cycle may have
-            // resolved within this very cycle's drain.
+            // Dispatch the stalls created this cycle (all still in the run
+            // list): a known completion (possibly resolved within this
+            // very cycle's drain) stalls in place until just past it; an
+            // unknown one hands the core off to its queued sections and
+            // parks.
             for idx in newly_stalled.drain(..) {
                 let Some(seq) = cores[idx].stall_on else {
                     continue;
                 };
                 match resolver.complete[seq] {
                     Some(c) => {
-                        schedule(&mut cores, &mut heap, idx, (cycle + 1).max(c + 1));
+                        let wake = (cycle + 1).max(c + 1);
+                        if wake > cycle + 1 {
+                            running.remove(&mut cores, idx);
+                            cores[idx].wake_at = Some(wake);
+                            wakes.push(wake, idx);
+                        }
                     }
                     None => {
-                        if stall_waiter_of[seq] == usize::MAX {
-                            stall_waiting += 1;
+                        stalls.park(idx, &mut cores[idx], seq);
+                        if cores[idx].queue.is_empty() {
+                            running.remove(&mut cores, idx);
                         }
-                        stall_waiter_of[seq] = idx;
                     }
                 }
-            }
-
-            // Deadlock avoidance. A fetch stall can wait on a value produced
-            // by a section that is queued *behind* the stalled section on
-            // the same core (the "devil in the details" case the paper
-            // acknowledges). The chip is genuinely deadlocked only when a
-            // whole cycle fetches nothing, no message is in flight *and*
-            // every stalled fetch stage waits on a still-unknown completion
-            // (`stall_waiters` holds exactly those cores — a stall with a
-            // known completion releases by itself at a scheduled wake-up,
-            // and releasing it early would silently produce optimistic
-            // timings). Only then release the stalled fetch stages: the
-            // stalled branches resolve out of order in the execute stage,
-            // as a real implementation must allow.
-            if !fetched_this_cycle
-                && network.in_flight() == 0
-                && fetched < n
-                && stalled_count > 0
-                && stall_waiting == stalled_count
-            {
-                forced_stall_releases += force_release(
-                    &mut cores,
-                    &mut heap,
-                    cycle,
-                    &mut stalled_count,
-                    &mut stall_waiter_of,
-                    &mut stall_waiting,
-                );
             }
         }
 
@@ -488,8 +844,9 @@ impl ManyCoreSim {
     }
 
     /// Validates the placement and builds the shared pre-timing state.
-    pub(crate) fn prepare(&self, sections: &[SectionSpan]) -> Result<Prepared, SimError> {
-        let core_of = self.place(sections)?;
+    pub(crate) fn prepare(&self, trace: &SectionedTrace) -> Result<Prepared, SimError> {
+        let sections = trace.sections();
+        let core_of = self.place(trace)?;
         let topology = self.config.effective_topology();
         let network: Network<SectionId> = Network::new(topology, self.config.noc);
 
@@ -576,10 +933,19 @@ impl ManyCoreSim {
     }
 
     /// Delegates the section-to-core assignment to the configured
-    /// [`crate::PlacementPolicy`] and validates its output.
-    fn place(&self, sections: &[SectionSpan]) -> Result<Vec<CoreId>, SimError> {
+    /// [`crate::PlacementPolicy`] and validates its output. Policies that
+    /// ask for them get the trace's cross-section dependences.
+    fn place(&self, trace: &SectionedTrace) -> Result<Vec<CoreId>, SimError> {
+        let sections = trace.sections();
         let chip = self.config.chip_view();
-        let core_of = self.config.placement.assign(sections, &chip);
+        let core_of = if self.config.placement.wants_dependences() {
+            let deps = crate::SectionDeps::from_records(sections.len(), trace.records());
+            self.config
+                .placement
+                .assign_with_deps(sections, &chip, &deps)
+        } else {
+            self.config.placement.assign(sections, &chip)
+        };
         if core_of.len() != sections.len() {
             return Err(SimError::Config(format!(
                 "placement policy '{}' assigned {} cores for {} sections",
@@ -1111,6 +1477,92 @@ mod tests {
     fn well_formed_runs_never_need_forced_stall_releases() {
         let result = sim_sum(&[4, 2, 6, 4, 5], SimConfig::with_cores(8));
         assert_eq!(result.stats.forced_stall_releases, 0);
+    }
+
+    /// The scenario that used to drive the retired force-release
+    /// heuristic: forked leaves bump shared counters through a
+    /// load–conditional–store whose conditional depends on the *loaded*
+    /// value, so a leaf's fetch stage waits on the previous writer of the
+    /// same word — wherever on the chip (or how deep in a core's queue)
+    /// that writer is. Under the handoff model the stalled section parks,
+    /// the core keeps fetching the producers, and an explicit requeue
+    /// event resumes it: the detector stays silent on every chip shape.
+    #[test]
+    fn contended_writer_chains_park_and_resume_without_forced_releases() {
+        let program = parsecs_asm::assemble(
+            "w:     .quad 0, 0
+main:   fork t0
+        fork t1
+        fork t2
+        fork t3
+        movq $w, %rcx
+        movq 0(%rcx), %rax
+        addq 8(%rcx), %rax
+        out  %rax
+        halt
+t0:     movq $w, %rcx
+        movq 0(%rcx), %rax
+        cmpq $0, %rax
+        je .a0
+.a0:    addq $1, %rax
+        movq %rax, 0(%rcx)
+        movq 8(%rcx), %rbx
+        cmpq $0, %rbx
+        je .b0
+.b0:    addq $3, %rbx
+        movq %rbx, 8(%rcx)
+        endfork
+t1:     movq $w, %rcx
+        movq 8(%rcx), %rax
+        cmpq $0, %rax
+        je .a1
+.a1:    addq $1, %rax
+        movq %rax, 8(%rcx)
+        endfork
+t2:     movq $w, %rcx
+        movq 0(%rcx), %rax
+        cmpq $0, %rax
+        je .a2
+.a2:    addq $5, %rax
+        movq %rax, 0(%rcx)
+        endfork
+t3:     movq $w, %rcx
+        movq 8(%rcx), %rax
+        cmpq $0, %rax
+        je .a3
+.a3:    addq $7, %rax
+        movq %rax, 8(%rcx)
+        endfork",
+        )
+        .expect("assembles");
+        let mut configs = vec![
+            SimConfig::with_cores(1),
+            SimConfig::with_cores(2),
+            SimConfig::with_cores(5),
+        ];
+        let mut tight = SimConfig::with_cores(2);
+        tight.max_sections_per_core = 1;
+        tight.noc.link_bandwidth = Some(1);
+        configs.push(tight);
+        let mut slow = SimConfig::with_cores(4);
+        slow.topology = Some(parsecs_noc::Topology::mesh(2, 2));
+        slow.noc.base_latency = 9;
+        slow.noc.per_hop_latency = 5;
+        configs.push(slow);
+        for config in configs {
+            let sim = ManyCoreSim::new(config);
+            let event = sim.run(&program).expect("simulates");
+            let reference = sim.run_reference(&program).expect("reference simulates");
+            assert_eq!(event, reference, "{:?}", sim.config());
+            // 0+1+5 = 6 and 0+3+1+7 = 11.
+            assert_eq!(event.outputs, vec![17], "{:?}", sim.config());
+            assert_eq!(
+                event.stats.forced_stall_releases,
+                0,
+                "the detector fired under {:?}",
+                sim.config()
+            );
+        }
     }
 
     /// The tentpole contract: the event-driven engine and the retained

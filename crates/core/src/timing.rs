@@ -85,12 +85,16 @@ pub struct SimStats {
     pub fork_copied_sources: u64,
     /// Memory sources served by the loader / data memory hierarchy.
     pub dmh_accesses: u64,
-    /// Times the deadlock-avoidance heuristic forcibly released a stalled
-    /// fetch stage (one count per core released). A forced release lets a
-    /// control instruction resolve out of order instead of waiting for a
-    /// value produced by a section queued behind it on the same core; a
-    /// non-zero count means the reported timings are optimistic for those
-    /// fetches, so well-formed runs are expected to keep this at zero.
+    /// Times the deadlock *detector* forcibly released a stalled fetch
+    /// stage (one count per section released). Under the in-order
+    /// fetch-stall handoff model a stall with an unknown release parks
+    /// its section and is requeued by an explicit wake event, so every
+    /// well-formed trace completes with this at zero — provably: every
+    /// stalled control instruction waits only on earlier-trace producers,
+    /// which the freed fetch slot keeps fetching. Any firing therefore
+    /// flags a malformed trace (or a simulator bug) and makes the
+    /// reported timings untrustworthy; the driver layer surfaces it as
+    /// `DriverError::Deadlock` instead of producing a report.
     pub forced_stall_releases: u64,
     /// Largest number of sections hosted by a single core.
     pub peak_sections_per_core: usize,

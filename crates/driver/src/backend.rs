@@ -216,6 +216,14 @@ impl ExecutionBackend for ManyCoreBackend {
         let mut config = self.config.clone();
         config.fuel = fuel;
         let result = ManyCoreSim::new(config).run(program)?;
+        // The simulated timings must never rest on the deadlock
+        // detector's escape: a forced stall release means the stall/wake
+        // model broke down and the cycle counts are not trustworthy.
+        if result.stats.forced_stall_releases > 0 {
+            return Err(DriverError::Deadlock {
+                forced_stall_releases: result.stats.forced_stall_releases,
+            });
+        }
         Ok(RunReport {
             backend: self.name(),
             outputs: result.outputs.clone(),

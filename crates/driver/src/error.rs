@@ -13,6 +13,15 @@ pub enum DriverError {
     Machine(MachineError),
     /// The many-core simulator failed.
     Sim(SimError),
+    /// The many-core simulator's deadlock detector fired: the run only
+    /// completed by forcibly releasing stalled fetch stages, so its
+    /// timings are not trustworthy. Under the in-order fetch-stall
+    /// handoff model this never happens on well-formed programs; any
+    /// firing indicates a malformed trace or a simulator bug.
+    Deadlock {
+        /// How many stalled fetch stages the detector had to release.
+        forced_stall_releases: u64,
+    },
     /// The runner or sweep itself was misconfigured (e.g. no backend).
     Config(String),
 }
@@ -22,6 +31,13 @@ impl fmt::Display for DriverError {
         match self {
             DriverError::Machine(e) => write!(f, "machine: {e}"),
             DriverError::Sim(e) => write!(f, "simulator: {e}"),
+            DriverError::Deadlock {
+                forced_stall_releases,
+            } => write!(
+                f,
+                "simulator deadlock: {forced_stall_releases} forced stall release(s); \
+                 the timing model is not trustworthy for this run"
+            ),
             DriverError::Config(msg) => write!(f, "driver configuration: {msg}"),
         }
     }
@@ -32,6 +48,7 @@ impl Error for DriverError {
         match self {
             DriverError::Machine(e) => Some(e),
             DriverError::Sim(e) => Some(e),
+            DriverError::Deadlock { .. } => None,
             DriverError::Config(_) => None,
         }
     }

@@ -81,10 +81,13 @@ impl RunReport {
         }
     }
 
-    /// How many times the many-core simulator's deadlock-avoidance
-    /// heuristic forcibly released a stalled fetch stage (`None` for the
-    /// other backends, which have no such heuristic). A non-zero count
-    /// flags optimistic timings; well-formed runs keep it at zero.
+    /// How many times the many-core simulator's deadlock *detector*
+    /// forcibly released a stalled fetch stage (`None` for the other
+    /// backends, which have no such machinery). Under the in-order
+    /// fetch-stall handoff model every stall has an explicit release
+    /// event, so this is zero on every well-formed run —
+    /// [`crate::ManyCoreBackend`] refuses to produce a report at all
+    /// (returning [`crate::DriverError::Deadlock`]) when it is not.
     pub fn forced_stall_releases(&self) -> Option<u64> {
         self.sim().map(|r| r.stats.forced_stall_releases)
     }

@@ -1,8 +1,10 @@
 //! Design-space sweeps: fan programs across backend configurations on a
-//! thread pool.
+//! bounded thread pool, streaming results out in grid order.
 
+use std::collections::BTreeMap;
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 use std::thread;
 
 use parsecs_isa::Program;
@@ -165,23 +167,58 @@ impl Sweep {
 
     /// Runs every cell and returns the points in grid order.
     pub fn run(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        self.run_with(|point| points.push(point));
+        points
+    }
+
+    /// Runs every cell on a bounded worker pool (at most
+    /// `available_parallelism` threads unless capped tighter with
+    /// [`Sweep::threads`]) and hands each finished [`SweepPoint`] to
+    /// `on_point` **in grid order, as soon as it is ready**. Unlike
+    /// [`Sweep::run`], nothing is retained after the callback returns,
+    /// and workers do not claim cells more than a small window ahead of
+    /// the emission front, so a large grid's memory footprint is bounded
+    /// by that window instead of the whole result set — a `RunReport` of
+    /// the many-core backend carries the full per-instruction stage
+    /// table, so this matters.
+    ///
+    /// Returns the number of cells run.
+    pub fn run_with(&self, mut on_point: impl FnMut(SweepPoint)) -> usize {
         let cells = self.len();
         if cells == 0 {
-            return Vec::new();
+            return 0;
         }
         let hardware = thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let workers = self.threads.unwrap_or(hardware).min(cells).max(1);
+        // At most this many finished-but-unemitted points exist at once:
+        // a worker does not claim a cell further than the window ahead of
+        // the emission front. The worker on the front cell itself is
+        // never gated (its cell index equals the front), so the pipeline
+        // cannot stall.
+        let window = 2 * workers;
 
         let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(cells));
+        let next = &next;
+        let emitted = AtomicUsize::new(0);
+        let emitted = &emitted;
+        let (tx, rx) = mpsc::sync_channel::<(usize, SweepPoint)>(workers);
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
                     let cell = next.fetch_add(1, Ordering::Relaxed);
                     if cell >= cells {
                         break;
+                    }
+                    // Backpressure: wait for the emission front before
+                    // running far-ahead cells, so a slow front cell (or a
+                    // slow consumer) cannot make the reorder buffer grow
+                    // toward the whole grid.
+                    while cell > emitted.load(Ordering::Acquire) + window {
+                        thread::park_timeout(std::time::Duration::from_millis(1));
                     }
                     let (label, program) = &self.programs[cell / self.backends.len()];
                     let backend = &self.backends[cell % self.backends.len()];
@@ -194,17 +231,82 @@ impl Sweep {
                         backend: backend.name(),
                         outcome,
                     };
-                    collected
-                        .lock()
-                        .expect("no panics while holding the lock")
-                        .push((cell, point));
+                    if tx.send((cell, point)).is_err() {
+                        break; // receiver gone: the scope is unwinding
+                    }
                 });
             }
-        });
+            drop(tx);
 
-        let mut indexed = collected.into_inner().expect("workers joined");
-        indexed.sort_by_key(|(cell, _)| *cell);
-        indexed.into_iter().map(|(_, point)| point).collect()
+            // Reorder buffer: emit points in grid order as soon as the
+            // next expected cell has arrived.
+            let mut pending: BTreeMap<usize, SweepPoint> = BTreeMap::new();
+            let mut next_emit = 0usize;
+            for (cell, point) in rx {
+                pending.insert(cell, point);
+                while let Some(point) = pending.remove(&next_emit) {
+                    on_point(point);
+                    next_emit += 1;
+                    emitted.store(next_emit, Ordering::Release);
+                }
+            }
+            debug_assert!(pending.is_empty());
+        });
+        cells
+    }
+
+    /// Runs every cell, streaming each point's JSON row to `out` as soon
+    /// as it is ready (one object per line, a well-formed JSON array once
+    /// the sweep finishes). Combined with the bounded pool this keeps the
+    /// memory footprint of arbitrarily large grids flat: no point is
+    /// buffered after its row is written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error.
+    pub fn run_json<W: Write>(&self, out: W) -> io::Result<usize> {
+        self.run_json_with(out, |_| {})
+    }
+
+    /// Like [`Sweep::run_json`], but also hands each point to `on_point`
+    /// (still in grid order, before its row is written) — the hook a
+    /// repro binary uses to print a progress table while the artefact
+    /// streams, without duplicating the array framing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error.
+    pub fn run_json_with<W: Write>(
+        &self,
+        mut out: W,
+        mut on_point: impl FnMut(&SweepPoint),
+    ) -> io::Result<usize> {
+        out.write_all(b"[\n")?;
+        let mut write_error = None;
+        let mut emitted = 0usize;
+        let cells = self.run_with(|point| {
+            on_point(&point);
+            if write_error.is_some() {
+                return;
+            }
+            let row = point.to_json();
+            let result = if emitted == 0 {
+                write!(out, "  {row}")
+            } else {
+                write!(out, ",\n  {row}")
+            }
+            .and_then(|()| out.flush());
+            if let Err(e) = result {
+                write_error = Some(e);
+            }
+            emitted += 1;
+        });
+        if let Some(e) = write_error {
+            return Err(e);
+        }
+        out.write_all(b"\n]\n")?;
+        out.flush()?;
+        Ok(cells)
     }
 }
 
@@ -298,5 +400,54 @@ mod tests {
     fn empty_sweep_is_empty() {
         assert!(Sweep::new().is_empty());
         assert!(Sweep::new().run().is_empty());
+        assert_eq!(Sweep::new().run_with(|_| panic!("no cells")), 0);
+        let mut out = Vec::new();
+        assert_eq!(Sweep::new().run_json(&mut out).unwrap(), 0);
+        assert_eq!(String::from_utf8(out).unwrap(), "[\n\n]\n");
+    }
+
+    #[test]
+    fn run_with_streams_points_in_grid_order() {
+        let sweep = Sweep::new()
+            .fuel(100_000)
+            .program("a", sum::fork_program(&[1, 2]))
+            .program("b", sum::fork_program(&[3, 4]))
+            .backend(SequentialBackend)
+            .manycore_cores(&[2, 4]);
+        let mut seen = Vec::new();
+        let cells = sweep.run_with(|point| {
+            seen.push((point.program.clone(), point.backend.clone()));
+        });
+        assert_eq!(cells, 6);
+        assert_eq!(seen.len(), 6);
+        // Grid order: programs outermost, backends in registration order.
+        assert_eq!(
+            seen,
+            vec![
+                ("a".into(), "sequential".into()),
+                ("a".into(), "manycore:2c:round-robin".into()),
+                ("a".into(), "manycore:4c:round-robin".into()),
+                ("b".into(), "sequential".into()),
+                ("b".into(), "manycore:2c:round-robin".into()),
+                ("b".into(), "manycore:4c:round-robin".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_json_streams_the_same_array_sweep_to_json_builds() {
+        let build = || {
+            Sweep::new()
+                .fuel(100_000)
+                .program("sum", sum::fork_program(&[4, 2, 6, 4, 5]))
+                .backend(SequentialBackend)
+                .manycore_cores(&[4])
+        };
+        let mut streamed = Vec::new();
+        build().run_json(&mut streamed).unwrap();
+        let streamed = String::from_utf8(streamed).unwrap();
+        let buffered = sweep_to_json(&build().run());
+        assert_eq!(streamed, buffered);
+        assert!(streamed.contains("\"outputs\":[21]"));
     }
 }

@@ -208,7 +208,14 @@ impl<T: Eq> Network<T> {
     /// each message's actual delivery cycle.
     pub fn deliver(&mut self, now: u64) -> Vec<Envelope<T>> {
         let mut delivered = Vec::new();
+        self.deliver_into(now, &mut delivered);
+        delivered
+    }
 
+    /// Like [`Network::deliver`], but appends into a caller-provided
+    /// buffer instead of allocating one — the form an event-driven caller
+    /// uses on its hot loop (one `deliver` per event cycle).
+    pub fn deliver_into(&mut self, now: u64, delivered: &mut Vec<Envelope<T>>) {
         // One pass per distinct arrival cycle ≤ `now`, each with a fresh
         // per-destination budget. Postponed messages re-enter the heap one
         // cycle later, so the outer loop revisits them while they are due.
@@ -245,7 +252,6 @@ impl<T: Eq> Network<T> {
                 self.pending.push(item);
             }
         }
-        delivered
     }
 }
 

@@ -8,7 +8,7 @@ use parsecs::cc::Backend;
 use parsecs::driver::{IlpBackend, ManyCoreBackend, Runner, SequentialBackend, Sweep};
 use parsecs::isa::Program;
 use parsecs::workloads::pbbs::Benchmark;
-use parsecs::workloads::sum;
+use parsecs::workloads::{scale, sum};
 
 fn fork_workloads(size: usize) -> Vec<(String, Program)> {
     let data: Vec<u64> = (1..=size as u64).collect();
@@ -59,6 +59,30 @@ fn all_three_backends_report_identical_outputs_across_sizes() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn fork_heavy_histogram_runs_cleanly_through_the_driver() {
+    // The unsorted histogram's cross-section writer chains used to lean
+    // on the forced-stall-release heuristic (~1 release per key at
+    // benchmark scale). Under the in-order handoff model the run must
+    // complete with the detector silent — a firing now surfaces as
+    // `DriverError::Deadlock` instead of an optimistic report.
+    let (keys, buckets, seed) = (300, 8, 11);
+    let program = scale::histogram_program(keys, buckets, seed);
+    for cores in [1, 4, 64] {
+        let report = Runner::new(&program)
+            .fuel(10_000_000)
+            .on(ManyCoreBackend::with_cores(cores))
+            .run()
+            .unwrap_or_else(|e| panic!("{cores} cores: {e}"));
+        assert_eq!(
+            report.outputs,
+            scale::histogram_expected(keys, buckets, seed),
+            "{cores} cores"
+        );
+        assert_eq!(report.forced_stall_releases(), Some(0), "{cores} cores");
     }
 }
 

@@ -11,7 +11,7 @@
 //! timing, ejection bandwidth, section capacity, renaming-walk and DMH
 //! charges, fetch-stall mode) and asserts full equality.
 
-use parsecs::core::{LoadAware, ManyCoreSim, Placement, SimConfig};
+use parsecs::core::{ChainAffine, LoadAware, ManyCoreSim, Placement, SimConfig};
 use parsecs::noc::{NocConfig, Topology};
 use proptest::prelude::*;
 
@@ -158,10 +158,11 @@ fn random_program(seed: u64) -> parsecs::isa::Program {
 fn random_config(gen: &mut Gen) -> SimConfig {
     let cores = [1usize, 2, 3, 4, 6, 8, 16, 64][gen.below(8) as usize];
     let mut config = SimConfig::with_cores(cores);
-    config = match gen.below(3) {
+    config = match gen.below(4) {
         0 => config.with_placement(Placement::RoundRobin),
         1 => config.with_placement(Placement::LeastLoaded),
-        _ => config.with_placement(LoadAware),
+        2 => config.with_placement(LoadAware),
+        _ => config.with_placement(ChainAffine),
     };
     config.noc = NocConfig {
         base_latency: gen.below(4),
@@ -205,8 +206,127 @@ proptest! {
                 seed,
                 sim.config()
             );
+            // Every stall has a modeled release event under the handoff
+            // model, so the deadlock detector must never fire on a
+            // well-formed trace, whatever the chip looks like.
+            prop_assert_eq!(
+                event.stats.forced_stall_releases,
+                0,
+                "seed {} under {:?}: detector fired",
+                seed,
+                sim.config()
+            );
         }
     }
+}
+
+/// One random histogram-family program: `tasks` forked leaves walk random
+/// key streams and bump shared bucket counters through a
+/// load–conditional–store sequence whose (functionally redundant)
+/// conditional depends on the *loaded* counter — the fork-heavy pattern
+/// whose cross-section writer chains made the retired force-release
+/// heuristic fire ~1× per key. Bucket count, leaf count, keys per leaf
+/// and the key stream all vary with the seed.
+fn histogram_family_program(seed: u64) -> parsecs::isa::Program {
+    let mut gen = Gen::new(seed ^ 0x5ca1_ab1e);
+    let buckets = 2 + gen.below(6);
+    let leaves = 2 + gen.below(4);
+    let mut src = format!(
+        "table:  .quad {}\nmain:   movq $0, %rax\n",
+        vec!["0"; buckets as usize].join(", ")
+    );
+    for leaf in 0..leaves {
+        src.push_str(&format!("        fork leaf{leaf}\n"));
+    }
+    // After the fork subtree, fold the table into a checksum.
+    src.push_str(&format!(
+        "        movq $table, %rdi
+        movq ${buckets}, %rcx
+        movq $0, %rax
+        movq $1, %rbx
+chk:    movq (%rdi), %rdx
+        imulq %rbx, %rdx
+        addq %rdx, %rax
+        addq $8, %rdi
+        addq $1, %rbx
+        subq $1, %rcx
+        jne chk
+        out  %rax
+        halt
+"
+    ));
+    let mut label = 0usize;
+    for leaf in 0..leaves {
+        src.push_str(&format!("leaf{leaf}:\n"));
+        let keys = 2 + gen.below(6);
+        for _ in 0..keys {
+            let bucket = gen.below(buckets) * 8;
+            src.push_str(&format!(
+                "        movq $table, %rcx
+        movq {bucket}(%rcx), %rax
+        cmpq $0, %rax
+        je .l{label}
+.l{label}: addq $1, %rax
+        movq %rax, {bucket}(%rcx)\n"
+            ));
+            label += 1;
+        }
+        src.push_str("        endfork\n");
+    }
+    parsecs::asm::assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"))
+}
+
+proptest! {
+    /// The fork-heavy differential: random histogram-family programs ×
+    /// random chips. These runs used to lean on the forced-release
+    /// heuristic (~1 release per key); under the handoff model both
+    /// engines must agree bit-for-bit *and* never force a release.
+    #[test]
+    fn fork_heavy_writer_chains_never_force_releases(seed in proptest::strategy::any::<u64>()) {
+        let program = histogram_family_program(seed);
+        let mut gen = Gen::new(seed.rotate_left(29) ^ 0x1234);
+        for _ in 0..2 {
+            let config = random_config(&mut gen);
+            let sim = ManyCoreSim::new(config);
+            let event = sim.run(&program).expect("event-driven engine simulates");
+            let reference = sim
+                .run_reference(&program)
+                .expect("reference engine simulates");
+            prop_assert_eq!(
+                &event,
+                &reference,
+                "seed {} under {:?}: engines diverge",
+                seed,
+                sim.config()
+            );
+            prop_assert_eq!(
+                event.stats.forced_stall_releases,
+                0,
+                "seed {} under {:?}: detector fired on a well-formed fork-heavy run",
+                seed,
+                sim.config()
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_family_programs_chain_writers_across_sections() {
+    // The generator must produce the contended cross-section writer
+    // chains it exists for: multiple sections, remote operands, and a
+    // deterministic checksum.
+    let mut forked = 0usize;
+    let mut remote = 0u64;
+    for seed in 0..24u64 {
+        let program = histogram_family_program(seed * 6151 + 7);
+        let sim = ManyCoreSim::new(SimConfig::with_cores(4));
+        let result = sim.run(&program).expect("simulates");
+        forked += result.stats.sections;
+        remote += result.stats.remote_register_requests + result.stats.remote_memory_requests;
+        assert_eq!(result.stats.forced_stall_releases, 0);
+    }
+    assert!(forked >= 24 * 3, "only {forked} sections over 24 programs");
+    assert!(remote > 0, "no remote operands — chains never cross cores");
 }
 
 #[test]
