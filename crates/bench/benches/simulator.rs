@@ -2,26 +2,26 @@
 //! simulated instructions per second at several chip sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use parsecs_core::{ManyCoreSim, SectionedTrace, SimConfig};
+use parsecs_core::{ManyCoreSim, SimConfig, TraceArena};
 use parsecs_workloads::sum;
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("manycore_sim");
     let data = sum::dataset(5, 7); // 160 elements
     let program = sum::fork_program(&data);
-    let trace = SectionedTrace::from_program(&program, 10_000_000).unwrap();
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let arena = TraceArena::from_program(&program, 10_000_000).unwrap();
+    group.throughput(Throughput::Elements(arena.len() as u64));
 
     for cores in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("simulate", cores), &trace, |b, t| {
+        group.bench_with_input(BenchmarkId::new("simulate", cores), &arena, |b, t| {
             let sim = ManyCoreSim::new(SimConfig::with_cores(cores));
-            b.iter(|| sim.simulate(t).unwrap())
+            b.iter(|| sim.simulate_arena(t).unwrap())
         });
     }
     group.bench_with_input(
         BenchmarkId::new("section_split", "sum160"),
         &program,
-        |b, p| b.iter(|| SectionedTrace::from_program(p, 10_000_000).unwrap()),
+        |b, p| b.iter(|| TraceArena::from_program(p, 10_000_000).unwrap()),
     );
     group.finish();
 }

@@ -16,17 +16,28 @@
 //! the cycle stepper scans core by core. The acceptance bar is a ≥5×
 //! speedup there at 64 cores on ≥1M dynamic instructions.
 //!
+//! The functional front-end is the **streaming trace pipeline**: each
+//! workload is pre-executed once through [`TraceArena::from_program`]
+//! (machine → streaming sectioner → arena, one pass) and both engines
+//! simulate the same arena. The pipeline itself is also measured: the
+//! `chain_sum` cell times the retired two-pass front-end
+//! (`Machine::run_traced` + `SectionedTrace::from_trace`) against the
+//! streaming pipeline and records the speedup plus the arena's
+//! bytes-per-instruction footprint.
+//!
 //! The run fails (exit code 1) when any cell reports a forced stall
 //! release — the deadlock detector fired, so the timings cannot be
-//! trusted — or when the headline speedup drops below the 5x bar; CI runs
-//! the quick grid under the same gates.
+//! trusted — when the headline speedup drops below the 5x bar, or (full
+//! mode) when the streaming pipeline's advantage over the two-pass
+//! front-end drops below 2x on the 1.2M-instruction chain_sum cell; CI
+//! runs the quick grid under the same engine gates.
 //!
 //! Usage: `repro_perf [--quick] [--json [PATH]]` — `--quick` shrinks the
 //! grid for CI smoke runs (default JSON path `BENCH_sim.json`).
 
 use std::time::Instant;
 
-use parsecs_core::{ChainAffine, ManyCoreSim, SectionedTrace, SimConfig, SimResult};
+use parsecs_core::{ChainAffine, ManyCoreSim, SectionedTrace, SimConfig, TraceArena};
 use parsecs_isa::Program;
 use parsecs_noc::NocConfig;
 use parsecs_workloads::scale;
@@ -37,14 +48,11 @@ use parsecs_workloads::scale;
 /// rather than biasing one.
 const RUNS: usize = 5;
 
-/// Functional pre-execution budget.
-const FUEL: u64 = 500_000_000;
-
 struct Cell {
     workload: String,
     config: String,
     sim: ManyCoreSim,
-    trace: SectionedTrace,
+    trace: std::rc::Rc<TraceArena>,
     expected: Vec<u64>,
     headline: bool,
 }
@@ -58,10 +66,21 @@ struct Row {
     total_cycles: u64,
     fetch_ipc: f64,
     forced_stall_releases: u64,
+    arena_bytes_per_insn: f64,
     event_ms: f64,
     reference_ms: f64,
     speedup: f64,
     headline: bool,
+}
+
+/// Streaming-vs-two-pass front-end comparison on the headline workload.
+struct Pipeline {
+    workload: String,
+    instructions: u64,
+    legacy_ms: f64,
+    streaming_ms: f64,
+    speedup: f64,
+    arena_bytes_per_insn: f64,
 }
 
 fn stress_noc() -> SimConfig {
@@ -74,8 +93,35 @@ fn stress_noc() -> SimConfig {
     config
 }
 
-fn trace_of(program: &Program) -> SectionedTrace {
-    SectionedTrace::from_program(program, FUEL).expect("workload halts within fuel")
+fn arena_of(program: &Program, fuel: u64) -> std::rc::Rc<TraceArena> {
+    std::rc::Rc::new(TraceArena::from_program(program, fuel).expect("workload halts within fuel"))
+}
+
+/// Times the two front-ends on one program: the retired two-pass path
+/// (materialise the trace, then section it) against the streaming
+/// pipeline (best of 3 each).
+fn measure_pipeline(name: &str, program: &Program, fuel: u64) -> Pipeline {
+    // One untimed warm-up per path, so neither side's first timed round
+    // runs cold.
+    std::hint::black_box(SectionedTrace::from_program(program, fuel).expect("halts"));
+    let mut arena = TraceArena::from_program(program, fuel).expect("halts");
+    let mut legacy_ms = f64::INFINITY;
+    let mut streaming_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let (_, ms) = timed(|| SectionedTrace::from_program(program, fuel).expect("halts"));
+        legacy_ms = legacy_ms.min(ms);
+        let (streamed, ms) = timed(|| TraceArena::from_program(program, fuel).expect("halts"));
+        streaming_ms = streaming_ms.min(ms);
+        arena = streamed;
+    }
+    Pipeline {
+        workload: name.to_string(),
+        instructions: arena.len() as u64,
+        legacy_ms,
+        streaming_ms,
+        speedup: legacy_ms / streaming_ms,
+        arena_bytes_per_insn: arena.bytes_per_instruction(),
+    }
 }
 
 fn build_grid(quick: bool) -> Vec<Cell> {
@@ -89,9 +135,18 @@ fn build_grid(quick: bool) -> Vec<Cell> {
     let seed = 7;
     let buckets = 64;
 
-    let chain = trace_of(&scale::chain_sum_program(chain_n, seed));
-    let histogram = trace_of(&scale::histogram_program(hist_n, buckets, seed));
-    let tree = trace_of(&scale::tree_sum_program(tree_n, seed));
+    let chain = arena_of(
+        &scale::chain_sum_program(chain_n, seed),
+        scale::chain_sum_fuel(chain_n),
+    );
+    let histogram = arena_of(
+        &scale::histogram_program(hist_n, buckets, seed),
+        scale::histogram_fuel(hist_n, buckets),
+    );
+    let tree = arena_of(
+        &scale::tree_sum_program(tree_n, seed),
+        scale::tree_sum_fuel(tree_n),
+    );
 
     vec![
         Cell {
@@ -143,30 +198,30 @@ fn build_grid(quick: bool) -> Vec<Cell> {
     ]
 }
 
-fn timed(run: impl Fn() -> SimResult) -> (SimResult, f64) {
+fn timed<T>(run: impl Fn() -> T) -> (T, f64) {
     let start = Instant::now();
-    let result = run();
+    let result = std::hint::black_box(run());
     (result, start.elapsed().as_secs_f64() * 1e3)
 }
 
 fn measure(cell: &Cell) -> Row {
     // One untimed warm-up per engine, then RUNS interleaved rounds; keep
     // each engine's best time.
-    let event = cell.sim.simulate(&cell.trace).expect("simulates");
+    let event = cell.sim.simulate_arena(&cell.trace).expect("simulates");
     let reference = cell
         .sim
-        .simulate_reference(&cell.trace)
+        .simulate_arena_reference(&cell.trace)
         .expect("reference simulates");
     let mut event_ms = f64::INFINITY;
     let mut reference_ms = f64::INFINITY;
     for _ in 0..RUNS {
         let (_, ms) = timed(|| {
             cell.sim
-                .simulate_reference(&cell.trace)
+                .simulate_arena_reference(&cell.trace)
                 .expect("reference simulates")
         });
         reference_ms = reference_ms.min(ms);
-        let (_, ms) = timed(|| cell.sim.simulate(&cell.trace).expect("simulates"));
+        let (_, ms) = timed(|| cell.sim.simulate_arena(&cell.trace).expect("simulates"));
         event_ms = event_ms.min(ms);
     }
     assert_eq!(
@@ -188,6 +243,7 @@ fn measure(cell: &Cell) -> Row {
         total_cycles: event.stats.total_cycles,
         fetch_ipc: event.stats.fetch_ipc,
         forced_stall_releases: event.stats.forced_stall_releases,
+        arena_bytes_per_insn: event.stats.trace_bytes_per_instruction(),
         event_ms,
         reference_ms,
         speedup: reference_ms / event_ms,
@@ -195,14 +251,15 @@ fn measure(cell: &Cell) -> Row {
     }
 }
 
-fn to_json(rows: &[Row]) -> String {
-    let body: Vec<String> = rows
+fn to_json(rows: &[Row], pipeline: &Pipeline) -> String {
+    let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
                 "  {{\"workload\": \"{}\", \"config\": \"{}\", \"cores\": {}, \
                  \"instructions\": {}, \"sections\": {}, \"total_cycles\": {}, \
                  \"fetch_ipc\": {:.4}, \"forced_stall_releases\": {}, \
+                 \"arena_bytes_per_insn\": {:.1}, \
                  \"event_ms\": {:.3}, \"reference_ms\": {:.3}, \
                  \"speedup\": {:.2}, \"headline\": {}}}",
                 r.workload,
@@ -213,6 +270,7 @@ fn to_json(rows: &[Row]) -> String {
                 r.total_cycles,
                 r.fetch_ipc,
                 r.forced_stall_releases,
+                r.arena_bytes_per_insn,
                 r.event_ms,
                 r.reference_ms,
                 r.speedup,
@@ -220,31 +278,44 @@ fn to_json(rows: &[Row]) -> String {
             )
         })
         .collect();
+    body.push(format!(
+        "  {{\"workload\": \"{}\", \"config\": \"pipeline\", \"instructions\": {}, \
+         \"legacy_ms\": {:.3}, \"streaming_ms\": {:.3}, \"pipeline_speedup\": {:.2}, \
+         \"arena_bytes_per_insn\": {:.1}}}",
+        pipeline.workload,
+        pipeline.instructions,
+        pipeline.legacy_ms,
+        pipeline.streaming_ms,
+        pipeline.speedup,
+        pipeline.arena_bytes_per_insn,
+    ));
     format!("[\n{}\n]\n", body.join(",\n"))
 }
 
 fn print_table(rows: &[Row]) {
     println!(
-        "{:<20} {:<16} {:>9} {:>9} {:>11} {:>7} {:>10} {:>10} {:>8}",
+        "{:<20} {:<16} {:>9} {:>9} {:>11} {:>7} {:>7} {:>10} {:>10} {:>8}",
         "workload",
         "config",
         "insns",
         "sections",
         "cycles",
         "forced",
+        "B/insn",
         "event ms",
         "ref ms",
         "speedup"
     );
     for r in rows {
         println!(
-            "{:<20} {:<16} {:>9} {:>9} {:>11} {:>7} {:>10.1} {:>10.1} {:>7.1}x{}",
+            "{:<20} {:<16} {:>9} {:>9} {:>11} {:>7} {:>7.1} {:>10.1} {:>10.1} {:>7.1}x{}",
             r.workload,
             r.config,
             r.instructions,
             r.sections,
             r.total_cycles,
             r.forced_stall_releases,
+            r.arena_bytes_per_insn,
             r.event_ms,
             r.reference_ms,
             r.speedup,
@@ -282,9 +353,27 @@ fn main() {
     let rows: Vec<Row> = grid.iter().map(measure).collect();
     print_table(&rows);
 
+    // Front-end pipeline comparison on the chain_sum workload.
+    let chain_n = if quick { 8_000 } else { 110_000 };
+    let pipeline = measure_pipeline(
+        &format!("chain_sum-{chain_n}"),
+        &scale::chain_sum_program(chain_n, 7),
+        scale::chain_sum_fuel(chain_n),
+    );
+    println!(
+        "pipeline {:<22} {:>9} insns  legacy {:>7.1} ms  streaming {:>7.1} ms  \
+         {:>4.1}x  arena {:>5.1} B/insn",
+        pipeline.workload,
+        pipeline.instructions,
+        pipeline.legacy_ms,
+        pipeline.streaming_ms,
+        pipeline.speedup,
+        pipeline.arena_bytes_per_insn,
+    );
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows)).expect("write BENCH_sim.json");
-        eprintln!("wrote {} rows to {path}", rows.len());
+        std::fs::write(&path, to_json(&rows, &pipeline)).expect("write BENCH_sim.json");
+        eprintln!("wrote {} rows to {path}", rows.len() + 1);
     }
 
     // Hard gates. Any forced stall release means the stall/wake model
@@ -308,6 +397,17 @@ fn main() {
             "FAIL: headline speedup {:.1}x is below the 5x acceptance bar \
              (machine noise? rerun on an idle machine)",
             headline.speedup
+        );
+        failed = true;
+    }
+    // The streaming pipeline must beat the retired two-pass front-end by
+    // >=2x on the full-size chain_sum cell (quick-mode instances are too
+    // small for a stable ratio, so the gate only arms in full mode).
+    if !quick && pipeline.speedup < 2.0 {
+        eprintln!(
+            "FAIL: streaming pipeline speedup {:.1}x is below the 2x \
+             acceptance bar on {}",
+            pipeline.speedup, pipeline.workload
         );
         failed = true;
     }

@@ -1,0 +1,282 @@
+//! The 256–1024-core scale table — the first numbers this repository has
+//! beyond 64 cores.
+//!
+//! Every cell runs one ≥10M-dynamic-instruction workload (built once per
+//! workload through the streaming trace pipeline,
+//! [`TraceArena::from_program`]) on the event-driven engine at 256, 512
+//! and 1024 cores, checks the functional outputs against the workload's
+//! Rust oracle, and records:
+//!
+//! * the **pipeline** numbers — pre-execution + sectioning wall clock,
+//!   sectioning throughput (instructions/s) and the arena footprint in
+//!   bytes per instruction (gated at ≤ 120 B/insn; the old
+//!   record-per-instruction representation cost ~250–350);
+//! * the **simulation** numbers — wall clock, simulated cycles, fetch
+//!   IPC and the peak per-core section count.
+//!
+//! The headline cell is `fan_chain` (1024 independent serial accumulator
+//! chains) at **1024 cores and ≥10M instructions**: it must complete with
+//! **zero forced stall releases** — the deadlock detector staying silent
+//! at full chip width is the scale acceptance bar. Any firing is reported
+//! through [`DriverError::Deadlock`] and fails the run (exit 1), exactly
+//! as `ManyCoreBackend` would refuse the report; the footprint gate fails
+//! the run the same way.
+//!
+//! Usage: `repro_scale [--quick] [--json [PATH]]` — `--quick` shrinks the
+//! grid to one 256-core, ~2M-instruction cell for CI smoke runs (default
+//! JSON path `BENCH_scale.json`).
+
+use std::time::Instant;
+
+use parsecs_core::{ManyCoreSim, SimConfig, TraceArena};
+use parsecs_driver::DriverError;
+use parsecs_isa::Program;
+use parsecs_workloads::scale;
+
+/// Arena footprint acceptance bar, in bytes per dynamic instruction.
+const ARENA_BYTES_PER_INSN_BAR: f64 = 120.0;
+
+struct Workload {
+    name: String,
+    program: Program,
+    fuel: u64,
+    expected: Vec<u64>,
+    /// Core counts to simulate this workload at.
+    cores: Vec<usize>,
+    /// Whether the largest-cores cell is the acceptance headline.
+    headline: bool,
+}
+
+struct Row {
+    workload: String,
+    cores: usize,
+    instructions: u64,
+    sections: usize,
+    pre_ms: f64,
+    sectioning_insns_per_sec: f64,
+    arena_bytes: u64,
+    arena_bytes_per_insn: f64,
+    sim_ms: f64,
+    total_cycles: u64,
+    fetch_ipc: f64,
+    peak_sections_per_core: usize,
+    forced_stall_releases: u64,
+    headline: bool,
+}
+
+fn build_grid(quick: bool) -> Vec<Workload> {
+    let seed = 7;
+    if quick {
+        // One ~2M-instruction cell at 256 cores for CI.
+        let (keys, buckets) = (140_000, 1024);
+        return vec![Workload {
+            name: format!("synth_histogram-{keys}x{buckets}"),
+            program: scale::synth_histogram_program(keys, buckets, seed),
+            fuel: scale::synth_histogram_fuel(keys, buckets),
+            expected: scale::synth_histogram_expected(keys, buckets, seed),
+            cores: vec![256],
+            headline: false,
+        }];
+    }
+    let (keys, buckets) = (700_000, 4096);
+    let (chains, links) = (1024, 700);
+    vec![
+        Workload {
+            name: format!("synth_histogram-{keys}x{buckets}"),
+            program: scale::synth_histogram_program(keys, buckets, seed),
+            fuel: scale::synth_histogram_fuel(keys, buckets),
+            expected: scale::synth_histogram_expected(keys, buckets, seed),
+            cores: vec![256, 512, 1024],
+            headline: false,
+        },
+        Workload {
+            name: format!("fan_chain-{chains}x{links}"),
+            program: scale::fan_chain_program(chains, links, seed),
+            fuel: scale::fan_chain_fuel(chains, links),
+            expected: scale::fan_chain_expected(chains, links, seed),
+            cores: vec![256, 1024],
+            headline: true,
+        },
+    ]
+}
+
+fn measure(workload: &Workload) -> Vec<Row> {
+    // The pipeline runs once per workload; every chip size simulates the
+    // same arena.
+    let start = Instant::now();
+    let arena = TraceArena::from_program(&workload.program, workload.fuel).expect("workload halts");
+    let pre_ms = start.elapsed().as_secs_f64() * 1e3;
+    let n = arena.len();
+
+    workload
+        .cores
+        .iter()
+        .map(|&cores| {
+            let sim = ManyCoreSim::new(SimConfig::with_cores(cores));
+            let start = Instant::now();
+            let result = sim.simulate_arena(&arena).expect("simulates");
+            let sim_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                result.outputs, workload.expected,
+                "{} @{cores}c: outputs disagree with the oracle",
+                workload.name
+            );
+            Row {
+                workload: workload.name.clone(),
+                cores,
+                instructions: result.stats.instructions,
+                sections: result.stats.sections,
+                pre_ms,
+                sectioning_insns_per_sec: n as f64 / (pre_ms / 1e3),
+                arena_bytes: result.stats.trace_arena_bytes,
+                arena_bytes_per_insn: result.stats.trace_bytes_per_instruction(),
+                sim_ms,
+                total_cycles: result.stats.total_cycles,
+                fetch_ipc: result.stats.fetch_ipc,
+                peak_sections_per_core: result.stats.peak_sections_per_core,
+                forced_stall_releases: result.stats.forced_stall_releases,
+                headline: workload.headline && cores == *workload.cores.iter().max().unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"workload\": \"{}\", \"cores\": {}, \"instructions\": {}, \
+                 \"sections\": {}, \"pre_ms\": {:.3}, \"sectioning_insns_per_sec\": {:.0}, \
+                 \"arena_bytes\": {}, \"arena_bytes_per_insn\": {:.1}, \"sim_ms\": {:.3}, \
+                 \"total_cycles\": {}, \"fetch_ipc\": {:.4}, \"peak_sections_per_core\": {}, \
+                 \"forced_stall_releases\": {}, \"headline\": {}}}",
+                r.workload,
+                r.cores,
+                r.instructions,
+                r.sections,
+                r.pre_ms,
+                r.sectioning_insns_per_sec,
+                r.arena_bytes,
+                r.arena_bytes_per_insn,
+                r.sim_ms,
+                r.total_cycles,
+                r.fetch_ipc,
+                r.peak_sections_per_core,
+                r.forced_stall_releases,
+                r.headline,
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<26} {:>6} {:>10} {:>8} {:>8} {:>9} {:>7} {:>9} {:>11} {:>9} {:>7}",
+        "workload",
+        "cores",
+        "insns",
+        "sections",
+        "pre ms",
+        "Minsns/s",
+        "B/insn",
+        "sim ms",
+        "cycles",
+        "fetchIPC",
+        "forced"
+    );
+    for r in rows {
+        println!(
+            "{:<26} {:>6} {:>10} {:>8} {:>8.0} {:>9.1} {:>7.1} {:>9.0} {:>11} {:>9.1} {:>7}{}",
+            r.workload,
+            r.cores,
+            r.instructions,
+            r.sections,
+            r.pre_ms,
+            r.sectioning_insns_per_sec / 1e6,
+            r.arena_bytes_per_insn,
+            r.sim_ms,
+            r.total_cycles,
+            r.fetch_ipc,
+            r.forced_stall_releases,
+            if r.headline { "  <- headline" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_scale.json".into(),
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid = build_grid(quick);
+    eprintln!(
+        "scaling {} workload(s) across 256-1024 cores ({} mode)...",
+        grid.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let rows: Vec<Row> = grid.iter().flat_map(measure).collect();
+    print_table(&rows);
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&rows)).expect("write BENCH_scale.json");
+        eprintln!("wrote {} rows to {path}", rows.len());
+    }
+
+    // Hard gates.
+    let mut failed = false;
+    for row in &rows {
+        if row.forced_stall_releases > 0 {
+            // The same refusal ManyCoreBackend encodes: a forced release
+            // means the stall/wake model broke down and no timing in this
+            // table can be trusted.
+            eprintln!(
+                "FAIL: {} @{}c: {}",
+                row.workload,
+                row.cores,
+                DriverError::Deadlock {
+                    forced_stall_releases: row.forced_stall_releases
+                }
+            );
+            failed = true;
+        }
+        if row.arena_bytes_per_insn > ARENA_BYTES_PER_INSN_BAR {
+            eprintln!(
+                "FAIL: {} @{}c: arena footprint {:.1} B/insn exceeds the \
+                 {ARENA_BYTES_PER_INSN_BAR} B/insn bar",
+                row.workload, row.cores, row.arena_bytes_per_insn
+            );
+            failed = true;
+        }
+    }
+    if !quick {
+        let headline = rows.iter().find(|r| r.headline).expect("headline cell");
+        if headline.cores < 1024 || headline.instructions < 10_000_000 {
+            eprintln!(
+                "FAIL: headline cell must be >=10M instructions at 1024 cores \
+                 (got {} insns at {}c)",
+                headline.instructions, headline.cores
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,8 @@
 //! | `repro_fig10_timing` | Figure 10 — per-stage timing of `sum(t,5)` on one core per section |
 //! | `repro_sec5_analytic` | §5 — closed-form model vs simulated fetch/retire IPC |
 //! | `repro_ablation` | design-choice ablations (cores, NoC latency, placement, fetch stalls), run as a parallel `Sweep`; `--json [PATH]` emits `BENCH_sweep.json` |
+//! | `repro_perf` | event-driven vs cycle-stepping engine wall clock on ≥1M-instruction workloads, plus the streaming-vs-two-pass front-end pipeline comparison; `--json [PATH]` emits `BENCH_sim.json` |
+//! | `repro_scale` | the 256–1024-core, ≥10M-instruction scale table over the streaming arena pipeline; `--json [PATH]` emits `BENCH_scale.json` |
 //!
 //! The benches (`cargo bench -p parsecs-bench`) measure the throughput of
 //! the three engines themselves (reference machine, ILP analyzer,

@@ -80,6 +80,9 @@ pub use config::SimConfig;
 pub use error::SimError;
 pub use placement::{ChainAffine, ChipView, LoadAware, Placement, PlacementPolicy, SectionDeps};
 pub use rename::{verify_single_assignment, MemoryAliasTable, RegisterAliasTable, RenameTag};
-pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceKind};
+pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceDep, SourceKind};
 pub use sim::{ManyCoreSim, SimResult};
 pub use timing::{format_figure10, InstTiming, SimStats};
+// The streaming trace pipeline this crate's engines consume; re-exported
+// so simulator callers can build arenas without a separate dependency.
+pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena};

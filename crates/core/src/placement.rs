@@ -74,6 +74,30 @@ impl SectionDeps {
                 }
             }
         }
+        SectionDeps::from_weights(weights)
+    }
+
+    /// Builds the summary from an arena-backed trace — the same edges as
+    /// [`SectionDeps::from_records`], read off the shared dependence
+    /// slice.
+    pub fn from_arena(sections: usize, arena: &parsecs_trace::TraceArena) -> SectionDeps {
+        let mut weights: Vec<HashMap<usize, u32>> = vec![HashMap::new(); sections];
+        for seq in 0..arena.len() {
+            for dep in arena.sources(seq) {
+                if let SourceKind::Remote {
+                    producer_section, ..
+                } = dep.kind()
+                {
+                    *weights[arena.section(seq).0]
+                        .entry(producer_section.0)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        SectionDeps::from_weights(weights)
+    }
+
+    fn from_weights(weights: Vec<HashMap<usize, u32>>) -> SectionDeps {
         let producers = weights
             .into_iter()
             .map(|map| {

@@ -17,31 +17,32 @@
 //! the driver layer.
 //!
 //! The event-driven engine in [`crate::sim`] replaces this loop on the hot
-//! path, but the loop is kept (over the shared [`crate::sim::Resolver`])
-//! as the oracle: differential tests and the `repro_perf` benchmark assert
-//! that both engines produce bit-identical [`crate::SimResult`]s.
+//! path, but the loop is kept (over the shared [`crate::sim::Resolver`]
+//! and the same [`TraceArena`] columns) as the oracle: differential tests
+//! and the `repro_perf` benchmark assert that both engines produce
+//! bit-identical [`crate::SimResult`]s.
 
 use parsecs_machine::TraceKind;
 use parsecs_noc::CoreId;
+use parsecs_trace::TraceArena;
 
 use crate::sim::{fetch_computable, CoreState, ManyCoreSim, Prepared, Resolver, StallTable};
-use crate::{SectionId, SectionedTrace, SimError, SimResult};
+use crate::{SectionId, SimError, SimResult};
 
-/// Simulates an already-sectioned trace by stepping the chip one cycle at
-/// a time (see the module docs).
-pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimResult, SimError> {
+/// Simulates an arena-backed trace by stepping the chip one cycle at a
+/// time (see the module docs).
+pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResult, SimError> {
     let config = sim.config();
     config.validate().map_err(SimError::Config)?;
-    let records = trace.records();
-    let sections = trace.sections();
-    let n = records.len();
+    let sections = arena.sections();
+    let n = arena.len();
 
     let Prepared {
         core_of,
         mut network,
         created_by,
-    } = sim.prepare(trace)?;
-    let mut resolver = Resolver::new(config, records, n);
+    } = sim.prepare(arena)?;
+    let mut resolver = Resolver::new(config, arena, n);
     let mut stalls = StallTable::new(n, sections.len());
     let mut completions: Vec<(usize, u64)> = Vec::new();
     let mut newly_stalled: Vec<usize> = Vec::new();
@@ -92,7 +93,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
                 continue;
             }
             if let Some(stalled_on) = core.stall_on {
-                match resolver.complete[stalled_on] {
+                match resolver.completion(stalled_on) {
                     Some(c) if c < cycle => core.stall_on = None,
                     Some(_) => continue,
                     // A stall with an unknown completion parks at the end
@@ -108,27 +109,26 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
                 continue;
             }
             let seq = core.next_seq;
-            let record = &records[seq];
+            let kind = arena.kind(seq);
             resolver.fetch(seq, cycle);
             fetched += 1;
             core.next_seq += 1;
 
             // A fork sends a section-creation message to the host core
             // of the created section.
-            if record.kind == TraceKind::Fork {
+            if kind == TraceKind::Fork {
                 if let Some(&child) = created_by.get(&seq) {
                     network.send(CoreId(core_index), core_of[child.0], child, cycle);
                 }
             }
 
-            let ends_section = record.kind == TraceKind::EndFork
-                || record.kind == TraceKind::Halt
-                || core.next_seq >= span.end;
+            let ends_section =
+                kind == TraceKind::EndFork || kind == TraceKind::Halt || core.next_seq >= span.end;
             if ends_section {
                 core.current = None;
             } else if config.fetch_stalls_on_unresolved_control
-                && record.is_control
-                && !fetch_computable(record, &resolver.complete, cycle)
+                && arena.is_control(seq)
+                && !fetch_computable(arena, seq, &resolver.complete, cycle)
             {
                 // The fetch stage could not compute this control
                 // instruction (empty sources): the IP stays empty until
@@ -149,7 +149,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
         if stalls.parked > 0 {
             for &(seq, completion) in &completions {
                 if let Some(idx) = stalls.unpark(seq) {
-                    stalls.push_requeue((cycle + 1).max(completion + 1), idx, records[seq].section);
+                    stalls.push_requeue((cycle + 1).max(completion + 1), idx, arena.section(seq));
                 }
             }
         }
@@ -162,7 +162,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
             let Some(seq) = cores[idx].stall_on else {
                 continue;
             };
-            if resolver.complete[seq].is_none() {
+            if resolver.completion(seq).is_none() {
                 stalls.park(idx, &mut cores[idx], seq);
             }
         }
@@ -183,13 +183,13 @@ pub(crate) fn simulate(sim: &ManyCoreSim, trace: &SectionedTrace) -> Result<SimR
                 .iter()
                 .all(|c| c.current.is_none() && c.queue.is_empty())
         {
-            forced_stall_releases += stalls.force_release(cycle + 1, records);
+            forced_stall_releases += stalls.force_release(cycle + 1, arena);
         }
     }
 
     let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
     Ok(sim.finish(
-        trace,
+        arena,
         resolver,
         core_of,
         &hosted,

@@ -9,89 +9,15 @@
 //! renaming match every consumer with the closest preceding producer.
 
 use std::collections::HashMap;
-use std::fmt;
 
 use parsecs_isa::Program;
 use parsecs_machine::{Location, Machine, MachineError, Trace, TraceKind};
+use parsecs_trace::{PackedDep, TraceArena};
 
-/// Identifier of a section, equal to its position in the total order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct SectionId(pub usize);
-
-impl fmt::Display for SectionId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "section {}", self.0 + 1)
-    }
-}
-
-/// One section: a contiguous range of the sequential trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SectionSpan {
-    /// The section's identity and position in the total order.
-    pub id: SectionId,
-    /// Index (in the sequential trace) of the section's first instruction.
-    pub start: usize,
-    /// One past the index of the section's last instruction.
-    pub end: usize,
-    /// The section that forked this one, and the trace index of that fork.
-    /// `None` for the initial section.
-    pub creator: Option<(SectionId, usize)>,
-    /// Static instruction index at which the section starts fetching.
-    pub start_ip: usize,
-}
-
-impl SectionSpan {
-    /// Number of dynamic instructions in the section.
-    pub fn len(&self) -> usize {
-        self.end - self.start
-    }
-
-    /// Whether the section is empty (never happens for well-formed runs,
-    /// kept for API completeness).
-    pub fn is_empty(&self) -> bool {
-        self.end == self.start
-    }
-}
-
-/// Where a source value comes from, as seen by the renaming hardware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SourceKind {
-    /// Produced by an earlier instruction of the same section: the local
-    /// renaming hits and the value is read from the core's RRM/MRM.
-    Local {
-        /// Trace index of the producer.
-        producer: usize,
-    },
-    /// Produced by an instruction of an earlier section hosted (in
-    /// general) on another core: a renaming request travels backward along
-    /// the section order and the value is exported back.
-    Remote {
-        /// Trace index of the producer.
-        producer: usize,
-        /// Section of the producer.
-        producer_section: SectionId,
-    },
-    /// Carried by the section-creation message: the stack pointer and the
-    /// non-volatile registers are copied at `fork`, so the value is already
-    /// in the local register file when the section starts.
-    ForkCopy,
-    /// A register that was never written: its (zero) value is available
-    /// immediately.
-    InitialRegister,
-    /// A memory word never written by the program: the renaming request
-    /// reaches the oldest section and is served by the loader / data memory
-    /// hierarchy.
-    InitialMemory,
-}
-
-/// A source operand of a dynamic instruction together with its provenance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SourceDep {
-    /// The architectural location being read.
-    pub location: Location,
-    /// Where its value comes from.
-    pub kind: SourceKind,
-}
+// The section and dependence vocabulary moved to `parsecs-trace` (the
+// streaming pipeline produces it, this crate consumes it); re-exported
+// here so downstream paths are unchanged.
+pub use parsecs_trace::{SectionId, SectionSpan, SourceDep, SourceKind};
 
 /// One dynamic instruction annotated with its section and dependences.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,6 +220,62 @@ impl SectionedTrace {
             records,
             sections,
             outputs,
+        }
+    }
+
+    /// Converts the trace into the flat [`TraceArena`] representation the
+    /// timing engines consume (no re-resolution — the records already
+    /// carry every dependence).
+    ///
+    /// New code should build the arena directly through the streaming
+    /// pipeline ([`TraceArena::from_program`]); this bridge exists so
+    /// callers holding a `SectionedTrace` can still reach the simulator.
+    pub fn to_arena(&self) -> TraceArena {
+        let mut arena = TraceArena::new();
+        for record in &self.records {
+            arena.push_record(
+                record.ip,
+                record.mnemonic,
+                record.section,
+                record.kind,
+                record.is_control,
+                &record.reg_sources,
+                &record.mem_sources,
+                &record.writes,
+            );
+        }
+        for span in &self.sections {
+            arena.push_section(span.clone());
+        }
+        arena.set_outputs(self.outputs.clone());
+        arena.shrink_to_fit();
+        arena
+    }
+
+    /// Materialises the record-per-instruction view of an arena — the
+    /// inverse of [`SectionedTrace::to_arena`], used by differential tests
+    /// and by consumers of the legacy [`InstRecord`] shape.
+    pub fn from_arena(arena: &TraceArena) -> SectionedTrace {
+        let records = (0..arena.len())
+            .map(|seq| InstRecord {
+                seq,
+                ip: arena.ip(seq),
+                mnemonic: arena.mnemonic(seq),
+                section: arena.section(seq),
+                index_in_section: arena.index_in_section(seq),
+                kind: arena.kind(seq),
+                is_control: arena.is_control(seq),
+                reg_sources: arena.reg_sources(seq).iter().map(PackedDep::dep).collect(),
+                mem_sources: arena.mem_sources(seq).iter().map(PackedDep::dep).collect(),
+                writes: arena.written(seq).collect(),
+                is_load: arena.is_load(seq),
+                is_store: arena.is_store(seq),
+            })
+            .collect();
+        SectionedTrace {
+            records,
+            sections: arena.sections().to_vec(),
+            outputs: arena.outputs().to_vec(),
         }
     }
 

@@ -53,11 +53,16 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use parsecs_isa::Program;
 use parsecs_machine::TraceKind;
 use parsecs_noc::{CoreId, Network, NocStats};
+use parsecs_trace::TraceArena;
 
 use crate::{
-    InstRecord, InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats,
-    SourceKind,
+    InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats, SourceKind,
 };
+
+/// Sentinel for a cycle that has not been computed yet (the resolver's
+/// columns are flat `u64`s instead of `Option<u64>`s — half the memory,
+/// and the timing columns `rr`/`ar`/`ma` are derived rather than stored).
+pub(crate) const UNKNOWN: u64 = u64::MAX;
 
 /// The result of one many-core simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -225,14 +230,13 @@ impl StallTable {
     /// order in the execute stage) and returns how many were released.
     /// Well-formed traces never reach this — any firing is surfaced as an
     /// error by the driver layer.
-    pub(crate) fn force_release(&mut self, at: u64, records: &[InstRecord]) -> u64 {
+    pub(crate) fn force_release(&mut self, at: u64, arena: &TraceArena) -> u64 {
         let mut released = 0u64;
         for (seq, parked) in self.parked_core.iter_mut().enumerate() {
             if *parked != usize::MAX {
                 let idx = std::mem::replace(parked, usize::MAX);
                 self.parked -= 1;
-                self.requeue
-                    .push(Reverse((at, idx, records[seq].section.0)));
+                self.requeue.push(Reverse((at, idx, arena.section(seq).0)));
                 released += 1;
             }
         }
@@ -456,8 +460,11 @@ impl ManyCoreSim {
         &self.config
     }
 
-    /// Runs `program` functionally, splits it into sections and simulates
-    /// its distributed execution with the event-driven engine.
+    /// Runs `program` functionally through the streaming trace pipeline
+    /// ([`TraceArena::from_program`]: the machine pushes each retired
+    /// instruction into the sectioner, which renames and resolves on the
+    /// fly) and simulates its distributed execution with the event-driven
+    /// engine.
     ///
     /// # Errors
     ///
@@ -465,8 +472,8 @@ impl ManyCoreSim {
     /// [`SimError::Machine`] if the functional pre-execution fails.
     pub fn run(&self, program: &Program) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
-        let trace = SectionedTrace::from_program(program, self.config.fuel)?;
-        self.simulate(&trace)
+        let arena = TraceArena::from_program(program, self.config.fuel)?;
+        self.simulate_arena(&arena)
     }
 
     /// Like [`ManyCoreSim::run`], but timed by the retained cycle-stepping
@@ -479,37 +486,60 @@ impl ManyCoreSim {
     /// Same as [`ManyCoreSim::run`].
     pub fn run_reference(&self, program: &Program) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
-        let trace = SectionedTrace::from_program(program, self.config.fuel)?;
-        self.simulate_reference(&trace)
+        let arena = TraceArena::from_program(program, self.config.fuel)?;
+        self.simulate_arena_reference(&arena)
     }
 
     /// Simulates an already-sectioned trace with the cycle-stepping
-    /// reference loop (see [`ManyCoreSim::run_reference`]).
+    /// reference loop. Compatibility shim: converts to the arena
+    /// representation first; hot callers should hold a [`TraceArena`] and
+    /// use [`ManyCoreSim::simulate_arena_reference`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_reference(&self, trace: &SectionedTrace) -> Result<SimResult, SimError> {
-        crate::reference::simulate(self, trace)
+        self.simulate_arena_reference(&trace.to_arena())
     }
 
     /// Simulates an already-sectioned trace with the event-driven engine.
+    /// Compatibility shim: converts to the arena representation first;
+    /// hot callers should hold a [`TraceArena`] and use
+    /// [`ManyCoreSim::simulate_arena`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate(&self, trace: &SectionedTrace) -> Result<SimResult, SimError> {
+        self.simulate_arena(&trace.to_arena())
+    }
+
+    /// Simulates an arena-backed trace with the cycle-stepping reference
+    /// loop (see [`ManyCoreSim::run_reference`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration.
+    pub fn simulate_arena_reference(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
+        crate::reference::simulate(self, arena)
+    }
+
+    /// Simulates an arena-backed trace with the event-driven engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration.
+    pub fn simulate_arena(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
-        let records = trace.records();
-        let sections = trace.sections();
-        let n = records.len();
+        let sections = arena.sections();
+        let n = arena.len();
 
         let Prepared {
             core_of,
             mut network,
             created_by,
-        } = self.prepare(trace)?;
-        let mut resolver = Resolver::new(&self.config, records, n);
+        } = self.prepare(arena)?;
+        let mut resolver = Resolver::new(&self.config, arena, n);
 
         let mut cores: Vec<CoreState> = (0..self.config.cores)
             .map(|_| CoreState::default())
@@ -570,7 +600,7 @@ impl ManyCoreSim {
                             cycle < safety,
                             "many-core simulation did not converge after {cycle} cycles"
                         );
-                        forced_stall_releases += stalls.force_release(cycle + 1, records);
+                        forced_stall_releases += stalls.force_release(cycle + 1, arena);
                         continue;
                     }
                 }
@@ -640,7 +670,7 @@ impl ManyCoreSim {
                         continue;
                     }
                     if let Some(stalled_on) = core.stall_on {
-                        match resolver.complete[stalled_on] {
+                        match resolver.completion(stalled_on) {
                             Some(c) if c < cycle => {
                                 core.stall_on = None;
                             }
@@ -680,21 +710,21 @@ impl ManyCoreSim {
                         continue;
                     }
                     let seq = core.next_seq;
-                    let record = &records[seq];
+                    let kind = arena.kind(seq);
                     resolver.fetch(seq, cycle);
                     fetched += 1;
                     core.next_seq += 1;
 
                     // A fork sends a section-creation message to the host
                     // core of the created section.
-                    if record.kind == TraceKind::Fork {
+                    if kind == TraceKind::Fork {
                         if let Some(&child) = created_by.get(&seq) {
                             network.send(CoreId(idx), core_of[child.0], child, cycle);
                         }
                     }
 
-                    let ends_section = record.kind == TraceKind::EndFork
-                        || record.kind == TraceKind::Halt
+                    let ends_section = kind == TraceKind::EndFork
+                        || kind == TraceKind::Halt
                         || core.next_seq >= span.end;
                     if ends_section {
                         core.current = None;
@@ -706,8 +736,8 @@ impl ManyCoreSim {
                             membership.push((idx, true));
                         }
                     } else if self.config.fetch_stalls_on_unresolved_control
-                        && record.is_control
-                        && !fetch_computable(record, &resolver.complete, cycle)
+                        && arena.is_control(seq)
+                        && !fetch_computable(arena, seq, &resolver.complete, cycle)
                     {
                         // The fetch stage could not compute this control
                         // instruction (empty sources): the IP stays empty
@@ -799,7 +829,7 @@ impl ManyCoreSim {
                         stalls.push_requeue(
                             (cycle + 1).max(completion + 1),
                             idx,
-                            records[seq].section,
+                            arena.section(seq),
                         );
                     }
                 }
@@ -813,7 +843,7 @@ impl ManyCoreSim {
                 let Some(seq) = cores[idx].stall_on else {
                     continue;
                 };
-                match resolver.complete[seq] {
+                match resolver.completion(seq) {
                     Some(c) => {
                         let wake = (cycle + 1).max(c + 1);
                         if wake > cycle + 1 {
@@ -834,7 +864,7 @@ impl ManyCoreSim {
 
         let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
         Ok(self.finish(
-            trace,
+            arena,
             resolver,
             core_of,
             &hosted,
@@ -844,9 +874,9 @@ impl ManyCoreSim {
     }
 
     /// Validates the placement and builds the shared pre-timing state.
-    pub(crate) fn prepare(&self, trace: &SectionedTrace) -> Result<Prepared, SimError> {
-        let sections = trace.sections();
-        let core_of = self.place(trace)?;
+    pub(crate) fn prepare(&self, arena: &TraceArena) -> Result<Prepared, SimError> {
+        let sections = arena.sections();
+        let core_of = self.place(arena)?;
         let topology = self.config.effective_topology();
         let network: Network<SectionId> = Network::new(topology, self.config.noc);
 
@@ -866,29 +896,47 @@ impl ManyCoreSim {
     /// Assembles the [`SimResult`] from a finished resolver.
     pub(crate) fn finish(
         &self,
-        trace: &SectionedTrace,
+        arena: &TraceArena,
         resolver: Resolver<'_>,
         core_of: Vec<CoreId>,
         sections_hosted: &[usize],
         noc: NocStats,
         forced_stall_releases: u64,
     ) -> SimResult {
-        let timings: Vec<InstTiming> = trace
-            .records()
-            .iter()
-            .map(|record| InstTiming {
-                seq: record.seq,
-                index_in_section: record.index_in_section,
-                ip: record.ip,
-                mnemonic: record.mnemonic,
-                section: record.section,
-                core: core_of[record.section.0],
-                fd: resolver.fd[record.seq].expect("fetched"),
-                rr: resolver.rr[record.seq].expect("renamed"),
-                ew: resolver.ew[record.seq].expect("executed"),
-                ar: resolver.ar[record.seq],
-                ma: resolver.ma[record.seq],
-                ret: resolver.ret[record.seq].expect("retired"),
+        let timings: Vec<InstTiming> = (0..arena.len())
+            .map(|seq| {
+                let section = arena.section(seq);
+                let fd = resolver.fd[seq];
+                let ew = resolver.ew[seq];
+                let complete = resolver.complete[seq];
+                let ret = resolver.ret[seq];
+                // A hard check, release builds included: an unresolved
+                // instruction here means the stall/wake model broke down,
+                // and sentinel cycles must never leak into reported
+                // timings (the one-branch-per-instruction cost is
+                // negligible next to building the row).
+                assert!(
+                    fd != UNKNOWN && ew != UNKNOWN && ret != UNKNOWN,
+                    "instruction {seq} left unresolved by the simulation"
+                );
+                // `rr`/`ar`/`ma` are derived, not stored: renaming is the
+                // cycle after fetch, address-rename the cycle after
+                // execute, and the memory access completes the value.
+                let is_mem = arena.is_load(seq) || arena.is_store(seq);
+                InstTiming {
+                    seq,
+                    index_in_section: arena.index_in_section(seq),
+                    ip: arena.ip(seq),
+                    mnemonic: arena.mnemonic(seq),
+                    section,
+                    core: core_of[section.0],
+                    fd,
+                    rr: fd + 1,
+                    ew,
+                    ar: is_mem.then(|| ew + 1),
+                    ma: is_mem.then_some(complete),
+                    ret,
+                }
             })
             .collect();
 
@@ -900,7 +948,7 @@ impl ManyCoreSim {
         used.dedup();
         let stats = SimStats {
             instructions,
-            sections: trace.sections().len(),
+            sections: arena.sections().len(),
             cores_used: used.len(),
             fetch_cycles,
             total_cycles,
@@ -920,13 +968,14 @@ impl ManyCoreSim {
             dmh_accesses: resolver.dmh_accesses,
             forced_stall_releases,
             peak_sections_per_core: sections_hosted.iter().copied().max().unwrap_or(0),
+            trace_arena_bytes: arena.memory_bytes() as u64,
             noc,
         };
 
         SimResult {
-            outputs: trace.outputs().to_vec(),
+            outputs: arena.outputs().to_vec(),
             timings,
-            sections: trace.sections().to_vec(),
+            sections: arena.sections().to_vec(),
             core_of,
             stats,
         }
@@ -935,11 +984,11 @@ impl ManyCoreSim {
     /// Delegates the section-to-core assignment to the configured
     /// [`crate::PlacementPolicy`] and validates its output. Policies that
     /// ask for them get the trace's cross-section dependences.
-    fn place(&self, trace: &SectionedTrace) -> Result<Vec<CoreId>, SimError> {
-        let sections = trace.sections();
+    fn place(&self, arena: &TraceArena) -> Result<Vec<CoreId>, SimError> {
+        let sections = arena.sections();
         let chip = self.config.chip_view();
         let core_of = if self.config.placement.wants_dependences() {
-            let deps = crate::SectionDeps::from_records(sections.len(), trace.records());
+            let deps = crate::SectionDeps::from_arena(sections.len(), arena);
             self.config
                 .placement
                 .assign_with_deps(sections, &chip, &deps)
@@ -978,23 +1027,27 @@ enum Resolution {
 /// [`Resolver::drain`] computes every timestamp that has become computable
 /// and parks the rest on producer→consumer wake-up lists — no instruction
 /// is ever rescanned while its inputs are still unknown.
+///
+/// The per-instruction state is four flat `u64` columns ([`UNKNOWN`]
+/// sentinel) plus two `u32` wake-list links: `rr` is always `fd + 1`,
+/// `ar` always `ew + 1`, and `ma` always the completion cycle of a memory
+/// instruction, so those columns are derived in
+/// [`ManyCoreSim::finish`] instead of stored — the resolver costs
+/// ~41 B/instruction where the `Option<u64>` representation cost ~130.
 pub(crate) struct Resolver<'a> {
     config: &'a SimConfig,
-    records: &'a [InstRecord],
-    pub(crate) fd: Vec<Option<u64>>,
-    pub(crate) rr: Vec<Option<u64>>,
-    pub(crate) ew: Vec<Option<u64>>,
-    pub(crate) ar: Vec<Option<u64>>,
-    pub(crate) ma: Vec<Option<u64>>,
-    pub(crate) ret: Vec<Option<u64>>,
-    pub(crate) complete: Vec<Option<u64>>,
+    arena: &'a TraceArena,
+    pub(crate) fd: Vec<u64>,
+    pub(crate) ew: Vec<u64>,
+    pub(crate) ret: Vec<u64>,
+    pub(crate) complete: Vec<u64>,
     /// Head of the per-producer list of consumers waiting for its
-    /// completion (`usize::MAX` = empty). An instruction waits on at most
+    /// completion (`u32::MAX` = empty). An instruction waits on at most
     /// one producer at a time, so one `waiter_next` link per instruction
     /// threads every list — no per-wait allocation.
-    waiter_head: Vec<usize>,
+    waiter_head: Vec<u32>,
     /// Next consumer in the same producer's waiting list.
-    waiter_next: Vec<usize>,
+    waiter_next: Vec<u32>,
     /// Whether the section successor of an instruction is waiting for its
     /// retirement (retirement is in order, so only `seq + 1` ever waits on
     /// `seq`).
@@ -1007,20 +1060,20 @@ pub(crate) struct Resolver<'a> {
     pub(crate) dmh_accesses: u64,
 }
 
+/// Empty wake-list link.
+const NO_WAITER: u32 = u32::MAX;
+
 impl<'a> Resolver<'a> {
-    pub(crate) fn new(config: &'a SimConfig, records: &'a [InstRecord], n: usize) -> Resolver<'a> {
+    pub(crate) fn new(config: &'a SimConfig, arena: &'a TraceArena, n: usize) -> Resolver<'a> {
         Resolver {
             config,
-            records,
-            fd: vec![None; n],
-            rr: vec![None; n],
-            ew: vec![None; n],
-            ar: vec![None; n],
-            ma: vec![None; n],
-            ret: vec![None; n],
-            complete: vec![None; n],
-            waiter_head: vec![usize::MAX; n],
-            waiter_next: vec![usize::MAX; n],
+            arena,
+            fd: vec![UNKNOWN; n],
+            ew: vec![UNKNOWN; n],
+            ret: vec![UNKNOWN; n],
+            complete: vec![UNKNOWN; n],
+            waiter_head: vec![NO_WAITER; n],
+            waiter_next: vec![NO_WAITER; n],
             successor_waits: vec![false; n],
             queue: Vec::new(),
             resolved: 0,
@@ -1033,9 +1086,17 @@ impl<'a> Resolver<'a> {
 
     /// Records the fetch of `seq` at `cycle` and queues it for resolution.
     pub(crate) fn fetch(&mut self, seq: usize, cycle: u64) {
-        self.fd[seq] = Some(cycle);
-        self.rr[seq] = Some(cycle + 1);
+        self.fd[seq] = cycle;
         self.queue.push(seq);
+    }
+
+    /// The completion cycle of `seq`, if already resolved.
+    #[inline]
+    pub(crate) fn completion(&self, seq: usize) -> Option<u64> {
+        match self.complete[seq] {
+            UNKNOWN => None,
+            cycle => Some(cycle),
+        }
     }
 
     /// Latency of one leg (request or response) of a renaming exchange
@@ -1077,37 +1138,39 @@ impl<'a> Resolver<'a> {
         core_of: &[CoreId],
         completions: &mut Vec<(usize, u64)>,
     ) {
+        let arena = self.arena;
         while let Some(seq) = self.queue.pop() {
-            if self.complete[seq].is_some() {
+            if self.complete[seq] != UNKNOWN {
                 // Value already known; only retirement may be pending.
                 self.try_retire(seq);
                 continue;
             }
-            let record = &self.records[seq];
-            let my_fd = self.fd[seq].expect("queued after fetch");
-            let my_rr = self.rr[seq].expect("queued after fetch");
-            let my_core = core_of[record.section.0];
+            let my_section = arena.section(seq);
+            let my_fd = self.fd[seq];
+            debug_assert!(my_fd != UNKNOWN, "queued after fetch");
+            let my_rr = my_fd + 1;
+            let my_core = core_of[my_section.0];
 
             let resolution = (|| {
                 let mut local_remote_reg = 0u64;
                 let mut local_fork_copied = 0u64;
                 let mut reg_ready = 0u64;
                 let mut available_at_fetch = true;
-                for dep in &record.reg_sources {
-                    let t = match dep.kind {
+                for dep in arena.reg_sources(seq) {
+                    let t = match dep.kind() {
                         SourceKind::ForkCopy => {
                             local_fork_copied += 1;
                             0
                         }
                         SourceKind::InitialRegister | SourceKind::InitialMemory => 0,
                         SourceKind::Local { producer } => match self.complete[producer] {
-                            Some(c) => {
+                            UNKNOWN => return Resolution::WaitingOn(producer),
+                            c => {
                                 if c > my_fd {
                                     available_at_fetch = false;
                                 }
                                 c
                             }
-                            None => return Resolution::WaitingOn(producer),
                         },
                         SourceKind::Remote {
                             producer,
@@ -1115,15 +1178,15 @@ impl<'a> Resolver<'a> {
                         } => {
                             available_at_fetch = false;
                             let c = match self.complete[producer] {
-                                Some(c) => c,
-                                None => return Resolution::WaitingOn(producer),
+                                UNKNOWN => return Resolution::WaitingOn(producer),
+                                c => c,
                             };
                             local_remote_reg += 1;
                             let hop = self.request_latency(
                                 network,
                                 my_core,
                                 core_of[producer_section.0],
-                                record.section,
+                                my_section,
                                 producer_section,
                             );
                             c.max(my_rr + hop) + hop
@@ -1132,7 +1195,7 @@ impl<'a> Resolver<'a> {
                     reg_ready = reg_ready.max(t);
                 }
 
-                let is_mem = record.is_load || record.is_store;
+                let is_mem = arena.is_load(seq) || arena.is_store(seq);
                 let my_ew = if !is_mem && available_at_fetch && reg_ready <= my_fd {
                     // Computed directly in the fetch-decode stage.
                     my_fd
@@ -1142,33 +1205,33 @@ impl<'a> Resolver<'a> {
 
                 let mut local_remote_mem = 0u64;
                 let mut local_dmh = 0u64;
-                let (my_ar, my_ma, completion) = if is_mem {
+                let completion = if is_mem {
                     let a = my_ew + 1;
                     let mut mem_ready = a + 1;
-                    for dep in &record.mem_sources {
-                        let t = match dep.kind {
+                    for dep in arena.mem_sources(seq) {
+                        let t = match dep.kind() {
                             SourceKind::InitialMemory => {
                                 local_dmh += 1;
                                 a + self.config.dmh_latency
                             }
                             SourceKind::Local { producer } => match self.complete[producer] {
-                                Some(c) => c.max(a + 1),
-                                None => return Resolution::WaitingOn(producer),
+                                UNKNOWN => return Resolution::WaitingOn(producer),
+                                c => c.max(a + 1),
                             },
                             SourceKind::Remote {
                                 producer,
                                 producer_section,
                             } => {
                                 let c = match self.complete[producer] {
-                                    Some(c) => c,
-                                    None => return Resolution::WaitingOn(producer),
+                                    UNKNOWN => return Resolution::WaitingOn(producer),
+                                    c => c,
                                 };
                                 local_remote_mem += 1;
                                 let hop = self.request_latency(
                                     network,
                                     my_core,
                                     core_of[producer_section.0],
-                                    record.section,
+                                    my_section,
                                     producer_section,
                                 );
                                 c.max(a + hop) + hop
@@ -1177,15 +1240,15 @@ impl<'a> Resolver<'a> {
                         };
                         mem_ready = mem_ready.max(t);
                     }
-                    (Some(a), Some(mem_ready), mem_ready)
+                    // `ar`/`ma` are derived at reporting time: `ar` is
+                    // `ew + 1` and `ma` is this completion cycle.
+                    mem_ready
                 } else {
-                    (None, None, my_ew)
+                    my_ew
                 };
 
-                self.ew[seq] = Some(my_ew);
-                self.ar[seq] = my_ar;
-                self.ma[seq] = my_ma;
-                self.complete[seq] = Some(completion);
+                self.ew[seq] = my_ew;
+                self.complete[seq] = completion;
                 self.remote_register_requests += local_remote_reg;
                 self.remote_memory_requests += local_remote_mem;
                 self.fork_copied_sources += local_fork_copied;
@@ -1197,16 +1260,17 @@ impl<'a> Resolver<'a> {
             match resolution {
                 Resolution::Resolved => {
                     // Wake value consumers.
-                    let mut waiter = std::mem::replace(&mut self.waiter_head[seq], usize::MAX);
-                    while waiter != usize::MAX {
-                        self.queue.push(waiter);
-                        waiter = std::mem::replace(&mut self.waiter_next[waiter], usize::MAX);
+                    let mut waiter = std::mem::replace(&mut self.waiter_head[seq], NO_WAITER);
+                    while waiter != NO_WAITER {
+                        self.queue.push(waiter as usize);
+                        waiter =
+                            std::mem::replace(&mut self.waiter_next[waiter as usize], NO_WAITER);
                     }
                     self.try_retire(seq);
                 }
                 Resolution::WaitingOn(dep) => {
                     self.waiter_next[seq] = self.waiter_head[dep];
-                    self.waiter_head[dep] = seq;
+                    self.waiter_head[dep] = seq as u32;
                 }
             }
         }
@@ -1217,29 +1281,29 @@ impl<'a> Resolver<'a> {
     /// and its predecessor in the section has retired, then wakes the
     /// successor that may be waiting on this retirement.
     fn try_retire(&mut self, seq: usize) {
-        if self.ret[seq].is_some() {
+        if self.ret[seq] != UNKNOWN {
             return;
         }
-        let Some(completion) = self.complete[seq] else {
+        let completion = self.complete[seq];
+        if completion == UNKNOWN {
             return;
-        };
-        let record = &self.records[seq];
-        let prev_ret = if record.index_in_section == 0 {
-            Some(0)
+        }
+        let prev_ret = if self.arena.index_in_section(seq) == 0 {
+            0
         } else {
             self.ret[seq - 1]
         };
         match prev_ret {
-            Some(prev) => {
-                self.ret[seq] = Some(completion.max(prev) + 1);
+            UNKNOWN => {
+                self.successor_waits[seq - 1] = true;
+            }
+            prev => {
+                self.ret[seq] = completion.max(prev) + 1;
                 self.resolved += 1;
                 if self.successor_waits[seq] {
                     self.successor_waits[seq] = false;
                     self.queue.push(seq + 1);
                 }
-            }
-            None => {
-                self.successor_waits[seq - 1] = true;
             }
         }
     }
@@ -1250,18 +1314,17 @@ impl<'a> Resolver<'a> {
 /// local register file (fork-copied, initial, or produced locally and
 /// complete no later than the fetch cycle).
 pub(crate) fn fetch_computable(
-    record: &crate::InstRecord,
-    complete: &[Option<u64>],
+    arena: &TraceArena,
+    seq: usize,
+    complete: &[u64],
     fetch_cycle: u64,
 ) -> bool {
-    if record.is_load || record.is_store {
+    if arena.is_load(seq) || arena.is_store(seq) {
         return false;
     }
-    record.reg_sources.iter().all(|dep| match dep.kind {
+    arena.reg_sources(seq).iter().all(|dep| match dep.kind() {
         SourceKind::ForkCopy | SourceKind::InitialRegister | SourceKind::InitialMemory => true,
-        SourceKind::Local { producer } => {
-            matches!(complete[producer], Some(c) if c <= fetch_cycle)
-        }
+        SourceKind::Local { producer } => complete[producer] <= fetch_cycle,
         SourceKind::Remote { .. } => false,
     })
 }

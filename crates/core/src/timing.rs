@@ -98,8 +98,23 @@ pub struct SimStats {
     pub forced_stall_releases: u64,
     /// Largest number of sections hosted by a single core.
     pub peak_sections_per_core: usize,
+    /// Bytes held by the [`parsecs_trace::TraceArena`] the run was
+    /// simulated from (allocated capacity of every column — the
+    /// functional front-end's resident footprint).
+    pub trace_arena_bytes: u64,
     /// Statistics of the underlying NoC model.
     pub noc: NocStats,
+}
+
+impl SimStats {
+    /// [`SimStats::trace_arena_bytes`] per simulated instruction.
+    pub fn trace_bytes_per_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.trace_arena_bytes as f64 / self.instructions as f64
+        }
+    }
 }
 
 /// Formats the per-core timing tables in the layout of the paper's

@@ -274,6 +274,18 @@ mod tests {
         assert!(report.fetch_cycles() <= report.cycles);
         assert_eq!(report.sim().unwrap().stats.sections, 6);
         assert_eq!(report.backend, "manycore:8c:round-robin");
+        // The functional front-end's memory accounting rides along.
+        let bytes = report
+            .trace_arena_bytes()
+            .expect("manycore builds an arena");
+        assert!(bytes > 0);
+        let per_insn = report.trace_bytes_per_instruction().unwrap();
+        assert!(
+            per_insn > 0.0 && per_insn < 250.0,
+            "{per_insn:.1} B/insn out of range"
+        );
+        let sequential = SequentialBackend.execute(&program).unwrap();
+        assert_eq!(sequential.trace_arena_bytes(), None);
     }
 
     #[test]

@@ -81,6 +81,20 @@ impl RunReport {
         }
     }
 
+    /// Bytes held by the streaming trace arena the many-core run was
+    /// simulated from (`None` for the other backends, which do not build
+    /// one). This is the functional front-end's resident footprint — the
+    /// number that caps how many instructions a chip-scale run can
+    /// pre-execute.
+    pub fn trace_arena_bytes(&self) -> Option<u64> {
+        self.sim().map(|r| r.stats.trace_arena_bytes)
+    }
+
+    /// [`RunReport::trace_arena_bytes`] per simulated instruction.
+    pub fn trace_bytes_per_instruction(&self) -> Option<f64> {
+        self.sim().map(|r| r.stats.trace_bytes_per_instruction())
+    }
+
     /// How many times the many-core simulator's deadlock *detector*
     /// forcibly released a stalled fetch stage (`None` for the other
     /// backends, which have no such machinery). Under the in-order

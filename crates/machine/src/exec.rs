@@ -2,7 +2,7 @@
 
 use parsecs_isa::{AluOp, Effects, Flags, Inst, Operand, Program, Reg};
 
-use crate::{CpuState, Location, MachineError, Memory, Trace, TraceEvent, TraceKind};
+use crate::{CpuState, Location, MachineError, Memory, Trace, TraceKind, TraceSink, TraceStep};
 
 /// The result of one execution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,10 @@ struct Continuation {
 #[derive(Debug, Clone)]
 pub struct Machine {
     program: Program,
+    /// Architectural effects of each static instruction, computed once at
+    /// load: the traced run reuses them instead of re-deriving (and
+    /// re-allocating) the register lists on every dynamic instruction.
+    effects: Vec<Effects>,
     cpu: CpuState,
     memory: Memory,
     outputs: Vec<u64>,
@@ -49,6 +53,12 @@ pub struct Machine {
     loads: u64,
     stores: u64,
     halted: bool,
+    /// Reusable scratch for the locations of the current step, so the
+    /// streaming trace path performs no per-instruction allocation.
+    scratch_reads: Vec<Location>,
+    scratch_writes: Vec<Location>,
+    scratch_mem_reads: Vec<u64>,
+    scratch_mem_writes: Vec<u64>,
 }
 
 impl Machine {
@@ -67,6 +77,7 @@ impl Machine {
             memory.write(addr, value);
         }
         Ok(Machine {
+            effects: program.insns().iter().map(Effects::of).collect(),
             program: program.clone(),
             cpu: CpuState::at_entry(program.entry()),
             memory,
@@ -76,6 +87,10 @@ impl Machine {
             loads: 0,
             stores: 0,
             halted: false,
+            scratch_reads: Vec::new(),
+            scratch_writes: Vec::new(),
+            scratch_mem_reads: Vec::new(),
+            scratch_mem_writes: Vec::new(),
         })
     }
 
@@ -111,28 +126,57 @@ impl Machine {
     /// Returns [`MachineError::OutOfFuel`] if the program does not halt
     /// within `fuel` instructions, or any execution error.
     pub fn run(&mut self, fuel: u64) -> Result<Outcome, MachineError> {
-        self.run_inner(fuel, &mut None)
+        let mut none: Option<&mut Trace> = None;
+        self.run_inner(fuel, &mut none)
     }
 
     /// Runs until halt, recording the dynamic trace.
+    ///
+    /// Compatibility shim over [`Machine::run_with_sink`]: the [`Trace`]
+    /// is itself a [`TraceSink`] that materialises every event. Streaming
+    /// consumers should prefer `run_with_sink` directly — it never builds
+    /// the event vector.
     ///
     /// # Errors
     ///
     /// Same as [`Machine::run`].
     pub fn run_traced(&mut self, fuel: u64) -> Result<(Outcome, Trace), MachineError> {
-        let mut trace = Some(Trace::new());
-        let outcome = self.run_inner(fuel, &mut trace)?;
-        Ok((outcome, trace.expect("installed above")))
+        let mut trace = Trace::new();
+        let outcome = self.run_with_sink(fuel, &mut trace)?;
+        Ok((outcome, trace))
     }
 
-    fn run_inner(&mut self, fuel: u64, trace: &mut Option<Trace>) -> Result<Outcome, MachineError> {
+    /// Runs until halt, streaming every retired instruction into `sink`.
+    ///
+    /// This is the front of the single-pass trace pipeline: the sink sees
+    /// each instruction exactly once, borrowing the machine's scratch
+    /// buffers ([`TraceStep`]), so tracing adds no per-instruction
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with_sink<S: TraceSink>(
+        &mut self,
+        fuel: u64,
+        sink: &mut S,
+    ) -> Result<Outcome, MachineError> {
+        let mut sink = Some(sink);
+        self.run_inner(fuel, &mut sink)
+    }
+
+    fn run_inner<S: TraceSink>(
+        &mut self,
+        fuel: u64,
+        sink: &mut Option<&mut S>,
+    ) -> Result<Outcome, MachineError> {
         let mut remaining = fuel;
         while !self.halted {
             if remaining == 0 {
                 return Err(MachineError::OutOfFuel { steps: self.steps });
             }
             remaining -= 1;
-            self.step(trace)?;
+            self.step_sink(sink)?;
         }
         Ok(Outcome {
             outputs: self.outputs.clone(),
@@ -149,6 +193,19 @@ impl Machine {
     /// Returns an error for an invalid instruction pointer, an unaligned
     /// memory access, or an unresolved target.
     pub fn step(&mut self, trace: &mut Option<Trace>) -> Result<StepEvent, MachineError> {
+        let mut sink = trace.as_mut();
+        self.step_sink(&mut sink)
+    }
+
+    /// Executes a single instruction, streaming it to `sink` when present.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::step`].
+    pub fn step_sink<S: TraceSink>(
+        &mut self,
+        sink: &mut Option<&mut S>,
+    ) -> Result<StepEvent, MachineError> {
         if self.halted {
             return Ok(StepEvent::Halted);
         }
@@ -162,8 +219,12 @@ impl Machine {
                 len: self.program.len(),
             })?;
 
-        let mut mem_reads: Vec<u64> = Vec::new();
-        let mut mem_writes: Vec<u64> = Vec::new();
+        // Reuse the machine's scratch buffers (restored below); an early
+        // error return leaves them empty, which is also fine.
+        let mut mem_reads: Vec<u64> = std::mem::take(&mut self.scratch_mem_reads);
+        let mut mem_writes: Vec<u64> = std::mem::take(&mut self.scratch_mem_writes);
+        mem_reads.clear();
+        mem_writes.clear();
         let mut out_value = None;
         let mut next_ip = ip + 1;
         let mut kind = TraceKind::Other;
@@ -287,9 +348,13 @@ impl Machine {
         self.loads += mem_reads.len() as u64;
         self.stores += mem_writes.len() as u64;
 
-        if let Some(trace) = trace {
-            trace.push(self.make_event(&inst, ip, kind, mem_reads, mem_writes, out_value));
+        if let Some(sink) = sink {
+            self.record_step(sink, &inst, ip, kind, &mem_reads, &mem_writes, out_value);
         }
+        mem_reads.clear();
+        mem_writes.clear();
+        self.scratch_mem_reads = mem_reads;
+        self.scratch_mem_writes = mem_writes;
 
         if self.halted {
             return Ok(StepEvent::Halted);
@@ -304,39 +369,40 @@ impl Machine {
         Ok(StepEvent::Continue)
     }
 
-    fn make_event(
-        &self,
+    /// Assembles the sorted, deduplicated location lists of the step just
+    /// executed (into the machine's scratch buffers) and streams it to
+    /// `sink`.
+    #[allow(clippy::too_many_arguments)]
+    fn record_step<S: TraceSink>(
+        &mut self,
+        sink: &mut S,
         inst: &Inst,
         ip: usize,
         kind: TraceKind,
-        mem_reads: Vec<u64>,
-        mem_writes: Vec<u64>,
+        mem_reads: &[u64],
+        mem_writes: &[u64],
         out_value: Option<u64>,
-    ) -> TraceEvent {
-        let effects = Effects::of(inst);
-        let mut reads: Vec<Location> = effects
-            .reg_reads
-            .iter()
-            .map(|r| Location::Reg(*r))
-            .collect();
+    ) {
+        let effects = &self.effects[ip];
+        let reads = &mut self.scratch_reads;
+        reads.clear();
+        reads.extend(effects.reg_reads.iter().map(|r| Location::Reg(*r)));
         if effects.reads_flags {
             reads.push(Location::Flags);
         }
-        reads.extend(mem_reads.into_iter().map(Location::Mem));
-        let mut writes: Vec<Location> = effects
-            .reg_writes
-            .iter()
-            .map(|r| Location::Reg(*r))
-            .collect();
+        reads.extend(mem_reads.iter().copied().map(Location::Mem));
+        reads.sort_unstable();
+        reads.dedup();
+        let writes = &mut self.scratch_writes;
+        writes.clear();
+        writes.extend(effects.reg_writes.iter().map(|r| Location::Reg(*r)));
         if effects.writes_flags {
             writes.push(Location::Flags);
         }
-        writes.extend(mem_writes.into_iter().map(Location::Mem));
-        reads.sort();
-        reads.dedup();
-        writes.sort();
+        writes.extend(mem_writes.iter().copied().map(Location::Mem));
+        writes.sort_unstable();
         writes.dedup();
-        TraceEvent {
+        sink.record(&TraceStep {
             seq: self.steps - 1,
             ip,
             mnemonic: inst.mnemonic(),
@@ -346,7 +412,7 @@ impl Machine {
             updates_stack_pointer: effects.updates_stack_pointer,
             kind,
             out_value,
-        }
+        });
     }
 
     fn read_operand(

@@ -45,4 +45,4 @@ pub use cpu::CpuState;
 pub use error::MachineError;
 pub use exec::{Machine, Outcome, StepEvent};
 pub use memory::Memory;
-pub use trace::{Location, Trace, TraceEvent, TraceKind};
+pub use trace::{Location, Trace, TraceEvent, TraceKind, TraceSink, TraceStep};

@@ -85,10 +85,79 @@ pub struct TraceEvent {
     pub out_value: Option<u64>,
 }
 
+/// One executed instruction as streamed to a [`TraceSink`]: the same
+/// information as a [`TraceEvent`], but borrowing the machine's scratch
+/// buffers instead of owning per-instruction allocations.
+///
+/// A step is only valid for the duration of the [`TraceSink::record`]
+/// call; sinks that need to keep the data copy what they need (that is
+/// exactly what [`Trace`]'s own sink implementation does).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStep<'a> {
+    /// Position in the dynamic trace (0-based).
+    pub seq: u64,
+    /// Static instruction index.
+    pub ip: usize,
+    /// Mnemonic, for display and debugging.
+    pub mnemonic: &'static str,
+    /// Locations read by the instruction, sorted and deduplicated
+    /// (registers, then flags, then memory words — the [`Location`]
+    /// order).
+    pub reads: &'a [Location],
+    /// Locations written by the instruction, sorted and deduplicated.
+    pub writes: &'a [Location],
+    /// Whether the instruction changes control flow.
+    pub is_control: bool,
+    /// Whether the instruction is stack-pointer bookkeeping.
+    pub updates_stack_pointer: bool,
+    /// Classification.
+    pub kind: TraceKind,
+    /// The value emitted by an `out` instruction, if any.
+    pub out_value: Option<u64>,
+}
+
+/// A consumer of the dynamic instruction stream.
+///
+/// [`crate::Machine::run_with_sink`] pushes every retired instruction
+/// into a sink as it executes, so consumers that do not need the whole
+/// trace at once (the streaming sectioner of `parsecs-trace`) never pay
+/// for materialising a [`Trace`] — no per-instruction `Vec`s, no
+/// event vector growing to millions of entries.
+pub trait TraceSink {
+    /// Consumes one retired instruction.
+    fn record(&mut self, step: &TraceStep<'_>);
+}
+
+/// Mutable references forward, so sinks can be passed down call chains
+/// without re-wrapping.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn record(&mut self, step: &TraceStep<'_>) {
+        (**self).record(step);
+    }
+}
+
 /// A dynamic trace: the executed instructions in program order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+}
+
+/// The materialising sink: collecting into a [`Trace`] is the
+/// compatibility path behind [`crate::Machine::run_traced`].
+impl TraceSink for Trace {
+    fn record(&mut self, step: &TraceStep<'_>) {
+        self.push(TraceEvent {
+            seq: step.seq,
+            ip: step.ip,
+            mnemonic: step.mnemonic,
+            reads: step.reads.to_vec(),
+            writes: step.writes.to_vec(),
+            is_control: step.is_control,
+            updates_stack_pointer: step.updates_stack_pointer,
+            kind: step.kind,
+            out_value: step.out_value,
+        });
+    }
 }
 
 impl Trace {

@@ -1,0 +1,511 @@
+//! The struct-of-arrays trace arena.
+//!
+//! [`TraceArena`] holds a sectioned, dependence-annotated dynamic trace in
+//! flat columns instead of one heap object per instruction: every
+//! per-record field is one `Vec` indexed by trace position, and the
+//! variable-length parts — source dependences and written locations — are
+//! flattened into **one shared slice each**, indexed by `(offset, len)`
+//! ranges. Nothing in the arena is pointer-chased and nothing allocates
+//! per instruction, which is what lets 10M+-instruction runs fit:
+//! the arena costs well under 120 bytes per instruction where the
+//! record-per-instruction representation costs ~250–350.
+//!
+//! A [`PackedDep`] squeezes a full source dependence (architectural
+//! location, producer, producer section, provenance) into 16 bytes:
+//! data addresses are 8-aligned so a [`Location`] packs into a single
+//! `u64` with a tag in the low three bits, and the provenance tag shares
+//! a word with the producer's section id.
+
+use parsecs_isa::Reg;
+use parsecs_machine::{Location, TraceKind};
+
+use crate::{SectionId, SectionSpan, SourceDep, SourceKind};
+
+/// A [`Location`] packed into one word: memory addresses are 8-aligned,
+/// so the low three bits carry the variant tag.
+const LOC_MEM: u64 = 0;
+const LOC_REG: u64 = 1;
+const LOC_FLAGS: u64 = 2;
+
+#[inline]
+fn pack_location(loc: Location) -> u64 {
+    match loc {
+        Location::Mem(addr) => {
+            assert!(
+                addr & 7 == 0,
+                "trace arena requires 8-aligned data addresses, got {addr:#x}"
+            );
+            addr | LOC_MEM
+        }
+        Location::Reg(r) => ((r.index() as u64) << 3) | LOC_REG,
+        Location::Flags => LOC_FLAGS,
+    }
+}
+
+#[inline]
+fn unpack_location(packed: u64) -> Location {
+    match packed & 7 {
+        LOC_MEM => Location::Mem(packed),
+        LOC_REG => Location::Reg(Reg::ALL[(packed >> 3) as usize]),
+        _ => Location::Flags,
+    }
+}
+
+/// [`SourceKind`] provenance tags (low three bits of
+/// [`PackedDep::section_kind`]).
+const KIND_LOCAL: u32 = 0;
+const KIND_REMOTE: u32 = 1;
+const KIND_FORK_COPY: u32 = 2;
+const KIND_INITIAL_REG: u32 = 3;
+const KIND_INITIAL_MEM: u32 = 4;
+
+/// Sections a producer tag can name: 29 bits (the other three carry the
+/// provenance tag).
+const MAX_SECTIONS: usize = (1 << 29) - 1;
+
+/// One source dependence in 16 bytes: the packed location, the producer's
+/// trace index and `(producer_section << 3) | provenance`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedDep {
+    loc: u64,
+    producer: u32,
+    section_kind: u32,
+}
+
+impl PackedDep {
+    /// Packs a [`SourceDep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer index does not fit in a `u32`, the producer
+    /// section exceeds 2^29, or a memory address is not 8-aligned — all
+    /// far beyond what a simulable trace can reach.
+    pub fn new(dep: &SourceDep) -> PackedDep {
+        let (producer, section, kind) = match dep.kind {
+            SourceKind::Local { producer } => (producer, 0, KIND_LOCAL),
+            SourceKind::Remote {
+                producer,
+                producer_section,
+            } => {
+                assert!(
+                    producer_section.0 <= MAX_SECTIONS,
+                    "trace arena supports at most {MAX_SECTIONS} sections"
+                );
+                (producer, producer_section.0, KIND_REMOTE)
+            }
+            SourceKind::ForkCopy => (0, 0, KIND_FORK_COPY),
+            SourceKind::InitialRegister => (0, 0, KIND_INITIAL_REG),
+            SourceKind::InitialMemory => (0, 0, KIND_INITIAL_MEM),
+        };
+        assert!(
+            producer < u32::MAX as usize,
+            "trace arena supports at most {} instructions",
+            u32::MAX
+        );
+        PackedDep {
+            loc: pack_location(dep.location),
+            producer: producer as u32,
+            section_kind: ((section as u32) << 3) | kind,
+        }
+    }
+
+    /// The architectural location being read.
+    #[inline]
+    pub fn location(&self) -> Location {
+        unpack_location(self.loc)
+    }
+
+    /// Where the value comes from.
+    #[inline]
+    pub fn kind(&self) -> SourceKind {
+        match self.section_kind & 7 {
+            KIND_LOCAL => SourceKind::Local {
+                producer: self.producer as usize,
+            },
+            KIND_REMOTE => SourceKind::Remote {
+                producer: self.producer as usize,
+                producer_section: SectionId((self.section_kind >> 3) as usize),
+            },
+            KIND_FORK_COPY => SourceKind::ForkCopy,
+            KIND_INITIAL_REG => SourceKind::InitialRegister,
+            _ => SourceKind::InitialMemory,
+        }
+    }
+
+    /// The unpacked dependence.
+    pub fn dep(&self) -> SourceDep {
+        SourceDep {
+            location: self.location(),
+            kind: self.kind(),
+        }
+    }
+}
+
+/// Per-record `kind_flags` layout: low three bits [`TraceKind`], then the
+/// control/load/store flags.
+const FLAG_CONTROL: u8 = 1 << 3;
+const FLAG_LOAD: u8 = 1 << 4;
+const FLAG_STORE: u8 = 1 << 5;
+
+#[inline]
+fn pack_kind(kind: TraceKind) -> u8 {
+    match kind {
+        TraceKind::Other => 0,
+        TraceKind::Call => 1,
+        TraceKind::Ret => 2,
+        TraceKind::Fork => 3,
+        TraceKind::EndFork => 4,
+        TraceKind::Halt => 5,
+    }
+}
+
+#[inline]
+fn unpack_kind(packed: u8) -> TraceKind {
+    match packed & 7 {
+        0 => TraceKind::Other,
+        1 => TraceKind::Call,
+        2 => TraceKind::Ret,
+        3 => TraceKind::Fork,
+        4 => TraceKind::EndFork,
+        _ => TraceKind::Halt,
+    }
+}
+
+/// The sectioned, dependence-annotated trace of one program run, stored
+/// as flat columns (see the module docs).
+///
+/// Records are indexed by their sequential trace position (`seq`), which
+/// is also their position in the concatenated section order. Use
+/// [`crate::StreamingSectioner`] (or [`TraceArena::from_program`]) to
+/// build one while the program executes, or the `push_*` builder methods
+/// to assemble one from already-resolved records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceArena {
+    ip: Vec<u32>,
+    mnemonic_id: Vec<u16>,
+    section: Vec<u32>,
+    kind_flags: Vec<u8>,
+    /// `deps` range of record `i` is `dep_off[i]..dep_off[i + 1]`; the
+    /// first `reg_deps[i]` entries are the register/flags sources, the
+    /// rest the memory sources.
+    dep_off: Vec<u32>,
+    reg_deps: Vec<u16>,
+    /// `writes` range of record `i` is `write_off[i]..write_off[i + 1]`.
+    write_off: Vec<u32>,
+    deps: Vec<PackedDep>,
+    writes: Vec<u64>,
+    mnemonics: Vec<&'static str>,
+    sections: Vec<SectionSpan>,
+    outputs: Vec<u64>,
+}
+
+impl TraceArena {
+    /// An empty arena.
+    pub fn new() -> TraceArena {
+        TraceArena {
+            dep_off: vec![0],
+            write_off: vec![0],
+            ..TraceArena::default()
+        }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.ip.len()
+    }
+
+    /// Whether the arena holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ip.is_empty()
+    }
+
+    /// The sections, in total order.
+    pub fn sections(&self) -> &[SectionSpan] {
+        &self.sections
+    }
+
+    /// The values emitted by `out` during the functional run.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Static instruction index of record `seq`.
+    #[inline]
+    pub fn ip(&self, seq: usize) -> usize {
+        self.ip[seq] as usize
+    }
+
+    /// Mnemonic of record `seq`.
+    #[inline]
+    pub fn mnemonic(&self, seq: usize) -> &'static str {
+        self.mnemonics[self.mnemonic_id[seq] as usize]
+    }
+
+    /// Section of record `seq`.
+    #[inline]
+    pub fn section(&self, seq: usize) -> SectionId {
+        SectionId(self.section[seq] as usize)
+    }
+
+    /// Position of record `seq` within its section (0-based; derived from
+    /// the section span rather than stored).
+    #[inline]
+    pub fn index_in_section(&self, seq: usize) -> usize {
+        seq - self.sections[self.section[seq] as usize].start
+    }
+
+    /// Classification of record `seq`.
+    #[inline]
+    pub fn kind(&self, seq: usize) -> TraceKind {
+        unpack_kind(self.kind_flags[seq])
+    }
+
+    /// Whether record `seq` is a control-flow instruction.
+    #[inline]
+    pub fn is_control(&self, seq: usize) -> bool {
+        self.kind_flags[seq] & FLAG_CONTROL != 0
+    }
+
+    /// Whether record `seq` loads from data memory.
+    #[inline]
+    pub fn is_load(&self, seq: usize) -> bool {
+        self.kind_flags[seq] & FLAG_LOAD != 0
+    }
+
+    /// Whether record `seq` stores to data memory.
+    #[inline]
+    pub fn is_store(&self, seq: usize) -> bool {
+        self.kind_flags[seq] & FLAG_STORE != 0
+    }
+
+    /// The register and flags sources of record `seq`.
+    #[inline]
+    pub fn reg_sources(&self, seq: usize) -> &[PackedDep] {
+        let start = self.dep_off[seq] as usize;
+        &self.deps[start..start + self.reg_deps[seq] as usize]
+    }
+
+    /// The memory-word sources of record `seq`.
+    #[inline]
+    pub fn mem_sources(&self, seq: usize) -> &[PackedDep] {
+        let start = self.dep_off[seq] as usize + self.reg_deps[seq] as usize;
+        &self.deps[start..self.dep_off[seq + 1] as usize]
+    }
+
+    /// All sources of record `seq` (registers and flags first, then
+    /// memory words).
+    #[inline]
+    pub fn sources(&self, seq: usize) -> &[PackedDep] {
+        &self.deps[self.dep_off[seq] as usize..self.dep_off[seq + 1] as usize]
+    }
+
+    /// The locations written by record `seq`.
+    pub fn written(&self, seq: usize) -> impl Iterator<Item = Location> + '_ {
+        self.writes[self.write_off[seq] as usize..self.write_off[seq + 1] as usize]
+            .iter()
+            .map(|&w| unpack_location(w))
+    }
+
+    /// The paper's `s-i` name of record `seq` (1-based), e.g. `"2-13"`.
+    pub fn name(&self, seq: usize) -> String {
+        format!(
+            "{}-{}",
+            self.section[seq] as usize + 1,
+            self.index_in_section(seq) + 1
+        )
+    }
+
+    /// The number of instructions of each section, in total order.
+    pub fn section_sizes(&self) -> Vec<usize> {
+        self.sections.iter().map(SectionSpan::len).collect()
+    }
+
+    /// Size of the largest section.
+    pub fn longest_section(&self) -> usize {
+        self.section_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Bytes of memory held by the arena (allocated capacity of every
+    /// column, shared slice and table — the resident footprint, not the
+    /// minimal payload).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<TraceArena>()
+            + self.ip.capacity() * size_of::<u32>()
+            + self.mnemonic_id.capacity() * size_of::<u16>()
+            + self.section.capacity() * size_of::<u32>()
+            + self.kind_flags.capacity()
+            + self.dep_off.capacity() * size_of::<u32>()
+            + self.reg_deps.capacity() * size_of::<u16>()
+            + self.write_off.capacity() * size_of::<u32>()
+            + self.deps.capacity() * size_of::<PackedDep>()
+            + self.writes.capacity() * size_of::<u64>()
+            + self.mnemonics.capacity() * size_of::<&'static str>()
+            + self.sections.capacity() * size_of::<SectionSpan>()
+            + self.outputs.capacity() * size_of::<u64>()
+    }
+
+    /// Releases the growth slack of every column (amortised-doubling can
+    /// leave up to 2× the payload allocated right after a growth step).
+    /// One-time copy cost; worth it when the arena will be held across a
+    /// long simulation or its footprint reported.
+    pub fn shrink_to_fit(&mut self) {
+        self.ip.shrink_to_fit();
+        self.mnemonic_id.shrink_to_fit();
+        self.section.shrink_to_fit();
+        self.kind_flags.shrink_to_fit();
+        self.dep_off.shrink_to_fit();
+        self.reg_deps.shrink_to_fit();
+        self.write_off.shrink_to_fit();
+        self.deps.shrink_to_fit();
+        self.writes.shrink_to_fit();
+        self.mnemonics.shrink_to_fit();
+        self.sections.shrink_to_fit();
+        self.outputs.shrink_to_fit();
+    }
+
+    /// [`TraceArena::memory_bytes`] per instruction.
+    pub fn bytes_per_instruction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.memory_bytes() as f64 / self.len() as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Builder surface (the streaming sectioner writes the columns
+    // directly; these are for assembling an arena from already-resolved
+    // records, e.g. `SectionedTrace::to_arena`).
+    // ------------------------------------------------------------------
+
+    /// Interns a mnemonic, returning its table id. The table stays tiny
+    /// (one entry per distinct mnemonic), so the scan is cheap; hot
+    /// producers cache ids per static instruction instead.
+    pub fn intern_mnemonic(&mut self, mnemonic: &'static str) -> u16 {
+        if let Some(found) = self
+            .mnemonics
+            .iter()
+            .position(|&m| std::ptr::eq(m.as_ptr(), mnemonic.as_ptr()) || m == mnemonic)
+        {
+            return found as u16;
+        }
+        let id = u16::try_from(self.mnemonics.len()).expect("fewer than 65536 mnemonics");
+        self.mnemonics.push(mnemonic);
+        id
+    }
+
+    /// Appends one resolved record. Records must be pushed in sequential
+    /// trace order; `is_load`/`is_store` are derived (a memory source
+    /// means a load, a written memory location means a store), exactly as
+    /// the sequential analysis derives them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_record(
+        &mut self,
+        ip: usize,
+        mnemonic: &'static str,
+        section: SectionId,
+        kind: TraceKind,
+        is_control: bool,
+        reg_sources: &[SourceDep],
+        mem_sources: &[SourceDep],
+        writes: &[Location],
+    ) {
+        let mnemonic_id = self.intern_mnemonic(mnemonic);
+        let is_store = writes.iter().any(Location::is_mem);
+        self.begin_record(
+            ip,
+            mnemonic_id,
+            SectionId(section.0),
+            kind,
+            is_control,
+            !mem_sources.is_empty(),
+            is_store,
+        );
+        for dep in reg_sources {
+            self.push_dep(PackedDep::new(dep));
+        }
+        for dep in mem_sources {
+            self.push_dep(PackedDep::new(dep));
+        }
+        for &loc in writes {
+            self.push_write(loc);
+        }
+        self.end_record(reg_sources.len());
+    }
+
+    /// Appends the next section span. Spans must arrive in total order
+    /// and tile the record range.
+    pub fn push_section(&mut self, span: SectionSpan) {
+        debug_assert_eq!(span.id.0, self.sections.len());
+        self.sections.push(span);
+    }
+
+    /// Sets the functional outputs of the run.
+    pub fn set_outputs(&mut self, outputs: Vec<u64>) {
+        self.outputs = outputs;
+    }
+
+    // Column-level builder steps (also used by the streaming sectioner).
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn begin_record(
+        &mut self,
+        ip: usize,
+        mnemonic_id: u16,
+        section: SectionId,
+        kind: TraceKind,
+        is_control: bool,
+        is_load: bool,
+        is_store: bool,
+    ) {
+        assert!(
+            self.ip.len() < u32::MAX as usize - 1,
+            "trace arena supports at most {} instructions",
+            u32::MAX
+        );
+        assert!(
+            section.0 <= MAX_SECTIONS,
+            "trace arena supports at most {MAX_SECTIONS} sections"
+        );
+        self.ip
+            .push(u32::try_from(ip).expect("static index fits u32"));
+        self.mnemonic_id.push(mnemonic_id);
+        self.section.push(section.0 as u32);
+        let mut flags = pack_kind(kind);
+        if is_control {
+            flags |= FLAG_CONTROL;
+        }
+        if is_load {
+            flags |= FLAG_LOAD;
+        }
+        if is_store {
+            flags |= FLAG_STORE;
+        }
+        self.kind_flags.push(flags);
+    }
+
+    /// Appends one dependence of the record being built (register-class
+    /// deps first, then memory deps; `end_record` fixes the split).
+    #[inline]
+    pub(crate) fn push_dep(&mut self, dep: PackedDep) {
+        self.deps.push(dep);
+    }
+
+    #[inline]
+    pub(crate) fn push_write(&mut self, loc: Location) {
+        self.writes.push(pack_location(loc));
+    }
+
+    /// Closes the record opened by `begin_record`, recording how many of
+    /// the deps pushed since then are register-class sources.
+    #[inline]
+    pub(crate) fn end_record(&mut self, reg_dep_count: usize) {
+        self.reg_deps
+            .push(u16::try_from(reg_dep_count).expect("fewer than 65536 sources"));
+        self.dep_off
+            .push(u32::try_from(self.deps.len()).expect("dep slice fits u32 offsets"));
+        self.write_off
+            .push(u32::try_from(self.writes.len()).expect("write slice fits u32 offsets"));
+    }
+}

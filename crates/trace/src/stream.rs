@@ -1,0 +1,329 @@
+//! The single-pass streaming sectioner.
+//!
+//! [`StreamingSectioner`] is a [`TraceSink`]: the reference machine pushes
+//! each retired instruction into it, and the sink splits the run into
+//! sections, renames every destination and resolves every source to its
+//! producer **on the fly**, appending straight into a [`TraceArena`]. The
+//! result is identical, record for record, to running the machine to
+//! completion and post-processing the materialised trace with the
+//! sequential analysis (`SectionedTrace::from_trace` in `parsecs-core`) —
+//! a property held by a differential proptest — but the pipeline never
+//! builds the event vector, never allocates per instruction, and looks
+//! registers up in a flat array instead of hashing `Location` keys.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use parsecs_isa::{Program, Reg};
+use parsecs_machine::{Location, Machine, MachineError, Trace, TraceKind, TraceSink, TraceStep};
+
+use crate::{PackedDep, SectionId, SectionSpan, SourceDep, SourceKind, TraceArena};
+
+/// A multiply-xorshift hasher for the memory last-writer table: the keys
+/// are 8-aligned data addresses, so the default SipHash's collision
+/// resistance buys nothing and its per-lookup cost dominates the
+/// sectioner's profile. (splitmix64's finalizer — the same mixer the
+/// workspace uses for dataset generation.)
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the map only ever hashes u64 keys.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, key: u64) {
+        let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+
+/// `(producer trace index, producer section)`; `u32::MAX` marks an
+/// unwritten location.
+const NO_WRITER: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Register-file slots tracked by the flat last-writer array: the sixteen
+/// registers plus the flags.
+const REG_SLOTS: usize = Reg::COUNT + 1;
+const FLAGS_SLOT: usize = Reg::COUNT;
+
+/// The streaming sectioner (see the module docs). Feed it through
+/// [`parsecs_machine::Machine::run_with_sink`] — or any [`TraceStep`]
+/// stream in trace order — then call [`StreamingSectioner::finish`].
+#[derive(Debug)]
+pub struct StreamingSectioner {
+    arena: TraceArena,
+    /// Fork sites whose created section has not started yet, as
+    /// `(creator section, fork trace index)` — the creator stack of the
+    /// depth-first total order.
+    pending: Vec<(SectionId, usize)>,
+    /// Creator of the section currently being recorded.
+    current_creator: Option<(SectionId, usize)>,
+    /// Trace index at which the current section started.
+    current_start: usize,
+    /// Static instruction index of the current section's first record.
+    current_start_ip: usize,
+    /// Set once a `halt` ends the run; later steps are ignored, matching
+    /// the sequential analysis (which stops sectioning at the halt).
+    halted: bool,
+    /// Last writer of each register-file slot.
+    reg_writer: [(u32, u32); REG_SLOTS],
+    /// Last writer of each data-memory word.
+    mem_writer: AddrMap<(u32, u32)>,
+    /// Mnemonic table id per static instruction (`u16::MAX` = not yet
+    /// interned), so the hot path never hashes strings.
+    ip_mnemonic: Vec<u16>,
+}
+
+impl Default for StreamingSectioner {
+    fn default() -> StreamingSectioner {
+        StreamingSectioner::new()
+    }
+}
+
+impl StreamingSectioner {
+    /// A fresh sectioner with an empty arena.
+    pub fn new() -> StreamingSectioner {
+        StreamingSectioner {
+            arena: TraceArena::new(),
+            pending: Vec::new(),
+            current_creator: None,
+            current_start: 0,
+            current_start_ip: 0,
+            halted: false,
+            reg_writer: [NO_WRITER; REG_SLOTS],
+            mem_writer: AddrMap::default(),
+            ip_mnemonic: Vec::new(),
+        }
+    }
+
+    /// Closes the trailing section (for traces that end without a
+    /// terminator — cannot happen for halting programs, kept for
+    /// robustness), releases the columns' growth slack — so
+    /// [`TraceArena::memory_bytes`] reports the same trimmed footprint on
+    /// every path — and returns the finished arena.
+    pub fn finish(mut self, outputs: Vec<u64>) -> TraceArena {
+        let n = self.arena.len();
+        if self.current_start < n && self.arena.sections().last().map(|s| s.end).unwrap_or(0) < n {
+            let id = SectionId(self.arena.sections().len());
+            self.arena.push_section(SectionSpan {
+                id,
+                start: self.current_start,
+                end: n,
+                creator: self.current_creator,
+                start_ip: self.current_start_ip,
+            });
+        }
+        self.arena.set_outputs(outputs);
+        self.arena.shrink_to_fit();
+        self.arena
+    }
+
+    /// The arena built so far (for inspection; normally use `finish`).
+    pub fn arena(&self) -> &TraceArena {
+        &self.arena
+    }
+
+    #[inline]
+    fn mnemonic_id(&mut self, ip: usize, mnemonic: &'static str) -> u16 {
+        if ip >= self.ip_mnemonic.len() {
+            self.ip_mnemonic.resize(ip + 1, u16::MAX);
+        }
+        let cached = self.ip_mnemonic[ip];
+        if cached != u16::MAX {
+            return cached;
+        }
+        let id = self.arena.intern_mnemonic(mnemonic);
+        self.ip_mnemonic[ip] = id;
+        id
+    }
+
+    /// Resolves one read against the last-writer state, exactly as the
+    /// sequential analysis does.
+    #[inline]
+    fn resolve(&self, loc: Location, current: u32) -> PackedDep {
+        let writer = match loc {
+            Location::Reg(r) => self.reg_writer[r.index()],
+            Location::Flags => self.reg_writer[FLAGS_SLOT],
+            Location::Mem(addr) => self.mem_writer.get(&addr).copied().unwrap_or(NO_WRITER),
+        };
+        let kind = if writer == NO_WRITER {
+            match loc {
+                Location::Mem(_) => SourceKind::InitialMemory,
+                _ => SourceKind::InitialRegister,
+            }
+        } else if writer.1 == current {
+            SourceKind::Local {
+                producer: writer.0 as usize,
+            }
+        } else {
+            // The stack pointer and the paper's non-volatile registers are
+            // copied into the section-creation message, so a forked
+            // section reads them from its own register file.
+            let copied = match loc {
+                Location::Reg(r) => r.is_fork_copied(),
+                _ => false,
+            };
+            if copied && self.current_creator.is_some() {
+                SourceKind::ForkCopy
+            } else {
+                SourceKind::Remote {
+                    producer: writer.0 as usize,
+                    producer_section: SectionId(writer.1 as usize),
+                }
+            }
+        };
+        PackedDep::new(&SourceDep {
+            location: loc,
+            kind,
+        })
+    }
+}
+
+impl TraceSink for StreamingSectioner {
+    fn record(&mut self, step: &TraceStep<'_>) {
+        if self.halted {
+            return;
+        }
+        let i = self.arena.len();
+        let current = self.arena.sections().len() as u32;
+        if i == self.current_start {
+            self.current_start_ip = step.ip;
+        }
+
+        // Resolve sources: register-class deps first, then memory deps,
+        // preserving within-class read order (the order the sequential
+        // analysis emits).
+        let mut reg_dep_count = 0usize;
+        let mut mem_dep_count = 0usize;
+        for &loc in step.reads {
+            if !loc.is_mem() {
+                let dep = self.resolve(loc, current);
+                self.arena.push_dep(dep);
+                reg_dep_count += 1;
+            }
+        }
+        for &loc in step.reads {
+            if loc.is_mem() {
+                let dep = self.resolve(loc, current);
+                self.arena.push_dep(dep);
+                mem_dep_count += 1;
+            }
+        }
+
+        let mut is_store = false;
+        for &loc in step.writes {
+            self.arena.push_write(loc);
+            is_store |= loc.is_mem();
+        }
+
+        let mnemonic_id = self.mnemonic_id(step.ip, step.mnemonic);
+        self.arena.begin_record(
+            step.ip,
+            mnemonic_id,
+            SectionId(current as usize),
+            step.kind,
+            step.is_control,
+            mem_dep_count > 0,
+            is_store,
+        );
+        self.arena.end_record(reg_dep_count);
+
+        // This instruction becomes the last writer of everything it
+        // wrote (after its own reads resolved against the previous
+        // writers).
+        for &loc in step.writes {
+            let writer = (i as u32, current);
+            match loc {
+                Location::Reg(r) => self.reg_writer[r.index()] = writer,
+                Location::Flags => self.reg_writer[FLAGS_SLOT] = writer,
+                Location::Mem(addr) => {
+                    self.mem_writer.insert(addr, writer);
+                }
+            }
+        }
+
+        // Section bookkeeping.
+        match step.kind {
+            TraceKind::Fork => {
+                self.pending.push((SectionId(current as usize), i));
+            }
+            TraceKind::EndFork | TraceKind::Halt => {
+                self.arena.push_section(SectionSpan {
+                    id: SectionId(current as usize),
+                    start: self.current_start,
+                    end: i + 1,
+                    creator: self.current_creator,
+                    start_ip: self.current_start_ip,
+                });
+                self.current_start = i + 1;
+                self.current_creator = match step.kind {
+                    TraceKind::EndFork => self.pending.pop(),
+                    _ => None,
+                };
+                if step.kind == TraceKind::Halt {
+                    // A halt ends the whole run; anything the machine
+                    // would execute past it (nothing, for the reference
+                    // semantics) is not sectioned.
+                    self.halted = true;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TraceArena {
+    /// Runs `program` functionally through the streaming pipeline: the
+    /// reference machine executes with a [`StreamingSectioner`] sink, so
+    /// sectioning, renaming and dependence resolution happen in the same
+    /// single pass as the execution — no intermediate trace is ever
+    /// materialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the functional execution fails or does not
+    /// halt within `fuel` instructions.
+    pub fn from_program(program: &Program, fuel: u64) -> Result<TraceArena, MachineError> {
+        let mut machine = Machine::load(program)?;
+        let mut sink = StreamingSectioner::new();
+        let outcome = machine.run_with_sink(fuel, &mut sink)?;
+        Ok(sink.finish(outcome.outputs))
+    }
+
+    /// Sections an already-materialised trace by replaying it through the
+    /// streaming sectioner (the compatibility path for callers that hold
+    /// a [`Trace`]).
+    pub fn from_trace(trace: &Trace, outputs: Vec<u64>) -> TraceArena {
+        let mut sink = StreamingSectioner::new();
+        for event in trace.iter() {
+            sink.record(&TraceStep {
+                seq: event.seq,
+                ip: event.ip,
+                mnemonic: event.mnemonic,
+                reads: &event.reads,
+                writes: &event.writes,
+                is_control: event.is_control,
+                updates_stack_pointer: event.updates_stack_pointer,
+                kind: event.kind,
+                out_value: event.out_value,
+            });
+        }
+        sink.finish(outputs)
+    }
+}

@@ -23,8 +23,24 @@
 //!   event — the pattern an event-driven scheduler skips over and a
 //!   cycle stepper scans core by core.
 //!
+//! Two further generators target the 256–1024-core, ≥10M-instruction
+//! regime, where embedding the dataset as a `.quad` list would drag a
+//! multi-megabyte source through the assembler; they synthesise their
+//! keys/values *in program* with an LCG instead:
+//!
+//! * [`synth_histogram_program`] — the bucket histogram with
+//!   LCG-generated keys and a coarser leaf ([`SYNTH_LEAF`]), so a ~10M
+//!   instruction instance forks tens of thousands of sections over a
+//!   kilobyte-scale data segment;
+//! * [`fan_chain_program`] — `chains` independent serial accumulator
+//!   chains of `links` links each: the chain sum's latency-bound handoff
+//!   pattern, widened until it fills a 1024-core chip.
+//!
 //! All come with Rust oracles so functional outputs are checked exactly,
-//! and all are parameterised by a seed for dataset generation.
+//! and all are parameterised by a seed for dataset generation. Every
+//! generator also derives a functional pre-execution fuel cap from its
+//! problem size ([`histogram_fuel`], [`fan_chain_fuel`], …), replacing
+//! the hard-coded caps that silently starved large instances.
 
 use parsecs_asm::assemble;
 use parsecs_isa::Program;
@@ -35,12 +51,68 @@ use crate::data;
 /// recursion stops forking.
 pub const HISTOGRAM_LEAF: usize = 16;
 
+/// Number of keys a synthetic-histogram leaf generates and applies
+/// sequentially (coarser than [`HISTOGRAM_LEAF`]: the 256–1024-core runs
+/// want tens of thousands of sections, not millions).
+pub const SYNTH_LEAF: usize = 32;
+
+/// Knuth's MMIX LCG multiplier — the in-program key generator of
+/// [`synth_histogram_program`] and [`fan_chain_program`] (both fit in an
+/// `i64` immediate, which is why splitmix's constants are not used here).
+pub const LCG_MUL: u64 = 6364136223846793005;
+
+/// Knuth's MMIX LCG increment.
+pub const LCG_ADD: u64 = 1442695040888963407;
+
+/// Folds an arbitrary seed into a value that fits comfortably in an
+/// assembler immediate.
+fn seed_imm(seed: u64) -> u64 {
+    (seed ^ (seed >> 32)) & 0xffff_ffff
+}
+
 /// Number of elements a tree-sum leaf accumulates sequentially.
 pub const TREE_SUM_LEAF: usize = 16;
 
 /// Dynamic instructions per histogram key (the leaf-loop body), used to
 /// size benchmark runs.
 pub const HISTOGRAM_INSNS_PER_KEY: usize = 11;
+
+// ---------------------------------------------------------------------
+// Fuel derivation.
+//
+// Functional pre-execution takes a fuel cap; hard-coding one (the old
+// `1_000_000` habit) silently starves any instance sized past it. Each
+// generator therefore derives a cap from the requested problem size: a
+// safe over-estimate of the dynamic instruction count (loop bodies plus
+// fork-tree overhead, roughly doubled), plus slack for the fixed
+// prologue — so a 10M-instruction instance gets a 10M-plus budget
+// automatically and an infinite loop is still caught.
+// ---------------------------------------------------------------------
+
+/// Fuel sufficient for [`histogram_program`]`(keys, buckets, _)`.
+pub fn histogram_fuel(keys: usize, buckets: usize) -> u64 {
+    32 * keys as u64 + 16 * buckets as u64 + 10_000
+}
+
+/// Fuel sufficient for [`tree_sum_program`]`(elements, _)`.
+pub fn tree_sum_fuel(elements: usize) -> u64 {
+    24 * elements as u64 + 10_000
+}
+
+/// Fuel sufficient for [`chain_sum_program`]`(elements, _)`.
+pub fn chain_sum_fuel(elements: usize) -> u64 {
+    24 * elements as u64 + 10_000
+}
+
+/// Fuel sufficient for [`synth_histogram_program`]`(keys, buckets, _)`.
+pub fn synth_histogram_fuel(keys: usize, buckets: usize) -> u64 {
+    40 * keys as u64 + 16 * buckets as u64 + 10_000
+}
+
+/// Fuel sufficient for [`fan_chain_program`]`(chains, links, _)`.
+pub fn fan_chain_fuel(chains: usize, links: usize) -> u64 {
+    32 * (chains as u64) * (links as u64) + 32 * chains as u64 + 10_000
+}
 
 /// The key stream of a histogram instance: `keys` uniform values below
 /// `buckets`.
@@ -251,21 +323,230 @@ pub fn chain_sum_expected(elements: usize, seed: u64) -> Vec<u64> {
     tree_sum_expected(elements, seed)
 }
 
+// ---------------------------------------------------------------------
+// 256–1024-core scale workloads.
+//
+// The generators above embed their dataset as a `.quad` list, so a
+// 10M-instruction instance would drag a multi-megabyte source through
+// the assembler before the first instruction runs. The two generators
+// below synthesise their data *in program* with Knuth's MMIX LCG
+// ([`LCG_MUL`]/[`LCG_ADD`]) — the data segment stays a few kilobytes at
+// any instruction count, and the Rust oracles replay the same generator.
+// ---------------------------------------------------------------------
+
+/// A fork-parallel bucket histogram over `keys` LCG-generated keys and
+/// `buckets` (a power of two) buckets — [`histogram_program`] rebuilt for
+/// the 256–1024-core, ≥10M-instruction regime.
+///
+/// The recursion halves the key-index range until at most [`SYNTH_LEAF`]
+/// keys remain; a leaf seeds a per-leaf LCG from its start index and, per
+/// key, draws the next state, maps its high bits onto a bucket and bumps
+/// `table[key]` through the same load–conditional–store sequence as
+/// [`histogram_program`] (the conditional depends on the *loaded*
+/// counter, so fetch stages wait on cross-section writer chains). `main`
+/// then folds the table into the checksum `Σ table[i]·(i+1)`.
+///
+/// # Panics
+///
+/// Panics if `keys` is zero or `buckets` is not a power of two.
+pub fn synth_histogram_program(keys: usize, buckets: usize, seed: u64) -> Program {
+    assert!(keys > 0, "the histogram needs at least one key");
+    assert!(
+        buckets.is_power_of_two(),
+        "synthetic histogram buckets must be a power of two (got {buckets})"
+    );
+    let zeros = vec!["0"; buckets];
+    let source = format!(
+        "table:  .quad {table_list}
+main:   movq $0, %rdi
+        movq ${keys}, %rsi
+        fork hist
+        movq $table, %rdi
+        movq ${buckets}, %rcx
+        movq $0, %rax
+        movq $1, %rbx
+chk:    movq (%rdi), %rdx
+        imulq %rbx, %rdx
+        addq %rdx, %rax
+        addq $8, %rdi
+        addq $1, %rbx
+        subq $1, %rcx
+        jne chk
+        out  %rax
+        halt
+hist:   cmpq ${leaf}, %rsi
+        ja .split
+        movq %rdi, %rdx
+        addq ${seed_c}, %rdx
+        imulq ${mul}, %rdx
+.loop:  imulq ${mul}, %rdx
+        addq ${add}, %rdx
+        movq %rdx, %rbx
+        shrq $33, %rbx
+        andq ${mask}, %rbx
+        movq $table, %rcx
+        leaq (%rcx,%rbx,8), %rcx
+        movq (%rcx), %rax
+        cmpq $0, %rax
+        je .bump
+.bump:  addq $1, %rax
+        movq %rax, (%rcx)
+        subq $1, %rsi
+        jne .loop
+        endfork
+.split: movq %rsi, %rbx
+        shrq %rsi
+        fork hist
+        addq %rsi, %rdi
+        subq %rsi, %rbx
+        movq %rbx, %rsi
+        fork hist
+        endfork",
+        table_list = zeros.join(", "),
+        leaf = SYNTH_LEAF,
+        seed_c = seed_imm(seed),
+        mul = LCG_MUL,
+        add = LCG_ADD,
+        mask = buckets - 1,
+    );
+    assemble(&source).expect("the synthetic histogram listing always assembles")
+}
+
+/// The bucket counts [`synth_histogram_program`] produces, replayed by
+/// the same split recursion and per-leaf LCG in Rust.
+fn synth_histogram_counts(keys: usize, buckets: usize, seed: u64) -> Vec<u64> {
+    let mask = buckets as u64 - 1;
+    let mut table = vec![0u64; buckets];
+    // The same halving recursion as the program, iteratively.
+    let mut ranges = vec![(0u64, keys as u64)];
+    while let Some((start, count)) = ranges.pop() {
+        if count > SYNTH_LEAF as u64 {
+            let half = count >> 1;
+            ranges.push((start + half, count - half));
+            ranges.push((start, half));
+        } else {
+            let mut state = start.wrapping_add(seed_imm(seed)).wrapping_mul(LCG_MUL);
+            for _ in 0..count {
+                state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+                table[((state >> 33) & mask) as usize] += 1;
+            }
+        }
+    }
+    table
+}
+
+/// The expected output of [`synth_histogram_program`]: the checksum
+/// `Σ count[i]·(i+1)` over the final bucket counts.
+pub fn synth_histogram_expected(keys: usize, buckets: usize, seed: u64) -> Vec<u64> {
+    let checksum = synth_histogram_counts(keys, buckets, seed)
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, count)| {
+            acc.wrapping_add(count.wrapping_mul(i as u64 + 1))
+        });
+    vec![checksum]
+}
+
+/// `chains` independent serial accumulator chains of `links` links each —
+/// the chain sum's latency-bound handoff pattern, widened until it fills
+/// a 256–1024-core chip.
+///
+/// `main` forks one driver per chain; each driver iterates `links` times,
+/// forking one `link` per iteration (the sectioning rule splits the
+/// driver at every fork, so each iteration is its own section) and
+/// advancing a per-chain LCG whose state rides to the link in a
+/// fork-copied register. A link loads its chain's accumulator (a
+/// renaming request to the previous link's store), passes it through a
+/// conditional that depends on the *loaded* value — so the fetch stage
+/// waits out the full NoC round trip — and stores back the sum. `main`
+/// finally folds every accumulator into one output.
+///
+/// # Panics
+///
+/// Panics if `chains` or `links` is zero.
+pub fn fan_chain_program(chains: usize, links: usize, seed: u64) -> Program {
+    assert!(chains > 0, "the fan chain needs at least one chain");
+    assert!(links > 0, "the fan chain needs at least one link");
+    let zeros = vec!["0"; chains];
+    let source = format!(
+        "accs:   .quad {accs_list}
+main:   movq $0, %rdi
+mloop:  fork drv
+        addq $1, %rdi
+        cmpq ${chains}, %rdi
+        jne mloop
+        movq $accs, %rdi
+        movq ${chains}, %rcx
+        movq $0, %rax
+fold:   addq (%rdi), %rax
+        addq $8, %rdi
+        subq $1, %rcx
+        jne fold
+        out  %rax
+        halt
+drv:    movq %rdi, %r8
+        movq ${links}, %r9
+        movq %rdi, %rdx
+        addq ${seed_c}, %rdx
+        imulq ${mul}, %rdx
+.dloop: fork link
+        imulq ${mul}, %rdx
+        addq ${add}, %rdx
+        subq $1, %r9
+        jne .dloop
+        endfork
+link:   movq $accs, %rcx
+        leaq (%rcx,%r8,8), %rcx
+        movq %rdx, %rbx
+        shrq $33, %rbx
+        movq (%rcx), %rax
+        cmpq $0, %rax
+        je .add
+.add:   addq %rbx, %rax
+        movq %rax, (%rcx)
+        endfork",
+        accs_list = zeros.join(", "),
+        seed_c = seed_imm(seed),
+        mul = LCG_MUL,
+        add = LCG_ADD,
+    );
+    assemble(&source).expect("the fan-chain listing always assembles")
+}
+
+/// The expected output of [`fan_chain_program`]: the wrapping sum, over
+/// every chain, of the per-link LCG draws.
+pub fn fan_chain_expected(chains: usize, links: usize, seed: u64) -> Vec<u64> {
+    let mut total = 0u64;
+    for chain in 0..chains as u64 {
+        let mut state = chain.wrapping_add(seed_imm(seed)).wrapping_mul(LCG_MUL);
+        for _ in 0..links {
+            total = total.wrapping_add(state >> 33);
+            state = state.wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
+        }
+    }
+    vec![total]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use parsecs_machine::Machine;
 
-    fn run(program: &Program) -> (Vec<u64>, u64) {
+    /// Runs with the workload's own derived fuel cap, so the caps
+    /// themselves are exercised (a starved cap fails here).
+    fn run(program: &Program, fuel: u64) -> (Vec<u64>, u64) {
         let mut machine = Machine::load(program).expect("loads");
-        let outcome = machine.run(50_000_000).expect("halts");
+        let outcome = machine.run(fuel).expect("halts within its derived fuel");
         (outcome.outputs, outcome.instructions)
     }
 
     #[test]
     fn histogram_matches_its_oracle() {
         for (keys, buckets, seed) in [(40, 8, 1), (130, 16, 2), (257, 5, 3)] {
-            let (outputs, _) = run(&histogram_program(keys, buckets, seed));
+            let (outputs, _) = run(
+                &histogram_program(keys, buckets, seed),
+                histogram_fuel(keys, buckets),
+            );
             assert_eq!(
                 outputs,
                 histogram_expected(keys, buckets, seed),
@@ -277,7 +558,7 @@ mod tests {
     #[test]
     fn tree_sum_matches_its_oracle() {
         for (elements, seed) in [(1, 1), (16, 2), (40, 3), (333, 4)] {
-            let (outputs, _) = run(&tree_sum_program(elements, seed));
+            let (outputs, _) = run(&tree_sum_program(elements, seed), tree_sum_fuel(elements));
             assert_eq!(
                 outputs,
                 tree_sum_expected(elements, seed),
@@ -289,7 +570,7 @@ mod tests {
     #[test]
     fn chain_sum_matches_its_oracle() {
         for (elements, seed) in [(1, 1), (2, 9), (100, 3)] {
-            let (outputs, _) = run(&chain_sum_program(elements, seed));
+            let (outputs, _) = run(&chain_sum_program(elements, seed), chain_sum_fuel(elements));
             assert_eq!(
                 outputs,
                 chain_sum_expected(elements, seed),
@@ -299,10 +580,65 @@ mod tests {
     }
 
     #[test]
+    fn synth_histogram_matches_its_oracle() {
+        for (keys, buckets, seed) in [(1, 1, 0), (40, 8, 1), (200, 16, 2), (1000, 64, 3)] {
+            let (outputs, _) = run(
+                &synth_histogram_program(keys, buckets, seed),
+                synth_histogram_fuel(keys, buckets),
+            );
+            assert_eq!(
+                outputs,
+                synth_histogram_expected(keys, buckets, seed),
+                "synth_histogram({keys}, {buckets}, {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn synth_histogram_spreads_keys_over_buckets() {
+        let counts = synth_histogram_counts(4096, 64, 9);
+        assert_eq!(counts.iter().sum::<u64>(), 4096);
+        let hit = counts.iter().filter(|c| **c > 0).count();
+        assert!(hit > 48, "only {hit}/64 buckets hit — LCG keys too skewed");
+    }
+
+    #[test]
+    fn fan_chain_matches_its_oracle() {
+        for (chains, links, seed) in [(1, 1, 0), (3, 5, 1), (16, 9, 2), (64, 4, 3)] {
+            let (outputs, _) = run(
+                &fan_chain_program(chains, links, seed),
+                fan_chain_fuel(chains, links),
+            );
+            assert_eq!(
+                outputs,
+                fan_chain_expected(chains, links, seed),
+                "fan_chain({chains}, {links}, {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fan_chain_sections_scale_with_chains_times_links() {
+        let (chains, links) = (8, 6);
+        let arena = parsecs_trace::TraceArena::from_program(
+            &fan_chain_program(chains, links, 5),
+            fan_chain_fuel(chains, links),
+        )
+        .expect("runs");
+        // Every fork creates exactly one section: `chains` driver forks
+        // from main plus `chains × links` link forks, plus the initial
+        // section.
+        assert_eq!(arena.sections().len(), 1 + chains + chains * links);
+        // The chains stay fine-grained: the longest section is main's
+        // final fold over the accumulators, not anything per-link.
+        assert!(arena.longest_section() <= 32 + 4 * chains);
+    }
+
+    #[test]
     fn chain_sum_is_one_section_per_element_plus_the_ends() {
         let program = chain_sum_program(50, 5);
         let mut machine = Machine::load(&program).expect("loads");
-        let (_, trace) = machine.run_traced(1_000_000).expect("halts");
+        let (_, trace) = machine.run_traced(chain_sum_fuel(50)).expect("halts");
         let sectioned = parsecs_core::SectionedTrace::from_trace(&trace, vec![]);
         // One section per element (each fork splits the loop at the fork
         // site) plus the final continuation carrying `out`/`halt`.
@@ -316,7 +652,10 @@ mod tests {
         // The perf trajectory's headline cell: ~100k keys must cross the
         // 1M-dynamic-instruction line (checked here at 1/10 scale to keep
         // the test fast — the instruction count is linear in the keys).
-        let (_, instructions) = run(&histogram_program(10_000, 64, 7));
+        let (_, instructions) = run(
+            &histogram_program(10_000, 64, 7),
+            histogram_fuel(10_000, 64),
+        );
         assert!(
             instructions >= 100_000,
             "histogram at 10k keys runs {instructions} instructions; \
@@ -325,10 +664,33 @@ mod tests {
     }
 
     #[test]
+    fn derived_fuel_caps_scale_with_the_instance() {
+        // The old hard-coded 1M cap starves a 10M-instruction instance;
+        // the derived caps must not. Estimate the per-key / per-link cost
+        // from a small run and extrapolate to the scale sizes.
+        let (_, small) = run(
+            &synth_histogram_program(2_000, 64, 1),
+            synth_histogram_fuel(2_000, 64),
+        );
+        let projected_10m_keys = 10_000_000 / (small / 2_000).max(1);
+        assert!(
+            synth_histogram_fuel(projected_10m_keys as usize, 4096) > 10_000_000,
+            "a ~10M-instruction synth histogram would exhaust its derived fuel"
+        );
+        let (_, small) = run(&fan_chain_program(32, 16, 1), fan_chain_fuel(32, 16));
+        let per_link = (small / (32 * 16)).max(1);
+        let projected_links = 10_000_000 / (1024 * per_link);
+        assert!(
+            fan_chain_fuel(1024, projected_links as usize) > 10_000_000,
+            "a ~10M-instruction fan chain would exhaust its derived fuel"
+        );
+    }
+
+    #[test]
     fn histogram_forks_enough_sections_to_spread() {
         let program = histogram_program(200, 8, 5);
         let mut machine = Machine::load(&program).expect("loads");
-        let (_, trace) = machine.run_traced(1_000_000).expect("halts");
+        let (_, trace) = machine.run_traced(histogram_fuel(200, 8)).expect("halts");
         let sectioned = parsecs_core::SectionedTrace::from_trace(&trace, vec![]);
         assert!(
             sectioned.sections().len() > 16,

@@ -10,6 +10,10 @@
 //!   `fork`/`endfork` extension.
 //! * [`asm`] — gas-syntax assembler and pretty printer.
 //! * [`machine`] — sequential reference machine and dynamic tracer.
+//! * [`trace`] — the streaming arena-backed trace pipeline: the machine
+//!   streams retired instructions into a sectioner that renames and
+//!   resolves dependences on the fly, into flat [`trace::TraceArena`]
+//!   columns.
 //! * [`ilp`] — trace-based ILP limit analysis (the paper's Figure 7
 //!   methodology).
 //! * [`noc`] — network-on-chip substrate.
@@ -71,4 +75,5 @@ pub use parsecs_ilp as ilp;
 pub use parsecs_isa as isa;
 pub use parsecs_machine as machine;
 pub use parsecs_noc as noc;
+pub use parsecs_trace as trace;
 pub use parsecs_workloads as workloads;
