@@ -83,6 +83,58 @@ struct Pipeline {
     arena_bytes_per_insn: f64,
 }
 
+/// Full-mode vs stats-only comparison on the 1024-core chip-scale cell:
+/// what dropping the stage table (and the resolver's three stage
+/// columns) buys in wall clock and resident state.
+struct ModeRow {
+    workload: String,
+    cores: usize,
+    instructions: u64,
+    full_ms: f64,
+    stats_ms: f64,
+    speedup: f64,
+    full_state_bytes_per_insn: f64,
+    stats_state_bytes_per_insn: f64,
+}
+
+/// Timed rounds for the chip-scale full-vs-stats cell (after one untimed
+/// warm-up per mode): the cell simulates 10M+ instructions at 1024
+/// cores, so a short best-of keeps the bench's runtime sane.
+const MODE_RUNS: usize = 2;
+
+/// Times both stats modes on one arena at `cores` cores and checks the
+/// streaming aggregates are bit-identical to the recorded ones.
+fn measure_modes(name: &str, arena: &TraceArena, cores: usize) -> ModeRow {
+    let full_sim = ManyCoreSim::new(SimConfig::with_cores(cores));
+    let stats_sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only());
+    let full = full_sim.simulate_arena(arena).expect("simulates");
+    let stats = stats_sim.simulate_arena(arena).expect("simulates");
+    assert_eq!(
+        full.stats, stats.stats,
+        "{name} @{cores}c: stats-only aggregates diverge from full mode"
+    );
+    assert_eq!(full.outputs, stats.outputs);
+    let mut full_ms = f64::INFINITY;
+    let mut stats_ms = f64::INFINITY;
+    for _ in 0..MODE_RUNS {
+        let (_, ms) = timed(|| full_sim.simulate_arena(arena).expect("simulates"));
+        full_ms = full_ms.min(ms);
+        let (_, ms) = timed(|| stats_sim.simulate_arena(arena).expect("simulates"));
+        stats_ms = stats_ms.min(ms);
+    }
+    let n = arena.len() as f64;
+    ModeRow {
+        workload: name.to_string(),
+        cores,
+        instructions: arena.len() as u64,
+        full_ms,
+        stats_ms,
+        speedup: full_ms / stats_ms,
+        full_state_bytes_per_insn: full.sim_state_bytes() as f64 / n,
+        stats_state_bytes_per_insn: stats.sim_state_bytes() as f64 / n,
+    }
+}
+
 fn stress_noc() -> SimConfig {
     let mut config = SimConfig::with_cores(64);
     config.noc = NocConfig {
@@ -251,7 +303,7 @@ fn measure(cell: &Cell) -> Row {
     }
 }
 
-fn to_json(rows: &[Row], pipeline: &Pipeline) -> String {
+fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow) -> String {
     let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -288,6 +340,20 @@ fn to_json(rows: &[Row], pipeline: &Pipeline) -> String {
         pipeline.streaming_ms,
         pipeline.speedup,
         pipeline.arena_bytes_per_insn,
+    ));
+    body.push(format!(
+        "  {{\"workload\": \"{}\", \"config\": \"full-vs-stats\", \"cores\": {}, \
+         \"instructions\": {}, \"full_ms\": {:.3}, \"stats_ms\": {:.3}, \
+         \"stats_speedup\": {:.2}, \"full_state_bytes_per_insn\": {:.1}, \
+         \"stats_state_bytes_per_insn\": {:.1}}}",
+        modes.workload,
+        modes.cores,
+        modes.instructions,
+        modes.full_ms,
+        modes.stats_ms,
+        modes.speedup,
+        modes.full_state_bytes_per_insn,
+        modes.stats_state_bytes_per_insn,
     ));
     format!("[\n{}\n]\n", body.join(",\n"))
 }
@@ -371,9 +437,32 @@ fn main() {
         pipeline.arena_bytes_per_insn,
     );
 
+    // Full-vs-stats on the 1024-core fan_chain cell: the batched drain
+    // plus the dropped stage table must buy a real wall-clock win at the
+    // scale where the simulator's own state blows the cache (>=10M
+    // instructions in full mode; a ~1M-instruction instance in quick
+    // mode, where the gate stays unarmed).
+    let (chains, links) = if quick { (1024, 70) } else { (1024, 700) };
+    let fan = arena_of(
+        &scale::fan_chain_program(chains, links, 7),
+        scale::fan_chain_fuel(chains, links),
+    );
+    let modes = measure_modes(&format!("fan_chain-{chains}x{links}"), &fan, 1024);
+    println!(
+        "modes    {:<22} {:>9} insns  full {:>9.1} ms  stats {:>9.1} ms  {:>4.2}x  \
+         state {:>5.1} -> {:>4.1} B/insn",
+        modes.workload,
+        modes.instructions,
+        modes.full_ms,
+        modes.stats_ms,
+        modes.speedup,
+        modes.full_state_bytes_per_insn,
+        modes.stats_state_bytes_per_insn,
+    );
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows, &pipeline)).expect("write BENCH_sim.json");
-        eprintln!("wrote {} rows to {path}", rows.len() + 1);
+        std::fs::write(&path, to_json(&rows, &pipeline, &modes)).expect("write BENCH_sim.json");
+        eprintln!("wrote {} rows to {path}", rows.len() + 2);
     }
 
     // Hard gates. Any forced stall release means the stall/wake model
@@ -408,6 +497,17 @@ fn main() {
             "FAIL: streaming pipeline speedup {:.1}x is below the 2x \
              acceptance bar on {}",
             pipeline.speedup, pipeline.workload
+        );
+        failed = true;
+    }
+    // Stats-only must beat full mode by >=1.3x on the 10M-instruction
+    // 1024-core cell (again full mode only: the quick instance fits in
+    // cache, which is precisely the effect being measured).
+    if !quick && modes.speedup < 1.3 {
+        eprintln!(
+            "FAIL: stats-only speedup {:.2}x is below the 1.3x acceptance bar \
+             on {} at {} cores",
+            modes.speedup, modes.workload, modes.cores
         );
         failed = true;
     }

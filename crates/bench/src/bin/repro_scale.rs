@@ -1,5 +1,5 @@
 //! The 256–1024-core scale table — the first numbers this repository has
-//! beyond 64 cores.
+//! beyond 64 cores, now including the 100M-instruction regime.
 //!
 //! Every cell runs one ≥10M-dynamic-instruction workload (built once per
 //! workload through the streaming trace pipeline,
@@ -12,19 +12,31 @@
 //!   bytes per instruction (gated at ≤ 120 B/insn; the old
 //!   record-per-instruction representation cost ~250–350);
 //! * the **simulation** numbers — wall clock, simulated cycles, fetch
-//!   IPC and the peak per-core section count.
+//!   IPC, the peak per-core section count, and the **total resident
+//!   footprint** (arena + simulator state, B/insn).
 //!
-//! The headline cell is `fan_chain` (1024 independent serial accumulator
-//! chains) at **1024 cores and ≥10M instructions**: it must complete with
-//! **zero forced stall releases** — the deadlock detector staying silent
-//! at full chip width is the scale acceptance bar. Any firing is reported
-//! through [`DriverError::Deadlock`] and fails the run (exit 1), exactly
-//! as `ManyCoreBackend` would refuse the report; the footprint gate fails
-//! the run the same way.
+//! Cells run in one of two modes. A **full** cell records the
+//! per-instruction stage table. A **stats** cell runs stats-only
+//! (`SimConfig::record_timings` off) over a *lean* arena
+//! ([`TraceArena::from_program_lean`]): aggregates are bit-identical, no
+//! stage table is materialised, and the total footprint is gated at
+//! **≤ 80 B/insn** — the budget that lets 100M-instruction cells fit.
+//!
+//! Two cells are acceptance headlines:
+//!
+//! * `fan_chain` 1024×700 at **1024 cores, ≥10M instructions, full
+//!   mode** — the deadlock detector staying silent at full chip width;
+//! * `fan_chain` 1024×6600 at **1024 cores, ≥100M instructions,
+//!   stats-only** — the run must complete under the 80 B/insn total
+//!   budget with zero detector firings.
+//!
+//! Any forced stall release is reported through [`DriverError::Deadlock`]
+//! and fails the run (exit 1), exactly as `ManyCoreBackend` would refuse
+//! the report; the footprint gates fail the run the same way.
 //!
 //! Usage: `repro_scale [--quick] [--json [PATH]]` — `--quick` shrinks the
-//! grid to one 256-core, ~2M-instruction cell for CI smoke runs (default
-//! JSON path `BENCH_scale.json`).
+//! grid to one 256-core, ~2M-instruction workload run in both modes for
+//! CI smoke runs (default JSON path `BENCH_scale.json`).
 
 use std::time::Instant;
 
@@ -36,6 +48,10 @@ use parsecs_workloads::scale;
 /// Arena footprint acceptance bar, in bytes per dynamic instruction.
 const ARENA_BYTES_PER_INSN_BAR: f64 = 120.0;
 
+/// Total resident footprint (arena + simulator state) bar for stats-only
+/// cells, in bytes per dynamic instruction.
+const TOTAL_BYTES_PER_INSN_BAR: f64 = 80.0;
+
 struct Workload {
     name: String,
     program: Program,
@@ -43,12 +59,19 @@ struct Workload {
     expected: Vec<u64>,
     /// Core counts to simulate this workload at.
     cores: Vec<usize>,
-    /// Whether the largest-cores cell is the acceptance headline.
+    /// `false` = full mode over a full arena; `true` = stats-only over a
+    /// lean arena, gated at ≤ [`TOTAL_BYTES_PER_INSN_BAR`].
+    stats_only: bool,
+    /// Whether the largest-cores cell is the ≥10M full-mode acceptance
+    /// headline.
     headline: bool,
+    /// Whether this is the ≥100M stats-only acceptance cell.
+    headline_100m: bool,
 }
 
 struct Row {
     workload: String,
+    mode: &'static str,
     cores: usize,
     instructions: u64,
     sections: usize,
@@ -57,29 +80,40 @@ struct Row {
     arena_bytes: u64,
     arena_bytes_per_insn: f64,
     sim_ms: f64,
+    sim_state_bytes: u64,
+    total_bytes_per_insn: f64,
     total_cycles: u64,
     fetch_ipc: f64,
     peak_sections_per_core: usize,
     forced_stall_releases: u64,
+    stats_only: bool,
     headline: bool,
+    headline_100m: bool,
 }
 
 fn build_grid(quick: bool) -> Vec<Workload> {
     let seed = 7;
     if quick {
-        // One ~2M-instruction cell at 256 cores for CI.
+        // One ~2M-instruction workload at 256 cores for CI, in both
+        // modes — the quick run exercises the 80 B/insn stats gate too.
         let (keys, buckets) = (140_000, 1024);
-        return vec![Workload {
-            name: format!("synth_histogram-{keys}x{buckets}"),
-            program: scale::synth_histogram_program(keys, buckets, seed),
-            fuel: scale::synth_histogram_fuel(keys, buckets),
-            expected: scale::synth_histogram_expected(keys, buckets, seed),
-            cores: vec![256],
-            headline: false,
-        }];
+        return [false, true]
+            .into_iter()
+            .map(|stats_only| Workload {
+                name: format!("synth_histogram-{keys}x{buckets}"),
+                program: scale::synth_histogram_program(keys, buckets, seed),
+                fuel: scale::synth_histogram_fuel(keys, buckets),
+                expected: scale::synth_histogram_expected(keys, buckets, seed),
+                cores: vec![256],
+                stats_only,
+                headline: false,
+                headline_100m: false,
+            })
+            .collect();
     }
     let (keys, buckets) = (700_000, 4096);
     let (chains, links) = (1024, 700);
+    let big_links = 6600;
     vec![
         Workload {
             name: format!("synth_histogram-{keys}x{buckets}"),
@@ -87,7 +121,9 @@ fn build_grid(quick: bool) -> Vec<Workload> {
             fuel: scale::synth_histogram_fuel(keys, buckets),
             expected: scale::synth_histogram_expected(keys, buckets, seed),
             cores: vec![256, 512, 1024],
+            stats_only: false,
             headline: false,
+            headline_100m: false,
         },
         Workload {
             name: format!("fan_chain-{chains}x{links}"),
@@ -95,16 +131,37 @@ fn build_grid(quick: bool) -> Vec<Workload> {
             fuel: scale::fan_chain_fuel(chains, links),
             expected: scale::fan_chain_expected(chains, links, seed),
             cores: vec![256, 1024],
+            stats_only: false,
             headline: true,
+            headline_100m: false,
+        },
+        // The 100M-instruction regime: only reachable stats-only — a
+        // recording run would hold ~150 B/insn of simulator state (15 GB)
+        // against the stats-only ~17.
+        Workload {
+            name: format!("fan_chain-{chains}x{big_links}"),
+            program: scale::fan_chain_program(chains, big_links, seed),
+            fuel: scale::fan_chain_fuel(chains, big_links),
+            expected: scale::fan_chain_expected(chains, big_links, seed),
+            cores: vec![1024],
+            stats_only: true,
+            headline: false,
+            headline_100m: true,
         },
     ]
 }
 
 fn measure(workload: &Workload) -> Vec<Row> {
     // The pipeline runs once per workload; every chip size simulates the
-    // same arena.
+    // same arena. Stats-only cells use the lean arena (no written-
+    // locations columns — the simulators never read them).
     let start = Instant::now();
-    let arena = TraceArena::from_program(&workload.program, workload.fuel).expect("workload halts");
+    let arena = if workload.stats_only {
+        TraceArena::from_program_lean(&workload.program, workload.fuel)
+    } else {
+        TraceArena::from_program(&workload.program, workload.fuel)
+    }
+    .expect("workload halts within fuel and fits the arena");
     let pre_ms = start.elapsed().as_secs_f64() * 1e3;
     let n = arena.len();
 
@@ -112,7 +169,9 @@ fn measure(workload: &Workload) -> Vec<Row> {
         .cores
         .iter()
         .map(|&cores| {
-            let sim = ManyCoreSim::new(SimConfig::with_cores(cores));
+            let mut config = SimConfig::with_cores(cores);
+            config.record_timings = !workload.stats_only;
+            let sim = ManyCoreSim::new(config);
             let start = Instant::now();
             let result = sim.simulate_arena(&arena).expect("simulates");
             let sim_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -123,6 +182,7 @@ fn measure(workload: &Workload) -> Vec<Row> {
             );
             Row {
                 workload: workload.name.clone(),
+                mode: if workload.stats_only { "stats" } else { "full" },
                 cores,
                 instructions: result.stats.instructions,
                 sections: result.stats.sections,
@@ -131,11 +191,15 @@ fn measure(workload: &Workload) -> Vec<Row> {
                 arena_bytes: result.stats.trace_arena_bytes,
                 arena_bytes_per_insn: result.stats.trace_bytes_per_instruction(),
                 sim_ms,
+                sim_state_bytes: result.sim_state_bytes(),
+                total_bytes_per_insn: result.total_bytes_per_instruction(),
                 total_cycles: result.stats.total_cycles,
                 fetch_ipc: result.stats.fetch_ipc,
                 peak_sections_per_core: result.stats.peak_sections_per_core,
                 forced_stall_releases: result.stats.forced_stall_releases,
+                stats_only: workload.stats_only,
                 headline: workload.headline && cores == *workload.cores.iter().max().unwrap(),
+                headline_100m: workload.headline_100m,
             }
         })
         .collect()
@@ -146,12 +210,15 @@ fn to_json(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"workload\": \"{}\", \"cores\": {}, \"instructions\": {}, \
-                 \"sections\": {}, \"pre_ms\": {:.3}, \"sectioning_insns_per_sec\": {:.0}, \
-                 \"arena_bytes\": {}, \"arena_bytes_per_insn\": {:.1}, \"sim_ms\": {:.3}, \
+                "  {{\"workload\": \"{}\", \"mode\": \"{}\", \"cores\": {}, \
+                 \"instructions\": {}, \"sections\": {}, \"pre_ms\": {:.3}, \
+                 \"sectioning_insns_per_sec\": {:.0}, \"arena_bytes\": {}, \
+                 \"arena_bytes_per_insn\": {:.1}, \"sim_ms\": {:.3}, \
+                 \"sim_state_bytes\": {}, \"total_bytes_per_insn\": {:.1}, \
                  \"total_cycles\": {}, \"fetch_ipc\": {:.4}, \"peak_sections_per_core\": {}, \
-                 \"forced_stall_releases\": {}, \"headline\": {}}}",
+                 \"forced_stall_releases\": {}, \"headline\": {}, \"headline_100m\": {}}}",
                 r.workload,
+                r.mode,
                 r.cores,
                 r.instructions,
                 r.sections,
@@ -160,11 +227,14 @@ fn to_json(rows: &[Row]) -> String {
                 r.arena_bytes,
                 r.arena_bytes_per_insn,
                 r.sim_ms,
+                r.sim_state_bytes,
+                r.total_bytes_per_insn,
                 r.total_cycles,
                 r.fetch_ipc,
                 r.peak_sections_per_core,
                 r.forced_stall_releases,
                 r.headline,
+                r.headline_100m,
             )
         })
         .collect();
@@ -173,14 +243,16 @@ fn to_json(rows: &[Row]) -> String {
 
 fn print_table(rows: &[Row]) {
     println!(
-        "{:<26} {:>6} {:>10} {:>8} {:>8} {:>9} {:>7} {:>9} {:>11} {:>9} {:>7}",
+        "{:<26} {:>5} {:>6} {:>10} {:>8} {:>8} {:>9} {:>7} {:>7} {:>9} {:>11} {:>9} {:>7}",
         "workload",
+        "mode",
         "cores",
         "insns",
         "sections",
         "pre ms",
         "Minsns/s",
         "B/insn",
+        "tot B/i",
         "sim ms",
         "cycles",
         "fetchIPC",
@@ -188,19 +260,25 @@ fn print_table(rows: &[Row]) {
     );
     for r in rows {
         println!(
-            "{:<26} {:>6} {:>10} {:>8} {:>8.0} {:>9.1} {:>7.1} {:>9.0} {:>11} {:>9.1} {:>7}{}",
+            "{:<26} {:>5} {:>6} {:>10} {:>8} {:>8.0} {:>9.1} {:>7.1} {:>7.1} {:>9.0} {:>11} {:>9.1} {:>7}{}",
             r.workload,
+            r.mode,
             r.cores,
             r.instructions,
             r.sections,
             r.pre_ms,
             r.sectioning_insns_per_sec / 1e6,
             r.arena_bytes_per_insn,
+            r.total_bytes_per_insn,
             r.sim_ms,
             r.total_cycles,
             r.fetch_ipc,
             r.forced_stall_releases,
-            if r.headline { "  <- headline" } else { "" }
+            if r.headline || r.headline_100m {
+                "  <- headline"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -264,6 +342,14 @@ fn main() {
             );
             failed = true;
         }
+        if row.stats_only && row.total_bytes_per_insn > TOTAL_BYTES_PER_INSN_BAR {
+            eprintln!(
+                "FAIL: {} @{}c [stats]: total footprint {:.1} B/insn (arena + sim \
+                 state) exceeds the {TOTAL_BYTES_PER_INSN_BAR} B/insn bar",
+                row.workload, row.cores, row.total_bytes_per_insn
+            );
+            failed = true;
+        }
     }
     if !quick {
         let headline = rows.iter().find(|r| r.headline).expect("headline cell");
@@ -272,6 +358,18 @@ fn main() {
                 "FAIL: headline cell must be >=10M instructions at 1024 cores \
                  (got {} insns at {}c)",
                 headline.instructions, headline.cores
+            );
+            failed = true;
+        }
+        let big = rows
+            .iter()
+            .find(|r| r.headline_100m)
+            .expect("100M headline cell");
+        if big.cores < 1024 || big.instructions < 100_000_000 || !big.stats_only {
+            eprintln!(
+                "FAIL: the 100M headline must be a >=100M-instruction stats-only \
+                 cell at 1024 cores (got {} insns at {}c, mode {})",
+                big.instructions, big.cores, big.mode
             );
             failed = true;
         }

@@ -46,6 +46,21 @@ pub struct SimConfig {
     /// full). The paper computes control in order; `true` models the stall,
     /// `false` models an idealised fetch that never waits on control.
     pub fetch_stalls_on_unresolved_control: bool,
+    /// Whether the simulation materialises the per-instruction stage
+    /// table ([`crate::SimResult::timings`], the paper's Figure 10 rows).
+    ///
+    /// With this off the run is **stats-only**: every aggregate in
+    /// [`crate::SimStats`] — fetch/total cycles, IPCs, renaming counters,
+    /// NoC statistics — is accumulated streaming during the simulation
+    /// and comes out bit-identical to a recording run, but
+    /// `SimResult::timings` is empty and the per-row accessors
+    /// ([`crate::SimResult::section_timings`],
+    /// `RunReport::timings()` in the driver, `format_figure10`) return
+    /// empty views. Stats-only runs also drop the resolver's three stage
+    /// columns, cutting the simulator's per-instruction resident state
+    /// from ~150 to ~17 bytes — the switch that lets 100M-instruction
+    /// chip-scale cells fit. On by default.
+    pub record_timings: bool,
 }
 
 impl PartialEq for SimConfig {
@@ -59,6 +74,7 @@ impl PartialEq for SimConfig {
             && self.per_section_hop == other.per_section_hop
             && self.fuel == other.fuel
             && self.fetch_stalls_on_unresolved_control == other.fetch_stalls_on_unresolved_control
+            && self.record_timings == other.record_timings
     }
 }
 
@@ -78,6 +94,7 @@ impl Default for SimConfig {
             per_section_hop: 0,
             fuel: 50_000_000,
             fetch_stalls_on_unresolved_control: true,
+            record_timings: true,
         }
     }
 }
@@ -95,6 +112,13 @@ impl SimConfig {
     /// Replaces the placement policy (builder style).
     pub fn with_placement(mut self, policy: impl PlacementPolicy + 'static) -> SimConfig {
         self.placement = Arc::new(policy);
+        self
+    }
+
+    /// Turns off the per-instruction stage table (builder style): the run
+    /// becomes stats-only — see [`SimConfig::record_timings`].
+    pub fn stats_only(mut self) -> SimConfig {
+        self.record_timings = false;
         self
     }
 

@@ -4,12 +4,18 @@ use std::error::Error;
 use std::fmt;
 
 use parsecs_machine::MachineError;
+use parsecs_trace::TraceError;
 
 /// Errors produced while preparing or running a many-core simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The functional pre-execution of the program failed.
     Machine(MachineError),
+    /// The streaming trace pipeline failed — in particular
+    /// [`TraceError::CapacityExceeded`] when a 100M+-instruction run
+    /// outgrows the arena's packed `u32` columns (reported as an error
+    /// instead of aborting mid-run).
+    Trace(TraceError),
     /// The configuration is invalid (e.g. zero cores).
     Config(String),
 }
@@ -18,6 +24,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Machine(e) => write!(f, "functional execution failed: {e}"),
+            SimError::Trace(e) => write!(f, "trace pipeline failed: {e}"),
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -27,6 +34,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Machine(e) => Some(e),
+            SimError::Trace(e) => Some(e),
             SimError::Config(_) => None,
         }
     }
@@ -35,6 +43,18 @@ impl Error for SimError {
 impl From<MachineError> for SimError {
     fn from(e: MachineError) -> SimError {
         SimError::Machine(e)
+    }
+}
+
+/// A machine failure inside the pipeline stays a [`SimError::Machine`]
+/// (callers match on fuel exhaustion there); only genuine pipeline
+/// conditions surface as [`SimError::Trace`].
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> SimError {
+        match e {
+            TraceError::Machine(e) => SimError::Machine(e),
+            other => SimError::Trace(other),
+        }
     }
 }
 
@@ -48,5 +68,21 @@ mod tests {
         assert!(e.to_string().contains("no cores"));
         let e: SimError = MachineError::OutOfFuel { steps: 5 }.into();
         assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn trace_errors_convert_preserving_machine_causes() {
+        // A machine failure wrapped by the pipeline unwraps back to
+        // SimError::Machine...
+        let e: SimError = TraceError::Machine(MachineError::OutOfFuel { steps: 7 }).into();
+        assert_eq!(e, SimError::Machine(MachineError::OutOfFuel { steps: 7 }));
+        // ...while a capacity overflow stays a typed trace error.
+        let e: SimError = TraceError::CapacityExceeded {
+            resource: "dependences",
+            limit: 42,
+        }
+        .into();
+        assert!(matches!(e, SimError::Trace(_)));
+        assert!(e.to_string().contains("capacity"));
     }
 }

@@ -85,4 +85,4 @@ pub use sim::{ManyCoreSim, SimResult};
 pub use timing::{format_figure10, InstTiming, SimStats};
 // The streaming trace pipeline this crate's engines consume; re-exported
 // so simulator callers can build arenas without a separate dependency.
-pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena};
+pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena, TraceError};

@@ -43,7 +43,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         created_by,
     } = sim.prepare(arena)?;
     let mut resolver = Resolver::new(config, arena, n);
-    let mut stalls = StallTable::new(n, sections.len());
+    let mut stalls = StallTable::new(sections.len());
     let mut completions: Vec<(usize, u64)> = Vec::new();
     let mut newly_stalled: Vec<usize> = Vec::new();
 
@@ -146,7 +146,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         // A completion that a parked section stalls on is its modeled
         // release event: requeue the section on the first cycle after both
         // the completion is known and its cycle is past.
-        if stalls.parked > 0 {
+        if stalls.parked() > 0 {
             for &(seq, completion) in &completions {
                 if let Some(idx) = stalls.unpark(seq) {
                     stalls.push_requeue((cycle + 1).max(completion + 1), idx, arena.section(seq));
@@ -175,7 +175,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         // stage) and counts the firing; the driver layer surfaces any
         // non-zero count as an error.
         if fetched + resolver.resolved == progress_before
-            && stalls.parked > 0
+            && stalls.parked() > 0
             && fetched < n
             && network.in_flight() == 0
             && !stalls.pending_requeues()

@@ -254,7 +254,10 @@ impl SectionedTrace {
 
     /// Materialises the record-per-instruction view of an arena — the
     /// inverse of [`SectionedTrace::to_arena`], used by differential tests
-    /// and by consumers of the legacy [`InstRecord`] shape.
+    /// and by consumers of the legacy [`InstRecord`] shape. A *lean*
+    /// arena ([`TraceArena::records_writes`] `false`) yields records with
+    /// empty `writes` — lean arenas exist for simulation, which never
+    /// reads them, not for bridging back to records.
     pub fn from_arena(arena: &TraceArena) -> SectionedTrace {
         let records = (0..arena.len())
             .map(|seq| InstRecord {

@@ -49,11 +49,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::BuildHasherDefault;
 
 use parsecs_isa::Program;
 use parsecs_machine::TraceKind;
 use parsecs_noc::{CoreId, Network, NocStats};
-use parsecs_trace::TraceArena;
+use parsecs_trace::{AddrHasher, TraceArena};
 
 use crate::{
     InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats, SourceKind,
@@ -64,13 +65,30 @@ use crate::{
 /// and the timing columns `rr`/`ar`/`ma` are derived rather than stored).
 pub(crate) const UNKNOWN: u64 = u64::MAX;
 
+/// Tag bit of the resolver's `complete` column: an entry at or above this
+/// value is *not yet complete*. A fetched-but-unresolved instruction
+/// stores `INCOMPLETE | fetch_cycle`, so the column doubles as the fetch
+/// record and the resolver needs no separate per-instruction `fd` column
+/// in stats-only runs (simulated cycle counts stay far below 2^63 — the
+/// convergence guard caps them at ~200× the instruction count). `UNKNOWN`
+/// (all ones) also has the bit set: a never-fetched instruction is
+/// "not complete" under the same test.
+pub(crate) const INCOMPLETE: u64 = 1 << 63;
+
 /// The result of one many-core simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Values emitted by `out` instructions during the run.
     pub outputs: Vec<u64>,
-    /// Per-instruction stage timings, in sequential order.
+    /// Per-instruction stage timings, in sequential order. **Empty when
+    /// the run was stats-only** ([`SimConfig::record_timings`] off):
+    /// aggregate statistics are then accumulated streaming during the
+    /// simulation and the stage table is never materialised.
     pub timings: Vec<InstTiming>,
+    /// Whether [`SimResult::timings`] was recorded. `false` for
+    /// stats-only runs — which an empty `timings` alone cannot signal,
+    /// because an empty *program* also has no rows.
+    pub timings_recorded: bool,
     /// The sections of the run, in total order.
     pub sections: Vec<SectionSpan>,
     /// The core hosting each section (indexed by section id).
@@ -80,9 +98,59 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// The timings of one section, in fetch order.
-    pub fn section_timings(&self, id: SectionId) -> Vec<&InstTiming> {
-        self.timings.iter().filter(|t| t.section == id).collect()
+    /// The timings of one section, in fetch order: the contiguous
+    /// `timings` rows of the section's span (timings are stored in
+    /// sequential order and sections tile that order, so this is an O(1)
+    /// subslice, not a scan). Empty when the run was stats-only or the
+    /// id names no section of this run (matching the old filter scan,
+    /// which also produced nothing for an unknown id).
+    pub fn section_timings(&self, id: SectionId) -> &[InstTiming] {
+        if !self.timings_recorded {
+            return &[];
+        }
+        match self.sections.get(id.0) {
+            Some(span) => &self.timings[span.start..span.end],
+            None => &[],
+        }
+    }
+
+    /// Modeled resident bytes of the simulator's own per-run state — the
+    /// resolver columns, the per-section cursors (retirement, stall
+    /// resume, fork map, placement) and the result views (stage table,
+    /// section spans, outputs). The number that, added to
+    /// [`SimStats::trace_arena_bytes`], caps how many instructions a
+    /// chip-scale run can hold resident; a stats-only run drops the stage
+    /// table and three resolver columns, cutting this from ~150 to ~17
+    /// bytes per instruction. Derived from logical sizes (transient
+    /// scratch like the wake queue and per-core state is excluded), so it
+    /// is deterministic across engines.
+    pub fn sim_state_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let n = self.stats.instructions;
+        let sections = self.sections.len() as u64;
+        // Tagged completion column + two wake-list links always; the
+        // fd/ew/ret stage columns only when timings are recorded.
+        let resolver = n * 16 + if self.timings_recorded { n * 24 } else { 0 };
+        // Retirement cursors (u32 + u64), stall resume point, one
+        // fork→created-section map entry, placement.
+        let per_section = sections * (12 + 8 + 24 + 8);
+        let views = self.timings.len() as u64 * size_of::<InstTiming>() as u64
+            + sections * size_of::<SectionSpan>() as u64
+            + self.core_of.len() as u64 * size_of::<CoreId>() as u64
+            + self.outputs.len() as u64 * 8;
+        resolver + per_section + views
+    }
+
+    /// Total resident footprint of the run — trace arena plus simulator
+    /// state ([`SimResult::sim_state_bytes`]) — per simulated
+    /// instruction.
+    pub fn total_bytes_per_instruction(&self) -> f64 {
+        if self.stats.instructions == 0 {
+            0.0
+        } else {
+            (self.stats.trace_arena_bytes + self.sim_state_bytes()) as f64
+                / self.stats.instructions as f64
+        }
     }
 }
 
@@ -136,24 +204,31 @@ pub(crate) struct CoreState {
 /// at the modeled release cycle (strictly after the completion, so the
 /// resumed fetch never re-stalls on the same instruction).
 pub(crate) struct StallTable {
-    /// Core index parked on each trace index (`usize::MAX` = none).
-    parked_core: Vec<usize>,
+    /// Core parked on each stalled trace index. A sparse map, not a
+    /// per-instruction column: at most one section per core is parked at
+    /// any moment, so the table holds at most `cores` entries — where the
+    /// old `Vec<usize>` indexed by trace position cost 8 bytes per
+    /// instruction (800 MB of a 100M-instruction run, almost all of it
+    /// sentinels).
+    parked_core: HashMap<u64, u32, BuildHasherDefault<AddrHasher>>,
     /// Per-section fetch resume point (`usize::MAX` = section start).
     resume_at: Vec<usize>,
     /// Pending `(cycle, core, section)` requeue events, earliest first.
     requeue: BinaryHeap<Reverse<(u64, usize, usize)>>,
-    /// Number of currently parked sections.
-    pub(crate) parked: usize,
 }
 
 impl StallTable {
-    pub(crate) fn new(instructions: usize, sections: usize) -> StallTable {
+    pub(crate) fn new(sections: usize) -> StallTable {
         StallTable {
-            parked_core: vec![usize::MAX; instructions],
+            parked_core: HashMap::default(),
             resume_at: vec![usize::MAX; sections],
             requeue: BinaryHeap::new(),
-            parked: 0,
         }
+    }
+
+    /// Number of currently parked sections.
+    pub(crate) fn parked(&self) -> usize {
+        self.parked_core.len()
     }
 
     /// Makes `sid` the core's current section, resuming a parked section
@@ -180,21 +255,16 @@ impl StallTable {
         debug_assert_eq!(core.next_seq, seq + 1);
         core.stall_on = None;
         self.resume_at[sid.0] = core.next_seq;
-        self.parked_core[seq] = idx;
-        self.parked += 1;
+        let previous = self.parked_core.insert(seq as u64, idx as u32);
+        debug_assert!(previous.is_none(), "one section parks per instruction");
     }
 
     /// If a section is parked on `seq`, removes it from the park list and
     /// returns its core.
     pub(crate) fn unpark(&mut self, seq: usize) -> Option<usize> {
-        match self.parked_core[seq] {
-            usize::MAX => None,
-            idx => {
-                self.parked_core[seq] = usize::MAX;
-                self.parked -= 1;
-                Some(idx)
-            }
-        }
+        self.parked_core
+            .remove(&(seq as u64))
+            .map(|idx| idx as usize)
     }
 
     /// Schedules section `sid` to rejoin core `idx`'s ready queue at
@@ -231,14 +301,14 @@ impl StallTable {
     /// Well-formed traces never reach this — any firing is surfaced as an
     /// error by the driver layer.
     pub(crate) fn force_release(&mut self, at: u64, arena: &TraceArena) -> u64 {
+        // Map iteration order is arbitrary, but the requeue heap totally
+        // orders its `(cycle, core, section)` events, so the releases
+        // replay deterministically regardless.
         let mut released = 0u64;
-        for (seq, parked) in self.parked_core.iter_mut().enumerate() {
-            if *parked != usize::MAX {
-                let idx = std::mem::replace(parked, usize::MAX);
-                self.parked -= 1;
-                self.requeue.push(Reverse((at, idx, arena.section(seq).0)));
-                released += 1;
-            }
+        for (seq, idx) in self.parked_core.drain() {
+            self.requeue
+                .push(Reverse((at, idx as usize, arena.section(seq as usize).0)));
+            released += 1;
         }
         released
     }
@@ -545,7 +615,7 @@ impl ManyCoreSim {
             .map(|_| CoreState::default())
             .collect();
         let mut wakes = WakeQueue::new();
-        let mut stalls = StallTable::new(n, sections.len());
+        let mut stalls = StallTable::new(sections.len());
         let mut running = RunList::new(self.config.cores);
         // Deferred run-list membership changes from the fetch phase
         // (`true` = join, `false` = leave), applied after the walk so the
@@ -592,7 +662,7 @@ impl ManyCoreSim {
                         // escapes by abandoning the parked stalls — counted,
                         // and surfaced as an error by the driver layer.
                         assert!(
-                            fetched < n && stalls.parked > 0,
+                            fetched < n && stalls.parked() > 0,
                             "many-core simulation deadlocked with no pending event at cycle {cycle}"
                         );
                         cycle += 1;
@@ -823,7 +893,7 @@ impl ManyCoreSim {
             // A completion that a parked section stalls on is its modeled
             // release event: requeue the section on the first cycle after
             // both the completion is known and its cycle is past.
-            if stalls.parked > 0 {
+            if stalls.parked() > 0 {
                 for &(seq, completion) in &completions {
                     if let Some(idx) = stalls.unpark(seq) {
                         stalls.push_requeue(
@@ -893,7 +963,11 @@ impl ManyCoreSim {
         })
     }
 
-    /// Assembles the [`SimResult`] from a finished resolver.
+    /// Assembles the [`SimResult`] from a finished resolver. The
+    /// aggregate cycle counts come from the resolver's streaming
+    /// accumulators — identical in both stats modes (and zero for an
+    /// empty program) — so only the per-row stage table depends on
+    /// [`SimConfig::record_timings`].
     pub(crate) fn finish(
         &self,
         arena: &TraceArena,
@@ -903,46 +977,51 @@ impl ManyCoreSim {
         noc: NocStats,
         forced_stall_releases: u64,
     ) -> SimResult {
-        let timings: Vec<InstTiming> = (0..arena.len())
-            .map(|seq| {
-                let section = arena.section(seq);
-                let fd = resolver.fd[seq];
-                let ew = resolver.ew[seq];
-                let complete = resolver.complete[seq];
-                let ret = resolver.ret[seq];
-                // A hard check, release builds included: an unresolved
-                // instruction here means the stall/wake model broke down,
-                // and sentinel cycles must never leak into reported
-                // timings (the one-branch-per-instruction cost is
-                // negligible next to building the row).
-                assert!(
-                    fd != UNKNOWN && ew != UNKNOWN && ret != UNKNOWN,
-                    "instruction {seq} left unresolved by the simulation"
-                );
-                // `rr`/`ar`/`ma` are derived, not stored: renaming is the
-                // cycle after fetch, address-rename the cycle after
-                // execute, and the memory access completes the value.
-                let is_mem = arena.is_load(seq) || arena.is_store(seq);
-                InstTiming {
-                    seq,
-                    index_in_section: arena.index_in_section(seq),
-                    ip: arena.ip(seq),
-                    mnemonic: arena.mnemonic(seq),
-                    section,
-                    core: core_of[section.0],
-                    fd,
-                    rr: fd + 1,
-                    ew,
-                    ar: is_mem.then(|| ew + 1),
-                    ma: is_mem.then_some(complete),
-                    ret,
-                }
-            })
-            .collect();
+        let timings: Vec<InstTiming> = if self.config.record_timings {
+            (0..arena.len())
+                .map(|seq| {
+                    let section = arena.section(seq);
+                    let fd = resolver.fd[seq];
+                    let ew = resolver.ew[seq];
+                    let complete = resolver.complete[seq];
+                    let ret = resolver.ret[seq];
+                    // A hard check, release builds included: an unresolved
+                    // instruction here means the stall/wake model broke
+                    // down, and sentinel cycles must never leak into
+                    // reported timings (the one-branch-per-instruction
+                    // cost is negligible next to building the row).
+                    assert!(
+                        fd != UNKNOWN && ew != UNKNOWN && ret != UNKNOWN && complete < INCOMPLETE,
+                        "instruction {seq} left unresolved by the simulation"
+                    );
+                    // `rr`/`ar`/`ma` are derived, not stored: renaming is
+                    // the cycle after fetch, address-rename the cycle
+                    // after execute, and the memory access completes the
+                    // value.
+                    let is_mem = arena.is_load(seq) || arena.is_store(seq);
+                    InstTiming {
+                        seq,
+                        index_in_section: arena.index_in_section(seq),
+                        ip: arena.ip(seq),
+                        mnemonic: arena.mnemonic(seq),
+                        section,
+                        core: core_of[section.0],
+                        fd,
+                        rr: fd + 1,
+                        ew,
+                        ar: is_mem.then(|| ew + 1),
+                        ma: is_mem.then_some(complete),
+                        ret,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
-        let instructions = timings.len() as u64;
-        let fetch_cycles = timings.iter().map(|t| t.fd).max().unwrap_or(0);
-        let total_cycles = timings.iter().map(|t| t.ret).max().unwrap_or(0);
+        let instructions = arena.len() as u64;
+        let fetch_cycles = resolver.max_fd;
+        let total_cycles = resolver.max_ret;
         let mut used: Vec<CoreId> = core_of.clone();
         used.sort();
         used.dedup();
@@ -975,6 +1054,7 @@ impl ManyCoreSim {
         SimResult {
             outputs: arena.outputs().to_vec(),
             timings,
+            timings_recorded: self.config.record_timings,
             sections: arena.sections().to_vec(),
             core_of,
             stats,
@@ -1028,15 +1108,24 @@ enum Resolution {
 /// and parks the rest on producer→consumer wake-up lists — no instruction
 /// is ever rescanned while its inputs are still unknown.
 ///
-/// The per-instruction state is four flat `u64` columns ([`UNKNOWN`]
-/// sentinel) plus two `u32` wake-list links: `rr` is always `fd + 1`,
+/// The always-resident per-instruction state is **one** tagged `u64`
+/// column plus two `u32` wake-list links (16 B/instruction): the
+/// `complete` column holds `INCOMPLETE | fetch_cycle` between fetch and
+/// resolution and the completion cycle after, `rr` is always `fd + 1`,
 /// `ar` always `ew + 1`, and `ma` always the completion cycle of a memory
-/// instruction, so those columns are derived in
-/// [`ManyCoreSim::finish`] instead of stored — the resolver costs
-/// ~41 B/instruction where the `Option<u64>` representation cost ~130.
+/// instruction. The `fd`/`ew`/`ret` stage columns (another
+/// 24 B/instruction) are only kept when the run records the per-row stage
+/// table; stats-only runs skip them and accumulate `max_fd`/`max_ret`
+/// streaming. Retirement is in order within a section, so it needs no
+/// per-instruction bookkeeping either: a per-*section* cursor
+/// (`retire_next`, `retire_last`) cascades over the completed prefix of
+/// the section.
 pub(crate) struct Resolver<'a> {
     config: &'a SimConfig,
     arena: &'a TraceArena,
+    /// Whether the per-instruction stage columns (`fd`/`ew`/`ret`) are
+    /// kept for the reported timing table.
+    record: bool,
     pub(crate) fd: Vec<u64>,
     pub(crate) ew: Vec<u64>,
     pub(crate) ret: Vec<u64>,
@@ -1048,11 +1137,19 @@ pub(crate) struct Resolver<'a> {
     waiter_head: Vec<u32>,
     /// Next consumer in the same producer's waiting list.
     waiter_next: Vec<u32>,
-    /// Whether the section successor of an instruction is waiting for its
-    /// retirement (retirement is in order, so only `seq + 1` ever waits on
-    /// `seq`).
-    successor_waits: Vec<bool>,
-    queue: Vec<usize>,
+    /// Per-section retirement cursor: the next trace index to retire.
+    retire_next: Vec<u32>,
+    /// Per-section retirement cursor: the previous retirement cycle.
+    retire_last: Vec<u64>,
+    /// Instructions ready for a resolution attempt (newly fetched, or
+    /// woken by a completion discovered in the current drain round).
+    queue: Vec<u32>,
+    /// Scratch for the drain's batched rounds.
+    batch: Vec<u32>,
+    /// Latest fetch cycle seen (streaming `SimStats::fetch_cycles`).
+    pub(crate) max_fd: u64,
+    /// Latest retirement cycle seen (streaming `SimStats::total_cycles`).
+    pub(crate) max_ret: u64,
     pub(crate) resolved: usize,
     pub(crate) remote_register_requests: u64,
     pub(crate) remote_memory_requests: u64,
@@ -1065,17 +1162,24 @@ const NO_WAITER: u32 = u32::MAX;
 
 impl<'a> Resolver<'a> {
     pub(crate) fn new(config: &'a SimConfig, arena: &'a TraceArena, n: usize) -> Resolver<'a> {
+        let record = config.record_timings;
+        let sections = arena.sections();
         Resolver {
             config,
             arena,
-            fd: vec![UNKNOWN; n],
-            ew: vec![UNKNOWN; n],
-            ret: vec![UNKNOWN; n],
+            record,
+            fd: if record { vec![UNKNOWN; n] } else { Vec::new() },
+            ew: if record { vec![UNKNOWN; n] } else { Vec::new() },
+            ret: if record { vec![UNKNOWN; n] } else { Vec::new() },
             complete: vec![UNKNOWN; n],
             waiter_head: vec![NO_WAITER; n],
             waiter_next: vec![NO_WAITER; n],
-            successor_waits: vec![false; n],
+            retire_next: sections.iter().map(|s| s.start as u32).collect(),
+            retire_last: vec![0; sections.len()],
             queue: Vec::new(),
+            batch: Vec::new(),
+            max_fd: 0,
+            max_ret: 0,
             resolved: 0,
             remote_register_requests: 0,
             remote_memory_requests: 0,
@@ -1086,16 +1190,23 @@ impl<'a> Resolver<'a> {
 
     /// Records the fetch of `seq` at `cycle` and queues it for resolution.
     pub(crate) fn fetch(&mut self, seq: usize, cycle: u64) {
-        self.fd[seq] = cycle;
-        self.queue.push(seq);
+        debug_assert_eq!(self.complete[seq], UNKNOWN, "fetched once");
+        self.complete[seq] = INCOMPLETE | cycle;
+        if self.record {
+            self.fd[seq] = cycle;
+        }
+        if cycle > self.max_fd {
+            self.max_fd = cycle;
+        }
+        self.queue.push(seq as u32);
     }
 
     /// The completion cycle of `seq`, if already resolved.
     #[inline]
     pub(crate) fn completion(&self, seq: usize) -> Option<u64> {
         match self.complete[seq] {
-            UNKNOWN => None,
-            cycle => Some(cycle),
+            cycle if cycle < INCOMPLETE => Some(cycle),
+            _ => None,
         }
     }
 
@@ -1127,7 +1238,17 @@ impl<'a> Resolver<'a> {
     ///
     /// Step 2 (retirement): retirement is in order within a section, so
     /// the retire cycle additionally waits for the previous instruction's
-    /// retire cycle.
+    /// retire cycle; a per-section cursor cascades over the completed
+    /// prefix ([`Resolver::advance_retirement`]).
+    ///
+    /// The drain is **batched**: each round takes the whole pending set —
+    /// the cycle's fetches first, then the consumers woken by the
+    /// previous round's completions, grouped instead of chased one
+    /// wake-edge at a time — sorts it, and sweeps each instruction's
+    /// packed 16-byte dep slice in ascending trace order, so one round is
+    /// one forward pass over the dep column rather than a pointer chase
+    /// across it. Completion cycles are pure functions of the inputs, so
+    /// batching changes the discovery order but never a computed cycle.
     ///
     /// Every newly computed completion is appended to `completions` as
     /// `(seq, completion_cycle)` so the event-driven scheduler can wake
@@ -1138,173 +1259,196 @@ impl<'a> Resolver<'a> {
         core_of: &[CoreId],
         completions: &mut Vec<(usize, u64)>,
     ) {
-        let arena = self.arena;
-        while let Some(seq) = self.queue.pop() {
-            if self.complete[seq] != UNKNOWN {
-                // Value already known; only retirement may be pending.
-                self.try_retire(seq);
-                continue;
-            }
-            let my_section = arena.section(seq);
-            let my_fd = self.fd[seq];
-            debug_assert!(my_fd != UNKNOWN, "queued after fetch");
-            let my_rr = my_fd + 1;
-            let my_core = core_of[my_section.0];
-
-            let resolution = (|| {
-                let mut local_remote_reg = 0u64;
-                let mut local_fork_copied = 0u64;
-                let mut reg_ready = 0u64;
-                let mut available_at_fetch = true;
-                for dep in arena.reg_sources(seq) {
-                    let t = match dep.kind() {
-                        SourceKind::ForkCopy => {
-                            local_fork_copied += 1;
-                            0
-                        }
-                        SourceKind::InitialRegister | SourceKind::InitialMemory => 0,
-                        SourceKind::Local { producer } => match self.complete[producer] {
-                            UNKNOWN => return Resolution::WaitingOn(producer),
-                            c => {
-                                if c > my_fd {
-                                    available_at_fetch = false;
-                                }
-                                c
-                            }
-                        },
-                        SourceKind::Remote {
-                            producer,
-                            producer_section,
-                        } => {
-                            available_at_fetch = false;
-                            let c = match self.complete[producer] {
-                                UNKNOWN => return Resolution::WaitingOn(producer),
-                                c => c,
-                            };
-                            local_remote_reg += 1;
-                            let hop = self.request_latency(
-                                network,
-                                my_core,
-                                core_of[producer_section.0],
-                                my_section,
-                                producer_section,
+        while !self.queue.is_empty() {
+            let mut batch = std::mem::take(&mut self.batch);
+            std::mem::swap(&mut self.queue, &mut batch);
+            batch.sort_unstable();
+            for &seq in &batch {
+                let seq = seq as usize;
+                match self.resolve_one(seq, network, core_of, completions) {
+                    Resolution::Resolved => {
+                        // Wake value consumers: they join the next round's
+                        // batch instead of being resolved depth-first.
+                        let mut waiter = std::mem::replace(&mut self.waiter_head[seq], NO_WAITER);
+                        while waiter != NO_WAITER {
+                            self.queue.push(waiter);
+                            waiter = std::mem::replace(
+                                &mut self.waiter_next[waiter as usize],
+                                NO_WAITER,
                             );
-                            c.max(my_rr + hop) + hop
                         }
-                    };
-                    reg_ready = reg_ready.max(t);
-                }
-
-                let is_mem = arena.is_load(seq) || arena.is_store(seq);
-                let my_ew = if !is_mem && available_at_fetch && reg_ready <= my_fd {
-                    // Computed directly in the fetch-decode stage.
-                    my_fd
-                } else {
-                    reg_ready.max(my_rr) + 1
-                };
-
-                let mut local_remote_mem = 0u64;
-                let mut local_dmh = 0u64;
-                let completion = if is_mem {
-                    let a = my_ew + 1;
-                    let mut mem_ready = a + 1;
-                    for dep in arena.mem_sources(seq) {
-                        let t = match dep.kind() {
-                            SourceKind::InitialMemory => {
-                                local_dmh += 1;
-                                a + self.config.dmh_latency
-                            }
-                            SourceKind::Local { producer } => match self.complete[producer] {
-                                UNKNOWN => return Resolution::WaitingOn(producer),
-                                c => c.max(a + 1),
-                            },
-                            SourceKind::Remote {
-                                producer,
-                                producer_section,
-                            } => {
-                                let c = match self.complete[producer] {
-                                    UNKNOWN => return Resolution::WaitingOn(producer),
-                                    c => c,
-                                };
-                                local_remote_mem += 1;
-                                let hop = self.request_latency(
-                                    network,
-                                    my_core,
-                                    core_of[producer_section.0],
-                                    my_section,
-                                    producer_section,
-                                );
-                                c.max(a + hop) + hop
-                            }
-                            SourceKind::ForkCopy | SourceKind::InitialRegister => a + 1,
-                        };
-                        mem_ready = mem_ready.max(t);
+                        self.advance_retirement(seq);
                     }
-                    // `ar`/`ma` are derived at reporting time: `ar` is
-                    // `ew + 1` and `ma` is this completion cycle.
-                    mem_ready
-                } else {
-                    my_ew
-                };
-
-                self.ew[seq] = my_ew;
-                self.complete[seq] = completion;
-                self.remote_register_requests += local_remote_reg;
-                self.remote_memory_requests += local_remote_mem;
-                self.fork_copied_sources += local_fork_copied;
-                self.dmh_accesses += local_dmh;
-                completions.push((seq, completion));
-                Resolution::Resolved
-            })();
-
-            match resolution {
-                Resolution::Resolved => {
-                    // Wake value consumers.
-                    let mut waiter = std::mem::replace(&mut self.waiter_head[seq], NO_WAITER);
-                    while waiter != NO_WAITER {
-                        self.queue.push(waiter as usize);
-                        waiter =
-                            std::mem::replace(&mut self.waiter_next[waiter as usize], NO_WAITER);
+                    Resolution::WaitingOn(dep) => {
+                        self.waiter_next[seq] = self.waiter_head[dep];
+                        self.waiter_head[dep] = seq as u32;
                     }
-                    self.try_retire(seq);
-                }
-                Resolution::WaitingOn(dep) => {
-                    self.waiter_next[seq] = self.waiter_head[dep];
-                    self.waiter_head[dep] = seq as u32;
                 }
             }
+            batch.clear();
+            self.batch = batch;
         }
     }
 
-    /// Step 2 of dependence resolution: in-order retirement within a
-    /// section. Sets `ret[seq]` once the instruction's value is complete
-    /// and its predecessor in the section has retired, then wakes the
-    /// successor that may be waiting on this retirement.
-    fn try_retire(&mut self, seq: usize) {
-        if self.ret[seq] != UNKNOWN {
-            return;
-        }
-        let completion = self.complete[seq];
-        if completion == UNKNOWN {
-            return;
-        }
-        let prev_ret = if self.arena.index_in_section(seq) == 0 {
-            0
-        } else {
-            self.ret[seq - 1]
-        };
-        match prev_ret {
-            UNKNOWN => {
-                self.successor_waits[seq - 1] = true;
-            }
-            prev => {
-                self.ret[seq] = completion.max(prev) + 1;
-                self.resolved += 1;
-                if self.successor_waits[seq] {
-                    self.successor_waits[seq] = false;
-                    self.queue.push(seq + 1);
+    /// One resolution attempt: a single forward sweep over `seq`'s packed
+    /// dep slice. Returns `WaitingOn` at the first incomplete producer
+    /// (nothing is committed); on success commits `ew`/completion, the
+    /// renaming counters and the completion event.
+    fn resolve_one(
+        &mut self,
+        seq: usize,
+        network: &Network<SectionId>,
+        core_of: &[CoreId],
+        completions: &mut Vec<(usize, u64)>,
+    ) -> Resolution {
+        let arena = self.arena;
+        let tagged = self.complete[seq];
+        debug_assert!(
+            tagged >= INCOMPLETE && tagged != UNKNOWN,
+            "queued instructions are fetched and unresolved"
+        );
+        let my_fd = tagged & !INCOMPLETE;
+        let my_section = arena.section(seq);
+        let my_rr = my_fd + 1;
+        let my_core = core_of[my_section.0];
+
+        let mut local_remote_reg = 0u64;
+        let mut local_fork_copied = 0u64;
+        let mut reg_ready = 0u64;
+        let mut available_at_fetch = true;
+        for dep in arena.reg_sources(seq) {
+            let t = match dep.kind() {
+                SourceKind::ForkCopy => {
+                    local_fork_copied += 1;
+                    0
                 }
+                SourceKind::InitialRegister | SourceKind::InitialMemory => 0,
+                SourceKind::Local { producer } => match self.complete[producer] {
+                    c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
+                    c => {
+                        if c > my_fd {
+                            available_at_fetch = false;
+                        }
+                        c
+                    }
+                },
+                SourceKind::Remote {
+                    producer,
+                    producer_section,
+                } => {
+                    available_at_fetch = false;
+                    let c = match self.complete[producer] {
+                        c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
+                        c => c,
+                    };
+                    local_remote_reg += 1;
+                    let hop = self.request_latency(
+                        network,
+                        my_core,
+                        core_of[producer_section.0],
+                        my_section,
+                        producer_section,
+                    );
+                    c.max(my_rr + hop) + hop
+                }
+            };
+            reg_ready = reg_ready.max(t);
+        }
+
+        let is_mem = arena.is_load(seq) || arena.is_store(seq);
+        let my_ew = if !is_mem && available_at_fetch && reg_ready <= my_fd {
+            // Computed directly in the fetch-decode stage.
+            my_fd
+        } else {
+            reg_ready.max(my_rr) + 1
+        };
+
+        let mut local_remote_mem = 0u64;
+        let mut local_dmh = 0u64;
+        let completion = if is_mem {
+            let a = my_ew + 1;
+            let mut mem_ready = a + 1;
+            for dep in arena.mem_sources(seq) {
+                let t = match dep.kind() {
+                    SourceKind::InitialMemory => {
+                        local_dmh += 1;
+                        a + self.config.dmh_latency
+                    }
+                    SourceKind::Local { producer } => match self.complete[producer] {
+                        c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
+                        c => c.max(a + 1),
+                    },
+                    SourceKind::Remote {
+                        producer,
+                        producer_section,
+                    } => {
+                        let c = match self.complete[producer] {
+                            c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
+                            c => c,
+                        };
+                        local_remote_mem += 1;
+                        let hop = self.request_latency(
+                            network,
+                            my_core,
+                            core_of[producer_section.0],
+                            my_section,
+                            producer_section,
+                        );
+                        c.max(a + hop) + hop
+                    }
+                    SourceKind::ForkCopy | SourceKind::InitialRegister => a + 1,
+                };
+                mem_ready = mem_ready.max(t);
             }
+            // `ar`/`ma` are derived at reporting time: `ar` is `ew + 1`
+            // and `ma` is this completion cycle.
+            mem_ready
+        } else {
+            my_ew
+        };
+
+        if self.record {
+            self.ew[seq] = my_ew;
+        }
+        self.complete[seq] = completion;
+        self.remote_register_requests += local_remote_reg;
+        self.remote_memory_requests += local_remote_mem;
+        self.fork_copied_sources += local_fork_copied;
+        self.dmh_accesses += local_dmh;
+        completions.push((seq, completion));
+        Resolution::Resolved
+    }
+
+    /// Step 2 of dependence resolution: in-order retirement within a
+    /// section. When `seq` is its section's next-to-retire, retires it
+    /// and cascades over the already-complete successors — each retired
+    /// instruction's cycle is `max(completion, previous retirement) + 1`.
+    /// The cascade replaces per-instruction successor bookkeeping with a
+    /// per-section cursor and feeds the streaming `max_ret` accumulator.
+    fn advance_retirement(&mut self, seq: usize) {
+        let sid = self.arena.section(seq).0;
+        if self.retire_next[sid] as usize != seq {
+            return;
+        }
+        let end = self.arena.sections()[sid].end;
+        let mut cursor = seq;
+        let mut last = self.retire_last[sid];
+        while cursor < end {
+            let completion = self.complete[cursor];
+            if completion >= INCOMPLETE {
+                break;
+            }
+            last = completion.max(last) + 1;
+            if self.record {
+                self.ret[cursor] = last;
+            }
+            self.resolved += 1;
+            cursor += 1;
+        }
+        self.retire_next[sid] = cursor as u32;
+        self.retire_last[sid] = last;
+        if last > self.max_ret {
+            self.max_ret = last;
         }
     }
 }
@@ -1312,7 +1456,10 @@ impl<'a> Resolver<'a> {
 /// Whether a control instruction can be computed by the fetch-decode stage
 /// at fetch time: all of its register/flags sources are already full in the
 /// local register file (fork-copied, initial, or produced locally and
-/// complete no later than the fetch cycle).
+/// complete no later than the fetch cycle). The `complete` column's
+/// incomplete encodings (`UNKNOWN`, `INCOMPLETE | fd`) both sit at or
+/// above 2^63 — far past any reachable fetch cycle — so the one
+/// comparison below covers them without unpacking.
 pub(crate) fn fetch_computable(
     arena: &TraceArena,
     seq: usize,
@@ -1386,6 +1533,103 @@ mod tests {
             *per_core_cycle.entry((t.core, t.fd)).or_insert(0) += 1;
         }
         assert!(per_core_cycle.values().all(|c| *c == 1));
+    }
+
+    /// Regression for the old O(total instructions) filter scan:
+    /// `section_timings` must hand back the section's contiguous span of
+    /// the sequential table, covering every row exactly once even on a
+    /// many-section trace.
+    #[test]
+    fn section_timings_slices_the_contiguous_span() {
+        let data: Vec<u64> = (1..=40).collect();
+        let result = sim_sum(&data, SimConfig::with_cores(16));
+        assert!(
+            result.sections.len() > 30,
+            "want a many-section trace, got {}",
+            result.sections.len()
+        );
+        let mut covered = 0usize;
+        for span in &result.sections {
+            let timings = result.section_timings(span.id);
+            assert_eq!(timings.len(), span.len(), "{}", span.id);
+            assert!(timings.iter().all(|t| t.section == span.id));
+            assert_eq!(timings.first().map(|t| t.seq), Some(span.start));
+            covered += timings.len();
+        }
+        assert_eq!(covered, result.timings.len());
+        // A stats-only run has no rows to slice — empty view, no panic.
+        let stats = sim_sum(&data, SimConfig::with_cores(16).stats_only());
+        assert!(stats.section_timings(SectionId(0)).is_empty());
+        // An id past the run's sections yields an empty view (the old
+        // filter scan's behaviour), not a panic.
+        assert!(result
+            .section_timings(SectionId(result.sections.len()))
+            .is_empty());
+    }
+
+    /// The tentpole contract of stats-only mode: every aggregate in
+    /// `SimStats` is accumulated streaming and comes out bit-identical to
+    /// the recording run, on both engines, with no stage table built.
+    #[test]
+    fn stats_only_matches_full_mode_statistics_bit_for_bit() {
+        let data: Vec<u64> = (1..=24).collect();
+        let program = sum_fork_program(&data);
+        for cores in [1, 4, 16] {
+            let full_sim = ManyCoreSim::new(SimConfig::with_cores(cores));
+            let stats_sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only());
+            let full = full_sim.run(&program).expect("full-mode simulates");
+            let stats = stats_sim.run(&program).expect("stats-only simulates");
+            let stats_reference = stats_sim
+                .run_reference(&program)
+                .expect("stats-only reference simulates");
+            assert_eq!(stats, stats_reference, "engines diverge stats-only");
+            assert_eq!(
+                stats.stats, full.stats,
+                "aggregates diverge at {cores} cores"
+            );
+            assert_eq!(stats.outputs, full.outputs);
+            assert_eq!(stats.sections, full.sections);
+            assert_eq!(stats.core_of, full.core_of);
+            assert!(stats.timings.is_empty() && !stats.timings_recorded);
+            assert!(full.timings_recorded);
+            assert!(stats.sim_state_bytes() < full.sim_state_bytes());
+        }
+    }
+
+    /// Both engines, both stats modes, zero instructions: the streaming
+    /// accumulators and the post-hoc table derivation must agree that
+    /// everything is zero (the old `unwrap_or(0)` fallback path).
+    #[test]
+    fn empty_traces_simulate_to_zeroed_stats_everywhere() {
+        let empty = crate::StreamingSectioner::new()
+            .finish(vec![])
+            .expect("fits");
+        let full_sim = ManyCoreSim::new(SimConfig::with_cores(4));
+        let stats_sim = ManyCoreSim::new(SimConfig::with_cores(4).stats_only());
+        let full = full_sim.simulate_arena(&empty).expect("simulates");
+        assert_eq!(
+            full,
+            full_sim
+                .simulate_arena_reference(&empty)
+                .expect("simulates")
+        );
+        let stats = stats_sim.simulate_arena(&empty).expect("simulates");
+        assert_eq!(
+            stats,
+            stats_sim
+                .simulate_arena_reference(&empty)
+                .expect("simulates")
+        );
+        assert_eq!(full.stats, stats.stats);
+        assert_eq!(full.stats.instructions, 0);
+        assert_eq!(full.stats.fetch_cycles, 0);
+        assert_eq!(full.stats.total_cycles, 0);
+        assert_eq!(full.stats.fetch_ipc, 0.0);
+        assert_eq!(full.stats.retire_ipc, 0.0);
+        assert_eq!(full.stats.forced_stall_releases, 0);
+        assert!(full.timings.is_empty() && full.timings_recorded);
+        assert!(full.outputs.is_empty());
+        assert_eq!(full.total_bytes_per_instruction(), 0.0);
     }
 
     #[test]

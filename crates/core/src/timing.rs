@@ -60,6 +60,12 @@ impl InstTiming {
 }
 
 /// Aggregate statistics of one many-core simulation.
+///
+/// Every field is accumulated **streaming** during the simulation (the
+/// resolver's `max_fd`/`max_ret` accumulators, the renaming counters,
+/// the NoC's own counters), never derived from the per-instruction stage
+/// table — so a stats-only run ([`crate::SimConfig::record_timings`]
+/// off) reports statistics bit-identical to a recording run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// Number of dynamic instructions simulated.
@@ -119,7 +125,8 @@ impl SimStats {
 
 /// Formats the per-core timing tables in the layout of the paper's
 /// Figure 10: one table per core, one row per instruction, the six stage
-/// columns `fd rr ew ar ma ret`.
+/// columns `fd rr ew ar ma ret`. A stats-only run has no stage rows, so
+/// its table is empty.
 pub fn format_figure10(result: &SimResult) -> String {
     let mut out = String::new();
     let mut cores: Vec<CoreId> = result.timings.iter().map(|t| t.core).collect();

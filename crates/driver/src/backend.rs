@@ -202,6 +202,9 @@ impl ExecutionBackend for ManyCoreBackend {
         if !self.config.fetch_stalls_on_unresolved_control {
             name.push_str(":nostall");
         }
+        if !self.config.record_timings {
+            name.push_str(":stats");
+        }
         name
     }
 
@@ -317,6 +320,34 @@ mod tests {
             .execute_fueled(&program, 100_000)
             .unwrap();
         assert_eq!(report.outputs, vec![10]);
+    }
+
+    #[test]
+    fn stats_only_reports_exact_stats_without_a_stage_table() {
+        let program = sum::fork_program(&[4, 2, 6, 4, 5]);
+        let full = ManyCoreBackend::with_cores(8).execute(&program).unwrap();
+        let stats = ManyCoreBackend::new(SimConfig::with_cores(8).stats_only())
+            .execute(&program)
+            .unwrap();
+        assert_eq!(stats.backend, "manycore:8c:round-robin:stats");
+        // Aggregates are bit-identical across the two modes...
+        assert_eq!(stats.outputs, full.outputs);
+        assert_eq!(stats.cycles, full.cycles);
+        assert_eq!(stats.fetch_ipc, full.fetch_ipc);
+        assert_eq!(stats.sim().unwrap().stats, full.sim().unwrap().stats);
+        // ...but only the recording run carries the stage table.
+        assert_eq!(full.timings().unwrap().len() as u64, full.instructions);
+        assert_eq!(stats.timings(), None);
+        assert!(stats.sim().unwrap().timings.is_empty());
+        // The footprint accounting reflects the dropped columns.
+        let full_state = full.sim_state_bytes().unwrap();
+        let stats_state = stats.sim_state_bytes().unwrap();
+        assert!(
+            stats_state < full_state / 3,
+            "stats-only state {stats_state} should be far below full {full_state}"
+        );
+        assert!(stats.total_bytes_per_instruction().unwrap() > 0.0);
+        assert_eq!(SequentialBackend.execute(&program).unwrap().timings(), None);
     }
 
     #[test]

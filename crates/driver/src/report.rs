@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use parsecs_core::SimResult;
+use parsecs_core::{InstTiming, SimResult};
 use parsecs_ilp::IlpResult;
 use parsecs_machine::Trace;
 
@@ -15,7 +15,11 @@ pub enum ReportDetail {
     Ilp(IlpResult),
     /// The full per-instruction timing of the many-core simulator
     /// (boxed: a `SimResult` carries the whole stage table and would
-    /// otherwise dominate the size of every report).
+    /// otherwise dominate the size of every report). For a **stats-only**
+    /// run (`SimConfig::record_timings` off) the stage table inside is
+    /// empty — aggregate statistics are exact, but the per-row accessors
+    /// ([`RunReport::timings`], `SimResult::section_timings`) return
+    /// `None`/empty views.
     Sim(Box<SimResult>),
 }
 
@@ -79,6 +83,35 @@ impl RunReport {
             ReportDetail::Sim(r) => Some(r.as_ref()),
             _ => None,
         }
+    }
+
+    /// The per-instruction stage table, when the backend is the many-core
+    /// model **and** the run recorded one. `None` both for the other
+    /// backends and for stats-only simulations
+    /// (`SimConfig::record_timings` off), whose aggregate statistics are
+    /// exact but whose stage rows were never materialised.
+    pub fn timings(&self) -> Option<&[InstTiming]> {
+        self.sim()
+            .filter(|r| r.timings_recorded)
+            .map(|r| r.timings.as_slice())
+    }
+
+    /// Modeled resident bytes of the simulator's own per-run state
+    /// (`None` for the other backends) — see
+    /// [`SimResult::sim_state_bytes`]. Together with
+    /// [`RunReport::trace_arena_bytes`] this is the run's total resident
+    /// footprint.
+    pub fn sim_state_bytes(&self) -> Option<u64> {
+        self.sim().map(SimResult::sim_state_bytes)
+    }
+
+    /// Total resident footprint — trace arena plus simulator state — per
+    /// simulated instruction (`None` for the other backends). The number
+    /// the chip-scale benchmarks gate: a stats-only run over a lean arena
+    /// holds well under 80 B/instruction, which is what lets
+    /// 100M-instruction cells fit.
+    pub fn total_bytes_per_instruction(&self) -> Option<f64> {
+        self.sim().map(SimResult::total_bytes_per_instruction)
     }
 
     /// Bytes held by the streaming trace arena the many-core run was

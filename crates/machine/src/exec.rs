@@ -151,7 +151,10 @@ impl Machine {
     /// This is the front of the single-pass trace pipeline: the sink sees
     /// each instruction exactly once, borrowing the machine's scratch
     /// buffers ([`TraceStep`]), so tracing adds no per-instruction
-    /// allocation.
+    /// allocation. A sink whose [`TraceSink::wants_more`] turns `false`
+    /// (it hit a capacity limit and would only discard further steps)
+    /// stops the run at that point; the outcome so far is returned and
+    /// the sink's own finishing step reports the condition.
     ///
     /// # Errors
     ///
@@ -172,6 +175,15 @@ impl Machine {
     ) -> Result<Outcome, MachineError> {
         let mut remaining = fuel;
         while !self.halted {
+            // A stopped sink ends the run before any further instruction
+            // (and before the fuel check: no instruction is about to be
+            // executed, so reporting OutOfFuel here would mask the
+            // sink's own condition, e.g. a latched capacity error).
+            if let Some(sink) = sink.as_ref() {
+                if !sink.wants_more() {
+                    break;
+                }
+            }
             if remaining == 0 {
                 return Err(MachineError::OutOfFuel { steps: self.steps });
             }
@@ -495,6 +507,49 @@ mod tests {
         let program = assemble(src).expect("assembles");
         let mut m = Machine::load(&program).expect("loads");
         m.run(1_000_000).expect("halts")
+    }
+
+    /// A sink whose `wants_more` turns false stops the run at that point
+    /// (the streaming sectioner uses this to abandon a run whose trace
+    /// outgrew the arena, instead of executing the rest into a discarding
+    /// sink).
+    #[test]
+    fn a_saturated_sink_stops_the_run_early() {
+        struct Limited {
+            seen: usize,
+            cap: usize,
+        }
+        impl TraceSink for Limited {
+            fn record(&mut self, _step: &TraceStep<'_>) {
+                self.seen += 1;
+            }
+            fn wants_more(&self) -> bool {
+                self.seen < self.cap
+            }
+        }
+        let program = assemble(
+            "main: movq $0, %rax
+             loop: addq $1, %rax
+                   cmpq $100, %rax
+                   jne loop
+                   out  %rax
+                   halt",
+        )
+        .expect("assembles");
+        let mut sink = Limited { seen: 0, cap: 10 };
+        let mut m = Machine::load(&program).expect("loads");
+        let outcome = m.run_with_sink(1_000_000, &mut sink).expect("stops early");
+        assert_eq!(sink.seen, 10);
+        assert_eq!(outcome.instructions, 10);
+        assert!(outcome.outputs.is_empty(), "never reached the out");
+
+        // The sink stop takes precedence over fuel exhaustion: a sink
+        // saturated on the final fueled step reports its own condition,
+        // not OutOfFuel.
+        let mut sink = Limited { seen: 0, cap: 10 };
+        let mut m = Machine::load(&program).expect("loads");
+        let outcome = m.run_with_sink(10, &mut sink).expect("stop, not OutOfFuel");
+        assert_eq!(outcome.instructions, 10);
     }
 
     #[test]

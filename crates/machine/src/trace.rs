@@ -126,6 +126,15 @@ pub struct TraceStep<'a> {
 pub trait TraceSink {
     /// Consumes one retired instruction.
     fn record(&mut self, step: &TraceStep<'_>);
+
+    /// Whether the sink still wants instructions. When a sink reports
+    /// `false` (e.g. it hit a capacity limit and would only discard
+    /// further steps), [`crate::Machine::run_with_sink`] stops the run at
+    /// that point and returns the outcome so far instead of executing the
+    /// rest of the program into a discarding sink. Defaults to `true`.
+    fn wants_more(&self) -> bool {
+        true
+    }
 }
 
 /// Mutable references forward, so sinks can be passed down call chains
@@ -133,6 +142,10 @@ pub trait TraceSink {
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn record(&mut self, step: &TraceStep<'_>) {
         (**self).record(step);
+    }
+
+    fn wants_more(&self) -> bool {
+        (**self).wants_more()
     }
 }
 

@@ -19,7 +19,7 @@
 use parsecs_isa::Reg;
 use parsecs_machine::{Location, TraceKind};
 
-use crate::{SectionId, SectionSpan, SourceDep, SourceKind};
+use crate::{SectionId, SectionSpan, SourceDep, SourceKind, TraceError};
 
 /// A [`Location`] packed into one word: memory addresses are 8-aligned,
 /// so the low three bits carry the variant tag.
@@ -62,6 +62,51 @@ const KIND_INITIAL_MEM: u32 = 4;
 /// Sections a producer tag can name: 29 bits (the other three carry the
 /// provenance tag).
 const MAX_SECTIONS: usize = (1 << 29) - 1;
+
+/// Records the arena can hold (`u32` trace indices, one sentinel spare).
+const MAX_RECORDS: u64 = u32::MAX as u64 - 1;
+
+/// Entries the shared dependence slice can hold (`u32` offsets).
+const MAX_DEPS: u64 = u32::MAX as u64;
+
+/// Entries the shared write slice can hold (`u32` offsets).
+const MAX_WRITES: u64 = u32::MAX as u64;
+
+/// Checks prospective column totals against the arena's packed-index
+/// capacities. A free function over plain counts so the overflow
+/// behaviour is unit-testable without materialising billions of records.
+pub(crate) fn check_capacity(
+    records: u64,
+    deps: u64,
+    writes: u64,
+    sections: u64,
+) -> Result<(), TraceError> {
+    if records > MAX_RECORDS {
+        return Err(TraceError::CapacityExceeded {
+            resource: "instructions",
+            limit: MAX_RECORDS,
+        });
+    }
+    if sections > MAX_SECTIONS as u64 {
+        return Err(TraceError::CapacityExceeded {
+            resource: "sections",
+            limit: MAX_SECTIONS as u64,
+        });
+    }
+    if deps > MAX_DEPS {
+        return Err(TraceError::CapacityExceeded {
+            resource: "dependences",
+            limit: MAX_DEPS,
+        });
+    }
+    if writes > MAX_WRITES {
+        return Err(TraceError::CapacityExceeded {
+            resource: "writes",
+            limit: MAX_WRITES,
+        });
+    }
+    Ok(())
+}
 
 /// One source dependence in 16 bytes: the packed location, the producer's
 /// trace index and `(producer_section << 3) | provenance`.
@@ -197,6 +242,12 @@ pub struct TraceArena {
     mnemonics: Vec<&'static str>,
     sections: Vec<SectionSpan>,
     outputs: Vec<u64>,
+    /// A *lean* arena skips the written-locations columns (`writes`,
+    /// `write_off`): the timing simulators never read them (store-ness is
+    /// a `kind_flags` bit and every consumer reaches its producer through
+    /// `deps`), only the record-representation bridge does. Saves ~15
+    /// bytes per instruction on store-heavy chip-scale runs.
+    lean: bool,
 }
 
 impl TraceArena {
@@ -207,6 +258,42 @@ impl TraceArena {
             write_off: vec![0],
             ..TraceArena::default()
         }
+    }
+
+    /// An empty *lean* arena: written locations are not recorded (see
+    /// [`TraceArena::records_writes`]). Use for stats-oriented chip-scale
+    /// simulation where the written-locations column would be dead
+    /// weight; the record-representation bridge
+    /// (`SectionedTrace::from_arena`) needs a full arena.
+    pub fn new_lean() -> TraceArena {
+        TraceArena {
+            lean: true,
+            ..TraceArena::new()
+        }
+    }
+
+    /// Whether the arena records written locations ([`TraceArena::written`]
+    /// yields them). `false` for lean arenas, whose `written` is always
+    /// empty even for stores ([`TraceArena::is_store`] stays accurate).
+    pub fn records_writes(&self) -> bool {
+        !self.lean
+    }
+
+    /// Checks that one more record with `new_deps` dependences and
+    /// `new_writes` written locations fits the packed columns.
+    pub(crate) fn capacity_for(
+        &self,
+        new_deps: usize,
+        new_writes: usize,
+    ) -> Result<(), TraceError> {
+        check_capacity(
+            self.ip.len() as u64 + 1,
+            self.deps.len() as u64 + new_deps as u64,
+            self.writes.len() as u64 + new_writes as u64,
+            // `sections.len()` is the id of the section currently being
+            // recorded; it must itself fit the 29-bit producer tag.
+            self.sections.len() as u64 + 1,
+        )
     }
 
     /// Number of dynamic instructions.
@@ -299,11 +386,15 @@ impl TraceArena {
         &self.deps[self.dep_off[seq] as usize..self.dep_off[seq + 1] as usize]
     }
 
-    /// The locations written by record `seq`.
+    /// The locations written by record `seq` (always empty on a lean
+    /// arena — see [`TraceArena::records_writes`]).
     pub fn written(&self, seq: usize) -> impl Iterator<Item = Location> + '_ {
-        self.writes[self.write_off[seq] as usize..self.write_off[seq + 1] as usize]
-            .iter()
-            .map(|&w| unpack_location(w))
+        let range = if self.lean {
+            0..0
+        } else {
+            self.write_off[seq] as usize..self.write_off[seq + 1] as usize
+        };
+        self.writes[range].iter().map(|&w| unpack_location(w))
     }
 
     /// The paper's `s-i` name of record `seq` (1-based), e.g. `"2-13"`.
@@ -494,6 +585,7 @@ impl TraceArena {
 
     #[inline]
     pub(crate) fn push_write(&mut self, loc: Location) {
+        debug_assert!(!self.lean, "lean arenas do not record writes");
         self.writes.push(pack_location(loc));
     }
 
@@ -505,7 +597,90 @@ impl TraceArena {
             .push(u16::try_from(reg_dep_count).expect("fewer than 65536 sources"));
         self.dep_off
             .push(u32::try_from(self.deps.len()).expect("dep slice fits u32 offsets"));
-        self.write_off
-            .push(u32::try_from(self.writes.len()).expect("write slice fits u32 offsets"));
+        if !self.lean {
+            self.write_off
+                .push(u32::try_from(self.writes.len()).expect("write slice fits u32 offsets"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The capacity check is a pure function of the prospective column
+    /// totals, so the overflow paths are testable without materialising
+    /// four billion records.
+    #[test]
+    fn capacity_limits_are_reported_as_typed_errors() {
+        assert_eq!(
+            check_capacity(1_000_000, 3_000_000, 1_500_000, 65_536),
+            Ok(())
+        );
+        assert_eq!(
+            check_capacity(MAX_RECORDS, MAX_DEPS, MAX_WRITES, MAX_SECTIONS as u64),
+            Ok(())
+        );
+        assert_eq!(
+            check_capacity(MAX_RECORDS + 1, 0, 0, 1),
+            Err(TraceError::CapacityExceeded {
+                resource: "instructions",
+                limit: MAX_RECORDS,
+            })
+        );
+        assert_eq!(
+            check_capacity(1, MAX_DEPS + 1, 0, 1),
+            Err(TraceError::CapacityExceeded {
+                resource: "dependences",
+                limit: MAX_DEPS,
+            })
+        );
+        assert_eq!(
+            check_capacity(1, 0, MAX_WRITES + 1, 1),
+            Err(TraceError::CapacityExceeded {
+                resource: "writes",
+                limit: MAX_WRITES,
+            })
+        );
+        assert_eq!(
+            check_capacity(1, 0, 0, MAX_SECTIONS as u64 + 1),
+            Err(TraceError::CapacityExceeded {
+                resource: "sections",
+                limit: MAX_SECTIONS as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn lean_arenas_skip_the_write_columns_but_keep_store_flags() {
+        let mut full = TraceArena::new();
+        let mut lean = TraceArena::new_lean();
+        let dep = SourceDep {
+            location: Location::Reg(Reg::Rax),
+            kind: SourceKind::InitialRegister,
+        };
+        let writes = [Location::Mem(0x1000)];
+        full.push_record(
+            0,
+            "movq",
+            SectionId(0),
+            TraceKind::Other,
+            false,
+            &[dep],
+            &[],
+            &writes,
+        );
+        // The lean builder surface is the streaming sectioner; emulate it
+        // at the column level (no write pushes).
+        let id = lean.intern_mnemonic("movq");
+        lean.begin_record(0, id, SectionId(0), TraceKind::Other, false, false, true);
+        lean.push_dep(PackedDep::new(&dep));
+        lean.end_record(1);
+        assert!(full.records_writes());
+        assert!(!lean.records_writes());
+        assert!(full.is_store(0) && lean.is_store(0));
+        assert_eq!(full.written(0).count(), 1);
+        assert_eq!(lean.written(0).count(), 0);
+        assert!(lean.memory_bytes() < full.memory_bytes());
     }
 }

@@ -49,10 +49,12 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod error;
 mod section;
 mod stream;
 
 pub use arena::{PackedDep, TraceArena};
+pub use error::TraceError;
 pub use section::{SectionId, SectionSpan, SourceDep, SourceKind};
 pub use stream::{AddrHasher, StreamingSectioner};
 
@@ -120,8 +122,28 @@ mod tests {
         let streamed = TraceArena::from_program(&program, 1_000_000).expect("runs");
         let mut machine = Machine::load(&program).expect("loads");
         let (outcome, trace) = machine.run_traced(1_000_000).expect("halts");
-        let replayed = TraceArena::from_trace(&trace, outcome.outputs);
+        let replayed = TraceArena::from_trace(&trace, outcome.outputs).expect("fits");
         assert_eq!(streamed, replayed);
+    }
+
+    #[test]
+    fn lean_arenas_match_full_arenas_except_for_writes() {
+        let program = sum_fork_program(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let full = TraceArena::from_program(&program, 1_000_000).expect("runs");
+        let lean = TraceArena::from_program_lean(&program, 1_000_000).expect("runs");
+        assert_eq!(full.len(), lean.len());
+        assert_eq!(full.sections(), lean.sections());
+        assert_eq!(full.outputs(), lean.outputs());
+        assert!(lean.memory_bytes() < full.memory_bytes());
+        for seq in 0..full.len() {
+            assert_eq!(full.sources(seq), lean.sources(seq), "record {seq}");
+            assert_eq!(full.reg_sources(seq), lean.reg_sources(seq));
+            assert_eq!(full.kind(seq), lean.kind(seq));
+            assert_eq!(full.is_store(seq), lean.is_store(seq));
+            assert_eq!(full.is_load(seq), lean.is_load(seq));
+            assert_eq!(full.is_control(seq), lean.is_control(seq));
+            assert_eq!(lean.written(seq).count(), 0);
+        }
     }
 
     #[test]
@@ -209,7 +231,7 @@ mod tests {
 
     #[test]
     fn empty_and_trailing_traces_are_handled() {
-        let empty = StreamingSectioner::new().finish(vec![]);
+        let empty = StreamingSectioner::new().finish(vec![]).expect("fits");
         assert!(empty.is_empty());
         assert!(empty.sections().is_empty());
         assert_eq!(empty.bytes_per_instruction(), 0.0);

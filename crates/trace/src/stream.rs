@@ -15,9 +15,9 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use parsecs_isa::{Program, Reg};
-use parsecs_machine::{Location, Machine, MachineError, Trace, TraceKind, TraceSink, TraceStep};
+use parsecs_machine::{Location, Machine, Trace, TraceKind, TraceSink, TraceStep};
 
-use crate::{PackedDep, SectionId, SectionSpan, SourceDep, SourceKind, TraceArena};
+use crate::{PackedDep, SectionId, SectionSpan, SourceDep, SourceKind, TraceArena, TraceError};
 
 /// A multiply-xorshift hasher for the memory last-writer table: the keys
 /// are 8-aligned data addresses, so the default SipHash's collision
@@ -88,6 +88,10 @@ pub struct StreamingSectioner {
     /// Mnemonic table id per static instruction (`u16::MAX` = not yet
     /// interned), so the hot path never hashes strings.
     ip_mnemonic: Vec<u16>,
+    /// First capacity overflow hit while recording, if any. Once set the
+    /// sink discards further steps and [`StreamingSectioner::finish`]
+    /// returns the error instead of a truncated arena.
+    error: Option<TraceError>,
 }
 
 impl Default for StreamingSectioner {
@@ -109,6 +113,17 @@ impl StreamingSectioner {
             reg_writer: [NO_WRITER; REG_SLOTS],
             mem_writer: AddrMap::default(),
             ip_mnemonic: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// A sectioner over a *lean* arena: written locations are resolved
+    /// against (the last-writer state needs them) but not stored in the
+    /// arena — see [`TraceArena::new_lean`].
+    pub fn lean() -> StreamingSectioner {
+        StreamingSectioner {
+            arena: TraceArena::new_lean(),
+            ..StreamingSectioner::new()
         }
     }
 
@@ -117,7 +132,16 @@ impl StreamingSectioner {
     /// robustness), releases the columns' growth slack — so
     /// [`TraceArena::memory_bytes`] reports the same trimmed footprint on
     /// every path — and returns the finished arena.
-    pub fn finish(mut self, outputs: Vec<u64>) -> TraceArena {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::CapacityExceeded`] when the recorded trace
+    /// outgrew one of the arena's packed-index capacities; the partially
+    /// built arena is discarded.
+    pub fn finish(mut self, outputs: Vec<u64>) -> Result<TraceArena, TraceError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
         let n = self.arena.len();
         if self.current_start < n && self.arena.sections().last().map(|s| s.end).unwrap_or(0) < n {
             let id = SectionId(self.arena.sections().len());
@@ -131,7 +155,7 @@ impl StreamingSectioner {
         }
         self.arena.set_outputs(outputs);
         self.arena.shrink_to_fit();
-        self.arena
+        Ok(self.arena)
     }
 
     /// The arena built so far (for inspection; normally use `finish`).
@@ -196,8 +220,28 @@ impl StreamingSectioner {
 }
 
 impl TraceSink for StreamingSectioner {
+    /// Once a capacity error latches, the sectioner would only discard
+    /// steps — telling the machine to stop saves functionally executing
+    /// the rest of a multi-hundred-million-instruction program into a
+    /// dead sink.
+    fn wants_more(&self) -> bool {
+        self.error.is_none()
+    }
+
     fn record(&mut self, step: &TraceStep<'_>) {
-        if self.halted {
+        if self.halted || self.error.is_some() {
+            return;
+        }
+        // Capacity guard: a trace that outgrows the packed `u32` columns
+        // (possible from a few hundred million instructions on) becomes a
+        // typed error at `finish` instead of an abort mid-run.
+        let stored_writes = if self.arena.records_writes() {
+            step.writes.len()
+        } else {
+            0
+        };
+        if let Err(e) = self.arena.capacity_for(step.reads.len(), stored_writes) {
+            self.error = Some(e);
             return;
         }
         let i = self.arena.len();
@@ -227,9 +271,13 @@ impl TraceSink for StreamingSectioner {
         }
 
         let mut is_store = false;
-        for &loc in step.writes {
-            self.arena.push_write(loc);
-            is_store |= loc.is_mem();
+        if self.arena.records_writes() {
+            for &loc in step.writes {
+                self.arena.push_write(loc);
+                is_store |= loc.is_mem();
+            }
+        } else {
+            is_store = step.writes.iter().any(Location::is_mem);
         }
 
         let mnemonic_id = self.mnemonic_id(step.ip, step.mnemonic);
@@ -297,19 +345,45 @@ impl TraceArena {
     ///
     /// # Errors
     ///
-    /// Returns an error if the functional execution fails or does not
-    /// halt within `fuel` instructions.
-    pub fn from_program(program: &Program, fuel: u64) -> Result<TraceArena, MachineError> {
+    /// Returns [`TraceError::Machine`] if the functional execution fails
+    /// or does not halt within `fuel` instructions, and
+    /// [`TraceError::CapacityExceeded`] if the trace outgrows the arena's
+    /// packed columns.
+    pub fn from_program(program: &Program, fuel: u64) -> Result<TraceArena, TraceError> {
+        TraceArena::run_pipeline(program, fuel, StreamingSectioner::new())
+    }
+
+    /// Like [`TraceArena::from_program`] but produces a *lean* arena
+    /// (written locations are not stored — see [`TraceArena::new_lean`]):
+    /// the variant chip-scale stats-only runs use to minimise resident
+    /// bytes per instruction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceArena::from_program`].
+    pub fn from_program_lean(program: &Program, fuel: u64) -> Result<TraceArena, TraceError> {
+        TraceArena::run_pipeline(program, fuel, StreamingSectioner::lean())
+    }
+
+    fn run_pipeline(
+        program: &Program,
+        fuel: u64,
+        mut sink: StreamingSectioner,
+    ) -> Result<TraceArena, TraceError> {
         let mut machine = Machine::load(program)?;
-        let mut sink = StreamingSectioner::new();
         let outcome = machine.run_with_sink(fuel, &mut sink)?;
-        Ok(sink.finish(outcome.outputs))
+        sink.finish(outcome.outputs)
     }
 
     /// Sections an already-materialised trace by replaying it through the
     /// streaming sectioner (the compatibility path for callers that hold
     /// a [`Trace`]).
-    pub fn from_trace(trace: &Trace, outputs: Vec<u64>) -> TraceArena {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::CapacityExceeded`] if the trace outgrows the
+    /// arena's packed columns.
+    pub fn from_trace(trace: &Trace, outputs: Vec<u64>) -> Result<TraceArena, TraceError> {
         let mut sink = StreamingSectioner::new();
         for event in trace.iter() {
             sink.record(&TraceStep {

@@ -191,7 +191,10 @@ proptest! {
     fn random_programs_times_random_chips_are_engine_invariant(seed in proptest::strategy::any::<u64>()) {
         let program = random_program(seed);
         let mut gen = Gen::new(seed.rotate_left(17) ^ 0xabcd);
-        // Several configurations per generated program.
+        // Several configurations per generated program, each exercised on
+        // the full `record_timings` axis: the recording run on both
+        // engines, then the stats-only run on both engines, with the
+        // streaming aggregates held bit-identical to the recorded ones.
         for _ in 0..3 {
             let config = random_config(&mut gen);
             let sim = ManyCoreSim::new(config);
@@ -215,6 +218,31 @@ proptest! {
                 "seed {} under {:?}: detector fired",
                 seed,
                 sim.config()
+            );
+            let stats_sim = ManyCoreSim::new(sim.config().clone().stats_only());
+            let stats = stats_sim.run(&program).expect("stats-only simulates");
+            let stats_reference = stats_sim
+                .run_reference(&program)
+                .expect("stats-only reference simulates");
+            prop_assert_eq!(
+                &stats,
+                &stats_reference,
+                "seed {} under {:?}: engines diverge stats-only",
+                seed,
+                stats_sim.config()
+            );
+            prop_assert_eq!(
+                &stats.stats,
+                &event.stats,
+                "seed {} under {:?}: stats-only aggregates diverge from full mode",
+                seed,
+                stats_sim.config()
+            );
+            prop_assert_eq!(&stats.outputs, &event.outputs, "seed {}", seed);
+            prop_assert!(
+                stats.timings.is_empty(),
+                "seed {}: stats-only run materialised a stage table",
+                seed
             );
         }
     }
@@ -305,6 +333,24 @@ proptest! {
                 "seed {} under {:?}: detector fired on a well-formed fork-heavy run",
                 seed,
                 sim.config()
+            );
+            // The stats axis: the fork-heavy contended chains must yield
+            // the same aggregates (and a silent detector) stats-only.
+            let stats_sim = ManyCoreSim::new(sim.config().clone().stats_only());
+            let stats = stats_sim.run(&program).expect("stats-only simulates");
+            prop_assert_eq!(
+                &stats.stats,
+                &event.stats,
+                "seed {} under {:?}: stats-only aggregates diverge",
+                seed,
+                stats_sim.config()
+            );
+            prop_assert_eq!(
+                &stats,
+                &stats_sim.run_reference(&program).expect("stats-only reference"),
+                "seed {} under {:?}: engines diverge stats-only",
+                seed,
+                stats_sim.config()
             );
         }
     }

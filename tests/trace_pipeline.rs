@@ -173,8 +173,10 @@ proptest! {
 proptest! {
     /// Arena-backed simulation equals record-backed simulation: the
     /// compatibility shim (`simulate(&SectionedTrace)`) and the direct
-    /// arena path must produce the same `SimResult`, and both engines
-    /// must stay bit-identical on the arena path.
+    /// arena path must produce the same `SimResult`, both engines must
+    /// stay bit-identical on the arena path, a stats-only run must
+    /// reproduce the recorded aggregates exactly, and the lean
+    /// (write-free) arena must simulate identically to the full one.
     #[test]
     fn arena_and_record_backed_simulation_agree(seed in proptest::strategy::any::<u64>()) {
         let program = random_program(seed.rotate_left(11));
@@ -188,6 +190,33 @@ proptest! {
         prop_assert_eq!(&via_arena, &via_records, "seed {} at {} cores", seed, cores);
         let reference = sim.simulate_arena_reference(&arena).expect("simulates");
         prop_assert_eq!(&via_arena, &reference, "seed {} at {} cores", seed, cores);
+
+        // The stats axis: streaming aggregates == post-hoc aggregates.
+        let stats_sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only());
+        let stats = stats_sim.simulate_arena(&arena).expect("simulates");
+        prop_assert_eq!(&stats.stats, &via_arena.stats, "seed {} at {} cores", seed, cores);
+        prop_assert!(stats.timings.is_empty(), "seed {}", seed);
+        prop_assert_eq!(
+            &stats,
+            &stats_sim.simulate_arena_reference(&arena).expect("simulates"),
+            "seed {} at {} cores: engines diverge stats-only",
+            seed,
+            cores
+        );
+        prop_assert_eq!(stats.stats.forced_stall_releases, 0, "seed {}", seed);
+
+        // The lean arena drops only the written-locations columns, which
+        // the simulators never read: identical result modulo the smaller
+        // reported arena footprint.
+        let lean = TraceArena::from_program_lean(&program, 1_000_000).expect("halts");
+        let mut via_lean = sim.simulate_arena(&lean).expect("simulates");
+        prop_assert!(
+            via_lean.stats.trace_arena_bytes <= via_arena.stats.trace_arena_bytes,
+            "seed {}: lean arena is not leaner",
+            seed
+        );
+        via_lean.stats.trace_arena_bytes = via_arena.stats.trace_arena_bytes;
+        prop_assert_eq!(&via_lean, &via_arena, "seed {} at {} cores: lean diverges", seed, cores);
     }
 }
 
