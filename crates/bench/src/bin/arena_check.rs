@@ -1,0 +1,252 @@
+//! Static analysis of every workload generator's trace arena — the
+//! `parsecs-check` artefact.
+//!
+//! For each of the five `parsecs_workloads::scale` generators
+//! (`histogram`, `tree_sum`, `chain_sum`, `synth_histogram`,
+//! `fan_chain`) the binary builds the arena through the streaming
+//! pipeline and runs the full static analysis:
+//!
+//! * the **invariant validator** must come back clean (zero violations);
+//! * the **race certifier** must issue [`DrainSafety::Certified`] — the
+//!   precondition the planned parallel drain fork (ROADMAP item 1)
+//!   demands — and the table records the round count and the widest
+//!   round (the fork's available parallelism);
+//! * the **bounds analyzer**'s critical path is cross-checked against
+//!   the event-driven engine at 64, 256 and 1024 cores: every
+//!   configuration must retire in `total_cycles ≥ critical_path`.
+//!
+//! Any violation, missing certificate or undercut bound fails the run
+//! (exit 1). CI runs `--quick` and uploads the table next to the bench
+//! grids.
+//!
+//! Usage: `arena_check [--quick] [--json [PATH]]` — `--quick` shrinks
+//! the instances for CI smoke runs (default JSON path
+//! `BENCH_check.json`).
+
+use parsecs_core::{check_arena, DrainSafety, ManyCoreSim, SimConfig, TraceArena};
+use parsecs_isa::Program;
+use parsecs_workloads::scale;
+
+/// Chip sizes the critical-path bound is cross-checked at.
+const CORE_GRID: [usize; 3] = [64, 256, 1024];
+
+struct Target {
+    name: String,
+    program: Program,
+    fuel: u64,
+}
+
+struct Row {
+    workload: String,
+    instructions: usize,
+    sections: usize,
+    violations: usize,
+    drain: DrainSafety,
+    critical_path: u64,
+    ilp_width: f64,
+    /// Simulated retirement span per entry of [`CORE_GRID`].
+    cycles: Vec<u64>,
+    /// Every `cycles` entry is at or above `critical_path`.
+    bound_holds: bool,
+}
+
+fn build_targets(quick: bool) -> Vec<Target> {
+    let seed = 7;
+    let (hist_keys, buckets) = if quick { (2_000, 64) } else { (50_000, 64) };
+    let tree_n = if quick { 4_000 } else { 120_000 };
+    let chain_n = if quick { 2_000 } else { 50_000 };
+    let (synth_keys, synth_buckets) = if quick {
+        (20_000, 256)
+    } else {
+        (300_000, 2048)
+    };
+    let (chains, links) = if quick { (64, 20) } else { (512, 120) };
+    vec![
+        Target {
+            name: format!("histogram-{hist_keys}x{buckets}"),
+            program: scale::histogram_program(hist_keys, buckets, seed),
+            fuel: scale::histogram_fuel(hist_keys, buckets),
+        },
+        Target {
+            name: format!("tree_sum-{tree_n}"),
+            program: scale::tree_sum_program(tree_n, seed),
+            fuel: scale::tree_sum_fuel(tree_n),
+        },
+        Target {
+            name: format!("chain_sum-{chain_n}"),
+            program: scale::chain_sum_program(chain_n, seed),
+            fuel: scale::chain_sum_fuel(chain_n),
+        },
+        Target {
+            name: format!("synth_histogram-{synth_keys}x{synth_buckets}"),
+            program: scale::synth_histogram_program(synth_keys, synth_buckets, seed),
+            fuel: scale::synth_histogram_fuel(synth_keys, synth_buckets),
+        },
+        Target {
+            name: format!("fan_chain-{chains}x{links}"),
+            program: scale::fan_chain_program(chains, links, seed),
+            fuel: scale::fan_chain_fuel(chains, links),
+        },
+    ]
+}
+
+fn analyze(target: &Target) -> Row {
+    let arena =
+        TraceArena::from_program(&target.program, target.fuel).expect("workload halts within fuel");
+    let report = check_arena(&arena);
+    let (critical_path, ilp_width) = report
+        .bounds
+        .as_ref()
+        .map(|b| (b.critical_path, b.ilp_width()))
+        .unwrap_or((0, 0.0));
+    let cycles: Vec<u64> = CORE_GRID
+        .iter()
+        .map(|&cores| {
+            ManyCoreSim::new(SimConfig::with_cores(cores).stats_only())
+                .simulate_arena(&arena)
+                .expect("simulates")
+                .stats
+                .total_cycles
+        })
+        .collect();
+    let bound_holds = report.is_clean() && cycles.iter().all(|&c| c >= critical_path);
+    Row {
+        workload: target.name.clone(),
+        instructions: report.instructions,
+        sections: report.sections,
+        violations: report.violations.len(),
+        drain: report.drain.clone(),
+        critical_path,
+        ilp_width,
+        cycles,
+        bound_holds,
+    }
+}
+
+fn drain_summary(drain: &DrainSafety) -> String {
+    match drain {
+        DrainSafety::Certified {
+            rounds,
+            max_round_width,
+        } => format!("certified ({rounds} rounds, width {max_round_width})"),
+        DrainSafety::Conflict {
+            round,
+            first,
+            second,
+        } => {
+            format!("CONFLICT round {round}: records {first}/{second}")
+        }
+        DrainSafety::Unchecked => "unchecked".into(),
+        _ => "unknown".into(),
+    }
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let cells: Vec<String> = CORE_GRID
+                .iter()
+                .zip(&r.cycles)
+                .map(|(cores, cycles)| format!("\"{cores}\": {cycles}"))
+                .collect();
+            format!(
+                "  {{\"workload\": \"{}\", \"instructions\": {}, \"sections\": {}, \
+                 \"violations\": {}, \"drain\": \"{}\", \"critical_path\": {}, \
+                 \"ilp_width\": {:.2}, \"cycles\": {{{}}}, \"bound_holds\": {}}}",
+                r.workload,
+                r.instructions,
+                r.sections,
+                r.violations,
+                drain_summary(&r.drain),
+                r.critical_path,
+                r.ilp_width,
+                cells.join(", "),
+                r.bound_holds,
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
+                    _ => "BENCH_check.json".into(),
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let targets = build_targets(quick);
+    eprintln!(
+        "checking {} workload arenas ({} mode, bound cross-checked at {CORE_GRID:?} cores)...",
+        targets.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let rows: Vec<Row> = targets.iter().map(analyze).collect();
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>5} {:<32} {:>10} {:>6} {:>11} {:>6}",
+        "workload", "insns", "sections", "viol", "drain", "crit path", "ILP", "min cycles", "bound"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:>9} {:>9} {:>5} {:<32} {:>10} {:>6.1} {:>11} {:>6}",
+            r.workload,
+            r.instructions,
+            r.sections,
+            r.violations,
+            drain_summary(&r.drain),
+            r.critical_path,
+            r.ilp_width,
+            r.cycles.iter().min().copied().unwrap_or(0),
+            if r.bound_holds { "ok" } else { "FAIL" }
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&rows)).expect("write BENCH_check.json");
+        eprintln!("wrote {} rows to {path}", rows.len());
+    }
+
+    let mut failed = false;
+    for r in &rows {
+        if r.violations > 0 {
+            eprintln!(
+                "FAIL: {} has {} invariant violation(s)",
+                r.workload, r.violations
+            );
+            failed = true;
+        }
+        if !r.drain.is_certified() {
+            eprintln!(
+                "FAIL: {} was not certified for the parallel drain: {}",
+                r.workload,
+                drain_summary(&r.drain)
+            );
+            failed = true;
+        }
+        if !r.bound_holds {
+            eprintln!(
+                "FAIL: {} retires in {:?} cycles, below the static critical path {}",
+                r.workload, r.cycles, r.critical_path
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,8 @@
 //! and the per-section renaming walk penalty — measured on the fork-based
 //! sum and on the fork-compiled quicksort.
 //!
-//! All configurations are expressed as [`ExecutionBackend`]s and executed
+//! All configurations are expressed as
+//! [`ExecutionBackend`](parsecs_driver::ExecutionBackend)s and executed
 //! concurrently by one [`Sweep`]. Pass `--json [PATH]` to also emit the
 //! sweep results as JSON (default path `BENCH_sweep.json`), which is the
 //! artefact the perf trajectory records.

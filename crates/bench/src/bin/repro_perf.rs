@@ -4,7 +4,8 @@
 //! simulator performance trajectory.
 //!
 //! Every cell simulates one pre-sectioned trace with both engines,
-//! asserts the two [`SimResult`]s are **bit-identical** (this is the
+//! asserts the two [`SimResult`](parsecs_core::SimResult)s are
+//! **bit-identical** (this is the
 //! large-scale differential test), checks the functional outputs against
 //! the workload's Rust oracle, and records the wall-clock times (best of
 //! [`RUNS`] after one warm-up) in `BENCH_sim.json`.
@@ -32,8 +33,20 @@
 //! front-end drops below 2x on the 1.2M-instruction chain_sum cell; CI
 //! runs the quick grid under the same engine gates.
 //!
-//! Usage: `repro_perf [--quick] [--json [PATH]]` — `--quick` shrinks the
-//! grid for CI smoke runs (default JSON path `BENCH_sim.json`).
+//! A **validation guard row** always rides along: the stats-only
+//! 1024-core `fan_chain` cell is timed with `SimConfig::validate`
+//! explicitly off and explicitly on. The off cell is the exact hot path
+//! of the pre-validation simulator (one never-taken branch), so its time
+//! must stay within noise (±15%, full mode) of the stats-only mode cell
+//! measured in the same process — the gate proving the static analyzer
+//! is zero-cost when disabled. Both times land in `BENCH_sim.json` so
+//! the absolute numbers stay comparable across revisions.
+//!
+//! Usage: `repro_perf [--quick] [--validate] [--json [PATH]]` —
+//! `--quick` shrinks the grid for CI smoke runs (default JSON path
+//! `BENCH_sim.json`); `--validate` runs every grid cell with the full
+//! static analysis (`parsecs-check`) on, which also disarms the guard
+//! row's noise gate (every cell then pays the analysis by design).
 
 use std::time::Instant;
 
@@ -102,11 +115,62 @@ struct ModeRow {
 /// cores, so a short best-of keeps the bench's runtime sane.
 const MODE_RUNS: usize = 2;
 
+/// The validation guard: the stats-only chip-scale cell with the static
+/// analysis explicitly off (the pre-validation hot path) and explicitly
+/// on (analysis + simulation).
+struct GuardRow {
+    workload: String,
+    cores: usize,
+    instructions: u64,
+    validate_off_ms: f64,
+    validate_on_ms: f64,
+    /// `validate_on_ms / validate_off_ms` — what the full static
+    /// analysis costs on top of the simulation when armed.
+    overhead: f64,
+}
+
+/// Times the stats-only cell with validation off and on. The off
+/// configuration pins `validate: false` regardless of `PARSECS_VALIDATE`,
+/// so the guard always measures the unvalidated hot path.
+fn measure_guard(name: &str, arena: &TraceArena, cores: usize) -> GuardRow {
+    let mut off_config = SimConfig::with_cores(cores).stats_only();
+    off_config.validate = false;
+    let off_sim = ManyCoreSim::new(off_config);
+    let on_sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only().validated());
+    let off = off_sim.simulate_arena(arena).expect("simulates");
+    let on = on_sim.simulate_arena(arena).expect("simulates");
+    assert_eq!(
+        off.stats, on.stats,
+        "{name}: validation changed the timing model"
+    );
+    assert!(on.check.as_ref().is_some_and(|report| report.is_clean()));
+    let mut off_ms = f64::INFINITY;
+    let mut on_ms = f64::INFINITY;
+    for _ in 0..MODE_RUNS {
+        let (_, ms) = timed(|| off_sim.simulate_arena(arena).expect("simulates"));
+        off_ms = off_ms.min(ms);
+        let (_, ms) = timed(|| on_sim.simulate_arena(arena).expect("simulates"));
+        on_ms = on_ms.min(ms);
+    }
+    GuardRow {
+        workload: name.to_string(),
+        cores,
+        instructions: arena.len() as u64,
+        validate_off_ms: off_ms,
+        validate_on_ms: on_ms,
+        overhead: on_ms / off_ms,
+    }
+}
+
 /// Times both stats modes on one arena at `cores` cores and checks the
 /// streaming aggregates are bit-identical to the recorded ones.
-fn measure_modes(name: &str, arena: &TraceArena, cores: usize) -> ModeRow {
-    let full_sim = ManyCoreSim::new(SimConfig::with_cores(cores));
-    let stats_sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only());
+fn measure_modes(name: &str, arena: &TraceArena, cores: usize, validate: bool) -> ModeRow {
+    let mut full_config = SimConfig::with_cores(cores);
+    full_config.validate = validate;
+    let mut stats_config = SimConfig::with_cores(cores).stats_only();
+    stats_config.validate = validate;
+    let full_sim = ManyCoreSim::new(full_config);
+    let stats_sim = ManyCoreSim::new(stats_config);
     let full = full_sim.simulate_arena(arena).expect("simulates");
     let stats = stats_sim.simulate_arena(arena).expect("simulates");
     assert_eq!(
@@ -176,7 +240,15 @@ fn measure_pipeline(name: &str, program: &Program, fuel: u64) -> Pipeline {
     }
 }
 
-fn build_grid(quick: bool) -> Vec<Cell> {
+/// Applies the `--validate` flag to one cell configuration.
+fn with_validation(mut config: SimConfig, validate: bool) -> SimConfig {
+    if validate {
+        config.validate = true;
+    }
+    config
+}
+
+fn build_grid(quick: bool, validate: bool) -> Vec<Cell> {
     // ~1M+ dynamic instructions per workload at full scale; ~1/12 of that
     // for the CI smoke grid.
     let (chain_n, hist_n, tree_n) = if quick {
@@ -204,7 +276,7 @@ fn build_grid(quick: bool) -> Vec<Cell> {
         Cell {
             workload: format!("chain_sum-{chain_n}"),
             config: "64c:default".into(),
-            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            sim: ManyCoreSim::new(with_validation(SimConfig::with_cores(64), validate)),
             trace: chain.clone(),
             expected: scale::chain_sum_expected(chain_n, seed),
             headline: false,
@@ -212,7 +284,7 @@ fn build_grid(quick: bool) -> Vec<Cell> {
         Cell {
             workload: format!("chain_sum-{chain_n}"),
             config: "64c:noc96+96".into(),
-            sim: ManyCoreSim::new(stress_noc()),
+            sim: ManyCoreSim::new(with_validation(stress_noc(), validate)),
             trace: chain.clone(),
             expected: scale::chain_sum_expected(chain_n, seed),
             headline: true,
@@ -226,7 +298,10 @@ fn build_grid(quick: bool) -> Vec<Cell> {
             // versus the round-robin stress cell above.
             workload: format!("chain_sum-{chain_n}"),
             config: "64c:noc96+96:chain-affine".into(),
-            sim: ManyCoreSim::new(stress_noc().with_placement(ChainAffine)),
+            sim: ManyCoreSim::new(with_validation(
+                stress_noc().with_placement(ChainAffine),
+                validate,
+            )),
             trace: chain,
             expected: scale::chain_sum_expected(chain_n, seed),
             headline: false,
@@ -234,7 +309,7 @@ fn build_grid(quick: bool) -> Vec<Cell> {
         Cell {
             workload: format!("histogram-{hist_n}x{buckets}"),
             config: "64c:default".into(),
-            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            sim: ManyCoreSim::new(with_validation(SimConfig::with_cores(64), validate)),
             trace: histogram,
             expected: scale::histogram_expected(hist_n, buckets, seed),
             headline: false,
@@ -242,7 +317,7 @@ fn build_grid(quick: bool) -> Vec<Cell> {
         Cell {
             workload: format!("tree_sum-{tree_n}"),
             config: "64c:default".into(),
-            sim: ManyCoreSim::new(SimConfig::with_cores(64)),
+            sim: ManyCoreSim::new(with_validation(SimConfig::with_cores(64), validate)),
             trace: tree,
             expected: scale::tree_sum_expected(tree_n, seed),
             headline: false,
@@ -303,7 +378,7 @@ fn measure(cell: &Cell) -> Row {
     }
 }
 
-fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow) -> String {
+fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow, guard: &GuardRow) -> String {
     let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -355,6 +430,17 @@ fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow) -> String {
         modes.full_state_bytes_per_insn,
         modes.stats_state_bytes_per_insn,
     ));
+    body.push(format!(
+        "  {{\"workload\": \"{}\", \"config\": \"validate-guard\", \"cores\": {}, \
+         \"instructions\": {}, \"validate_off_ms\": {:.3}, \"validate_on_ms\": {:.3}, \
+         \"validate_overhead\": {:.3}}}",
+        guard.workload,
+        guard.cores,
+        guard.instructions,
+        guard.validate_off_ms,
+        guard.validate_on_ms,
+        guard.overhead,
+    ));
     format!("[\n{}\n]\n", body.join(",\n"))
 }
 
@@ -392,11 +478,13 @@ fn print_table(rows: &[Row]) {
 
 fn main() {
     let mut quick = false;
+    let mut validate = false;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--validate" => validate = true,
             "--json" => {
                 json_path = Some(match args.peek() {
                     Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
@@ -404,17 +492,20 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                eprintln!(
+                    "unknown argument '{other}' (supported: --quick --validate --json [PATH])"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let grid = build_grid(quick);
+    let grid = build_grid(quick, validate);
     eprintln!(
-        "measuring {} cells ({} mode, best of {RUNS} runs per engine)...",
+        "measuring {} cells ({} mode{}, best of {RUNS} runs per engine)...",
         grid.len(),
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        if validate { ", validated" } else { "" }
     );
     let rows: Vec<Row> = grid.iter().map(measure).collect();
     print_table(&rows);
@@ -447,7 +538,7 @@ fn main() {
         &scale::fan_chain_program(chains, links, 7),
         scale::fan_chain_fuel(chains, links),
     );
-    let modes = measure_modes(&format!("fan_chain-{chains}x{links}"), &fan, 1024);
+    let modes = measure_modes(&format!("fan_chain-{chains}x{links}"), &fan, 1024, validate);
     println!(
         "modes    {:<22} {:>9} insns  full {:>9.1} ms  stats {:>9.1} ms  {:>4.2}x  \
          state {:>5.1} -> {:>4.1} B/insn",
@@ -460,9 +551,23 @@ fn main() {
         modes.stats_state_bytes_per_insn,
     );
 
+    // The validation guard row: the same stats-only chip-scale cell with
+    // the static analysis pinned off (the pre-validation hot path) and
+    // pinned on.
+    let guard = measure_guard(&modes.workload.clone(), &fan, 1024);
+    println!(
+        "guard    {:<22} {:>9} insns  val-off {:>6.1} ms  val-on {:>6.1} ms  {:>4.2}x",
+        guard.workload,
+        guard.instructions,
+        guard.validate_off_ms,
+        guard.validate_on_ms,
+        guard.overhead,
+    );
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows, &pipeline, &modes)).expect("write BENCH_sim.json");
-        eprintln!("wrote {} rows to {path}", rows.len() + 2);
+        std::fs::write(&path, to_json(&rows, &pipeline, &modes, &guard))
+            .expect("write BENCH_sim.json");
+        eprintln!("wrote {} rows to {path}", rows.len() + 3);
     }
 
     // Hard gates. Any forced stall release means the stall/wake model
@@ -510,6 +615,25 @@ fn main() {
             modes.speedup, modes.workload, modes.cores
         );
         failed = true;
+    }
+    // Validation must be zero-cost when disabled: the guard's off cell is
+    // the identical workload/mode as the stats cell above, so the two
+    // times must agree within machine noise (+-15%). Disarmed in quick
+    // mode (sub-100ms cells are all noise) and under --validate (the
+    // stats cell then pays the analysis while the off cell never does).
+    if !quick && !validate {
+        let ratio = guard.validate_off_ms / modes.stats_ms;
+        if !(0.85..=1.15).contains(&ratio) {
+            eprintln!(
+                "FAIL: validation-off stats cell at {:.1} ms deviates {:.0}% from \
+                 the stats-only baseline {:.1} ms — the disabled validate path \
+                 is not free",
+                guard.validate_off_ms,
+                (ratio - 1.0).abs() * 100.0,
+                modes.stats_ms
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

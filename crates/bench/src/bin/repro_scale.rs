@@ -34,9 +34,12 @@
 //! and fails the run (exit 1), exactly as `ManyCoreBackend` would refuse
 //! the report; the footprint gates fail the run the same way.
 //!
-//! Usage: `repro_scale [--quick] [--json [PATH]]` — `--quick` shrinks the
-//! grid to one 256-core, ~2M-instruction workload run in both modes for
-//! CI smoke runs (default JSON path `BENCH_scale.json`).
+//! Usage: `repro_scale [--quick] [--validate] [--json [PATH]]` —
+//! `--quick` shrinks the grid to one 256-core, ~2M-instruction workload
+//! run in both modes for CI smoke runs (default JSON path
+//! `BENCH_scale.json`); `--validate` runs every cell with the full
+//! static analysis (`parsecs-check`) on, so a structurally corrupt
+//! arena fails the run before it is ever simulated.
 
 use std::time::Instant;
 
@@ -151,7 +154,7 @@ fn build_grid(quick: bool) -> Vec<Workload> {
     ]
 }
 
-fn measure(workload: &Workload) -> Vec<Row> {
+fn measure(workload: &Workload, validate: bool) -> Vec<Row> {
     // The pipeline runs once per workload; every chip size simulates the
     // same arena. Stats-only cells use the lean arena (no written-
     // locations columns — the simulators never read them).
@@ -171,6 +174,9 @@ fn measure(workload: &Workload) -> Vec<Row> {
         .map(|&cores| {
             let mut config = SimConfig::with_cores(cores);
             config.record_timings = !workload.stats_only;
+            if validate {
+                config.validate = true;
+            }
             let sim = ManyCoreSim::new(config);
             let start = Instant::now();
             let result = sim.simulate_arena(&arena).expect("simulates");
@@ -285,11 +291,13 @@ fn print_table(rows: &[Row]) {
 
 fn main() {
     let mut quick = false;
+    let mut validate = false;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--validate" => validate = true,
             "--json" => {
                 json_path = Some(match args.peek() {
                     Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
@@ -297,7 +305,9 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                eprintln!(
+                    "unknown argument '{other}' (supported: --quick --validate --json [PATH])"
+                );
                 std::process::exit(2);
             }
         }
@@ -305,11 +315,12 @@ fn main() {
 
     let grid = build_grid(quick);
     eprintln!(
-        "scaling {} workload(s) across 256-1024 cores ({} mode)...",
+        "scaling {} workload(s) across 256-1024 cores ({} mode{})...",
         grid.len(),
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        if validate { ", validated" } else { "" }
     );
-    let rows: Vec<Row> = grid.iter().flat_map(measure).collect();
+    let rows: Vec<Row> = grid.iter().flat_map(|w| measure(w, validate)).collect();
     print_table(&rows);
 
     if let Some(path) = json_path {

@@ -1,0 +1,255 @@
+//! # parsecs-check — static analysis over sectioned trace arenas
+//!
+//! The execution model rests on structural invariants of the sectioned
+//! trace — section spans tiling the record range, one writer per
+//! location version, producers strictly preceding consumers — that the
+//! engines historically enforced only with scattered `assert!`s. This
+//! crate makes them a first-class analysis with three layers:
+//!
+//! 1. **Invariant validator** ([`check_arena`], [`InvariantViolation`]):
+//!    pure passes over the raw columns checking section well-formedness,
+//!    dep-slice bounds and 16-byte packing integrity, the single-writer
+//!    renaming discipline, dependence acyclicity and lean-arena column
+//!    consistency — returning typed per-violation diagnostics instead of
+//!    aborting.
+//! 2. **Race certifier** ([`DrainSafety`], [`certify_columns`]): a
+//!    symbolic replay of the resolver's batched completion rounds that
+//!    certifies the parallel-drain precondition (pairwise-disjoint write
+//!    targets within a round). The planned rayon fork of the drain
+//!    (ROADMAP item 1) requires [`DrainSafety::Certified`].
+//! 3. **Static bounds analyzer** ([`StaticBounds`]): per-section and
+//!    whole-program dependence-DAG critical path and ILP width;
+//!    `total_cycles ≥ critical_path` holds for every configuration and
+//!    is cross-checked against both engines in the differential tests.
+//!
+//! The engines run the whole analysis before simulating when
+//! `SimConfig::validate` is set; the `arena_check` binary runs it over
+//! every workload generator.
+//!
+//! ## Example
+//!
+//! ```
+//! use parsecs_check::check_arena;
+//! use parsecs_trace::TraceArena;
+//!
+//! let program = parsecs_asm::assemble(
+//!     "t:   .quad 4, 2
+//!      main: movq $t, %rdi
+//!            fork leaf
+//!            out  %rax
+//!            halt
+//!      leaf: movq (%rdi), %rax
+//!            addq 8(%rdi), %rax
+//!            endfork",
+//! ).expect("assembles");
+//! let arena = TraceArena::from_program(&program, 1_000).expect("runs");
+//! let report = check_arena(&arena);
+//! assert!(report.is_clean());
+//! assert!(report.drain.is_certified());
+//! let bounds = report.bounds.expect("clean arenas are analyzed");
+//! assert!(bounds.critical_path > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod certify;
+mod validate;
+mod violation;
+
+use std::fmt;
+
+use parsecs_trace::TraceArena;
+
+pub use bounds::{SectionBounds, StaticBounds};
+pub use certify::{certify_columns, DrainSafety};
+pub use violation::InvariantViolation;
+
+/// Diagnostics stored per report before further ones are only counted
+/// (a systematically corrupt chip-scale arena must not make the report
+/// itself unbounded).
+pub const MAX_VIOLATIONS: usize = 256;
+
+/// The result of the full static analysis of one arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Invariant violations found, in pass order (capped at
+    /// [`MAX_VIOLATIONS`]; see [`CheckReport::truncated`]).
+    pub violations: Vec<InvariantViolation>,
+    /// Whether violations past the cap were dropped from the list.
+    pub truncated: bool,
+    /// The parallel-drain certificate ([`DrainSafety::Unchecked`] when
+    /// the validator found structural violations first).
+    pub drain: DrainSafety,
+    /// Static timing bounds (`None` when the validator found violations;
+    /// bounds over a lying arena would ground nothing).
+    pub bounds: Option<StaticBounds>,
+    /// Records in the analyzed arena.
+    pub instructions: usize,
+    /// Sections in the analyzed arena.
+    pub sections: usize,
+    /// Whether the single-writer renaming replay ran (`false` for lean
+    /// arenas, which drop the write columns it needs, and when the
+    /// structural passes already failed).
+    pub writer_discipline_checked: bool,
+}
+
+impl CheckReport {
+    /// No violations found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+
+    /// The first violation found, if any.
+    pub fn first_violation(&self) -> Option<&InvariantViolation> {
+        self.violations.first()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(first) = self.first_violation() {
+            let extra = if self.truncated { "+" } else { "" };
+            write!(
+                f,
+                "{} violation(s){extra} across {} instruction(s); first: {first}",
+                self.violations.len(),
+                self.instructions
+            )
+        } else {
+            match (&self.drain, &self.bounds) {
+                (
+                    DrainSafety::Conflict {
+                        round,
+                        first,
+                        second,
+                    },
+                    _,
+                ) => write!(
+                    f,
+                    "invariants hold but drain round {round} conflicts on records \
+                     {first} and {second}"
+                ),
+                (drain, Some(bounds)) => write!(
+                    f,
+                    "clean: {} instruction(s), {} section(s), drain {}, \
+                     critical path ≥ {}, ILP width {:.2}",
+                    self.instructions,
+                    self.sections,
+                    if drain.is_certified() {
+                        "certified"
+                    } else {
+                        "unchecked"
+                    },
+                    bounds.critical_path,
+                    bounds.ilp_width()
+                ),
+                (_, None) => write!(
+                    f,
+                    "clean: {} instruction(s), {} section(s)",
+                    self.instructions, self.sections
+                ),
+            }
+        }
+    }
+}
+
+/// Runs the full static analysis: the invariant validator always; the
+/// race certifier and the bounds analyzer only once the validator comes
+/// back clean (both index the columns through the offsets the validator
+/// vouches for).
+pub fn check_arena(arena: &TraceArena) -> CheckReport {
+    let mut col = validate::Collector::new(MAX_VIOLATIONS);
+    let shape_ok = validate::column_shape(arena, &mut col);
+    if shape_ok {
+        validate::sections(arena, &mut col);
+        validate::deps(arena, &mut col);
+    }
+    let mut writer_discipline_checked = false;
+    if shape_ok && col.out.is_empty() && arena.records_writes() {
+        validate::writer_discipline(arena, &mut col);
+        writer_discipline_checked = true;
+    }
+    let clean = col.out.is_empty() && !col.truncated;
+    let (drain, bounds) = if clean {
+        (certify::certify(arena), Some(bounds::analyze(arena)))
+    } else {
+        (DrainSafety::Unchecked, None)
+    };
+    CheckReport {
+        violations: col.out,
+        truncated: col.truncated,
+        drain,
+        bounds,
+        instructions: arena.len(),
+        sections: arena.sections().len(),
+        writer_discipline_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_arena() -> TraceArena {
+        let program = parsecs_asm::assemble(
+            "t:   .quad 4, 2, 6
+             main: movq $t, %rdi
+                   fork leaf
+                   out  %rax
+                   halt
+             leaf: movq (%rdi), %rax
+                   addq 8(%rdi), %rax
+                   addq 16(%rdi), %rax
+                   endfork",
+        )
+        .expect("assembles");
+        TraceArena::from_program(&program, 10_000).expect("runs")
+    }
+
+    #[test]
+    fn clean_arenas_certify_and_bound() {
+        let report = check_arena(&sum_arena());
+        assert!(report.is_clean(), "{report}");
+        assert!(report.writer_discipline_checked);
+        assert!(report.drain.is_certified());
+        let bounds = report.bounds.as_ref().expect("bounds");
+        // The three-instruction add chain in `leaf` forces at least four
+        // dependence levels (movq feeds addq feeds addq, plus main's
+        // movq $t).
+        assert!(bounds.dag_depth >= 4, "depth {}", bounds.dag_depth);
+        assert!(bounds.critical_path as usize >= bounds.dag_depth);
+        assert!(bounds.ilp_width() > 0.0);
+        assert_eq!(bounds.per_section.len(), report.sections);
+        assert!(report.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn lean_arenas_skip_only_the_writer_replay() {
+        let program = parsecs_asm::assemble(
+            "main: movq $7, %rax
+                   out %rax
+                   halt",
+        )
+        .expect("assembles");
+        let arena = parsecs_trace::TraceArena::from_program_lean(&program, 1_000).expect("runs");
+        let report = check_arena(&arena);
+        assert!(report.is_clean(), "{report}");
+        assert!(!report.writer_discipline_checked);
+        assert!(report.drain.is_certified());
+        assert!(report.bounds.is_some());
+    }
+
+    #[test]
+    fn empty_arenas_are_clean() {
+        let report = check_arena(&TraceArena::new());
+        assert!(report.is_clean());
+        assert_eq!(report.instructions, 0);
+        assert_eq!(
+            report.bounds.expect("bounds").critical_path,
+            0,
+            "an empty trace retires nothing"
+        );
+    }
+}

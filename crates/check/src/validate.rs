@@ -1,0 +1,495 @@
+//! The invariant validator: pure passes over the raw arena columns.
+//!
+//! The passes run in dependency order — column shape first (so later
+//! passes may index the fixed-width columns), then section tiling, then
+//! the dependence slices and their 16-byte packings, and finally (full
+//! arenas only, and only once everything structural is clean) a replay
+//! of the sectioner's single-writer renaming discipline.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use parsecs_isa::Reg;
+use parsecs_machine::TraceKind;
+use parsecs_trace::{AddrHasher, TraceArena};
+
+use crate::violation::InvariantViolation;
+
+/// Mirrors of the arena's packed-location tags (low three bits of a
+/// packed location) and provenance tags (low three bits of
+/// `section_kind`). Pinned against [`parsecs_trace::PackedDep::new`] by
+/// the `packing_constants_match_the_arena` test, so an encoding change
+/// in the arena fails loudly here instead of silently passing corrupt
+/// packings.
+pub(crate) const LOC_MEM: u64 = 0;
+pub(crate) const LOC_REG: u64 = 1;
+pub(crate) const LOC_FLAGS: u64 = 2;
+pub(crate) const KIND_LOCAL: u32 = 0;
+pub(crate) const KIND_REMOTE: u32 = 1;
+pub(crate) const KIND_FORK_COPY: u32 = 2;
+pub(crate) const KIND_INITIAL_REG: u32 = 3;
+pub(crate) const KIND_INITIAL_MEM: u32 = 4;
+
+/// Bounded violation sink: diagnostics past the cap are counted, not
+/// stored, so a systematically corrupt chip-scale arena cannot make the
+/// report itself unbounded.
+pub(crate) struct Collector {
+    pub(crate) out: Vec<InvariantViolation>,
+    pub(crate) truncated: bool,
+    cap: usize,
+}
+
+impl Collector {
+    pub(crate) fn new(cap: usize) -> Collector {
+        Collector {
+            out: Vec::new(),
+            truncated: false,
+            cap,
+        }
+    }
+
+    pub(crate) fn push(&mut self, violation: InvariantViolation) {
+        if self.out.len() < self.cap {
+            self.out.push(violation);
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+/// Checks that every fixed-width column has one entry per record, that
+/// the offset columns carry their sentinels, and that the write columns
+/// match the arena's lean-ness. Returns `false` when later passes must
+/// not index the columns.
+pub(crate) fn column_shape(arena: &TraceArena, col: &mut Collector) -> bool {
+    let raw = arena.raw();
+    let n = raw.ip.len();
+    let before = col.out.len();
+    let per_record: [(&'static str, usize); 4] = [
+        ("mnemonic_id", raw.mnemonic_id.len()),
+        ("section", raw.section.len()),
+        ("kind_flags", raw.kind_flags.len()),
+        ("reg_deps", raw.reg_deps.len()),
+    ];
+    for (column, len) in per_record {
+        if len != n {
+            col.push(InvariantViolation::ColumnBroken {
+                column,
+                index: len,
+                detail: "length differs from the record count",
+            });
+        }
+    }
+    if raw.dep_off.len() != n + 1 {
+        col.push(InvariantViolation::ColumnBroken {
+            column: "dep_off",
+            index: raw.dep_off.len(),
+            detail: "expected one offset per record plus a trailing sentinel",
+        });
+    } else {
+        if raw.dep_off[0] != 0 {
+            col.push(InvariantViolation::ColumnBroken {
+                column: "dep_off",
+                index: 0,
+                detail: "first offset is not zero",
+            });
+        }
+        if raw.dep_off[n] as usize != raw.deps.len() {
+            col.push(InvariantViolation::ColumnBroken {
+                column: "dep_off",
+                index: n,
+                detail: "trailing sentinel differs from the shared slice's length",
+            });
+        }
+    }
+    if arena.records_writes() {
+        if raw.write_off.len() != n + 1 {
+            col.push(InvariantViolation::ColumnBroken {
+                column: "write_off",
+                index: raw.write_off.len(),
+                detail: "expected one offset per record plus a trailing sentinel",
+            });
+        } else {
+            if raw.write_off[0] != 0 {
+                col.push(InvariantViolation::ColumnBroken {
+                    column: "write_off",
+                    index: 0,
+                    detail: "first offset is not zero",
+                });
+            }
+            if raw.write_off[n] as usize != raw.writes.len() {
+                col.push(InvariantViolation::ColumnBroken {
+                    column: "write_off",
+                    index: n,
+                    detail: "trailing sentinel differs from the shared slice's length",
+                });
+            }
+            for seq in 0..n {
+                if raw.write_off[seq] > raw.write_off[seq + 1] {
+                    col.push(InvariantViolation::ColumnBroken {
+                        column: "write_off",
+                        index: seq,
+                        detail: "offsets are not monotone",
+                    });
+                }
+            }
+        }
+        for (index, &w) in raw.writes.iter().enumerate() {
+            if !valid_location(w) {
+                col.push(InvariantViolation::ColumnBroken {
+                    column: "writes",
+                    index,
+                    detail: "invalid packed location",
+                });
+            }
+        }
+    } else if raw.write_off != [0] || !raw.writes.is_empty() {
+        col.push(InvariantViolation::ColumnBroken {
+            column: "write_off",
+            index: raw.writes.len(),
+            detail: "lean arenas must keep the write columns empty",
+        });
+    }
+    for (seq, &id) in raw.mnemonic_id.iter().enumerate() {
+        if id as usize >= raw.mnemonics.len() {
+            col.push(InvariantViolation::ColumnBroken {
+                column: "mnemonic_id",
+                index: seq,
+                detail: "id points past the mnemonic table",
+            });
+        }
+    }
+    col.out.len() == before && !col.truncated
+}
+
+fn valid_location(packed: u64) -> bool {
+    match packed & 7 {
+        LOC_MEM => true,
+        LOC_REG => (packed >> 3) < Reg::COUNT as u64,
+        LOC_FLAGS => packed == LOC_FLAGS,
+        _ => false,
+    }
+}
+
+/// Checks that the section spans tile `[0, n)` in total order, that the
+/// per-record section column agrees with the tiling, and that every
+/// creator link names a fork in an earlier section.
+pub(crate) fn sections(arena: &TraceArena, col: &mut Collector) {
+    let raw = arena.raw();
+    let n = arena.len();
+    let spans = arena.sections();
+    let mut expected = 0usize;
+    for (i, span) in spans.iter().enumerate() {
+        let well_formed =
+            span.id.0 == i && span.start == expected && span.end >= span.start && span.end <= n;
+        if !well_formed {
+            col.push(InvariantViolation::SectionSpanBroken {
+                section: i,
+                expected_start: expected,
+                start: span.start,
+                end: span.end,
+            });
+        }
+        // Resynchronise so one bad span yields one diagnostic, not a
+        // cascade over every span after it.
+        expected = span.end.clamp(expected, n);
+        if well_formed {
+            for seq in span.start..span.end {
+                let recorded = raw.section[seq] as usize;
+                if recorded != i {
+                    col.push(InvariantViolation::SectionColumnMismatch {
+                        seq,
+                        recorded,
+                        containing: i,
+                    });
+                }
+            }
+        }
+        if let Some((creator, fork_seq)) = span.creator {
+            let linked = creator.0 < i
+                && fork_seq < span.start
+                && fork_seq < n
+                && raw.section[fork_seq] as usize == creator.0
+                && arena.kind(fork_seq) == TraceKind::Fork;
+            if !linked {
+                col.push(InvariantViolation::CreatorBroken {
+                    section: i,
+                    creator_section: creator.0,
+                    fork_seq,
+                });
+            }
+        }
+    }
+    if expected != n {
+        // Trailing records no span covers (or, if the spans overran, the
+        // loop above already reported them; `clamp` keeps `expected ≤ n`).
+        col.push(InvariantViolation::SectionSpanBroken {
+            section: spans.len(),
+            expected_start: expected,
+            start: n,
+            end: n,
+        });
+    }
+}
+
+/// Checks every record's dependence slice bounds, every 16-byte packing,
+/// and the acyclicity topological invariant (producer strictly precedes
+/// consumer in trace order).
+pub(crate) fn deps(arena: &TraceArena, col: &mut Collector) {
+    let raw = arena.raw();
+    let n = arena.len();
+    for seq in 0..n {
+        let start = raw.dep_off[seq] as usize;
+        let end = raw.dep_off[seq + 1] as usize;
+        let reg = raw.reg_deps[seq] as usize;
+        if start > end || end > raw.deps.len() || reg > end - start {
+            col.push(InvariantViolation::DepSliceBroken {
+                seq,
+                start,
+                end,
+                reg,
+                limit: raw.deps.len(),
+            });
+            continue;
+        }
+        for (dep, packed) in raw.deps[start..end].iter().enumerate() {
+            let (loc, producer, section_kind) = packed.raw_parts();
+            let tag = loc & 7;
+            let kind = section_kind & 7;
+            let producer_section = (section_kind >> 3) as usize;
+            let reg_class = dep < reg;
+            let loc_detail = match tag {
+                LOC_MEM if reg_class => Some("memory location in the register-class slice"),
+                LOC_REG | LOC_FLAGS if !reg_class => {
+                    Some("register-class location in the memory slice")
+                }
+                LOC_REG if (loc >> 3) >= Reg::COUNT as u64 => Some("register index out of range"),
+                LOC_FLAGS if loc != LOC_FLAGS => Some("flags location carries stray bits"),
+                LOC_MEM | LOC_REG | LOC_FLAGS => None,
+                _ => Some("invalid location tag"),
+            };
+            if let Some(detail) = loc_detail {
+                col.push(InvariantViolation::DepPackingBroken { seq, dep, detail });
+            }
+            match kind {
+                KIND_LOCAL | KIND_REMOTE => {
+                    let p = producer as usize;
+                    if p >= n {
+                        col.push(InvariantViolation::DepPackingBroken {
+                            seq,
+                            dep,
+                            detail: "producer index out of range",
+                        });
+                        continue;
+                    }
+                    if p >= seq {
+                        col.push(InvariantViolation::DependenceCycle {
+                            seq,
+                            dep,
+                            producer: p,
+                        });
+                        continue;
+                    }
+                    let producer_column = raw.section[p] as usize;
+                    let my_column = raw.section[seq] as usize;
+                    if kind == KIND_LOCAL && producer_column != my_column {
+                        col.push(InvariantViolation::DepPackingBroken {
+                            seq,
+                            dep,
+                            detail: "local producer in a different section",
+                        });
+                    }
+                    if kind == KIND_REMOTE {
+                        if producer_section != producer_column {
+                            col.push(InvariantViolation::DepPackingBroken {
+                                seq,
+                                dep,
+                                detail:
+                                    "remote section tag disagrees with the producer's section column",
+                            });
+                        } else if producer_column == my_column {
+                            col.push(InvariantViolation::DepPackingBroken {
+                                seq,
+                                dep,
+                                detail: "remote producer in the consumer's own section",
+                            });
+                        }
+                    }
+                }
+                KIND_FORK_COPY if tag != LOC_REG => {
+                    col.push(InvariantViolation::DepPackingBroken {
+                        seq,
+                        dep,
+                        detail: "fork-copy provenance on a non-register location",
+                    });
+                }
+                KIND_INITIAL_REG if tag == LOC_MEM => {
+                    col.push(InvariantViolation::DepPackingBroken {
+                        seq,
+                        dep,
+                        detail: "initial-register provenance on a memory location",
+                    });
+                }
+                KIND_INITIAL_MEM if tag != LOC_MEM => {
+                    col.push(InvariantViolation::DepPackingBroken {
+                        seq,
+                        dep,
+                        detail: "initial-memory provenance on a register-class location",
+                    });
+                }
+                KIND_FORK_COPY | KIND_INITIAL_REG | KIND_INITIAL_MEM => {}
+                _ => {
+                    col.push(InvariantViolation::DepPackingBroken {
+                        seq,
+                        dep,
+                        detail: "invalid provenance tag",
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `(producer trace index, producer section)`; `u32::MAX` marks an
+/// unwritten location — the sectioner's own convention.
+const NO_WRITER: (u32, u32) = (u32::MAX, u32::MAX);
+const FLAGS_SLOT: usize = Reg::COUNT;
+
+/// Replays the sectioner's renaming (`StreamingSectioner::resolve`)
+/// against the recorded writes and checks every dependence names exactly
+/// the producer — and carries exactly the provenance — the replay
+/// derives. Requires a full arena (lean arenas drop the write columns)
+/// and structurally clean columns; the caller gates on both.
+pub(crate) fn writer_discipline(arena: &TraceArena, col: &mut Collector) {
+    let raw = arena.raw();
+    let n = arena.len();
+    let spans = arena.sections();
+    let mut reg_writer = [NO_WRITER; Reg::COUNT + 1];
+    let mut mem_writer: HashMap<u64, (u32, u32), BuildHasherDefault<AddrHasher>> =
+        HashMap::default();
+    for seq in 0..n {
+        let current = raw.section[seq];
+        let has_creator = spans[current as usize].creator.is_some();
+        for (dep, packed) in arena.sources(seq).iter().enumerate() {
+            let (loc, producer, section_kind) = packed.raw_parts();
+            let tag = loc & 7;
+            let kind = section_kind & 7;
+            let writer = match tag {
+                LOC_REG => reg_writer[(loc >> 3) as usize],
+                LOC_FLAGS => reg_writer[FLAGS_SLOT],
+                _ => mem_writer.get(&loc).copied().unwrap_or(NO_WRITER),
+            };
+            let (expected_kind, expected_producer) = if writer == NO_WRITER {
+                let kind = if tag == LOC_MEM {
+                    KIND_INITIAL_MEM
+                } else {
+                    KIND_INITIAL_REG
+                };
+                (kind, None)
+            } else if writer.1 == current {
+                (KIND_LOCAL, Some(writer.0 as usize))
+            } else {
+                let copied = tag == LOC_REG && Reg::ALL[(loc >> 3) as usize].is_fork_copied();
+                if copied && has_creator {
+                    (KIND_FORK_COPY, None)
+                } else {
+                    (KIND_REMOTE, Some(writer.0 as usize))
+                }
+            };
+            let claimed = if kind == KIND_LOCAL || kind == KIND_REMOTE {
+                Some(producer as usize)
+            } else {
+                None
+            };
+            if kind != expected_kind || claimed != expected_producer {
+                col.push(InvariantViolation::WriterDiscipline {
+                    seq,
+                    dep,
+                    claimed,
+                    actual: (writer != NO_WRITER).then_some(writer.0 as usize),
+                });
+            }
+        }
+        let writes = &raw.writes[raw.write_off[seq] as usize..raw.write_off[seq + 1] as usize];
+        for &w in writes {
+            let writer = (seq as u32, current);
+            match w & 7 {
+                LOC_REG => reg_writer[(w >> 3) as usize] = writer,
+                LOC_FLAGS => reg_writer[FLAGS_SLOT] = writer,
+                _ => {
+                    mem_writer.insert(w, writer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parsecs_machine::Location;
+    use parsecs_trace::{PackedDep, SectionId, SourceDep, SourceKind};
+
+    use super::*;
+
+    /// Pins the mirrored tag constants to the arena's actual encoding.
+    #[test]
+    fn packing_constants_match_the_arena() {
+        let cases = [
+            (
+                SourceDep {
+                    location: Location::Mem(0x40),
+                    kind: SourceKind::InitialMemory,
+                },
+                0x40 | LOC_MEM,
+                0,
+                KIND_INITIAL_MEM,
+            ),
+            (
+                SourceDep {
+                    location: Location::Reg(Reg::Rbx),
+                    kind: SourceKind::InitialRegister,
+                },
+                ((Reg::Rbx.index() as u64) << 3) | LOC_REG,
+                0,
+                KIND_INITIAL_REG,
+            ),
+            (
+                SourceDep {
+                    location: Location::Flags,
+                    kind: SourceKind::Local { producer: 7 },
+                },
+                LOC_FLAGS,
+                7,
+                KIND_LOCAL,
+            ),
+            (
+                SourceDep {
+                    location: Location::Reg(Reg::Rsp),
+                    kind: SourceKind::ForkCopy,
+                },
+                ((Reg::Rsp.index() as u64) << 3) | LOC_REG,
+                0,
+                KIND_FORK_COPY,
+            ),
+            (
+                SourceDep {
+                    location: Location::Reg(Reg::Rax),
+                    kind: SourceKind::Remote {
+                        producer: 9,
+                        producer_section: SectionId(2),
+                    },
+                },
+                ((Reg::Rax.index() as u64) << 3) | LOC_REG,
+                9,
+                (2 << 3) | KIND_REMOTE,
+            ),
+        ];
+        for (dep, loc, producer, section_kind) in cases {
+            assert_eq!(
+                PackedDep::new(&dep).raw_parts(),
+                (loc, producer, section_kind),
+                "{dep:?}"
+            );
+        }
+    }
+}

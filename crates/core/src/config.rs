@@ -61,6 +61,17 @@ pub struct SimConfig {
     /// from ~150 to ~17 bytes — the switch that lets 100M-instruction
     /// chip-scale cells fit. On by default.
     pub record_timings: bool,
+    /// Whether the engines run the full static analysis of
+    /// `parsecs-check` over the arena before simulating: the invariant
+    /// validator, the parallel-drain race certifier and the critical-path
+    /// bounds (debug builds additionally assert
+    /// `total_cycles ≥ critical_path` against the finished run). A
+    /// violation surfaces as [`crate::SimError::Invariant`]; a clean
+    /// analysis is attached to [`crate::SimResult::check`]. Off by
+    /// default — the simulation paths are untouched when disabled — and
+    /// forced on by setting the `PARSECS_VALIDATE` environment variable
+    /// to anything but `0` (how CI runs the whole suite validated).
+    pub validate: bool,
 }
 
 impl PartialEq for SimConfig {
@@ -75,7 +86,14 @@ impl PartialEq for SimConfig {
             && self.fuel == other.fuel
             && self.fetch_stalls_on_unresolved_control == other.fetch_stalls_on_unresolved_control
             && self.record_timings == other.record_timings
+            && self.validate == other.validate
     }
+}
+
+/// The default of [`SimConfig::validate`]: off, unless the
+/// `PARSECS_VALIDATE` environment variable is set to anything but `0`.
+fn validate_default() -> bool {
+    std::env::var_os("PARSECS_VALIDATE").is_some_and(|v| v != "0")
 }
 
 impl Default for SimConfig {
@@ -95,6 +113,7 @@ impl Default for SimConfig {
             fuel: 50_000_000,
             fetch_stalls_on_unresolved_control: true,
             record_timings: true,
+            validate: validate_default(),
         }
     }
 }
@@ -119,6 +138,14 @@ impl SimConfig {
     /// becomes stats-only — see [`SimConfig::record_timings`].
     pub fn stats_only(mut self) -> SimConfig {
         self.record_timings = false;
+        self
+    }
+
+    /// Turns on the pre-simulation static analysis (builder style) — see
+    /// [`SimConfig::validate`] (the field; [`SimConfig::validate()`] the
+    /// method checks the configuration itself).
+    pub fn validated(mut self) -> SimConfig {
+        self.validate = true;
         self
     }
 

@@ -3,11 +3,13 @@
 use std::error::Error;
 use std::fmt;
 
+use parsecs_check::CheckReport;
 use parsecs_machine::MachineError;
 use parsecs_trace::TraceError;
 
 /// Errors produced while preparing or running a many-core simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The functional pre-execution of the program failed.
     Machine(MachineError),
@@ -18,6 +20,26 @@ pub enum SimError {
     Trace(TraceError),
     /// The configuration is invalid (e.g. zero cores).
     Config(String),
+    /// The pre-simulation static analysis ([`crate::SimConfig::validate`])
+    /// found the trace arena structurally invalid; the full report with
+    /// the typed violations is attached.
+    Invariant(Box<CheckReport>),
+    /// The timing model broke down: the engine stopped making progress
+    /// (or an instruction came out of it unresolved) on a trace the
+    /// structural checks accept. Always a simulator bug, never a property
+    /// of the program.
+    Diverged {
+        /// What stopped: `"deadlocked with no pending event"`,
+        /// `"did not converge"` or
+        /// `"left an instruction unresolved"`.
+        reason: &'static str,
+        /// Simulated cycle at which the engine gave up.
+        cycle: u64,
+        /// Instructions whose timing had been resolved by then.
+        resolved: u64,
+        /// Instructions in the trace.
+        instructions: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -26,6 +48,17 @@ impl fmt::Display for SimError {
             SimError::Machine(e) => write!(f, "functional execution failed: {e}"),
             SimError::Trace(e) => write!(f, "trace pipeline failed: {e}"),
             SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Invariant(report) => write!(f, "trace invariants violated: {report}"),
+            SimError::Diverged {
+                reason,
+                cycle,
+                resolved,
+                instructions,
+            } => write!(
+                f,
+                "simulation {reason} at cycle {cycle} \
+                 ({resolved} of {instructions} instructions resolved)"
+            ),
         }
     }
 }
@@ -35,7 +68,7 @@ impl Error for SimError {
         match self {
             SimError::Machine(e) => Some(e),
             SimError::Trace(e) => Some(e),
-            SimError::Config(_) => None,
+            _ => None,
         }
     }
 }
@@ -84,5 +117,20 @@ mod tests {
         .into();
         assert!(matches!(e, SimError::Trace(_)));
         assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn diverged_reports_reason_and_progress() {
+        let e = SimError::Diverged {
+            reason: "did not converge",
+            cycle: 99,
+            resolved: 3,
+            instructions: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("did not converge"), "{s}");
+        assert!(s.contains("cycle 99"), "{s}");
+        assert!(s.contains("3 of 7"), "{s}");
+        assert!(e.source().is_none());
     }
 }

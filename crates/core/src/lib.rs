@@ -83,6 +83,11 @@ pub use rename::{verify_single_assignment, MemoryAliasTable, RegisterAliasTable,
 pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceDep, SourceKind};
 pub use sim::{ManyCoreSim, SimResult};
 pub use timing::{format_figure10, InstTiming, SimStats};
+// The static-analysis vocabulary of `parsecs-check`; re-exported so
+// callers of the validated simulation paths ([`SimConfig::validate`],
+// [`SimResult::check`], [`SimError::Invariant`]) can consume the reports
+// without a separate dependency.
+pub use parsecs_check::{check_arena, CheckReport, DrainSafety, InvariantViolation, StaticBounds};
 // The streaming trace pipeline this crate's engines consume; re-exported
 // so simulator callers can build arenas without a separate dependency.
 pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena, TraceError};

@@ -34,6 +34,7 @@ use crate::{SectionId, SimError, SimResult};
 pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResult, SimError> {
     let config = sim.config();
     config.validate().map_err(SimError::Config)?;
+    let check = sim.precheck(arena)?;
     let sections = arena.sections();
     let n = arena.len();
 
@@ -64,10 +65,14 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
 
     while fetched < n || resolver.resolved < n {
         cycle += 1;
-        assert!(
-            cycle < safety,
-            "many-core simulation did not converge after {cycle} cycles"
-        );
+        if cycle >= safety {
+            return Err(SimError::Diverged {
+                reason: "did not converge",
+                cycle,
+                resolved: resolver.resolved as u64,
+                instructions: n as u64,
+            });
+        }
         let progress_before = fetched + resolver.resolved;
 
         // Parked sections whose stall released rejoin their ready queue.
@@ -188,12 +193,13 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
     }
 
     let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
-    Ok(sim.finish(
+    sim.finish(
         arena,
         resolver,
         core_of,
         &hosted,
         network.stats(),
         forced_stall_releases,
-    ))
+        check,
+    )
 }

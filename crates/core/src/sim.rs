@@ -51,6 +51,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::hash::BuildHasherDefault;
 
+use parsecs_check::CheckReport;
 use parsecs_isa::Program;
 use parsecs_machine::TraceKind;
 use parsecs_noc::{CoreId, Network, NocStats};
@@ -95,6 +96,11 @@ pub struct SimResult {
     pub core_of: Vec<CoreId>,
     /// Aggregate statistics.
     pub stats: SimStats,
+    /// The pre-simulation static analysis report (invariants, drain
+    /// certificate, critical-path bounds) when the run was validated
+    /// ([`SimConfig::validate`]); `None` otherwise. Both engines attach
+    /// the identical report, so differential bit-identity covers it.
+    pub check: Option<Box<CheckReport>>,
 }
 
 impl SimResult {
@@ -601,6 +607,7 @@ impl ManyCoreSim {
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_arena(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
+        let check = self.precheck(arena)?;
         let sections = arena.sections();
         let n = arena.len();
 
@@ -661,15 +668,23 @@ impl ManyCoreSim {
                         // genuine deadlock (a malformed trace): the detector
                         // escapes by abandoning the parked stalls — counted,
                         // and surfaced as an error by the driver layer.
-                        assert!(
-                            fetched < n && stalls.parked() > 0,
-                            "many-core simulation deadlocked with no pending event at cycle {cycle}"
-                        );
+                        if !(fetched < n && stalls.parked() > 0) {
+                            return Err(SimError::Diverged {
+                                reason: "deadlocked with no pending event",
+                                cycle,
+                                resolved: resolver.resolved as u64,
+                                instructions: n as u64,
+                            });
+                        }
                         cycle += 1;
-                        assert!(
-                            cycle < safety,
-                            "many-core simulation did not converge after {cycle} cycles"
-                        );
+                        if cycle >= safety {
+                            return Err(SimError::Diverged {
+                                reason: "did not converge",
+                                cycle,
+                                resolved: resolver.resolved as u64,
+                                instructions: n as u64,
+                            });
+                        }
                         forced_stall_releases += stalls.force_release(cycle + 1, arena);
                         continue;
                     }
@@ -680,10 +695,14 @@ impl ManyCoreSim {
                 cycle + 1
             };
             cycle = target;
-            assert!(
-                cycle < safety,
-                "many-core simulation did not converge after {cycle} cycles"
-            );
+            if cycle >= safety {
+                return Err(SimError::Diverged {
+                    reason: "did not converge",
+                    cycle,
+                    resolved: resolver.resolved as u64,
+                    instructions: n as u64,
+                });
+            }
             wakes.advance_to(cycle);
 
             // --- requeue phase: parked sections whose stall released -----
@@ -933,14 +952,34 @@ impl ManyCoreSim {
         }
 
         let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
-        Ok(self.finish(
+        self.finish(
             arena,
             resolver,
             core_of,
             &hosted,
             network.stats(),
             forced_stall_releases,
-        ))
+            check,
+        )
+    }
+
+    /// Runs the static analysis of `parsecs-check` over the arena when
+    /// [`SimConfig::validate`] is on: a structurally invalid arena is
+    /// rejected as [`SimError::Invariant`]; a clean report is returned
+    /// for attachment to [`SimResult::check`]. A single branch (and no
+    /// work at all) when validation is off.
+    pub(crate) fn precheck(
+        &self,
+        arena: &TraceArena,
+    ) -> Result<Option<Box<CheckReport>>, SimError> {
+        if !self.config.validate {
+            return Ok(None);
+        }
+        let report = parsecs_check::check_arena(arena);
+        if !report.is_clean() {
+            return Err(SimError::Invariant(Box::new(report)));
+        }
+        Ok(Some(Box::new(report)))
     }
 
     /// Validates the placement and builds the shared pre-timing state.
@@ -968,6 +1007,15 @@ impl ManyCoreSim {
     /// accumulators — identical in both stats modes (and zero for an
     /// empty program) — so only the per-row stage table depends on
     /// [`SimConfig::record_timings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Diverged`] when an instruction comes out of
+    /// the resolver with sentinel cycles — the stall/wake model broke
+    /// down, and sentinels must never leak into reported timings (a hard
+    /// check, release builds included; the one-branch-per-instruction
+    /// cost is negligible next to building the row).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish(
         &self,
         arena: &TraceArena,
@@ -976,7 +1024,8 @@ impl ManyCoreSim {
         sections_hosted: &[usize],
         noc: NocStats,
         forced_stall_releases: u64,
-    ) -> SimResult {
+        check: Option<Box<CheckReport>>,
+    ) -> Result<SimResult, SimError> {
         let timings: Vec<InstTiming> = if self.config.record_timings {
             (0..arena.len())
                 .map(|seq| {
@@ -985,21 +1034,20 @@ impl ManyCoreSim {
                     let ew = resolver.ew[seq];
                     let complete = resolver.complete[seq];
                     let ret = resolver.ret[seq];
-                    // A hard check, release builds included: an unresolved
-                    // instruction here means the stall/wake model broke
-                    // down, and sentinel cycles must never leak into
-                    // reported timings (the one-branch-per-instruction
-                    // cost is negligible next to building the row).
-                    assert!(
-                        fd != UNKNOWN && ew != UNKNOWN && ret != UNKNOWN && complete < INCOMPLETE,
-                        "instruction {seq} left unresolved by the simulation"
-                    );
+                    if fd == UNKNOWN || ew == UNKNOWN || ret == UNKNOWN || complete >= INCOMPLETE {
+                        return Err(SimError::Diverged {
+                            reason: "left an instruction unresolved",
+                            cycle: resolver.max_ret,
+                            resolved: resolver.resolved as u64,
+                            instructions: arena.len() as u64,
+                        });
+                    }
                     // `rr`/`ar`/`ma` are derived, not stored: renaming is
                     // the cycle after fetch, address-rename the cycle
                     // after execute, and the memory access completes the
                     // value.
                     let is_mem = arena.is_load(seq) || arena.is_store(seq);
-                    InstTiming {
+                    Ok(InstTiming {
                         seq,
                         index_in_section: arena.index_in_section(seq),
                         ip: arena.ip(seq),
@@ -1012,9 +1060,9 @@ impl ManyCoreSim {
                         ar: is_mem.then(|| ew + 1),
                         ma: is_mem.then_some(complete),
                         ret,
-                    }
+                    })
                 })
-                .collect()
+                .collect::<Result<_, _>>()?
         } else {
             Vec::new()
         };
@@ -1051,14 +1099,27 @@ impl ManyCoreSim {
             noc,
         };
 
-        SimResult {
+        if let Some(bounds) = check.as_ref().and_then(|report| report.bounds.as_ref()) {
+            // The static analyzer's critical path is a configuration-
+            // independent lower bound on the retirement span; an engine
+            // undercutting it has an optimistic-timing bug.
+            debug_assert!(
+                stats.total_cycles >= bounds.critical_path,
+                "total_cycles {} undercuts the static critical path {}",
+                stats.total_cycles,
+                bounds.critical_path
+            );
+        }
+
+        Ok(SimResult {
             outputs: arena.outputs().to_vec(),
             timings,
             timings_recorded: self.config.record_timings,
             sections: arena.sections().to_vec(),
             core_of,
             stats,
-        }
+            check,
+        })
     }
 
     /// Delegates the section-to-core assignment to the configured
@@ -1509,6 +1570,64 @@ mod tests {
         assert!(result.stats.fetch_ipc > 1.0);
         // The first instruction is fetched at cycle 1 on the root core.
         assert_eq!(result.timings[0].fd, 1);
+    }
+
+    #[test]
+    fn validated_runs_attach_identical_reports_on_both_engines() {
+        let program = sum_fork_program(&[4, 2, 6, 4, 5]);
+        let sim = ManyCoreSim::new(SimConfig::with_cores(8).validated());
+        let validated = sim.run(&program).expect("simulates");
+        let reference = sim.run_reference(&program).expect("simulates");
+        assert_eq!(validated, reference);
+        let report = validated.check.as_ref().expect("validated run");
+        assert!(report.is_clean());
+        assert!(report.drain.is_certified());
+        let bounds = report.bounds.as_ref().expect("clean arenas are bounded");
+        assert!(
+            validated.stats.total_cycles >= bounds.critical_path,
+            "{} < {}",
+            validated.stats.total_cycles,
+            bounds.critical_path
+        );
+        // The unvalidated run is identical except for the attachment.
+        // (Pinned off explicitly: the default tracks PARSECS_VALIDATE.)
+        let mut off = SimConfig::with_cores(8);
+        off.validate = false;
+        let mut plain = ManyCoreSim::new(off).run(&program).expect("simulates");
+        assert!(plain.check.is_none());
+        plain.check = validated.check.clone();
+        assert_eq!(plain, validated);
+    }
+
+    #[test]
+    fn validation_rejects_corrupt_arenas_with_a_typed_report() {
+        use parsecs_trace::PackedDep;
+        // A record claiming a producer at or past itself: a dependence
+        // cycle the validator must catch before the engines run.
+        let mut arena = TraceArena::new();
+        let id = arena.intern_mnemonic("bogus");
+        arena.begin_record(0, id, SectionId(0), TraceKind::Other, false, false, false);
+        arena.push_dep(PackedDep::from_raw_parts(1, 0, 0));
+        arena.end_record(1);
+        arena.push_section(SectionSpan {
+            id: SectionId(0),
+            start: 0,
+            end: 1,
+            creator: None,
+            start_ip: 0,
+        });
+        let sim = ManyCoreSim::new(SimConfig::with_cores(2).validated());
+        let err = sim.simulate_arena(&arena).expect_err("must be rejected");
+        match err {
+            SimError::Invariant(report) => {
+                assert!(!report.is_clean());
+                assert!(matches!(
+                    report.first_violation(),
+                    Some(parsecs_check::InvariantViolation::DependenceCycle { .. })
+                ));
+            }
+            other => panic!("expected an invariant error, got {other}"),
+        }
     }
 
     #[test]

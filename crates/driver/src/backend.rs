@@ -163,6 +163,15 @@ impl ManyCoreBackend {
     pub fn config(&self) -> &SimConfig {
         &self.config
     }
+
+    /// Turns on the pre-simulation static analysis (builder style): the
+    /// run is rejected with a typed report when the trace arena violates
+    /// the sectioned-trace invariants, and a clean
+    /// [`parsecs_core::CheckReport`] rides along on [`RunReport::check`].
+    pub fn validated(mut self) -> ManyCoreBackend {
+        self.config.validate = true;
+        self
+    }
 }
 
 impl ExecutionBackend for ManyCoreBackend {
@@ -204,6 +213,16 @@ impl ExecutionBackend for ManyCoreBackend {
         }
         if !self.config.record_timings {
             name.push_str(":stats");
+        }
+        // Compared against the default — which follows `PARSECS_VALIDATE`
+        // — so forcing validation on for a whole suite via the
+        // environment leaves every label unchanged.
+        if self.config.validate != defaults.validate {
+            name.push_str(if self.config.validate {
+                ":validate"
+            } else {
+                ":novalidate"
+            });
         }
         name
     }
@@ -348,6 +367,32 @@ mod tests {
         );
         assert!(stats.total_bytes_per_instruction().unwrap() > 0.0);
         assert_eq!(SequentialBackend.execute(&program).unwrap().timings(), None);
+    }
+
+    #[test]
+    fn validated_backend_attaches_a_clean_report() {
+        let program = sum::fork_program(&[4, 2, 6, 4, 5]);
+        let plain = ManyCoreBackend::with_cores(8);
+        let validated = ManyCoreBackend::with_cores(8).validated();
+        // The label only changes relative to the session default, so a
+        // PARSECS_VALIDATE=1 environment keeps every name stable.
+        if !SimConfig::default().validate {
+            assert_eq!(validated.name(), "manycore:8c:round-robin:validate");
+        }
+        let report = validated.execute(&program).unwrap();
+        let check = report.check().expect("validated run carries a report");
+        assert!(check.is_clean());
+        assert_eq!(report.drain_certified(), Some(true));
+        assert!(check.bounds.as_ref().unwrap().critical_path <= report.cycles);
+        // Aside from the attachment (and possibly the label), the
+        // validated run is identical.
+        let baseline = plain.execute(&program).unwrap();
+        assert_eq!(baseline.cycles, report.cycles);
+        assert_eq!(baseline.outputs, report.outputs);
+        if !SimConfig::default().validate {
+            assert_eq!(baseline.check(), None);
+            assert_eq!(baseline.drain_certified(), None);
+        }
     }
 
     #[test]

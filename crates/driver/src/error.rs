@@ -8,6 +8,7 @@ use parsecs_machine::MachineError;
 
 /// Errors produced while executing a program through a backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DriverError {
     /// The reference machine failed (load error, out of fuel, bad access).
     Machine(MachineError),
@@ -48,8 +49,7 @@ impl Error for DriverError {
         match self {
             DriverError::Machine(e) => Some(e),
             DriverError::Sim(e) => Some(e),
-            DriverError::Deadlock { .. } => None,
-            DriverError::Config(_) => None,
+            _ => None,
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use parsecs_core::{InstTiming, SimResult};
+use parsecs_core::{CheckReport, InstTiming, SimResult};
 use parsecs_ilp::IlpResult;
 use parsecs_machine::Trace;
 
@@ -126,6 +126,24 @@ impl RunReport {
     /// [`RunReport::trace_arena_bytes`] per simulated instruction.
     pub fn trace_bytes_per_instruction(&self) -> Option<f64> {
         self.sim().map(|r| r.stats.trace_bytes_per_instruction())
+    }
+
+    /// The pre-simulation static analysis report, when the backend is
+    /// the many-core model **and** the run was validated
+    /// (`SimConfig::validate` on, e.g. via
+    /// [`crate::ManyCoreBackend::validated`]). Always a clean report —
+    /// a run whose arena fails validation produces no report at all
+    /// ([`crate::DriverError::Sim`] wrapping
+    /// `parsecs_core::SimError::Invariant`).
+    pub fn check(&self) -> Option<&CheckReport> {
+        self.sim().and_then(|r| r.check.as_deref())
+    }
+
+    /// Whether the parallel-drain race certificate was issued for this
+    /// run (`None` when the run was not validated — see
+    /// [`RunReport::check`]).
+    pub fn drain_certified(&self) -> Option<bool> {
+        self.check().map(|report| report.drain.is_certified())
     }
 
     /// How many times the many-core simulator's deadlock *detector*

@@ -95,7 +95,7 @@ pub enum Operand {
     /// A memory reference (`8(%rdi)`).
     Mem(MemRef),
     /// The address of a data symbol (`$t`), resolved to an absolute
-    /// immediate by [`crate::Program::resolve`] / [`crate::ProgramBuilder`].
+    /// immediate by symbol resolution in [`crate::ProgramBuilder`].
     Sym(String),
 }
 

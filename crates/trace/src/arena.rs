@@ -31,7 +31,10 @@ const LOC_FLAGS: u64 = 2;
 fn pack_location(loc: Location) -> u64 {
     match loc {
         Location::Mem(addr) => {
-            assert!(
+            // Release builds rely on the machine's quadword alignment (and
+            // on `parsecs-check` detecting a corrupted tag after the
+            // fact); the low three bits must be free for the variant tag.
+            debug_assert!(
                 addr & 7 == 0,
                 "trace arena requires 8-aligned data addresses, got {addr:#x}"
             );
@@ -120,11 +123,11 @@ pub struct PackedDep {
 impl PackedDep {
     /// Packs a [`SourceDep`].
     ///
-    /// # Panics
-    ///
-    /// Panics if the producer index does not fit in a `u32`, the producer
-    /// section exceeds 2^29, or a memory address is not 8-aligned — all
-    /// far beyond what a simulable trace can reach.
+    /// Producers past `u32::MAX` and sections past 2^29 cannot be packed;
+    /// the streaming sectioner rejects such traces with a typed
+    /// [`TraceError::CapacityExceeded`] before this point, so overflow
+    /// here is a caller bug (debug-asserted, and detectable after the
+    /// fact by `parsecs-check`'s packing-integrity pass).
     pub fn new(dep: &SourceDep) -> PackedDep {
         let (producer, section, kind) = match dep.kind {
             SourceKind::Local { producer } => (producer, 0, KIND_LOCAL),
@@ -132,7 +135,7 @@ impl PackedDep {
                 producer,
                 producer_section,
             } => {
-                assert!(
+                debug_assert!(
                     producer_section.0 <= MAX_SECTIONS,
                     "trace arena supports at most {MAX_SECTIONS} sections"
                 );
@@ -142,7 +145,7 @@ impl PackedDep {
             SourceKind::InitialRegister => (0, 0, KIND_INITIAL_REG),
             SourceKind::InitialMemory => (0, 0, KIND_INITIAL_MEM),
         };
-        assert!(
+        debug_assert!(
             producer < u32::MAX as usize,
             "trace arena supports at most {} instructions",
             u32::MAX
@@ -152,6 +155,29 @@ impl PackedDep {
             producer: producer as u32,
             section_kind: ((section as u32) << 3) | kind,
         }
+    }
+
+    /// Reassembles a dependence from its raw packed words, with **no**
+    /// validity checks: the fields are stored verbatim. Exists so
+    /// validators and their tests can construct deliberately corrupt
+    /// dependences; normal producers should go through
+    /// [`PackedDep::new`].
+    pub fn from_raw_parts(loc: u64, producer: u32, section_kind: u32) -> PackedDep {
+        PackedDep {
+            loc,
+            producer,
+            section_kind,
+        }
+    }
+
+    /// The raw packed words `(loc, producer, section_kind)` — the packed
+    /// location, the producer's trace index, and
+    /// `(producer_section << 3) | provenance`. For validators
+    /// (`parsecs-check`) that must inspect the encoding itself;
+    /// [`PackedDep::location`]/[`PackedDep::kind`] assume a well-formed
+    /// packing and silently misdecode a corrupt one.
+    pub fn raw_parts(&self) -> (u64, u32, u32) {
+        (self.loc, self.producer, self.section_kind)
     }
 
     /// The architectural location being read.
@@ -184,6 +210,44 @@ impl PackedDep {
             kind: self.kind(),
         }
     }
+}
+
+/// Read-only views of every packed column of a [`TraceArena`], in one
+/// borrow. The accessor methods ([`TraceArena::sources`],
+/// [`TraceArena::section`], …) index the columns *assuming* the offsets
+/// are well-formed; a validator cannot, so [`TraceArena::raw`] hands out
+/// the flat slices for bounds-checked inspection.
+///
+/// Layout contract (what `parsecs-check` verifies): `ip`, `mnemonic_id`,
+/// `section`, `kind_flags` and `reg_deps` have one entry per record;
+/// `dep_off` (and, on a full arena, `write_off`) have one per record
+/// plus a trailing sentinel equal to the shared slice's length; record
+/// `i`'s dependences are `deps[dep_off[i]..dep_off[i + 1]]`, the first
+/// `reg_deps[i]` of them register-class.
+#[derive(Debug, Clone, Copy)]
+pub struct RawColumns<'a> {
+    /// Static instruction index per record.
+    pub ip: &'a [u32],
+    /// Mnemonic-table id per record.
+    pub mnemonic_id: &'a [u16],
+    /// Section id per record.
+    pub section: &'a [u32],
+    /// Packed [`TraceKind`] + control/load/store flags per record.
+    pub kind_flags: &'a [u8],
+    /// Offsets into `deps` (one per record, plus a trailing sentinel).
+    pub dep_off: &'a [u32],
+    /// Register-class prefix length of each record's dep slice.
+    pub reg_deps: &'a [u16],
+    /// Offsets into `writes` (empty of meaning on a lean arena:
+    /// `[0]` exactly).
+    pub write_off: &'a [u32],
+    /// The shared dependence slice.
+    pub deps: &'a [PackedDep],
+    /// The shared written-locations slice (packed; empty on a lean
+    /// arena).
+    pub writes: &'a [u64],
+    /// The interned mnemonic table.
+    pub mnemonics: &'a [&'static str],
 }
 
 /// Per-record `kind_flags` layout: low three bits [`TraceKind`], then the
@@ -455,6 +519,24 @@ impl TraceArena {
         self.outputs.shrink_to_fit();
     }
 
+    /// Read-only views of every packed column (see [`RawColumns`]), for
+    /// validators that must not trust the offset columns before checking
+    /// them.
+    pub fn raw(&self) -> RawColumns<'_> {
+        RawColumns {
+            ip: &self.ip,
+            mnemonic_id: &self.mnemonic_id,
+            section: &self.section,
+            kind_flags: &self.kind_flags,
+            dep_off: &self.dep_off,
+            reg_deps: &self.reg_deps,
+            write_off: &self.write_off,
+            deps: &self.deps,
+            writes: &self.writes,
+            mnemonics: &self.mnemonics,
+        }
+    }
+
     /// [`TraceArena::memory_bytes`] per instruction.
     pub fn bytes_per_instruction(&self) -> f64 {
         if self.is_empty() {
@@ -537,10 +619,22 @@ impl TraceArena {
         self.outputs = outputs;
     }
 
-    // Column-level builder steps (also used by the streaming sectioner).
+    // Column-level builder steps (used by the streaming sectioner, and
+    // public so external corpora — notably the `parsecs-check` mutation
+    // tests — can assemble arenas the record-level surface refuses to).
 
+    /// Opens one record at the column level: pushes the fixed-width
+    /// per-record columns and nothing else. Pair with
+    /// [`TraceArena::end_record`]; push the record's dependences (and,
+    /// on a full arena, its writes) in between. The record-level
+    /// [`TraceArena::push_record`] is the convenient surface; this one
+    /// exists for streaming producers that already hold packed deps, and
+    /// performs **no** capacity checks (callers check
+    /// [`crate::TraceError::CapacityExceeded`] conditions up front, as
+    /// the streaming sectioner does) — an unclosed or overflowed record
+    /// is caught by `parsecs-check`, not here.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn begin_record(
+    pub fn begin_record(
         &mut self,
         ip: usize,
         mnemonic_id: u16,
@@ -550,12 +644,12 @@ impl TraceArena {
         is_load: bool,
         is_store: bool,
     ) {
-        assert!(
+        debug_assert!(
             self.ip.len() < u32::MAX as usize - 1,
             "trace arena supports at most {} instructions",
             u32::MAX
         );
-        assert!(
+        debug_assert!(
             section.0 <= MAX_SECTIONS,
             "trace arena supports at most {MAX_SECTIONS} sections"
         );
@@ -579,12 +673,14 @@ impl TraceArena {
     /// Appends one dependence of the record being built (register-class
     /// deps first, then memory deps; `end_record` fixes the split).
     #[inline]
-    pub(crate) fn push_dep(&mut self, dep: PackedDep) {
+    pub fn push_dep(&mut self, dep: PackedDep) {
         self.deps.push(dep);
     }
 
+    /// Appends one written location of the record being built. Must not
+    /// be called on a lean arena.
     #[inline]
-    pub(crate) fn push_write(&mut self, loc: Location) {
+    pub fn push_write(&mut self, loc: Location) {
         debug_assert!(!self.lean, "lean arenas do not record writes");
         self.writes.push(pack_location(loc));
     }
@@ -592,7 +688,7 @@ impl TraceArena {
     /// Closes the record opened by `begin_record`, recording how many of
     /// the deps pushed since then are register-class sources.
     #[inline]
-    pub(crate) fn end_record(&mut self, reg_dep_count: usize) {
+    pub fn end_record(&mut self, reg_dep_count: usize) {
         self.reg_deps
             .push(u16::try_from(reg_dep_count).expect("fewer than 65536 sources"));
         self.dep_off

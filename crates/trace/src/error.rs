@@ -15,6 +15,7 @@ use parsecs_machine::MachineError;
 /// instead of aborting the process mid-run, so drivers can fail the one
 /// run and keep serving.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TraceError {
     /// The functional execution feeding the pipeline failed (load error,
     /// out of fuel, bad access).

@@ -53,7 +53,7 @@ mod error;
 mod section;
 mod stream;
 
-pub use arena::{PackedDep, TraceArena};
+pub use arena::{PackedDep, RawColumns, TraceArena};
 pub use error::TraceError;
 pub use section::{SectionId, SectionSpan, SourceDep, SourceKind};
 pub use stream::{AddrHasher, StreamingSectioner};

@@ -14,6 +14,10 @@
 //!   streams retired instructions into a sectioner that renames and
 //!   resolves dependences on the fly, into flat [`trace::TraceArena`]
 //!   columns.
+//! * [`check`] — static analysis over trace arenas: the invariant
+//!   validator, the parallel-drain race certifier
+//!   ([`check::DrainSafety`]) and the dependence-DAG critical-path /
+//!   ILP-width bounds the engines are grounded against.
 //! * [`ilp`] — trace-based ILP limit analysis (the paper's Figure 7
 //!   methodology).
 //! * [`noc`] — network-on-chip substrate.
@@ -69,6 +73,7 @@
 
 pub use parsecs_asm as asm;
 pub use parsecs_cc as cc;
+pub use parsecs_check as check;
 pub use parsecs_core as core;
 pub use parsecs_driver as driver;
 pub use parsecs_ilp as ilp;

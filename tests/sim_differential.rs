@@ -195,8 +195,11 @@ proptest! {
         // the full `record_timings` axis: the recording run on both
         // engines, then the stats-only run on both engines, with the
         // streaming aggregates held bit-identical to the recorded ones.
+        // Every run is validated: the static analysis must pass on every
+        // generated trace, and both engines must retire at or above the
+        // analyzer's configuration-independent critical path.
         for _ in 0..3 {
-            let config = random_config(&mut gen);
+            let config = random_config(&mut gen).validated();
             let sim = ManyCoreSim::new(config);
             let event = sim.run(&program).expect("event-driven engine simulates");
             let reference = sim
@@ -208,6 +211,23 @@ proptest! {
                 "seed {} under {:?}: engines diverge",
                 seed,
                 sim.config()
+            );
+            let report = event.check.as_ref().expect("validated run attaches a report");
+            prop_assert!(report.is_clean(), "seed {}: {}", seed, report);
+            prop_assert!(
+                report.drain.is_certified(),
+                "seed {}: drain not certified: {}",
+                seed,
+                report
+            );
+            let bounds = report.bounds.as_ref().expect("clean arenas are bounded");
+            prop_assert!(
+                event.stats.total_cycles >= bounds.critical_path,
+                "seed {} under {:?}: {} cycles undercut the static critical path {}",
+                seed,
+                sim.config(),
+                event.stats.total_cycles,
+                bounds.critical_path
             );
             // Every stall has a modeled release event under the handoff
             // model, so the deadlock detector must never fire on a
@@ -314,7 +334,7 @@ proptest! {
         let program = histogram_family_program(seed);
         let mut gen = Gen::new(seed.rotate_left(29) ^ 0x1234);
         for _ in 0..2 {
-            let config = random_config(&mut gen);
+            let config = random_config(&mut gen).validated();
             let sim = ManyCoreSim::new(config);
             let event = sim.run(&program).expect("event-driven engine simulates");
             let reference = sim

@@ -207,7 +207,9 @@ proptest! {
 
         // The lean arena drops only the written-locations columns, which
         // the simulators never read: identical result modulo the smaller
-        // reported arena footprint.
+        // reported arena footprint — and, on validated runs, modulo the
+        // attached check report (the writer-discipline replay needs the
+        // write columns, so a lean arena's report legitimately skips it).
         let lean = TraceArena::from_program_lean(&program, 1_000_000).expect("halts");
         let mut via_lean = sim.simulate_arena(&lean).expect("simulates");
         prop_assert!(
@@ -216,6 +218,7 @@ proptest! {
             seed
         );
         via_lean.stats.trace_arena_bytes = via_arena.stats.trace_arena_bytes;
+        via_lean.check.clone_from(&via_arena.check);
         prop_assert_eq!(&via_lean, &via_arena, "seed {} at {} cores: lean diverges", seed, cores);
     }
 }
