@@ -19,9 +19,12 @@
 //! (exit 1). CI runs `--quick` and uploads the table next to the bench
 //! grids.
 //!
-//! Usage: `arena_check [--quick] [--json [PATH]]` — `--quick` shrinks
-//! the instances for CI smoke runs (default JSON path
-//! `BENCH_check.json`).
+//! Usage: `arena_check [--quick] [--threads N] [--json [PATH]]` —
+//! `--quick` shrinks the instances for CI smoke runs (default JSON path
+//! `BENCH_check.json`); `--threads` cross-checks the bound on the
+//! cluster-sharded parallel engine instead (`0` = auto, default follows
+//! `PARSECS_THREADS`) — the certificates this binary reports are exactly
+//! what authorises that engine's drain fork.
 
 use parsecs_core::{check_arena, DrainSafety, ManyCoreSim, SimConfig, TraceArena};
 use parsecs_isa::Program;
@@ -90,7 +93,7 @@ fn build_targets(quick: bool) -> Vec<Target> {
     ]
 }
 
-fn analyze(target: &Target) -> Row {
+fn analyze(target: &Target, threads: usize) -> Row {
     let arena =
         TraceArena::from_program(&target.program, target.fuel).expect("workload halts within fuel");
     let report = check_arena(&arena);
@@ -102,11 +105,15 @@ fn analyze(target: &Target) -> Row {
     let cycles: Vec<u64> = CORE_GRID
         .iter()
         .map(|&cores| {
-            ManyCoreSim::new(SimConfig::with_cores(cores).stats_only())
-                .simulate_arena(&arena)
-                .expect("simulates")
-                .stats
-                .total_cycles
+            ManyCoreSim::new(
+                SimConfig::with_cores(cores)
+                    .stats_only()
+                    .with_threads(threads),
+            )
+            .simulate_arena(&arena)
+            .expect("simulates")
+            .stats
+            .total_cycles
         })
         .collect();
     let bound_holds = report.is_clean() && cycles.iter().all(|&c| c >= critical_path);
@@ -171,11 +178,18 @@ fn to_json(rows: &[Row]) -> String {
 
 fn main() {
     let mut quick = false;
+    let mut threads = SimConfig::default().threads;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count (0 = auto)");
+            }
             "--json" => {
                 json_path = Some(match args.peek() {
                     Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
@@ -183,7 +197,9 @@ fn main() {
                 });
             }
             other => {
-                eprintln!("unknown argument '{other}' (supported: --quick --json [PATH])");
+                eprintln!(
+                    "unknown argument '{other}' (supported: --quick --threads N --json [PATH])"
+                );
                 std::process::exit(2);
             }
         }
@@ -195,7 +211,7 @@ fn main() {
         targets.len(),
         if quick { "quick" } else { "full" }
     );
-    let rows: Vec<Row> = targets.iter().map(analyze).collect();
+    let rows: Vec<Row> = targets.iter().map(|t| analyze(t, threads)).collect();
 
     println!(
         "{:<28} {:>9} {:>9} {:>5} {:<32} {:>10} {:>6} {:>11} {:>6}",

@@ -42,11 +42,22 @@
 //! is zero-cost when disabled. Both times land in `BENCH_sim.json` so
 //! the absolute numbers stay comparable across revisions.
 //!
-//! Usage: `repro_perf [--quick] [--validate] [--json [PATH]]` —
-//! `--quick` shrinks the grid for CI smoke runs (default JSON path
+//! A **threaded row** also rides along: the same stats-only 1024-core
+//! `fan_chain` cell run sequentially (`threads = 1`) and with the
+//! cluster-sharded parallel engine (`--threads`, default auto =
+//! available CPUs). The two results must be **bit-identical** — the
+//! parallel walk/drain fork replays the sequential order exactly — and
+//! on a ≥8-way host the threaded cell must be ≥3× faster (full mode
+//! only; the gate stays disarmed on smaller hosts and quick runs, the
+//! bit-identity assertion never does).
+//!
+//! Usage: `repro_perf [--quick] [--validate] [--threads N] [--json [PATH]]`
+//! — `--quick` shrinks the grid for CI smoke runs (default JSON path
 //! `BENCH_sim.json`); `--validate` runs every grid cell with the full
 //! static analysis (`parsecs-check`) on, which also disarms the guard
-//! row's noise gate (every cell then pays the analysis by design).
+//! row's noise gate (every cell then pays the analysis by design);
+//! `--threads` sets the threaded row's worker count (`0` = auto,
+//! default follows `PARSECS_THREADS`).
 
 use std::time::Instant;
 
@@ -114,6 +125,62 @@ struct ModeRow {
 /// warm-up per mode): the cell simulates 10M+ instructions at 1024
 /// cores, so a short best-of keeps the bench's runtime sane.
 const MODE_RUNS: usize = 2;
+
+/// Sequential vs threaded comparison on the stats-only chip-scale cell:
+/// the cluster-sharded parallel engine against the single-thread path,
+/// with the results asserted bit-identical.
+struct ThreadRow {
+    workload: String,
+    cores: usize,
+    /// Resolved worker count of the threaded cell (`--threads`, `0` =
+    /// auto).
+    threads: usize,
+    instructions: u64,
+    sequential_ms: f64,
+    threaded_ms: f64,
+    speedup: f64,
+}
+
+/// Times the stats-only cell sequentially and with `threads` workers and
+/// asserts the two [`parsecs_core::SimResult`]s are bit-identical (the
+/// certified parallel drain's contract).
+fn measure_threads(
+    name: &str,
+    arena: &TraceArena,
+    cores: usize,
+    threads: usize,
+    validate: bool,
+) -> ThreadRow {
+    let mut base = SimConfig::with_cores(cores).stats_only();
+    base.validate = validate;
+    let seq_sim = ManyCoreSim::new(base.clone().with_threads(1));
+    let thr_config = base.with_threads(threads);
+    let resolved = thr_config.effective_threads().min(cores);
+    let thr_sim = ManyCoreSim::new(thr_config);
+    let sequential = seq_sim.simulate_arena(arena).expect("simulates");
+    let threaded = thr_sim.simulate_arena(arena).expect("simulates");
+    assert_eq!(
+        sequential, threaded,
+        "{name}: threaded run diverges from the sequential engine"
+    );
+    let mut seq_ms = f64::INFINITY;
+    let mut thr_ms = f64::INFINITY;
+    for _ in 0..MODE_RUNS {
+        let (_, ms) = timed(|| seq_sim.simulate_arena(arena).expect("simulates"));
+        seq_ms = seq_ms.min(ms);
+        let (_, ms) = timed(|| thr_sim.simulate_arena(arena).expect("simulates"));
+        thr_ms = thr_ms.min(ms);
+    }
+    ThreadRow {
+        workload: name.to_string(),
+        cores,
+        threads: resolved,
+        instructions: arena.len() as u64,
+        sequential_ms: seq_ms,
+        threaded_ms: thr_ms,
+        speedup: seq_ms / thr_ms,
+    }
+}
 
 /// The validation guard: the stats-only chip-scale cell with the static
 /// analysis explicitly off (the pre-validation hot path) and explicitly
@@ -378,7 +445,13 @@ fn measure(cell: &Cell) -> Row {
     }
 }
 
-fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow, guard: &GuardRow) -> String {
+fn to_json(
+    rows: &[Row],
+    pipeline: &Pipeline,
+    modes: &ModeRow,
+    guard: &GuardRow,
+    threaded: &ThreadRow,
+) -> String {
     let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -441,6 +514,18 @@ fn to_json(rows: &[Row], pipeline: &Pipeline, modes: &ModeRow, guard: &GuardRow)
         guard.validate_on_ms,
         guard.overhead,
     ));
+    body.push(format!(
+        "  {{\"workload\": \"{}\", \"config\": \"threaded\", \"cores\": {}, \
+         \"threads\": {}, \"instructions\": {}, \"sequential_ms\": {:.3}, \
+         \"threaded_ms\": {:.3}, \"threaded_speedup\": {:.2}}}",
+        threaded.workload,
+        threaded.cores,
+        threaded.threads,
+        threaded.instructions,
+        threaded.sequential_ms,
+        threaded.threaded_ms,
+        threaded.speedup,
+    ));
     format!("[\n{}\n]\n", body.join(",\n"))
 }
 
@@ -479,12 +564,19 @@ fn print_table(rows: &[Row]) {
 fn main() {
     let mut quick = false;
     let mut validate = false;
+    let mut threads = SimConfig::default().threads.max(2);
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--validate" => validate = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count (0 = auto)");
+            }
             "--json" => {
                 json_path = Some(match args.peek() {
                     Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
@@ -493,7 +585,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}' (supported: --quick --validate --json [PATH])"
+                    "unknown argument '{other}' (supported: --quick --validate \
+                     --threads N --json [PATH])"
                 );
                 std::process::exit(2);
             }
@@ -564,10 +657,23 @@ fn main() {
         guard.overhead,
     );
 
+    // The threaded row: the same stats-only chip-scale cell, sequential
+    // vs the cluster-sharded parallel engine, bit-identical by contract.
+    let threaded = measure_threads(&modes.workload.clone(), &fan, 1024, threads, validate);
+    println!(
+        "threads  {:<22} {:>9} insns  1t {:>9.1} ms  {}t {:>9.1} ms  {:>4.2}x",
+        threaded.workload,
+        threaded.instructions,
+        threaded.sequential_ms,
+        threaded.threads,
+        threaded.threaded_ms,
+        threaded.speedup,
+    );
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows, &pipeline, &modes, &guard))
+        std::fs::write(&path, to_json(&rows, &pipeline, &modes, &guard, &threaded))
             .expect("write BENCH_sim.json");
-        eprintln!("wrote {} rows to {path}", rows.len() + 3);
+        eprintln!("wrote {} rows to {path}", rows.len() + 4);
     }
 
     // Hard gates. Any forced stall release means the stall/wake model
@@ -602,6 +708,19 @@ fn main() {
             "FAIL: streaming pipeline speedup {:.1}x is below the 2x \
              acceptance bar on {}",
             pipeline.speedup, pipeline.workload
+        );
+        failed = true;
+    }
+    // The threaded cell must be >=3x faster than the sequential one on a
+    // host with at least 8 CPUs (full mode only; smaller hosts and quick
+    // instances cannot sustain the fork, but their bit-identity assertion
+    // above still ran).
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if !quick && host_cpus >= 8 && threaded.threads >= 8 && threaded.speedup < 3.0 {
+        eprintln!(
+            "FAIL: threaded speedup {:.2}x at {} workers is below the 3x \
+             acceptance bar on {} ({} host CPUs)",
+            threaded.speedup, threaded.threads, threaded.workload, host_cpus
         );
         failed = true;
     }

@@ -34,12 +34,22 @@
 //! and fails the run (exit 1), exactly as `ManyCoreBackend` would refuse
 //! the report; the footprint gates fail the run the same way.
 //!
-//! Usage: `repro_scale [--quick] [--validate] [--json [PATH]]` —
-//! `--quick` shrinks the grid to one 256-core, ~2M-instruction workload
-//! run in both modes for CI smoke runs (default JSON path
+//! The full grid also gates **chip-size scaling**: the 1024-core
+//! `synth_histogram` cell must finish within 1.25× the wall clock of the
+//! 512-core cell on the same arena. The pre-SoA engine regressed there —
+//! doubling the modeled cores *slowed the simulator down* because the
+//! per-core state was a vector of pointer-chasing structs — and this
+//! gate keeps that inversion from coming back.
+//!
+//! Usage: `repro_scale [--quick] [--validate] [--threads N] [--json [PATH]]`
+//! — `--quick` shrinks the grid to one 256-core, ~2M-instruction
+//! workload run in both modes for CI smoke runs (default JSON path
 //! `BENCH_scale.json`); `--validate` runs every cell with the full
 //! static analysis (`parsecs-check`) on, so a structurally corrupt
-//! arena fails the run before it is ever simulated.
+//! arena fails the run before it is ever simulated; `--threads` runs
+//! every cell on the cluster-sharded parallel engine with that many
+//! workers (`0` = auto, default follows `PARSECS_THREADS`; results are
+//! bit-identical to sequential runs by construction).
 
 use std::time::Instant;
 
@@ -50,6 +60,10 @@ use parsecs_workloads::scale;
 
 /// Arena footprint acceptance bar, in bytes per dynamic instruction.
 const ARENA_BYTES_PER_INSN_BAR: f64 = 120.0;
+
+/// Chip-size scaling bar: the 1024-core `synth_histogram` cell may take
+/// at most this multiple of the 512-core cell's wall clock.
+const SCALING_BAR: f64 = 1.25;
 
 /// Total resident footprint (arena + simulator state) bar for stats-only
 /// cells, in bytes per dynamic instruction.
@@ -76,6 +90,7 @@ struct Row {
     workload: String,
     mode: &'static str,
     cores: usize,
+    threads: usize,
     instructions: u64,
     sections: usize,
     pre_ms: f64,
@@ -154,7 +169,7 @@ fn build_grid(quick: bool) -> Vec<Workload> {
     ]
 }
 
-fn measure(workload: &Workload, validate: bool) -> Vec<Row> {
+fn measure(workload: &Workload, validate: bool, threads: usize) -> Vec<Row> {
     // The pipeline runs once per workload; every chip size simulates the
     // same arena. Stats-only cells use the lean arena (no written-
     // locations columns — the simulators never read them).
@@ -172,11 +187,12 @@ fn measure(workload: &Workload, validate: bool) -> Vec<Row> {
         .cores
         .iter()
         .map(|&cores| {
-            let mut config = SimConfig::with_cores(cores);
+            let mut config = SimConfig::with_cores(cores).with_threads(threads);
             config.record_timings = !workload.stats_only;
             if validate {
                 config.validate = true;
             }
+            let resolved_threads = config.effective_threads().min(cores);
             let sim = ManyCoreSim::new(config);
             let start = Instant::now();
             let result = sim.simulate_arena(&arena).expect("simulates");
@@ -190,6 +206,7 @@ fn measure(workload: &Workload, validate: bool) -> Vec<Row> {
                 workload: workload.name.clone(),
                 mode: if workload.stats_only { "stats" } else { "full" },
                 cores,
+                threads: resolved_threads,
                 instructions: result.stats.instructions,
                 sections: result.stats.sections,
                 pre_ms,
@@ -217,6 +234,7 @@ fn to_json(rows: &[Row]) -> String {
         .map(|r| {
             format!(
                 "  {{\"workload\": \"{}\", \"mode\": \"{}\", \"cores\": {}, \
+                 \"threads\": {}, \
                  \"instructions\": {}, \"sections\": {}, \"pre_ms\": {:.3}, \
                  \"sectioning_insns_per_sec\": {:.0}, \"arena_bytes\": {}, \
                  \"arena_bytes_per_insn\": {:.1}, \"sim_ms\": {:.3}, \
@@ -226,6 +244,7 @@ fn to_json(rows: &[Row]) -> String {
                 r.workload,
                 r.mode,
                 r.cores,
+                r.threads,
                 r.instructions,
                 r.sections,
                 r.pre_ms,
@@ -292,12 +311,19 @@ fn print_table(rows: &[Row]) {
 fn main() {
     let mut quick = false;
     let mut validate = false;
+    let mut threads = SimConfig::default().threads;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--validate" => validate = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count (0 = auto)");
+            }
             "--json" => {
                 json_path = Some(match args.peek() {
                     Some(path) if !path.starts_with("--") => args.next().expect("peeked"),
@@ -306,7 +332,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}' (supported: --quick --validate --json [PATH])"
+                    "unknown argument '{other}' (supported: --quick --validate \
+                     --threads N --json [PATH])"
                 );
                 std::process::exit(2);
             }
@@ -320,7 +347,10 @@ fn main() {
         if quick { "quick" } else { "full" },
         if validate { ", validated" } else { "" }
     );
-    let rows: Vec<Row> = grid.iter().flat_map(|w| measure(w, validate)).collect();
+    let rows: Vec<Row> = grid
+        .iter()
+        .flat_map(|w| measure(w, validate, threads))
+        .collect();
     print_table(&rows);
 
     if let Some(path) = json_path {
@@ -383,6 +413,26 @@ fn main() {
                 big.instructions, big.cores, big.mode
             );
             failed = true;
+        }
+        // Chip-size scaling: doubling the modeled cores from 512 to 1024
+        // on the same synth_histogram arena must not slow the simulator
+        // past the noise band (the pre-SoA inversion).
+        let hist_at = |cores: usize| {
+            rows.iter()
+                .find(|r| r.workload.starts_with("synth_histogram") && r.cores == cores)
+        };
+        if let (Some(at_512), Some(at_1024)) = (hist_at(512), hist_at(1024)) {
+            if at_1024.sim_ms > SCALING_BAR * at_512.sim_ms {
+                eprintln!(
+                    "FAIL: {} at 1024 cores took {:.0} ms vs {:.0} ms at 512 — \
+                     {:.2}x, above the {SCALING_BAR}x chip-size scaling bar",
+                    at_1024.workload,
+                    at_1024.sim_ms,
+                    at_512.sim_ms,
+                    at_1024.sim_ms / at_512.sim_ms
+                );
+                failed = true;
+            }
         }
     }
     if failed {

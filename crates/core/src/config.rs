@@ -72,6 +72,16 @@ pub struct SimConfig {
     /// forced on by setting the `PARSECS_VALIDATE` environment variable
     /// to anything but `0` (how CI runs the whole suite validated).
     pub validate: bool,
+    /// Worker threads for the event-driven engine: `1` (the default)
+    /// runs fully sequential; above one, the cores are sharded into that
+    /// many clusters and the fetch walk and large drain rounds fork over
+    /// a scoped thread pool — **bit-identical** to the sequential run,
+    /// and only when the arena's static drain analysis is
+    /// [`crate::DrainSafety::Certified`] (silent sequential fallback
+    /// otherwise). `0` means auto: one thread per available CPU. The
+    /// default follows the `PARSECS_THREADS` environment variable when it
+    /// parses as an integer. The reference engine ignores this field.
+    pub threads: usize,
 }
 
 impl PartialEq for SimConfig {
@@ -87,6 +97,7 @@ impl PartialEq for SimConfig {
             && self.fetch_stalls_on_unresolved_control == other.fetch_stalls_on_unresolved_control
             && self.record_timings == other.record_timings
             && self.validate == other.validate
+            && self.threads == other.threads
     }
 }
 
@@ -94,6 +105,16 @@ impl PartialEq for SimConfig {
 /// `PARSECS_VALIDATE` environment variable is set to anything but `0`.
 fn validate_default() -> bool {
     std::env::var_os("PARSECS_VALIDATE").is_some_and(|v| v != "0")
+}
+
+/// The default of [`SimConfig::threads`]: `1`, unless the
+/// `PARSECS_THREADS` environment variable parses as an integer (where
+/// `0` means auto-detect).
+fn threads_default() -> usize {
+    std::env::var("PARSECS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
 }
 
 impl Default for SimConfig {
@@ -114,6 +135,7 @@ impl Default for SimConfig {
             fetch_stalls_on_unresolved_control: true,
             record_timings: true,
             validate: validate_default(),
+            threads: threads_default(),
         }
     }
 }
@@ -147,6 +169,22 @@ impl SimConfig {
     pub fn validated(mut self) -> SimConfig {
         self.validate = true;
         self
+    }
+
+    /// Sets the worker-thread count (builder style) — see
+    /// [`SimConfig::threads`].
+    pub fn with_threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker-thread count: [`SimConfig::threads`], with
+    /// `0` (auto) replaced by the number of available CPUs.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
     }
 
     /// The effective topology: the configured one, or a crossbar over

@@ -67,7 +67,10 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+mod chip;
+mod cluster;
 mod config;
+mod drain;
 mod error;
 mod placement;
 mod reference;

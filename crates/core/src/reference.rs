@@ -7,7 +7,7 @@
 //! the fetch stalls whose release cycle is still unknown.
 //!
 //! The fetch-stall semantics are the in-order handoff model shared with
-//! the event-driven engine through [`crate::sim::StallTable`]: a stall
+//! the event-driven engine through [`crate::chip::StallTable`]: a stall
 //! with a known completion waits in place and releases just past it; a
 //! stall with an unknown completion parks its section and hands the core
 //! to its queued sections, to be requeued by an explicit event when the
@@ -17,17 +17,23 @@
 //! the driver layer.
 //!
 //! The event-driven engine in [`crate::sim`] replaces this loop on the hot
-//! path, but the loop is kept (over the shared [`crate::sim::Resolver`]
-//! and the same [`TraceArena`] columns) as the oracle: differential tests
-//! and the `repro_perf` benchmark assert that both engines produce
-//! bit-identical [`crate::SimResult`]s.
+//! path, but the loop is kept (over the shared [`crate::chip::ChipState`]
+//! columns, [`crate::drain::Resolver`] and the same [`TraceArena`]) as the
+//! oracle: differential tests and the `repro_perf` benchmark assert that
+//! both engines produce bit-identical [`crate::SimResult`]s. The reference
+//! always drains sequentially ([`SimConfig::threads`] is an event-engine
+//! knob), so it also anchors the threaded runs' bit-identity.
+//!
+//! [`SimConfig::threads`]: crate::SimConfig::threads
 
 use parsecs_machine::TraceKind;
 use parsecs_noc::CoreId;
 use parsecs_trace::TraceArena;
 
-use crate::sim::{fetch_computable, CoreState, ManyCoreSim, Prepared, Resolver, StallTable};
-use crate::{SectionId, SimError, SimResult};
+use crate::chip::{ChipState, StallTable, NO_SECTION, NO_STALL};
+use crate::drain::{fetch_computable, Resolver};
+use crate::sim::Prepared;
+use crate::{ManyCoreSim, SimError, SimResult};
 
 /// Simulates an arena-backed trace by stepping the chip one cycle at a
 /// time (see the module docs).
@@ -44,19 +50,18 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         created_by,
     } = sim.prepare(arena)?;
     let mut resolver = Resolver::new(config, arena, n);
+    let mut chip = ChipState::new(config.cores, sections.len());
     let mut stalls = StallTable::new(sections.len());
     let mut completions: Vec<(usize, u64)> = Vec::new();
     let mut newly_stalled: Vec<usize> = Vec::new();
-
-    let mut cores: Vec<CoreState> = (0..config.cores).map(|_| CoreState::default()).collect();
     let mut forced_stall_releases = 0u64;
 
     // The initial section is live from cycle 0 on its core.
     if !sections.is_empty() {
         let root_core = core_of[0].0;
-        cores[root_core].current = Some(SectionId(0));
-        cores[root_core].next_seq = sections[0].start;
-        cores[root_core].sections_hosted = 1;
+        chip.current[root_core] = 0;
+        chip.next_seq[root_core] = sections[0].start as u32;
+        chip.sections_hosted[root_core] = 1;
     }
 
     let mut fetched = 0usize;
@@ -77,29 +82,28 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
 
         // Parked sections whose stall released rejoin their ready queue.
         while let Some((idx, sid)) = stalls.pop_due(cycle) {
-            cores[idx].queue.push_back(sid);
+            chip.queue_push(idx, sid.0 as u32);
         }
 
         // Section-creation messages arriving this cycle.
         for envelope in network.deliver(cycle) {
-            let core = &mut cores[envelope.dst.0];
-            core.queue.push_back(envelope.payload);
-            core.sections_hosted += 1;
+            chip.queue_push(envelope.dst.0, envelope.payload.0 as u32);
+            chip.sections_hosted[envelope.dst.0] += 1;
         }
 
         // Fetch-decode: one instruction per core per cycle.
-        for (core_index, core) in cores.iter_mut().enumerate() {
-            if core.current.is_none() {
+        for core_index in 0..config.cores {
+            if chip.current[core_index] == NO_SECTION {
                 // Dequeuing the next ready section consumes this cycle;
                 // fetch starts on the next one.
-                if let Some(next) = core.queue.pop_front() {
-                    stalls.begin_section(core, sections, next);
+                if let Some(next) = chip.queue_pop(core_index) {
+                    stalls.begin_section(&mut chip, core_index, sections, next);
                 }
                 continue;
             }
-            if let Some(stalled_on) = core.stall_on {
-                match resolver.completion(stalled_on) {
-                    Some(c) if c < cycle => core.stall_on = None,
+            if chip.stall_on[core_index] != NO_STALL {
+                match resolver.completion(chip.stall_on[core_index] as usize) {
+                    Some(c) if c < cycle => chip.stall_on[core_index] = NO_STALL,
                     Some(_) => continue,
                     // A stall with an unknown completion parks at the end
                     // of its stall cycle; it never holds the fetch slot
@@ -107,17 +111,17 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                     None => unreachable!("an in-place stall has a known completion"),
                 }
             }
-            let sid = core.current.expect("checked above");
-            let span = &sections[sid.0];
-            if core.next_seq >= span.end {
-                core.current = None;
+            let sid = chip.current[core_index] as usize;
+            let span = &sections[sid];
+            if chip.next_seq[core_index] as usize >= span.end {
+                chip.current[core_index] = NO_SECTION;
                 continue;
             }
-            let seq = core.next_seq;
+            let seq = chip.next_seq[core_index] as usize;
             let kind = arena.kind(seq);
             resolver.fetch(seq, cycle);
             fetched += 1;
-            core.next_seq += 1;
+            chip.next_seq[core_index] += 1;
 
             // A fork sends a section-creation message to the host core
             // of the created section.
@@ -127,10 +131,11 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                 }
             }
 
-            let ends_section =
-                kind == TraceKind::EndFork || kind == TraceKind::Halt || core.next_seq >= span.end;
+            let ends_section = kind == TraceKind::EndFork
+                || kind == TraceKind::Halt
+                || chip.next_seq[core_index] as usize >= span.end;
             if ends_section {
-                core.current = None;
+                chip.current[core_index] = NO_SECTION;
             } else if config.fetch_stalls_on_unresolved_control
                 && arena.is_control(seq)
                 && !fetch_computable(arena, seq, &resolver.complete, cycle)
@@ -138,15 +143,15 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                 // The fetch stage could not compute this control
                 // instruction (empty sources): the IP stays empty until
                 // the instruction executes.
-                core.stall_on = Some(seq);
+                chip.stall_on[core_index] = seq as u32;
                 newly_stalled.push(core_index);
             }
         }
 
         // Dependence resolution (the engine shared with the event-driven
-        // simulator).
+        // simulator; the reference never forks it).
         completions.clear();
-        resolver.drain(&network, &core_of, &mut completions);
+        resolver.drain(&network, &core_of, &mut completions, None);
 
         // A completion that a parked section stalls on is its modeled
         // release event: requeue the section on the first cycle after both
@@ -164,11 +169,12 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         // past — while an unknown one hands the core off to its queued
         // sections and parks.
         for idx in newly_stalled.drain(..) {
-            let Some(seq) = cores[idx].stall_on else {
+            if chip.stall_on[idx] == NO_STALL {
                 continue;
-            };
+            }
+            let seq = chip.stall_on[idx] as usize;
             if resolver.completion(seq).is_none() {
-                stalls.park(idx, &mut cores[idx], seq);
+                stalls.park(idx, &mut chip, seq);
             }
         }
 
@@ -184,15 +190,14 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
             && fetched < n
             && network.in_flight() == 0
             && !stalls.pending_requeues()
-            && cores
-                .iter()
-                .all(|c| c.current.is_none() && c.queue.is_empty())
+            && (0..config.cores)
+                .all(|c| chip.current[c] == NO_SECTION && chip.queue_head[c] == NO_SECTION)
         {
             forced_stall_releases += stalls.force_release(cycle + 1, arena);
         }
     }
 
-    let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
+    let hosted: Vec<usize> = chip.sections_hosted.iter().map(|&h| h as usize).collect();
     sim.finish(
         arena,
         resolver,

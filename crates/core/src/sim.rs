@@ -1,10 +1,10 @@
-//! The many-core timing simulator.
+//! The many-core timing simulator (orchestrator).
 //!
 //! The simulator models the paper's execution as two coupled layers:
 //!
 //! 1. a *functional* layer — [`SectionedTrace`] runs the program, splits it
 //!    into sections and resolves every producer/consumer pair; and
-//! 2. a *timing* layer — this module places sections on cores and advances
+//! 2. a *timing* layer — this crate places sections on cores and advances
 //!    the chip: every core fetches one instruction per cycle along its
 //!    current section (computing control in the fetch stage rather than
 //!    predicting it), section-creation messages travel over the NoC,
@@ -12,31 +12,52 @@
 //!    the NoC latency, memory instructions go through the address-rename
 //!    and memory-access stages, and each section retires in order.
 //!
-//! The timing layer is **event-driven**: instead of stepping the chip one
-//! cycle at a time and rescanning every core, the scheduler keeps a
-//! two-level calendar queue of per-core wake-up events (next fetch,
-//! section dequeue, stall release) plus the NoC's next message arrival
+//! The timing layer is split into focused modules:
+//!
+//! * [`crate::chip`] — chip-wide per-core state as struct-of-arrays
+//!   columns, the intrusive ready queues and the stall-handoff table;
+//! * [`crate::cluster`] — the per-cluster calendar queue, run list and
+//!   the fetch-decode walk over disjoint column windows;
+//! * [`crate::drain`] — the batched completion drain (with its optional
+//!   forked compute pass);
+//! * this module — the orchestrator: the event loop that advances the
+//!   clock, routes NoC deliveries and stall requeues to clusters, forks
+//!   the walk and the drain over the scoped pool when enabled, and
+//!   assembles the [`SimResult`].
+//!
+//! The engine is **event-driven**: instead of stepping the chip one cycle
+//! at a time and rescanning every core, each cluster keeps a two-level
+//! calendar queue of per-core wake-up events (next fetch, section
+//! dequeue, stall release) plus the NoC's next message arrival
 //! ([`parsecs_noc::Network::next_arrival`]) and the pending stall-handoff
-//! requeue events, and jumps the clock straight to the next event.
-//! Dependence resolution uses producer→consumer wake-up lists, so a
-//! queued instruction is touched only when one of its inputs completes.
+//! requeue events, and the clock jumps straight to the earliest event
+//! across all clusters. Dependence resolution uses producer→consumer
+//! wake-up lists, so a queued instruction is touched only when one of its
+//! inputs completes.
+//!
+//! **Parallel execution.** With [`SimConfig::threads`] above one, the
+//! cores are partitioned into one cluster per thread and the per-cycle
+//! fetch walk and large drain rounds fork over a scoped pool
+//! (`parsecs-pool`), exchanging NoC arrivals at the sequential
+//! cycle-top barrier. The fork is gated on the arena's static drain
+//! certificate: it runs only when `parsecs-check` returned a clean report
+//! with [`DrainSafety::Certified`] — otherwise the run silently falls
+//! back to the sequential single-cluster path. Both paths execute the
+//! same walk and drain code over the same state in the same order, so
+//! threaded results are bit-identical to sequential ones (asserted by the
+//! differential suites).
 //!
 //! Fetch stalls follow the **in-order handoff model** (shared with the
-//! reference loop through [`StallTable`]): a control instruction whose
-//! sources are not full stalls the fetch stage. If the stall's release
-//! cycle is already known — the control instruction's completion has been
-//! resolved, locally or as the arrival cycle of the remote operand's NoC
-//! ack — the section keeps the fetch slot and resumes right after that
-//! cycle. If the release is *unknown*, the section **parks**: it registers
-//! on a wake list keyed to the stalled control instruction and hands the
-//! core back to its queued sections, so the chip keeps fetching the very
-//! producers the stall is waiting for. When the completion is discovered,
-//! an explicit requeue event puts the parked section back on its core's
-//! ready queue at the modeled release cycle. Every stall therefore has a
-//! modeled release event and well-formed traces never deadlock;
-//! [`SimStats::forced_stall_releases`] remains only as a deadlock
-//! *detector* (any firing flags a malformed trace and is surfaced as an
-//! error by the driver layer).
+//! reference loop through [`crate::chip::StallTable`]): a control
+//! instruction whose sources are not full stalls the fetch stage. If the
+//! stall's release cycle is already known, the section keeps the fetch
+//! slot and resumes right after that cycle. If the release is *unknown*,
+//! the section **parks** and hands the core back to its queued sections;
+//! when the completion is discovered, an explicit requeue event puts the
+//! parked section back on its core's ready queue at the modeled release
+//! cycle. Every stall therefore has a modeled release event and
+//! well-formed traces never deadlock; [`SimStats::forced_stall_releases`]
+//! remains only as a deadlock *detector*.
 //!
 //! The original cycle-stepping loop is retained in
 //! [`ManyCoreSim::simulate_reference`] and the two implementations are
@@ -47,34 +68,25 @@
 //! The output is a per-instruction, per-stage cycle table (Figure 10 of the
 //! paper) plus aggregate fetch/retire IPC (§5).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::hash::BuildHasherDefault;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use parsecs_check::CheckReport;
 use parsecs_isa::Program;
-use parsecs_machine::TraceKind;
 use parsecs_noc::{CoreId, Network, NocStats};
-use parsecs_trace::{AddrHasher, TraceArena};
+use parsecs_pool::Pool;
+use parsecs_trace::TraceArena;
 
-use crate::{
-    InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats, SourceKind,
-};
+use crate::chip::{ChipState, NO_SECTION, NO_STALL};
+use crate::cluster::{partition, schedule, walk_cluster, Cluster, WalkCtx};
+use crate::drain::{Resolver, INCOMPLETE, UNKNOWN};
+use crate::{InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats};
 
-/// Sentinel for a cycle that has not been computed yet (the resolver's
-/// columns are flat `u64`s instead of `Option<u64>`s — half the memory,
-/// and the timing columns `rr`/`ar`/`ma` are derived rather than stored).
-pub(crate) const UNKNOWN: u64 = u64::MAX;
+pub(crate) use crate::chip::StallTable;
 
-/// Tag bit of the resolver's `complete` column: an entry at or above this
-/// value is *not yet complete*. A fetched-but-unresolved instruction
-/// stores `INCOMPLETE | fetch_cycle`, so the column doubles as the fetch
-/// record and the resolver needs no separate per-instruction `fd` column
-/// in stats-only runs (simulated cycle counts stay far below 2^63 — the
-/// convergence guard caps them at ~200× the instruction count). `UNKNOWN`
-/// (all ones) also has the bit set: a never-fetched instruction is
-/// "not complete" under the same test.
-pub(crate) const INCOMPLETE: u64 = 1 << 63;
+/// Minimum total run-list population worth forking the fetch walk over
+/// the pool; wake-dominated cycles (few acting cores) walk inline.
+const WALK_FORK_MIN: usize = 64;
 
 /// The result of one many-core simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,352 +187,20 @@ pub(crate) struct Prepared {
     pub(crate) created_by: HashMap<usize, SectionId>,
 }
 
-/// One core of the chip, as both timing engines model it.
-#[derive(Debug, Default)]
-pub(crate) struct CoreState {
-    /// Sections delivered (or requeued) to this core, ready to fetch.
-    pub(crate) queue: VecDeque<SectionId>,
-    /// The section currently owning the fetch stage.
-    pub(crate) current: Option<SectionId>,
-    /// Next trace index the fetch stage will fetch from `current`.
-    pub(crate) next_seq: usize,
-    /// Trace index of the control instruction the fetch stage is stalled
-    /// on, when it is stalled in place (known release cycle).
-    pub(crate) stall_on: Option<usize>,
-    /// Total sections ever hosted (delivered) on this core.
-    pub(crate) sections_hosted: usize,
-    /// Cycle of this core's outstanding wake-up event, if any (event
-    /// engine only). Queue entries that no longer match are stale and
-    /// skipped on pop.
-    pub(crate) wake_at: Option<u64>,
-    /// Whether the core is in the event engine's run list (acts every
-    /// cycle). Event engine only.
-    pub(crate) running: bool,
-}
-
-/// The in-order fetch-stall handoff state shared by both timing engines.
-///
-/// A fetch stall whose control instruction has a *known* completion cycle
-/// waits in place (the release event is already modeled). A stall whose
-/// completion is still unknown **parks**: the section leaves the fetch
-/// slot, registers here keyed on the stalled instruction, and the core
-/// goes on to its queued sections. When the completion is discovered, a
-/// requeue event — ordered by `(cycle, core, section)` so both engines
-/// replay it identically — returns the section to its core's ready queue
-/// at the modeled release cycle (strictly after the completion, so the
-/// resumed fetch never re-stalls on the same instruction).
-pub(crate) struct StallTable {
-    /// Core parked on each stalled trace index. A sparse map, not a
-    /// per-instruction column: at most one section per core is parked at
-    /// any moment, so the table holds at most `cores` entries — where the
-    /// old `Vec<usize>` indexed by trace position cost 8 bytes per
-    /// instruction (800 MB of a 100M-instruction run, almost all of it
-    /// sentinels).
-    parked_core: HashMap<u64, u32, BuildHasherDefault<AddrHasher>>,
-    /// Per-section fetch resume point (`usize::MAX` = section start).
-    resume_at: Vec<usize>,
-    /// Pending `(cycle, core, section)` requeue events, earliest first.
-    requeue: BinaryHeap<Reverse<(u64, usize, usize)>>,
-}
-
-impl StallTable {
-    pub(crate) fn new(sections: usize) -> StallTable {
-        StallTable {
-            parked_core: HashMap::default(),
-            resume_at: vec![usize::MAX; sections],
-            requeue: BinaryHeap::new(),
-        }
-    }
-
-    /// Number of currently parked sections.
-    pub(crate) fn parked(&self) -> usize {
-        self.parked_core.len()
-    }
-
-    /// Makes `sid` the core's current section, resuming a parked section
-    /// at its saved fetch point and a fresh one at its start.
-    pub(crate) fn begin_section(
-        &mut self,
-        core: &mut CoreState,
-        sections: &[SectionSpan],
-        sid: SectionId,
-    ) {
-        core.current = Some(sid);
-        core.next_seq = match std::mem::replace(&mut self.resume_at[sid.0], usize::MAX) {
-            usize::MAX => sections[sid.0].start,
-            resume => resume,
-        };
-    }
-
-    /// Parks the core's current section on its stalled control
-    /// instruction `seq`: the section leaves the fetch slot and will be
-    /// requeued when `seq`'s completion is discovered.
-    pub(crate) fn park(&mut self, idx: usize, core: &mut CoreState, seq: usize) {
-        let sid = core.current.take().expect("a stalled core runs a section");
-        debug_assert_eq!(core.stall_on, Some(seq));
-        debug_assert_eq!(core.next_seq, seq + 1);
-        core.stall_on = None;
-        self.resume_at[sid.0] = core.next_seq;
-        let previous = self.parked_core.insert(seq as u64, idx as u32);
-        debug_assert!(previous.is_none(), "one section parks per instruction");
-    }
-
-    /// If a section is parked on `seq`, removes it from the park list and
-    /// returns its core.
-    pub(crate) fn unpark(&mut self, seq: usize) -> Option<usize> {
-        self.parked_core
-            .remove(&(seq as u64))
-            .map(|idx| idx as usize)
-    }
-
-    /// Schedules section `sid` to rejoin core `idx`'s ready queue at
-    /// cycle `at`.
-    pub(crate) fn push_requeue(&mut self, at: u64, idx: usize, sid: SectionId) {
-        self.requeue.push(Reverse((at, idx, sid.0)));
-    }
-
-    /// The earliest pending requeue cycle.
-    pub(crate) fn next_requeue(&self) -> Option<u64> {
-        self.requeue.peek().map(|&Reverse((at, _, _))| at)
-    }
-
-    /// Whether any requeue event is pending.
-    pub(crate) fn pending_requeues(&self) -> bool {
-        !self.requeue.is_empty()
-    }
-
-    /// Pops the next requeue event due at or before `cycle`.
-    pub(crate) fn pop_due(&mut self, cycle: u64) -> Option<(usize, SectionId)> {
-        match self.requeue.peek() {
-            Some(&Reverse((at, idx, sid))) if at <= cycle => {
-                debug_assert_eq!(at, cycle, "requeue events are never skipped");
-                self.requeue.pop();
-                Some((idx, SectionId(sid)))
-            }
-            _ => None,
-        }
-    }
-
-    /// The deadlock *detector*'s escape: requeues every parked section at
-    /// cycle `at` with its stall abandoned (the branch resolves out of
-    /// order in the execute stage) and returns how many were released.
-    /// Well-formed traces never reach this — any firing is surfaced as an
-    /// error by the driver layer.
-    pub(crate) fn force_release(&mut self, at: u64, arena: &TraceArena) -> u64 {
-        // Map iteration order is arbitrary, but the requeue heap totally
-        // orders its `(cycle, core, section)` events, so the releases
-        // replay deterministically regardless.
-        let mut released = 0u64;
-        for (seq, idx) in self.parked_core.drain() {
-            self.requeue
-                .push(Reverse((at, idx as usize, arena.section(seq as usize).0)));
-            released += 1;
-        }
-        released
-    }
-}
-
-/// Near-term window of the event scheduler's calendar queue, in cycles.
-/// Almost every wake-up is `cycle + 1` (the fetch continuation each
-/// instruction schedules) or `cycle + 2`; those land in a ring of vectors
-/// instead of paying a binary-heap push per fetched instruction.
-const NEAR_WINDOW: u64 = 8;
-
-/// Two-level per-core wake-up queue: a calendar ring for events within
-/// [`NEAR_WINDOW`] cycles of the clock and a binary heap for the far
-/// future. Entries are `(cycle, core)`; an entry is *stale* when the
-/// core's `wake_at` no longer matches (a sooner wake-up replaced it) and
-/// is dropped when its cycle is visited. The clock never jumps past a
-/// queued entry, so each ring slot only ever holds entries for the single
-/// in-window cycle it maps to.
-struct WakeQueue {
-    near: [Vec<(u64, usize)>; NEAR_WINDOW as usize],
-    far: BinaryHeap<Reverse<(u64, usize)>>,
-    /// Number of entries across the `near` ring, so the common empty-ring
-    /// case skips the slot scan.
-    near_entries: usize,
-    /// Current clock; all queued entries are at cycles `>= horizon`.
-    horizon: u64,
-}
-
-impl WakeQueue {
-    fn new() -> WakeQueue {
-        WakeQueue {
-            near: std::array::from_fn(|_| Vec::new()),
-            far: BinaryHeap::new(),
-            near_entries: 0,
-            horizon: 0,
-        }
-    }
-
-    fn push(&mut self, at: u64, idx: usize) {
-        debug_assert!(at >= self.horizon);
-        if at < self.horizon + NEAR_WINDOW {
-            self.near[(at % NEAR_WINDOW) as usize].push((at, idx));
-            self.near_entries += 1;
-        } else {
-            self.far.push(Reverse((at, idx)));
-        }
-    }
-
-    /// The earliest cycle holding a queued entry (possibly a stale one —
-    /// visiting a stale cycle is a no-op that discards it).
-    fn next_at(&self) -> Option<u64> {
-        let mut best = self.far.peek().map(|&Reverse((at, _))| at);
-        if self.near_entries > 0 {
-            for cycle in self.horizon..self.horizon + NEAR_WINDOW {
-                if !self.near[(cycle % NEAR_WINDOW) as usize].is_empty() {
-                    best = Some(best.map_or(cycle, |b| b.min(cycle)));
-                    break;
-                }
-            }
-        }
-        best
-    }
-
-    /// Advances the clock to `cycle`; subsequent pushes map into the ring
-    /// relative to it.
-    fn advance_to(&mut self, cycle: u64) {
-        debug_assert!(cycle >= self.horizon);
-        self.horizon = cycle;
-    }
-
-    /// Drains every entry due at `cycle` into `due` (unsorted core
-    /// indices; stale entries — whose core no longer wakes at `cycle` —
-    /// are filtered by the caller's `wake_at` check).
-    fn drain_due(&mut self, cycle: u64, due: &mut Vec<usize>) {
-        if self.near_entries > 0 {
-            let slot = &mut self.near[(cycle % NEAR_WINDOW) as usize];
-            debug_assert!(slot.iter().all(|&(at, _)| at == cycle));
-            self.near_entries -= slot.len();
-            due.extend(slot.drain(..).map(|(_, idx)| idx));
-        }
-        while let Some(&Reverse((at, idx))) = self.far.peek() {
-            if at > cycle {
-                break;
-            }
-            self.far.pop();
-            due.push(idx);
-        }
-    }
-}
-
-/// Registers `at` as `idx`'s next wake-up cycle (keeping the earlier one
-/// when the core already has a sooner event).
-fn schedule(cores: &mut [CoreState], queue: &mut WakeQueue, idx: usize, at: u64) {
-    match cores[idx].wake_at {
-        Some(existing) if existing <= at => {}
-        _ => {
-            cores[idx].wake_at = Some(at);
-            queue.push(at, idx);
-        }
-    }
-}
-
-/// The sorted set of cores that act on every cycle (fetching, dequeuing,
-/// or releasing a next-cycle stall), kept as an intrusive doubly-linked
-/// list over core indices so that the overwhelmingly common case — a core
-/// fetching straight-line code — costs *zero* scheduling work per cycle:
-/// the core simply stays in the list. Cores join when a calendar wake-up
-/// makes them act and leave when they go idle or wait on a far event.
-struct RunList {
-    head: usize,
-    next: Vec<usize>,
-    prev: Vec<usize>,
-    len: usize,
-    /// Whether `head`/`next`/`prev` reflect the membership flags. Dense
-    /// cycles scan the core array and skip link maintenance entirely
-    /// (membership is just the per-core flag plus `len`); the links are
-    /// rebuilt in one pass when a sparse cycle needs to walk them again.
-    links_valid: bool,
-}
-
-const NO_CORE: usize = usize::MAX;
-
-impl RunList {
-    fn new(cores: usize) -> RunList {
-        RunList {
-            head: NO_CORE,
-            next: vec![NO_CORE; cores],
-            prev: vec![NO_CORE; cores],
-            len: 0,
-            links_valid: true,
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Drops link maintenance until [`RunList::ensure_links`] (a dense
-    /// cycle is about to mutate membership through the flags alone).
-    fn invalidate_links(&mut self) {
-        self.links_valid = false;
-    }
-
-    /// Rebuilds the links from the membership flags if needed.
-    fn ensure_links(&mut self, cores: &[CoreState]) {
-        if self.links_valid {
-            return;
-        }
-        self.head = NO_CORE;
-        let mut last = NO_CORE;
-        for (idx, core) in cores.iter().enumerate() {
-            if core.running {
-                self.prev[idx] = last;
-                self.next[idx] = NO_CORE;
-                if last == NO_CORE {
-                    self.head = idx;
-                } else {
-                    self.next[last] = idx;
-                }
-                last = idx;
-            }
-        }
-        self.links_valid = true;
-    }
-
-    /// Inserts `idx`, keeping the links (when live) sorted by core index.
-    fn insert(&mut self, cores: &mut [CoreState], idx: usize) {
-        debug_assert!(!cores[idx].running);
-        cores[idx].running = true;
-        self.len += 1;
-        if !self.links_valid {
-            return;
-        }
-        let mut after = NO_CORE;
-        let mut cursor = self.head;
-        while cursor != NO_CORE && cursor < idx {
-            after = cursor;
-            cursor = self.next[cursor];
-        }
-        self.next[idx] = cursor;
-        self.prev[idx] = after;
-        if cursor != NO_CORE {
-            self.prev[cursor] = idx;
-        }
-        if after == NO_CORE {
-            self.head = idx;
-        } else {
-            self.next[after] = idx;
-        }
-    }
-
-    fn remove(&mut self, cores: &mut [CoreState], idx: usize) {
-        debug_assert!(cores[idx].running);
-        cores[idx].running = false;
-        self.len -= 1;
-        if !self.links_valid {
-            return;
-        }
-        let (p, n) = (self.prev[idx], self.next[idx]);
-        if p == NO_CORE {
-            self.head = n;
-        } else {
-            self.next[p] = n;
-        }
-        if n != NO_CORE {
-            self.prev[n] = p;
+/// Whether the arena's static analysis authorises the parallel forks: a
+/// clean report whose drain verdict is `Certified`. Reuses the precheck
+/// report when validation already produced one; otherwise runs the full
+/// analysis here. Anything short of certified — violations, an
+/// unchecked/conflicted drain — answers `false` and the caller silently
+/// takes the sequential path.
+pub(crate) fn drain_fork_certified(arena: &TraceArena, precheck: Option<&CheckReport>) -> bool {
+    match precheck {
+        // A precheck report exists only for validated runs, which already
+        // rejected unclean arenas.
+        Some(report) => report.drain.is_certified(),
+        None => {
+            let report = parsecs_check::check_arena(arena);
+            report.is_clean() && report.drain.is_certified()
         }
     }
 }
@@ -602,12 +282,42 @@ impl ManyCoreSim {
 
     /// Simulates an arena-backed trace with the event-driven engine.
     ///
+    /// With [`SimConfig::threads`] above one *and* a
+    /// [`crate::DrainSafety::Certified`] static verdict for the arena,
+    /// the run forks its fetch walk and drain rounds over a scoped thread
+    /// pool — bit-identical to the sequential path (see the module docs);
+    /// an uncertified arena silently falls back to one thread.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_arena(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
         let check = self.precheck(arena)?;
+        let threads = self
+            .config
+            .effective_threads()
+            .min(self.config.cores.max(1));
+        if threads > 1 && drain_fork_certified(arena, check.as_deref()) {
+            Pool::with(threads, |pool| {
+                self.run_event(arena, check, threads, Some(pool))
+            })
+        } else {
+            self.run_event(arena, check, 1, None)
+        }
+    }
+
+    /// The event-driven engine over `clusters` clusters, optionally
+    /// forking the per-cycle walk and large drain rounds over `pool`.
+    /// Single-cluster/no-pool is the sequential path; both run the same
+    /// walk and drain code in the same order.
+    fn run_event(
+        &self,
+        arena: &TraceArena,
+        check: Option<Box<CheckReport>>,
+        clusters: usize,
+        pool: Option<&Pool>,
+    ) -> Result<SimResult, SimError> {
         let sections = arena.sections();
         let n = arena.len();
 
@@ -618,19 +328,16 @@ impl ManyCoreSim {
         } = self.prepare(arena)?;
         let mut resolver = Resolver::new(&self.config, arena, n);
 
-        let mut cores: Vec<CoreState> = (0..self.config.cores)
-            .map(|_| CoreState::default())
-            .collect();
-        let mut wakes = WakeQueue::new();
+        let mut chip = ChipState::new(self.config.cores, sections.len());
         let mut stalls = StallTable::new(sections.len());
-        let mut running = RunList::new(self.config.cores);
-        // Deferred run-list membership changes from the fetch phase
-        // (`true` = join, `false` = leave), applied after the walk so the
-        // dense path can scan `cores` with a single mutable borrow.
-        let mut membership: Vec<(usize, bool)> = Vec::new();
+        let mut clusters: Vec<Cluster> = partition(self.config.cores, clusters);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.len).collect();
+        // Cluster of each core, for routing deliveries and requeues.
+        let mut cluster_of = vec![0u32; self.config.cores];
+        for (ci, c) in clusters.iter().enumerate() {
+            cluster_of[c.start..c.start + c.len].fill(ci as u32);
+        }
         let mut completions: Vec<(usize, u64)> = Vec::new();
-        let mut newly_stalled: Vec<usize> = Vec::new();
-        let mut due: Vec<usize> = Vec::new();
         let mut delivered = Vec::new();
         let mut forced_stall_releases = 0u64;
 
@@ -638,10 +345,11 @@ impl ManyCoreSim {
         // fetch happens at cycle 1.
         if !sections.is_empty() {
             let root_core = core_of[0].0;
-            cores[root_core].current = Some(SectionId(0));
-            cores[root_core].next_seq = sections[0].start;
-            cores[root_core].sections_hosted = 1;
-            schedule(&mut cores, &mut wakes, root_core, 1);
+            chip.current[root_core] = 0;
+            chip.next_seq[root_core] = sections[0].start as u32;
+            chip.sections_hosted[root_core] = 1;
+            let ci = cluster_of[root_core] as usize;
+            schedule(&mut chip, &mut clusters[ci], root_core, 1);
         }
 
         let mut fetched = 0usize;
@@ -650,15 +358,14 @@ impl ManyCoreSim {
 
         while fetched < n || resolver.resolved < n {
             // --- pick the next cycle with an event -----------------------
-            let target = if running.is_empty() {
-                let candidate = [
-                    wakes.next_at(),
-                    network.next_arrival(),
-                    stalls.next_requeue(),
-                ]
-                .into_iter()
-                .flatten()
-                .min();
+            let any_running = clusters.iter().any(|c| !c.running.is_empty());
+            let target = if !any_running {
+                let candidate = clusters
+                    .iter()
+                    .filter_map(|c| c.wakes.next_at())
+                    .chain(network.next_arrival())
+                    .chain(stalls.next_requeue())
+                    .min();
                 match candidate {
                     Some(at) => at.max(cycle + 1),
                     None => {
@@ -703,14 +410,14 @@ impl ManyCoreSim {
                     instructions: n as u64,
                 });
             }
-            wakes.advance_to(cycle);
 
             // --- requeue phase: parked sections whose stall released -----
             while let Some((idx, sid)) = stalls.pop_due(cycle) {
-                cores[idx].queue.push_back(sid);
-                if cores[idx].current.is_none() && !cores[idx].running {
+                chip.queue_push(idx, sid.0 as u32);
+                if chip.current[idx] == NO_SECTION && !chip.running[idx] {
                     // An idle core dequeues the resumed section this cycle.
-                    schedule(&mut cores, &mut wakes, idx, cycle);
+                    let ci = cluster_of[idx] as usize;
+                    schedule(&mut chip, &mut clusters[ci], idx, cycle);
                 }
             }
 
@@ -718,196 +425,92 @@ impl ManyCoreSim {
             network.deliver_into(cycle, &mut delivered);
             for envelope in delivered.drain(..) {
                 let idx = envelope.dst.0;
-                let core = &mut cores[idx];
-                core.queue.push_back(envelope.payload);
-                core.sections_hosted += 1;
-                if core.current.is_none() && !core.running {
+                chip.queue_push(idx, envelope.payload.0 as u32);
+                chip.sections_hosted[idx] += 1;
+                if chip.current[idx] == NO_SECTION && !chip.running[idx] {
                     // An idle core dequeues the message this very cycle.
-                    schedule(&mut cores, &mut wakes, idx, cycle);
+                    let ci = cluster_of[idx] as usize;
+                    schedule(&mut chip, &mut clusters[ci], idx, cycle);
                 }
             }
 
-            // --- fetch-decode phase: woken cores, in core-index order ----
-            // The run list holds every core acting this cycle (sorted);
-            // calendar wake-ups (`due`) — section arrivals at idle cores
-            // and in-place stall releases — are merged in by a two-pointer
-            // walk when present. A due core whose `wake_at` no longer
-            // matches is stale and skipped; run-list members carry no
-            // `wake_at`, so a stale calendar entry can never
-            // double-process a member. The per-core step is a macro so the
-            // common no-wake-up cycle walks the run list with no picker
-            // overhead.
-            due.clear();
-            wakes.drain_due(cycle, &mut due);
-            macro_rules! step_core {
-                ($idx:expr, $is_member:expr, $core:expr) => {{
-                    let idx = $idx;
-                    let is_member = $is_member;
-                    let core: &mut CoreState = $core;
-
-                    if core.current.is_none() {
-                        // Dequeuing the next ready section consumes this
-                        // cycle; fetch starts on the next one.
-                        if let Some(next) = core.queue.pop_front() {
-                            stalls.begin_section(core, sections, next);
-                            if !is_member {
-                                membership.push((idx, true));
-                            }
-                        } else if is_member {
-                            membership.push((idx, false));
-                        }
-                        continue;
-                    }
-                    if let Some(stalled_on) = core.stall_on {
-                        match resolver.completion(stalled_on) {
-                            Some(c) if c < cycle => {
-                                core.stall_on = None;
-                            }
-                            Some(c) => {
-                                // The stall releases once the control
-                                // instruction's completion is past.
-                                if c + 1 == cycle + 1 {
-                                    if !is_member {
-                                        membership.push((idx, true));
-                                    }
-                                } else {
-                                    if is_member {
-                                        membership.push((idx, false));
-                                    }
-                                    core.wake_at = Some(c + 1);
-                                    wakes.push(c + 1, idx);
-                                }
-                                continue;
-                            }
-                            // A stall with an unknown completion parks at
-                            // the end of its stall cycle; it never holds
-                            // the fetch slot across cycles.
-                            None => unreachable!("an in-place stall has a known completion"),
-                        }
-                    }
-                    let sid = core.current.expect("checked above");
-                    let span = &sections[sid.0];
-                    if core.next_seq >= span.end {
-                        core.current = None;
-                        if core.queue.is_empty() {
-                            if is_member {
-                                membership.push((idx, false));
-                            }
-                        } else if !is_member {
-                            membership.push((idx, true));
-                        }
-                        continue;
-                    }
-                    let seq = core.next_seq;
-                    let kind = arena.kind(seq);
-                    resolver.fetch(seq, cycle);
-                    fetched += 1;
-                    core.next_seq += 1;
-
-                    // A fork sends a section-creation message to the host
-                    // core of the created section.
-                    if kind == TraceKind::Fork {
-                        if let Some(&child) = created_by.get(&seq) {
-                            network.send(CoreId(idx), core_of[child.0], child, cycle);
-                        }
-                    }
-
-                    let ends_section = kind == TraceKind::EndFork
-                        || kind == TraceKind::Halt
-                        || core.next_seq >= span.end;
-                    if ends_section {
-                        core.current = None;
-                        if core.queue.is_empty() {
-                            if is_member {
-                                membership.push((idx, false));
-                            }
-                        } else if !is_member {
-                            membership.push((idx, true));
-                        }
-                    } else if self.config.fetch_stalls_on_unresolved_control
-                        && arena.is_control(seq)
-                        && !fetch_computable(arena, seq, &resolver.complete, cycle)
-                    {
-                        // The fetch stage could not compute this control
-                        // instruction (empty sources): the IP stays empty
-                        // until the instruction executes. Tentatively keep
-                        // the core running; the post-drain dispatch below
-                        // parks or reschedules it if the stall spans
-                        // cycles.
-                        core.stall_on = Some(seq);
-                        newly_stalled.push(idx);
-                        if !is_member {
-                            membership.push((idx, true));
-                        }
-                    } else if !is_member {
-                        // Fetch continuation: members stay in the run list
-                        // at zero cost, joiners enter it.
-                        membership.push((idx, true));
-                    }
-                }};
-            }
-            if 2 * running.len >= self.config.cores {
-                // Dense path: most cores act every cycle, so a linear scan
-                // of the core array (the reference loop's shape, minus the
-                // idle-core queue probes) beats walking the list. Calendar
-                // wake-ups due now are exactly the non-members whose
-                // `wake_at` matches, so the scan covers them in index
-                // order and the drained entries are dropped. Membership
-                // updates go through the flags alone; the links are
-                // rebuilt when a sparse cycle next needs them.
-                running.invalidate_links();
-                for (idx, core) in cores.iter_mut().enumerate() {
-                    let is_member = core.running;
-                    if !is_member {
-                        if core.wake_at != Some(cycle) {
-                            continue;
-                        }
-                        core.wake_at = None;
-                    }
-                    step_core!(idx, is_member, core);
-                }
+            // --- fetch-decode phase: the per-cluster walk ----------------
+            // Each cluster steps its acting cores in ascending local
+            // order; cross-cluster effects are buffered and committed in
+            // cluster order below, replaying the sequential engine's
+            // global ascending-core order (see `crate::cluster`).
+            let active: usize = clusters.iter().map(|c| c.running.len).sum();
+            if clusters.len() == 1 {
+                // Sequential fast path: the whole chip is one window, so
+                // the walk borrows the columns directly — no per-cycle
+                // view allocation on the hot loop.
+                let (mut view, queue_next) = chip.view_all();
+                let ctx = WalkCtx {
+                    arena,
+                    sections,
+                    created_by: &created_by,
+                    complete: &resolver.complete,
+                    resume_at: stalls.resume_points(),
+                    queue_next,
+                    fetch_stalls: self.config.fetch_stalls_on_unresolved_control,
+                    cycle,
+                };
+                walk_cluster(&mut clusters[0], &mut view, &ctx);
             } else {
-                // Sparse path: walk the run-list members, merging in the
-                // calendar wake-ups (rare) by a two-pointer pass.
-                running.ensure_links(&cores);
-                due.sort_unstable();
-                let mut di = 0usize;
-                let mut cursor = running.head;
-                loop {
-                    // Pick the smaller of the next due core and the next
-                    // member; a due entry for a member is stale (skipped).
-                    let (idx, is_member) = match (due.get(di), cursor) {
-                        (Some(&d), cur) if cur == NO_CORE || d <= cur => {
-                            di += 1;
-                            if cores[d].wake_at != Some(cycle) {
-                                continue; // stale entry
-                            }
-                            cores[d].wake_at = None;
-                            (d, false)
+                let (views, queue_next) = chip.split(&sizes);
+                let ctx = WalkCtx {
+                    arena,
+                    sections,
+                    created_by: &created_by,
+                    complete: &resolver.complete,
+                    resume_at: stalls.resume_points(),
+                    queue_next,
+                    fetch_stalls: self.config.fetch_stalls_on_unresolved_control,
+                    cycle,
+                };
+                match pool {
+                    Some(pool) if active >= WALK_FORK_MIN => {
+                        let tasks: Vec<Mutex<_>> = clusters
+                            .iter_mut()
+                            .zip(views)
+                            .map(|(c, v)| Mutex::new((c, v)))
+                            .collect();
+                        pool.broadcast(&|worker| {
+                            let mut task = tasks[worker].lock().expect("no panicking jobs");
+                            let (cluster, view) = &mut *task;
+                            walk_cluster(cluster, view, &ctx);
+                        });
+                    }
+                    _ => {
+                        for (cluster, mut view) in clusters.iter_mut().zip(views) {
+                            walk_cluster(cluster, &mut view, &ctx);
                         }
-                        (_, cur) if cur != NO_CORE => {
-                            cursor = running.next[cur];
-                            (cur, true)
-                        }
-                        _ => break,
-                    };
-                    step_core!(idx, is_member, &mut cores[idx]);
+                    }
                 }
             }
-            // Apply the walk's membership changes before anything below
-            // consults or edits the run list.
-            for &(idx, join) in &membership {
-                if join {
-                    running.insert(&mut cores, idx);
-                } else {
-                    running.remove(&mut cores, idx);
+            // Commit the buffered effects in cluster (= ascending core)
+            // order: fetches into the resolver, fork messages onto the
+            // NoC, consumed resume points cleared.
+            for cluster in clusters.iter_mut() {
+                fetched += cluster.fetched.len();
+                for &seq in &cluster.fetched {
+                    resolver.fetch(seq as usize, cycle);
                 }
+                cluster.fetched.clear();
+                for &(src, child) in &cluster.sends {
+                    let child = SectionId(child as usize);
+                    network.send(CoreId(src as usize), core_of[child.0], child, cycle);
+                }
+                cluster.sends.clear();
+                for &sid in &cluster.begun {
+                    stalls.clear_resume(sid as usize);
+                }
+                cluster.begun.clear();
             }
-            membership.clear();
 
             // --- dependence resolution -----------------------------------
             completions.clear();
-            resolver.drain(&network, &core_of, &mut completions);
+            resolver.drain(&network, &core_of, &mut completions, pool);
 
             // A completion that a parked section stalls on is its modeled
             // release event: requeue the section on the first cycle after
@@ -923,35 +526,51 @@ impl ManyCoreSim {
                     }
                 }
             }
-            // Dispatch the stalls created this cycle (all still in the run
-            // list): a known completion (possibly resolved within this
-            // very cycle's drain) stalls in place until just past it; an
-            // unknown one hands the core off to its queued sections and
-            // parks.
-            for idx in newly_stalled.drain(..) {
-                let Some(seq) = cores[idx].stall_on else {
+            // Dispatch the stalls created this cycle (all still in their
+            // run lists): a known completion (possibly resolved within
+            // this very cycle's drain) stalls in place until just past
+            // it; an unknown one hands the core off to its queued
+            // sections and parks.
+            for cluster in clusters.iter_mut() {
+                if cluster.newly_stalled.is_empty() {
                     continue;
-                };
-                match resolver.completion(seq) {
-                    Some(c) => {
-                        let wake = (cycle + 1).max(c + 1);
-                        if wake > cycle + 1 {
-                            running.remove(&mut cores, idx);
-                            cores[idx].wake_at = Some(wake);
-                            wakes.push(wake, idx);
-                        }
+                }
+                let mut stalled = std::mem::take(&mut cluster.newly_stalled);
+                let (start, len) = (cluster.start, cluster.len);
+                for &local in &stalled {
+                    let local = local as usize;
+                    let idx = start + local;
+                    if chip.stall_on[idx] == NO_STALL {
+                        continue;
                     }
-                    None => {
-                        stalls.park(idx, &mut cores[idx], seq);
-                        if cores[idx].queue.is_empty() {
-                            running.remove(&mut cores, idx);
+                    let seq = chip.stall_on[idx] as usize;
+                    match resolver.completion(seq) {
+                        Some(c) => {
+                            let wake = (cycle + 1).max(c + 1);
+                            if wake > cycle + 1 {
+                                cluster
+                                    .running
+                                    .remove(&mut chip.running[start..start + len], local);
+                                chip.wake_at[idx] = wake;
+                                cluster.wakes.push(wake, local);
+                            }
+                        }
+                        None => {
+                            stalls.park(idx, &mut chip, seq);
+                            if chip.queue_head[idx] == NO_SECTION {
+                                cluster
+                                    .running
+                                    .remove(&mut chip.running[start..start + len], local);
+                            }
                         }
                     }
                 }
+                stalled.clear();
+                cluster.newly_stalled = stalled;
             }
         }
 
-        let hosted: Vec<usize> = cores.iter().map(|c| c.sections_hosted).collect();
+        let hosted: Vec<usize> = chip.sections_hosted.iter().map(|&h| h as usize).collect();
         self.finish(
             arena,
             resolver,
@@ -1154,394 +773,12 @@ impl ManyCoreSim {
         Ok(core_of)
     }
 }
-
-enum Resolution {
-    Resolved,
-    WaitingOn(usize),
-}
-
-/// The dependence-resolution engine shared by the event-driven and the
-/// reference simulators.
-///
-/// Stage timestamps are pure functions of the fetch cycles and the
-/// producers' completion cycles, so resolution runs ahead of the clock:
-/// [`Resolver::drain`] computes every timestamp that has become computable
-/// and parks the rest on producer→consumer wake-up lists — no instruction
-/// is ever rescanned while its inputs are still unknown.
-///
-/// The always-resident per-instruction state is **one** tagged `u64`
-/// column plus two `u32` wake-list links (16 B/instruction): the
-/// `complete` column holds `INCOMPLETE | fetch_cycle` between fetch and
-/// resolution and the completion cycle after, `rr` is always `fd + 1`,
-/// `ar` always `ew + 1`, and `ma` always the completion cycle of a memory
-/// instruction. The `fd`/`ew`/`ret` stage columns (another
-/// 24 B/instruction) are only kept when the run records the per-row stage
-/// table; stats-only runs skip them and accumulate `max_fd`/`max_ret`
-/// streaming. Retirement is in order within a section, so it needs no
-/// per-instruction bookkeeping either: a per-*section* cursor
-/// (`retire_next`, `retire_last`) cascades over the completed prefix of
-/// the section.
-pub(crate) struct Resolver<'a> {
-    config: &'a SimConfig,
-    arena: &'a TraceArena,
-    /// Whether the per-instruction stage columns (`fd`/`ew`/`ret`) are
-    /// kept for the reported timing table.
-    record: bool,
-    pub(crate) fd: Vec<u64>,
-    pub(crate) ew: Vec<u64>,
-    pub(crate) ret: Vec<u64>,
-    pub(crate) complete: Vec<u64>,
-    /// Head of the per-producer list of consumers waiting for its
-    /// completion (`u32::MAX` = empty). An instruction waits on at most
-    /// one producer at a time, so one `waiter_next` link per instruction
-    /// threads every list — no per-wait allocation.
-    waiter_head: Vec<u32>,
-    /// Next consumer in the same producer's waiting list.
-    waiter_next: Vec<u32>,
-    /// Per-section retirement cursor: the next trace index to retire.
-    retire_next: Vec<u32>,
-    /// Per-section retirement cursor: the previous retirement cycle.
-    retire_last: Vec<u64>,
-    /// Instructions ready for a resolution attempt (newly fetched, or
-    /// woken by a completion discovered in the current drain round).
-    queue: Vec<u32>,
-    /// Scratch for the drain's batched rounds.
-    batch: Vec<u32>,
-    /// Latest fetch cycle seen (streaming `SimStats::fetch_cycles`).
-    pub(crate) max_fd: u64,
-    /// Latest retirement cycle seen (streaming `SimStats::total_cycles`).
-    pub(crate) max_ret: u64,
-    pub(crate) resolved: usize,
-    pub(crate) remote_register_requests: u64,
-    pub(crate) remote_memory_requests: u64,
-    pub(crate) fork_copied_sources: u64,
-    pub(crate) dmh_accesses: u64,
-}
-
-/// Empty wake-list link.
-const NO_WAITER: u32 = u32::MAX;
-
-impl<'a> Resolver<'a> {
-    pub(crate) fn new(config: &'a SimConfig, arena: &'a TraceArena, n: usize) -> Resolver<'a> {
-        let record = config.record_timings;
-        let sections = arena.sections();
-        Resolver {
-            config,
-            arena,
-            record,
-            fd: if record { vec![UNKNOWN; n] } else { Vec::new() },
-            ew: if record { vec![UNKNOWN; n] } else { Vec::new() },
-            ret: if record { vec![UNKNOWN; n] } else { Vec::new() },
-            complete: vec![UNKNOWN; n],
-            waiter_head: vec![NO_WAITER; n],
-            waiter_next: vec![NO_WAITER; n],
-            retire_next: sections.iter().map(|s| s.start as u32).collect(),
-            retire_last: vec![0; sections.len()],
-            queue: Vec::new(),
-            batch: Vec::new(),
-            max_fd: 0,
-            max_ret: 0,
-            resolved: 0,
-            remote_register_requests: 0,
-            remote_memory_requests: 0,
-            fork_copied_sources: 0,
-            dmh_accesses: 0,
-        }
-    }
-
-    /// Records the fetch of `seq` at `cycle` and queues it for resolution.
-    pub(crate) fn fetch(&mut self, seq: usize, cycle: u64) {
-        debug_assert_eq!(self.complete[seq], UNKNOWN, "fetched once");
-        self.complete[seq] = INCOMPLETE | cycle;
-        if self.record {
-            self.fd[seq] = cycle;
-        }
-        if cycle > self.max_fd {
-            self.max_fd = cycle;
-        }
-        self.queue.push(seq as u32);
-    }
-
-    /// The completion cycle of `seq`, if already resolved.
-    #[inline]
-    pub(crate) fn completion(&self, seq: usize) -> Option<u64> {
-        match self.complete[seq] {
-            cycle if cycle < INCOMPLETE => Some(cycle),
-            _ => None,
-        }
-    }
-
-    /// Latency of one leg (request or response) of a renaming exchange
-    /// between the consumer's and the producer's cores, including the
-    /// optional per-intermediate-section charge for the backward walk.
-    fn request_latency(
-        &self,
-        network: &Network<SectionId>,
-        consumer: CoreId,
-        producer: CoreId,
-        consumer_section: SectionId,
-        producer_section: SectionId,
-    ) -> u64 {
-        let gap = consumer_section
-            .0
-            .saturating_sub(producer_section.0)
-            .saturating_sub(1) as u64;
-        network.latency(consumer, producer) + self.config.per_section_hop * gap
-    }
-
-    /// Resolves everything that has become computable, in two decoupled
-    /// steps.
-    ///
-    /// Step 1 (value completion): an instruction's result becomes
-    /// available as soon as its own sources are — it does *not* wait for
-    /// older instructions of its section to retire. This is the
-    /// out-of-order execute/memory behaviour of the paper's core.
-    ///
-    /// Step 2 (retirement): retirement is in order within a section, so
-    /// the retire cycle additionally waits for the previous instruction's
-    /// retire cycle; a per-section cursor cascades over the completed
-    /// prefix ([`Resolver::advance_retirement`]).
-    ///
-    /// The drain is **batched**: each round takes the whole pending set —
-    /// the cycle's fetches first, then the consumers woken by the
-    /// previous round's completions, grouped instead of chased one
-    /// wake-edge at a time — sorts it, and sweeps each instruction's
-    /// packed 16-byte dep slice in ascending trace order, so one round is
-    /// one forward pass over the dep column rather than a pointer chase
-    /// across it. Completion cycles are pure functions of the inputs, so
-    /// batching changes the discovery order but never a computed cycle.
-    ///
-    /// Every newly computed completion is appended to `completions` as
-    /// `(seq, completion_cycle)` so the event-driven scheduler can wake
-    /// fetch stages stalled on that value.
-    pub(crate) fn drain(
-        &mut self,
-        network: &Network<SectionId>,
-        core_of: &[CoreId],
-        completions: &mut Vec<(usize, u64)>,
-    ) {
-        while !self.queue.is_empty() {
-            let mut batch = std::mem::take(&mut self.batch);
-            std::mem::swap(&mut self.queue, &mut batch);
-            batch.sort_unstable();
-            for &seq in &batch {
-                let seq = seq as usize;
-                match self.resolve_one(seq, network, core_of, completions) {
-                    Resolution::Resolved => {
-                        // Wake value consumers: they join the next round's
-                        // batch instead of being resolved depth-first.
-                        let mut waiter = std::mem::replace(&mut self.waiter_head[seq], NO_WAITER);
-                        while waiter != NO_WAITER {
-                            self.queue.push(waiter);
-                            waiter = std::mem::replace(
-                                &mut self.waiter_next[waiter as usize],
-                                NO_WAITER,
-                            );
-                        }
-                        self.advance_retirement(seq);
-                    }
-                    Resolution::WaitingOn(dep) => {
-                        self.waiter_next[seq] = self.waiter_head[dep];
-                        self.waiter_head[dep] = seq as u32;
-                    }
-                }
-            }
-            batch.clear();
-            self.batch = batch;
-        }
-    }
-
-    /// One resolution attempt: a single forward sweep over `seq`'s packed
-    /// dep slice. Returns `WaitingOn` at the first incomplete producer
-    /// (nothing is committed); on success commits `ew`/completion, the
-    /// renaming counters and the completion event.
-    fn resolve_one(
-        &mut self,
-        seq: usize,
-        network: &Network<SectionId>,
-        core_of: &[CoreId],
-        completions: &mut Vec<(usize, u64)>,
-    ) -> Resolution {
-        let arena = self.arena;
-        let tagged = self.complete[seq];
-        debug_assert!(
-            tagged >= INCOMPLETE && tagged != UNKNOWN,
-            "queued instructions are fetched and unresolved"
-        );
-        let my_fd = tagged & !INCOMPLETE;
-        let my_section = arena.section(seq);
-        let my_rr = my_fd + 1;
-        let my_core = core_of[my_section.0];
-
-        let mut local_remote_reg = 0u64;
-        let mut local_fork_copied = 0u64;
-        let mut reg_ready = 0u64;
-        let mut available_at_fetch = true;
-        for dep in arena.reg_sources(seq) {
-            let t = match dep.kind() {
-                SourceKind::ForkCopy => {
-                    local_fork_copied += 1;
-                    0
-                }
-                SourceKind::InitialRegister | SourceKind::InitialMemory => 0,
-                SourceKind::Local { producer } => match self.complete[producer] {
-                    c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
-                    c => {
-                        if c > my_fd {
-                            available_at_fetch = false;
-                        }
-                        c
-                    }
-                },
-                SourceKind::Remote {
-                    producer,
-                    producer_section,
-                } => {
-                    available_at_fetch = false;
-                    let c = match self.complete[producer] {
-                        c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
-                        c => c,
-                    };
-                    local_remote_reg += 1;
-                    let hop = self.request_latency(
-                        network,
-                        my_core,
-                        core_of[producer_section.0],
-                        my_section,
-                        producer_section,
-                    );
-                    c.max(my_rr + hop) + hop
-                }
-            };
-            reg_ready = reg_ready.max(t);
-        }
-
-        let is_mem = arena.is_load(seq) || arena.is_store(seq);
-        let my_ew = if !is_mem && available_at_fetch && reg_ready <= my_fd {
-            // Computed directly in the fetch-decode stage.
-            my_fd
-        } else {
-            reg_ready.max(my_rr) + 1
-        };
-
-        let mut local_remote_mem = 0u64;
-        let mut local_dmh = 0u64;
-        let completion = if is_mem {
-            let a = my_ew + 1;
-            let mut mem_ready = a + 1;
-            for dep in arena.mem_sources(seq) {
-                let t = match dep.kind() {
-                    SourceKind::InitialMemory => {
-                        local_dmh += 1;
-                        a + self.config.dmh_latency
-                    }
-                    SourceKind::Local { producer } => match self.complete[producer] {
-                        c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
-                        c => c.max(a + 1),
-                    },
-                    SourceKind::Remote {
-                        producer,
-                        producer_section,
-                    } => {
-                        let c = match self.complete[producer] {
-                            c if c >= INCOMPLETE => return Resolution::WaitingOn(producer),
-                            c => c,
-                        };
-                        local_remote_mem += 1;
-                        let hop = self.request_latency(
-                            network,
-                            my_core,
-                            core_of[producer_section.0],
-                            my_section,
-                            producer_section,
-                        );
-                        c.max(a + hop) + hop
-                    }
-                    SourceKind::ForkCopy | SourceKind::InitialRegister => a + 1,
-                };
-                mem_ready = mem_ready.max(t);
-            }
-            // `ar`/`ma` are derived at reporting time: `ar` is `ew + 1`
-            // and `ma` is this completion cycle.
-            mem_ready
-        } else {
-            my_ew
-        };
-
-        if self.record {
-            self.ew[seq] = my_ew;
-        }
-        self.complete[seq] = completion;
-        self.remote_register_requests += local_remote_reg;
-        self.remote_memory_requests += local_remote_mem;
-        self.fork_copied_sources += local_fork_copied;
-        self.dmh_accesses += local_dmh;
-        completions.push((seq, completion));
-        Resolution::Resolved
-    }
-
-    /// Step 2 of dependence resolution: in-order retirement within a
-    /// section. When `seq` is its section's next-to-retire, retires it
-    /// and cascades over the already-complete successors — each retired
-    /// instruction's cycle is `max(completion, previous retirement) + 1`.
-    /// The cascade replaces per-instruction successor bookkeeping with a
-    /// per-section cursor and feeds the streaming `max_ret` accumulator.
-    fn advance_retirement(&mut self, seq: usize) {
-        let sid = self.arena.section(seq).0;
-        if self.retire_next[sid] as usize != seq {
-            return;
-        }
-        let end = self.arena.sections()[sid].end;
-        let mut cursor = seq;
-        let mut last = self.retire_last[sid];
-        while cursor < end {
-            let completion = self.complete[cursor];
-            if completion >= INCOMPLETE {
-                break;
-            }
-            last = completion.max(last) + 1;
-            if self.record {
-                self.ret[cursor] = last;
-            }
-            self.resolved += 1;
-            cursor += 1;
-        }
-        self.retire_next[sid] = cursor as u32;
-        self.retire_last[sid] = last;
-        if last > self.max_ret {
-            self.max_ret = last;
-        }
-    }
-}
-
-/// Whether a control instruction can be computed by the fetch-decode stage
-/// at fetch time: all of its register/flags sources are already full in the
-/// local register file (fork-copied, initial, or produced locally and
-/// complete no later than the fetch cycle). The `complete` column's
-/// incomplete encodings (`UNKNOWN`, `INCOMPLETE | fd`) both sit at or
-/// above 2^63 — far past any reachable fetch cycle — so the one
-/// comparison below covers them without unpacking.
-pub(crate) fn fetch_computable(
-    arena: &TraceArena,
-    seq: usize,
-    complete: &[u64],
-    fetch_cycle: u64,
-) -> bool {
-    if arena.is_load(seq) || arena.is_store(seq) {
-        return false;
-    }
-    arena.reg_sources(seq).iter().all(|dep| match dep.kind() {
-        SourceKind::ForkCopy | SourceKind::InitialRegister | SourceKind::InitialMemory => true,
-        SourceKind::Local { producer } => complete[producer] <= fetch_cycle,
-        SourceKind::Remote { .. } => false,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::format_figure10;
     use crate::section::tests::sum_fork_program;
+    use parsecs_machine::TraceKind;
 
     fn sim_sum(data: &[u64], config: SimConfig) -> SimResult {
         let program = sum_fork_program(data);
@@ -2045,5 +1282,77 @@ t3:     movq $w, %rcx
             let reference = sim.run_reference(&program).expect("reference simulates");
             assert_eq!(event, reference, "{:?}", sim.config());
         }
+    }
+
+    #[test]
+    fn threaded_runs_match_sequential_bit_for_bit() {
+        let data: Vec<u64> = (1..=200).collect();
+        let program = sum_fork_program(&data);
+        for record in [true, false] {
+            let mut base = SimConfig::with_cores(64);
+            base.record_timings = record;
+            let sequential = ManyCoreSim::new(base.clone().with_threads(1))
+                .run(&program)
+                .expect("sequential simulates");
+            let threaded = ManyCoreSim::new(base.with_threads(4))
+                .run(&program)
+                .expect("threaded simulates");
+            assert_eq!(sequential, threaded, "record_timings = {record}");
+        }
+    }
+
+    #[test]
+    fn uncertified_arenas_fall_back_to_the_sequential_drain() {
+        // Instruction 1 claims a local register producer that instruction
+        // 0 never wrote: a writer-discipline violation the simulator can
+        // still execute (the claimed producer is in bounds and earlier).
+        let mut arena = TraceArena::new();
+        let bogus = arena.intern_mnemonic("bogus");
+        arena.begin_record(
+            0,
+            bogus,
+            SectionId(0),
+            TraceKind::Other,
+            false,
+            false,
+            false,
+        );
+        arena.end_record(0);
+        arena.begin_record(
+            1,
+            bogus,
+            SectionId(0),
+            TraceKind::Other,
+            false,
+            false,
+            false,
+        );
+        arena.push_dep(crate::PackedDep::from_raw_parts(1, 0, 0));
+        arena.end_record(1);
+        arena.push_section(SectionSpan {
+            id: SectionId(0),
+            start: 0,
+            end: 2,
+            creator: None,
+            start_ip: 0,
+        });
+        assert!(
+            !drain_fork_certified(&arena, None),
+            "a writer-discipline violation must withhold the fork certificate"
+        );
+
+        // The threaded configuration silently falls back to the
+        // sequential drain and still produces the sequential result.
+        let mut config = SimConfig::with_cores(4);
+        config.validate = false;
+        let sim_seq = ManyCoreSim::new(config.clone().with_threads(1));
+        let sim_thr = ManyCoreSim::new(config.with_threads(4));
+        let sequential = sim_seq
+            .simulate_arena(&arena)
+            .expect("sequential simulates");
+        let threaded = sim_thr
+            .simulate_arena(&arena)
+            .expect("falls back and simulates");
+        assert_eq!(sequential, threaded);
     }
 }

@@ -172,59 +172,77 @@ impl ManyCoreBackend {
         self.config.validate = true;
         self
     }
+
+    /// Sets the event engine's worker-thread count (builder style) — see
+    /// [`SimConfig::threads`]: above one, the run forks its fetch walk
+    /// and drain rounds, bit-identically to the sequential path and only
+    /// under a `Certified` static drain verdict.
+    pub fn threaded(mut self, threads: usize) -> ManyCoreBackend {
+        self.config.threads = threads;
+        self
+    }
+}
+
+/// The backend label of a many-core configuration: a `manycore:…` prefix
+/// with the core count and placement policy, then one `:suffix` per
+/// setting that differs from [`SimConfig::default`] — the single place
+/// every label suffix is assembled, so no two distinct sweep
+/// configurations can share a label and no call site can disagree on
+/// suffix order. Defaults follow the environment (`PARSECS_VALIDATE`,
+/// `PARSECS_THREADS`), so forcing validation or threading on for a whole
+/// suite leaves every label unchanged.
+pub(crate) fn manycore_label(config: &SimConfig) -> String {
+    let defaults = SimConfig::default();
+    let mut name = format!("manycore:{}c:{}", config.cores, config.placement.name());
+    if config.noc.base_latency != defaults.noc.base_latency
+        || config.noc.per_hop_latency != defaults.noc.per_hop_latency
+    {
+        name.push_str(&format!(
+            ":noc{}+{}",
+            config.noc.base_latency, config.noc.per_hop_latency
+        ));
+    }
+    if let Some(bandwidth) = config.noc.link_bandwidth {
+        name.push_str(&format!(":bw{bandwidth}"));
+    }
+    if let Some(topology) = config.topology {
+        name.push_str(&format!(":{}", topology.to_string().replace(' ', "-")));
+    }
+    if config.max_sections_per_core != defaults.max_sections_per_core {
+        name.push_str(&format!(":cap{}", config.max_sections_per_core));
+    }
+    if config.dmh_latency != defaults.dmh_latency {
+        name.push_str(&format!(":dmh{}", config.dmh_latency));
+    }
+    if config.per_section_hop != defaults.per_section_hop {
+        name.push_str(&format!(":walk{}", config.per_section_hop));
+    }
+    if !config.fetch_stalls_on_unresolved_control {
+        name.push_str(":nostall");
+    }
+    if !config.record_timings {
+        name.push_str(":stats");
+    }
+    if config.threads != defaults.threads {
+        name.push_str(&format!(":t{}", config.threads));
+    }
+    if config.validate != defaults.validate {
+        name.push_str(if config.validate {
+            ":validate"
+        } else {
+            ":novalidate"
+        });
+    }
+    name
 }
 
 impl ExecutionBackend for ManyCoreBackend {
-    /// Encodes the configuration — core count, placement policy, and
+    /// Encodes the configuration through the crate's single
+    /// `manycore_label` assembler — core count, placement policy, and
     /// every other setting that differs from [`SimConfig::default`] — so
     /// that no two distinct sweep configurations share a label.
     fn name(&self) -> String {
-        let defaults = SimConfig::default();
-        let mut name = format!(
-            "manycore:{}c:{}",
-            self.config.cores,
-            self.config.placement.name()
-        );
-        if self.config.noc.base_latency != defaults.noc.base_latency
-            || self.config.noc.per_hop_latency != defaults.noc.per_hop_latency
-        {
-            name.push_str(&format!(
-                ":noc{}+{}",
-                self.config.noc.base_latency, self.config.noc.per_hop_latency
-            ));
-        }
-        if let Some(bandwidth) = self.config.noc.link_bandwidth {
-            name.push_str(&format!(":bw{bandwidth}"));
-        }
-        if let Some(topology) = self.config.topology {
-            name.push_str(&format!(":{}", topology.to_string().replace(' ', "-")));
-        }
-        if self.config.max_sections_per_core != defaults.max_sections_per_core {
-            name.push_str(&format!(":cap{}", self.config.max_sections_per_core));
-        }
-        if self.config.dmh_latency != defaults.dmh_latency {
-            name.push_str(&format!(":dmh{}", self.config.dmh_latency));
-        }
-        if self.config.per_section_hop != defaults.per_section_hop {
-            name.push_str(&format!(":walk{}", self.config.per_section_hop));
-        }
-        if !self.config.fetch_stalls_on_unresolved_control {
-            name.push_str(":nostall");
-        }
-        if !self.config.record_timings {
-            name.push_str(":stats");
-        }
-        // Compared against the default — which follows `PARSECS_VALIDATE`
-        // — so forcing validation on for a whole suite via the
-        // environment leaves every label unchanged.
-        if self.config.validate != defaults.validate {
-            name.push_str(if self.config.validate {
-                ":validate"
-            } else {
-                ":novalidate"
-            });
-        }
-        name
+        manycore_label(&self.config)
     }
 
     /// Runs with the *configuration's* own fuel budget (unlike the trait
@@ -410,5 +428,35 @@ mod tests {
             ManyCoreBackend::new(SimConfig::with_cores(16).with_placement(parsecs_core::LoadAware))
                 .name()
         );
+    }
+
+    #[test]
+    fn manycore_label_assembles_every_suffix_in_one_place() {
+        // Threading gets its own suffix, stacked in the helper's fixed
+        // order after `:stats` — only relative to the (env-following)
+        // default, so a PARSECS_THREADS environment keeps names stable.
+        let default_threads = SimConfig::default().threads;
+        let threaded = ManyCoreBackend::with_cores(8).threaded(default_threads + 3);
+        assert_eq!(
+            threaded.name(),
+            format!("manycore:8c:round-robin:t{}", default_threads + 3)
+        );
+        assert_eq!(
+            ManyCoreBackend::with_cores(8)
+                .threaded(default_threads)
+                .name(),
+            "manycore:8c:round-robin"
+        );
+        let stacked = ManyCoreBackend::new(
+            SimConfig::with_cores(8)
+                .stats_only()
+                .with_threads(default_threads + 1),
+        );
+        assert_eq!(
+            stacked.name(),
+            format!("manycore:8c:round-robin:stats:t{}", default_threads + 1)
+        );
+        // The backend's public name and the helper agree by construction.
+        assert_eq!(stacked.name(), manycore_label(stacked.config()));
     }
 }

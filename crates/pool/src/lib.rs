@@ -1,0 +1,304 @@
+//! # parsecs-pool — a tiny vendored scoped broadcast pool
+//!
+//! The event-driven simulator forks two fixed-shape jobs on every hot
+//! cycle: the per-cluster fetch walk and the completion drain's
+//! read-only resolution pass. Both are *broadcasts* — "run `f(worker)`
+//! once per worker, then barrier" — over borrowed engine state, repeated
+//! hundreds of thousands of times per run. That shape needs a persistent
+//! pool (a `std::thread::spawn` per cycle would cost more than the
+//! cycle) with scoped borrows, and the workspace builds offline with no
+//! external dependencies (the same reason `crates/proptest` and
+//! `crates/criterion` are vendored stand-ins), so this crate provides
+//! the ~minimal implementation on `std::thread` alone.
+//!
+//! The only entry point is [`Pool::with`]: it spawns `threads - 1`
+//! workers inside a [`std::thread::scope`], hands the caller a [`Pool`]
+//! handle, and tears the workers down when the closure returns (or
+//! unwinds). [`Pool::broadcast`] publishes one `&(dyn Fn(usize) + Sync)`
+//! job, runs slice `0` on the calling thread, and returns only after
+//! every worker has finished its slice — so the job may freely borrow
+//! from the caller's stack.
+//!
+//! Jobs must not panic: a worker that unwinds out of its job dies
+//! without signalling completion and the broadcast never returns. The
+//! simulator's jobs are pure array sweeps with no panicking paths on
+//! certified input.
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let totals: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+//! let data: Vec<u64> = (0..1000).collect();
+//! let sum = parsecs_pool::Pool::with(4, |pool| {
+//!     pool.broadcast(&|worker| {
+//!         let chunk = data.len().div_ceil(pool.threads());
+//!         let slice = data.chunks(chunk).nth(worker).unwrap_or(&[]);
+//!         totals[worker].fetch_add(slice.iter().sum::<u64>(), Ordering::Relaxed);
+//!     });
+//!     totals.iter().map(|t| t.load(Ordering::Relaxed)).sum::<u64>()
+//! });
+//! assert_eq!(sum, 1000 * 999 / 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Spins before parking on the condvar. Broadcasts arrive every few
+/// microseconds on the hot path, so a short spin usually catches the
+/// next job without a syscall; the park path keeps idle pools (and
+/// single-CPU hosts) from burning the core.
+const SPIN: u32 = 256;
+
+/// A published job: a lifetime-erased fat pointer to the caller's
+/// closure. Sound because [`Pool::broadcast`] does not return until
+/// every worker has finished calling it, and the pointee outlives the
+/// `broadcast` call by construction (it is a borrow of the caller's
+/// frame).
+#[derive(Clone, Copy)]
+struct Task(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and `broadcast` upholds the lifetime contract above.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+struct Shared {
+    /// Broadcast generation; a change releases the workers.
+    generation: AtomicU64,
+    shutdown: AtomicBool,
+    /// The job of the current generation (valid while `done < workers`).
+    task: Mutex<Option<Task>>,
+    /// Park/wake for workers waiting on the next generation.
+    park: Mutex<()>,
+    park_cv: Condvar,
+    /// Workers finished with the current generation.
+    done: AtomicUsize,
+    done_park: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// A fixed-width broadcast pool; see the crate docs. Obtain one through
+/// [`Pool::with`] — the workers live exactly as long as the closure.
+pub struct Pool {
+    shared: Shared,
+    threads: usize,
+}
+
+impl Pool {
+    /// Runs `f` with a pool of `threads` execution slots (the calling
+    /// thread plus `threads - 1` workers; a count of 0 or 1 means no
+    /// workers and [`Pool::broadcast`] degenerates to a plain call).
+    /// Workers are joined before `with` returns, even if `f` unwinds.
+    pub fn with<R>(threads: usize, f: impl FnOnce(&Pool) -> R) -> R {
+        let threads = threads.max(1);
+        let pool = Pool {
+            shared: Shared {
+                generation: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                task: Mutex::new(None),
+                park: Mutex::new(()),
+                park_cv: Condvar::new(),
+                done: AtomicUsize::new(0),
+                done_park: Mutex::new(()),
+                done_cv: Condvar::new(),
+            },
+            threads,
+        };
+        if threads == 1 {
+            return f(&pool);
+        }
+        std::thread::scope(|scope| {
+            for worker in 1..threads {
+                let shared = &pool.shared;
+                let total = threads - 1;
+                scope.spawn(move || worker_loop(shared, worker, total));
+            }
+            // Shut the workers down even if `f` unwinds, so the scope's
+            // implicit join cannot hang on a panicking caller.
+            let _stop = ShutdownGuard(&pool.shared);
+            f(&pool)
+        })
+    }
+
+    /// Number of execution slots (worker index range of a broadcast).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(worker)` once for every `worker in 0..threads()` —
+    /// slice 0 on the calling thread — and returns when all calls have
+    /// finished. The job may borrow the caller's stack; per-slice
+    /// mutable state is typically a `Vec<Mutex<_>>` indexed by the
+    /// worker number (each slice locks only its own entry, so the locks
+    /// never contend).
+    pub fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            job(0);
+            return;
+        }
+        let workers = self.threads - 1;
+        // SAFETY (lifetime erasure): the pointer is only dereferenced by
+        // workers between the generation bump below and their `done`
+        // signal, and this function does not return before `done`
+        // reaches `workers` — the borrow of `job` is live throughout.
+        let task = Task(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                job as *const _,
+            )
+        });
+        *self.shared.task.lock().unwrap() = Some(task);
+        self.shared.done.store(0, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        {
+            let _guard = self.shared.park.lock().unwrap();
+            self.shared.park_cv.notify_all();
+        }
+        job(0);
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) < workers {
+            spins += 1;
+            if spins < SPIN {
+                std::hint::spin_loop();
+            } else {
+                spins = 0;
+                let guard = self.shared.done_park.lock().unwrap();
+                if self.shared.done.load(Ordering::Acquire) < workers {
+                    // Timed: belt-and-braces against a lost wakeup.
+                    let _ = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap();
+                }
+            }
+        }
+        *self.shared.task.lock().unwrap() = None;
+    }
+}
+
+struct ShutdownGuard<'a>(&'a Shared);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown.store(true, Ordering::Release);
+        let _guard = self.0.park.lock().unwrap();
+        self.0.park_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize, workers: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next generation (spin, then park).
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let generation = shared.generation.load(Ordering::Acquire);
+            if generation != seen {
+                seen = generation;
+                break;
+            }
+            spins += 1;
+            if spins < SPIN {
+                std::hint::spin_loop();
+            } else {
+                spins = 0;
+                let guard = shared.park.lock().unwrap();
+                // Re-check under the lock so a publish+notify between
+                // our load and this wait cannot be missed; the timeout
+                // is belt-and-braces on top.
+                if shared.generation.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    let _ = shared
+                        .park_cv
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap();
+                }
+            }
+        }
+        let task = shared.task.lock().unwrap().expect("generation implies job");
+        // SAFETY: see `Pool::broadcast` — the pointee outlives this call.
+        unsafe { (*task.0)(worker) };
+        if shared.done.fetch_add(1, Ordering::AcqRel) + 1 == workers {
+            let _guard = shared.done_park.lock().unwrap();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_covers_every_worker_exactly_once() {
+        for threads in [1usize, 2, 4, 7] {
+            let hits: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+            Pool::with(threads, |pool| {
+                assert_eq!(pool.threads(), threads);
+                pool.broadcast(&|w| {
+                    hits[w].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{threads} threads: {:?}",
+                hits.iter()
+                    .map(|h| h.load(Ordering::Relaxed))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_broadcasts_reuse_the_workers_and_barrier_correctly() {
+        const ROUNDS: u64 = 200;
+        let counter = AtomicU64::new(0);
+        Pool::with(4, |pool| {
+            for round in 0..ROUNDS {
+                pool.broadcast(&|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                // The barrier property: after a broadcast returns, every
+                // slice of this round has run.
+                assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 4);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), ROUNDS * 4);
+    }
+
+    #[test]
+    fn jobs_borrow_and_mutate_caller_state_through_per_worker_locks() {
+        let data: Vec<u64> = (1..=10_000).collect();
+        let partials: Vec<Mutex<u64>> = (0..3).map(|_| Mutex::new(0)).collect();
+        Pool::with(3, |pool| {
+            pool.broadcast(&|w| {
+                let chunk = data.len().div_ceil(3);
+                let slice = data.chunks(chunk).nth(w).unwrap_or(&[]);
+                *partials[w].lock().unwrap() += slice.iter().sum::<u64>();
+            });
+        });
+        let total: u64 = partials.iter().map(|p| *p.lock().unwrap()).sum();
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_an_inline_pool() {
+        let ran = AtomicU64::new(0);
+        Pool::with(0, |pool| {
+            assert_eq!(pool.threads(), 1);
+            pool.broadcast(&|w| {
+                assert_eq!(w, 0);
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+}

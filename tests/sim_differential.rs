@@ -9,7 +9,10 @@
 //! forward conditional jumps over random blocks, nested forks) and random
 //! chip configurations (core count, placement policy, topology, NoC
 //! timing, ejection bandwidth, section capacity, renaming-walk and DMH
-//! charges, fetch-stall mode) and asserts full equality.
+//! charges, fetch-stall mode) and asserts full equality. Every
+//! configuration is additionally exercised on the `threads ∈ {1, 4}`
+//! axis: the cluster-sharded parallel engine must reproduce the
+//! sequential run bit-for-bit, in recording and stats-only mode alike.
 
 use parsecs::core::{ChainAffine, LoadAware, ManyCoreSim, Placement, SimConfig};
 use parsecs::noc::{NocConfig, Topology};
@@ -264,6 +267,28 @@ proptest! {
                 "seed {}: stats-only run materialised a stage table",
                 seed
             );
+            // The threads axis: the cluster-sharded engine (threads = 4,
+            // certified drain fork armed) must stay bit-identical to the
+            // single-cluster sequential walk (threads = 1), in both the
+            // recording and the stats-only mode.
+            let seq = ManyCoreSim::new(sim.config().clone().with_threads(1));
+            let par = ManyCoreSim::new(sim.config().clone().with_threads(4));
+            prop_assert_eq!(
+                &par.run(&program).expect("threaded engine simulates"),
+                &seq.run(&program).expect("sequential engine simulates"),
+                "seed {} under {:?}: threaded run diverges",
+                seed,
+                par.config()
+            );
+            let stats_par =
+                ManyCoreSim::new(sim.config().clone().stats_only().with_threads(4));
+            prop_assert_eq!(
+                &stats_par.run(&program).expect("threaded stats-only simulates"),
+                &stats,
+                "seed {} under {:?}: threaded stats-only run diverges",
+                seed,
+                stats_par.config()
+            );
         }
     }
 }
@@ -371,6 +396,18 @@ proptest! {
                 "seed {} under {:?}: engines diverge stats-only",
                 seed,
                 stats_sim.config()
+            );
+            // The threads axis on the contended writer chains: the
+            // parallel completion drain commits in sequence order, so the
+            // threaded run reproduces `event` (already pinned to the
+            // cycle-stepping reference above) bit-for-bit.
+            let par = ManyCoreSim::new(sim.config().clone().with_threads(4));
+            prop_assert_eq!(
+                &par.run(&program).expect("threaded engine simulates"),
+                &event,
+                "seed {} under {:?}: threaded run diverges",
+                seed,
+                par.config()
             );
         }
     }

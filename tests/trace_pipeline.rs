@@ -176,7 +176,10 @@ proptest! {
     /// arena path must produce the same `SimResult`, both engines must
     /// stay bit-identical on the arena path, a stats-only run must
     /// reproduce the recorded aggregates exactly, and the lean
-    /// (write-free) arena must simulate identically to the full one.
+    /// (write-free) arena must simulate identically to the full one. The
+    /// `threads ∈ {1, 4}` axis rides along: the cluster-sharded parallel
+    /// engine must reproduce the sequential run bit-for-bit, full and
+    /// stats-only alike.
     #[test]
     fn arena_and_record_backed_simulation_agree(seed in proptest::strategy::any::<u64>()) {
         let program = random_program(seed.rotate_left(11));
@@ -204,6 +207,32 @@ proptest! {
             cores
         );
         prop_assert_eq!(stats.stats.forced_stall_releases, 0, "seed {}", seed);
+
+        // The threads axis: the cluster-sharded engine (threads = 4) must
+        // reproduce the sequential arena run — already pinned to the
+        // cycle-stepping reference above — bit-for-bit, and its
+        // stats-only aggregates must match the recorded ones exactly.
+        let par = ManyCoreSim::new(SimConfig::with_cores(cores).with_threads(4));
+        let via_threads = par.simulate_arena(&arena).expect("threaded engine simulates");
+        prop_assert_eq!(
+            &via_threads,
+            &via_arena,
+            "seed {} at {} cores: threaded run diverges",
+            seed,
+            cores
+        );
+        let stats_par =
+            ManyCoreSim::new(SimConfig::with_cores(cores).stats_only().with_threads(4));
+        let stats_threads = stats_par
+            .simulate_arena(&arena)
+            .expect("threaded stats-only simulates");
+        prop_assert_eq!(
+            &stats_threads,
+            &stats,
+            "seed {} at {} cores: threaded stats-only run diverges",
+            seed,
+            cores
+        );
 
         // The lean arena drops only the written-locations columns, which
         // the simulators never read: identical result modulo the smaller
