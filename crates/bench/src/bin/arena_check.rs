@@ -13,20 +13,31 @@
 //!   round (the fork's available parallelism);
 //! * the **bounds analyzer**'s critical path is cross-checked against
 //!   the event-driven engine at 64, 256 and 1024 cores: every
-//!   configuration must retire in `total_cycles ≥ critical_path`.
+//!   configuration must retire in `total_cycles ≥ critical_path`;
+//! * the **progress prover** runs on every (placement × chip) cell of
+//!   that grid — the exact placement the engine used — and its verdict
+//!   is cross-checked against the runtime deadlock detector: a cell the
+//!   prover marked [`Progress::Proven`] must never deadlock (a
+//!   `PotentialCycle` verdict on a quiet cell is fine — the hold-slot
+//!   abstraction is deliberately conservative about section capacity).
 //!
-//! Any violation, missing certificate or undercut bound fails the run
-//! (exit 1). CI runs `--quick` and uploads the table next to the bench
-//! grids.
+//! Any violation, missing certificate, undercut bound or
+//! proven-but-deadlocked disagreement fails the run (exit 1). CI runs
+//! `--quick` and uploads the table next to the bench grids.
 //!
-//! Usage: `arena_check [--quick] [--threads N] [--json [PATH]]` —
-//! `--quick` shrinks the instances for CI smoke runs (default JSON path
-//! `BENCH_check.json`); `--threads` cross-checks the bound on the
+//! Usage: `arena_check [--quick] [--progress] [--threads N] [--json [PATH]]`
+//! — `--quick` shrinks the instances for CI smoke runs (default JSON
+//! path `BENCH_check.json`); `--progress` adds the prover's verdict,
+//! longest wait chain and witness length to the printed table (the JSON
+//! always carries them); `--threads` cross-checks the bound on the
 //! cluster-sharded parallel engine instead (`0` = auto, default follows
 //! `PARSECS_THREADS`) — the certificates this binary reports are exactly
 //! what authorises that engine's drain fork.
 
-use parsecs_core::{check_arena, DrainSafety, ManyCoreSim, SimConfig, TraceArena};
+use parsecs_core::{
+    check_arena, prove_progress, DrainSafety, ManyCoreSim, Progress, SimConfig, SimError,
+    TraceArena,
+};
 use parsecs_isa::Program;
 use parsecs_workloads::scale;
 
@@ -49,8 +60,16 @@ struct Row {
     ilp_width: f64,
     /// Simulated retirement span per entry of [`CORE_GRID`].
     cycles: Vec<u64>,
+    /// Progress verdict per entry of [`CORE_GRID`], proven on the exact
+    /// placement the simulated run used.
+    progress: Vec<Progress>,
+    /// Whether the runtime deadlock detector fired (or the run diverged
+    /// outright) per entry of [`CORE_GRID`].
+    deadlocked: Vec<bool>,
     /// Every `cycles` entry is at or above `critical_path`.
     bound_holds: bool,
+    /// No grid cell was statically `Proven` yet deadlocked at runtime.
+    proofs_consistent: bool,
 }
 
 fn build_targets(quick: bool) -> Vec<Target> {
@@ -102,21 +121,49 @@ fn analyze(target: &Target, threads: usize) -> Row {
         .as_ref()
         .map(|b| (b.critical_path, b.ilp_width()))
         .unwrap_or((0, 0.0));
-    let cycles: Vec<u64> = CORE_GRID
-        .iter()
-        .map(|&cores| {
-            ManyCoreSim::new(
-                SimConfig::with_cores(cores)
-                    .stats_only()
-                    .with_threads(threads),
-            )
-            .simulate_arena(&arena)
-            .expect("simulates")
-            .stats
-            .total_cycles
-        })
-        .collect();
+    let mut cycles = Vec::with_capacity(CORE_GRID.len());
+    let mut progress = Vec::with_capacity(CORE_GRID.len());
+    let mut deadlocked = Vec::with_capacity(CORE_GRID.len());
+    for &cores in &CORE_GRID {
+        let config = SimConfig::with_cores(cores)
+            .stats_only()
+            .with_threads(threads);
+        // The prover judges the exact placement the run used; when the
+        // run diverges (a hard deadlock), recompute the same placement
+        // from the policy so the cell still gets a verdict.
+        let (cell_cycles, cell_deadlocked, hosts) =
+            match ManyCoreSim::new(config.clone()).simulate_arena(&arena) {
+                Ok(result) => (
+                    result.stats.total_cycles,
+                    result.stats.forced_stall_releases > 0,
+                    result.core_of.iter().map(|c| c.0).collect::<Vec<_>>(),
+                ),
+                Err(SimError::Diverged { .. }) => (
+                    0,
+                    true,
+                    config
+                        .placement
+                        .assign(arena.sections(), &config.chip_view())
+                        .iter()
+                        .map(|c| c.0)
+                        .collect(),
+                ),
+                Err(e) => panic!("{}: {cores}-core run failed: {e}", target.name),
+            };
+        cycles.push(cell_cycles);
+        deadlocked.push(cell_deadlocked);
+        progress.push(prove_progress(
+            &arena,
+            &hosts,
+            cores,
+            config.max_sections_per_core,
+        ));
+    }
     let bound_holds = report.is_clean() && cycles.iter().all(|&c| c >= critical_path);
+    let proofs_consistent = progress
+        .iter()
+        .zip(&deadlocked)
+        .all(|(p, &dead)| !(dead && p.is_proven()));
     Row {
         workload: target.name.clone(),
         instructions: report.instructions,
@@ -126,7 +173,42 @@ fn analyze(target: &Target, threads: usize) -> Row {
         critical_path,
         ilp_width,
         cycles,
+        progress,
+        deadlocked,
         bound_holds,
+        proofs_consistent,
+    }
+}
+
+/// Witness length of a `PotentialCycle` verdict (0 when proven).
+fn witness_len(progress: &Progress) -> usize {
+    match progress {
+        Progress::PotentialCycle { witness } => witness.len(),
+        _ => 0,
+    }
+}
+
+/// One-word verdict summary for a grid cell.
+fn progress_summary(progress: &Progress) -> String {
+    match progress.longest_wait_chain() {
+        Some(chain) => format!("proven(chain {chain})"),
+        None => format!("cycle({} edges)", witness_len(progress)),
+    }
+}
+
+/// Row-level summary across the grid: `proven` when every cell is, or
+/// the core counts whose placements admit a wait cycle.
+fn progress_row_summary(row: &Row) -> String {
+    if row.progress.iter().all(Progress::is_proven) {
+        "proven".into()
+    } else {
+        let cores: Vec<String> = CORE_GRID
+            .iter()
+            .zip(&row.progress)
+            .filter(|(_, p)| !p.is_proven())
+            .map(|(cores, _)| cores.to_string())
+            .collect();
+        format!("cycle@{}", cores.join(","))
     }
 }
 
@@ -157,10 +239,29 @@ fn to_json(rows: &[Row]) -> String {
                 .zip(&r.cycles)
                 .map(|(cores, cycles)| format!("\"{cores}\": {cycles}"))
                 .collect();
+            let proofs: Vec<String> = CORE_GRID
+                .iter()
+                .zip(r.progress.iter().zip(&r.deadlocked))
+                .map(|(cores, (progress, deadlocked))| {
+                    format!(
+                        "\"{cores}\": {{\"verdict\": \"{}\", \"wait_chain\": {}, \
+                         \"witness\": {}, \"deadlocked\": {}}}",
+                        if progress.is_proven() {
+                            "proven"
+                        } else {
+                            "potential-cycle"
+                        },
+                        progress.longest_wait_chain().unwrap_or(0),
+                        witness_len(progress),
+                        deadlocked,
+                    )
+                })
+                .collect();
             format!(
                 "  {{\"workload\": \"{}\", \"instructions\": {}, \"sections\": {}, \
                  \"violations\": {}, \"drain\": \"{}\", \"critical_path\": {}, \
-                 \"ilp_width\": {:.2}, \"cycles\": {{{}}}, \"bound_holds\": {}}}",
+                 \"ilp_width\": {:.2}, \"cycles\": {{{}}}, \"progress\": {{{}}}, \
+                 \"bound_holds\": {}, \"proofs_consistent\": {}}}",
                 r.workload,
                 r.instructions,
                 r.sections,
@@ -169,7 +270,9 @@ fn to_json(rows: &[Row]) -> String {
                 r.critical_path,
                 r.ilp_width,
                 cells.join(", "),
+                proofs.join(", "),
                 r.bound_holds,
+                r.proofs_consistent,
             )
         })
         .collect();
@@ -178,12 +281,14 @@ fn to_json(rows: &[Row]) -> String {
 
 fn main() {
     let mut quick = false;
+    let mut show_progress = false;
     let mut threads = SimConfig::default().threads;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--progress" => show_progress = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -198,7 +303,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}' (supported: --quick --threads N --json [PATH])"
+                    "unknown argument '{other}' \
+                     (supported: --quick --progress --threads N --json [PATH])"
                 );
                 std::process::exit(2);
             }
@@ -213,12 +319,16 @@ fn main() {
     );
     let rows: Vec<Row> = targets.iter().map(|t| analyze(t, threads)).collect();
 
-    println!(
+    print!(
         "{:<28} {:>9} {:>9} {:>5} {:<32} {:>10} {:>6} {:>11} {:>6}",
         "workload", "insns", "sections", "viol", "drain", "crit path", "ILP", "min cycles", "bound"
     );
+    if show_progress {
+        print!(" {:<18} {:>10} {:>8}", "progress", "wait chain", "witness");
+    }
+    println!();
     for r in &rows {
-        println!(
+        print!(
             "{:<28} {:>9} {:>9} {:>5} {:<32} {:>10} {:>6.1} {:>11} {:>6}",
             r.workload,
             r.instructions,
@@ -230,6 +340,21 @@ fn main() {
             r.cycles.iter().min().copied().unwrap_or(0),
             if r.bound_holds { "ok" } else { "FAIL" }
         );
+        if show_progress {
+            let chain = r
+                .progress
+                .iter()
+                .filter_map(Progress::longest_wait_chain)
+                .max();
+            let witness = r.progress.iter().map(witness_len).max().unwrap_or(0);
+            print!(
+                " {:<18} {:>10} {:>8}",
+                progress_row_summary(r),
+                chain.map_or_else(|| "-".into(), |c| c.to_string()),
+                witness,
+            );
+        }
+        println!();
     }
 
     if let Some(path) = json_path {
@@ -260,6 +385,19 @@ fn main() {
                 r.workload, r.cycles, r.critical_path
             );
             failed = true;
+        }
+        for (cores, (progress, &deadlocked)) in
+            CORE_GRID.iter().zip(r.progress.iter().zip(&r.deadlocked))
+        {
+            if deadlocked && progress.is_proven() {
+                eprintln!(
+                    "FAIL: {} at {cores} cores deadlocked on a placement the prover \
+                     certified ({})",
+                    r.workload,
+                    progress_summary(progress)
+                );
+                failed = true;
+            }
         }
     }
     if failed {

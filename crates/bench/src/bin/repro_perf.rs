@@ -61,7 +61,7 @@
 
 use std::time::Instant;
 
-use parsecs_core::{ChainAffine, ManyCoreSim, SectionedTrace, SimConfig, TraceArena};
+use parsecs_core::{ChainAffine, ForkFallback, ManyCoreSim, SectionedTrace, SimConfig, TraceArena};
 use parsecs_isa::Program;
 use parsecs_noc::NocConfig;
 use parsecs_workloads::scale;
@@ -139,6 +139,10 @@ struct ThreadRow {
     sequential_ms: f64,
     threaded_ms: f64,
     speedup: f64,
+    /// The threaded cell's typed fork verdict: `None` when the parallel
+    /// fork ran (both static certificates issued), `Some` with the
+    /// withheld certificate otherwise — never silent.
+    fallback: Option<ForkFallback>,
 }
 
 /// Times the stats-only cell sequentially and with `threads` workers and
@@ -158,7 +162,11 @@ fn measure_threads(
     let resolved = thr_config.effective_threads().min(cores);
     let thr_sim = ManyCoreSim::new(thr_config);
     let sequential = seq_sim.simulate_arena(arena).expect("simulates");
-    let threaded = thr_sim.simulate_arena(arena).expect("simulates");
+    let mut threaded = thr_sim.simulate_arena(arena).expect("simulates");
+    // The fork verdict is reported on its own (the sequential run never
+    // asks for a fork, so it is trivially `None` there); everything else
+    // must be bit-identical whether or not the fork was certified.
+    let fallback = threaded.fork_fallback.take();
     assert_eq!(
         sequential, threaded,
         "{name}: threaded run diverges from the sequential engine"
@@ -179,6 +187,7 @@ fn measure_threads(
         sequential_ms: seq_ms,
         threaded_ms: thr_ms,
         speedup: seq_ms / thr_ms,
+        fallback,
     }
 }
 
@@ -517,7 +526,7 @@ fn to_json(
     body.push(format!(
         "  {{\"workload\": \"{}\", \"config\": \"threaded\", \"cores\": {}, \
          \"threads\": {}, \"instructions\": {}, \"sequential_ms\": {:.3}, \
-         \"threaded_ms\": {:.3}, \"threaded_speedup\": {:.2}}}",
+         \"threaded_ms\": {:.3}, \"threaded_speedup\": {:.2}, \"fork_fallback\": {}}}",
         threaded.workload,
         threaded.cores,
         threaded.threads,
@@ -525,6 +534,9 @@ fn to_json(
         threaded.sequential_ms,
         threaded.threaded_ms,
         threaded.speedup,
+        threaded
+            .fallback
+            .map_or("null".into(), |f| format!("\"{}\"", f.reason)),
     ));
     format!("[\n{}\n]\n", body.join(",\n"))
 }
@@ -661,13 +673,18 @@ fn main() {
     // vs the cluster-sharded parallel engine, bit-identical by contract.
     let threaded = measure_threads(&modes.workload.clone(), &fan, 1024, threads, validate);
     println!(
-        "threads  {:<22} {:>9} insns  1t {:>9.1} ms  {}t {:>9.1} ms  {:>4.2}x",
+        "threads  {:<22} {:>9} insns  1t {:>9.1} ms  {}t {:>9.1} ms  {:>4.2}x  fork {}",
         threaded.workload,
         threaded.instructions,
         threaded.sequential_ms,
         threaded.threads,
         threaded.threaded_ms,
         threaded.speedup,
+        match (threaded.fallback, threaded.threads) {
+            (Some(f), _) => f.to_string(),
+            (None, 0 | 1) => "off (single worker)".into(),
+            (None, _) => "certified".into(),
+        },
     );
 
     if let Some(path) = json_path {

@@ -21,6 +21,16 @@
 //!    whole-program dependence-DAG critical path and ILP width;
 //!    `total_cycles ≥ critical_path` holds for every configuration and
 //!    is cross-checked against both engines in the differential tests.
+//! 4. **Progress prover** ([`Progress`], [`prove_progress`]): given one
+//!    concrete (placement × chip) configuration, proves the section
+//!    wait-for graph (producer deps ∪ capacity edges of over-subscribed
+//!    cores) admits no cycle, or returns a concrete witness cycle. A
+//!    run the runtime deadlock detector flags must never have been
+//!    [`Progress::Proven`]; both engines assert exactly that.
+//! 5. **Walk certifier** ([`WalkSafety`], [`certify_walk`]): certifies
+//!    that a cluster partition tiles the core range and that no
+//!    section's ready-queue link crosses a window — the parallel-walk
+//!    fork precondition alongside [`DrainSafety::Certified`].
 //!
 //! The engines run the whole analysis before simulating when
 //! `SimConfig::validate` is set; the `arena_check` binary runs it over
@@ -55,8 +65,10 @@
 
 mod bounds;
 mod certify;
+mod progress;
 mod validate;
 mod violation;
+mod walk;
 
 use std::fmt;
 
@@ -64,7 +76,9 @@ use parsecs_trace::TraceArena;
 
 pub use bounds::{SectionBounds, StaticBounds};
 pub use certify::{certify_columns, DrainSafety};
+pub use progress::{prove_progress, Progress, WaitEdge, WaitKind};
 pub use violation::InvariantViolation;
+pub use walk::{certify_walk, WalkSafety};
 
 /// Diagnostics stored per report before further ones are only counted
 /// (a systematically corrupt chip-scale arena must not make the report
@@ -85,6 +99,13 @@ pub struct CheckReport {
     /// Static timing bounds (`None` when the validator found violations;
     /// bounds over a lying arena would ground nothing).
     pub bounds: Option<StaticBounds>,
+    /// The configuration-aware progress proof (`None` until an engine
+    /// attaches it: unlike the passes above it needs a concrete
+    /// placement and chip, which [`check_arena`] does not have).
+    pub progress: Option<Progress>,
+    /// The parallel-walk certificate ([`WalkSafety::Unchecked`] until an
+    /// engine attaches its cluster partition).
+    pub walk: WalkSafety,
     /// Records in the analyzed arena.
     pub instructions: usize,
     /// Sections in the analyzed arena.
@@ -131,20 +152,39 @@ impl fmt::Display for CheckReport {
                     "invariants hold but drain round {round} conflicts on records \
                      {first} and {second}"
                 ),
-                (drain, Some(bounds)) => write!(
-                    f,
-                    "clean: {} instruction(s), {} section(s), drain {}, \
-                     critical path ≥ {}, ILP width {:.2}",
-                    self.instructions,
-                    self.sections,
-                    if drain.is_certified() {
-                        "certified"
-                    } else {
-                        "unchecked"
-                    },
-                    bounds.critical_path,
-                    bounds.ilp_width()
-                ),
+                (drain, Some(bounds)) => {
+                    write!(
+                        f,
+                        "clean: {} instruction(s), {} section(s), drain {}, \
+                         critical path ≥ {}, ILP width {:.2}",
+                        self.instructions,
+                        self.sections,
+                        if drain.is_certified() {
+                            "certified"
+                        } else {
+                            "unchecked"
+                        },
+                        bounds.critical_path,
+                        bounds.ilp_width()
+                    )?;
+                    match &self.progress {
+                        Some(Progress::Proven { longest_wait_chain }) => {
+                            write!(f, ", progress proven (wait chain {longest_wait_chain})")?;
+                        }
+                        Some(Progress::PotentialCycle { witness }) => {
+                            write!(f, ", potential wait cycle ({} edge(s))", witness.len())?;
+                        }
+                        None => {}
+                    }
+                    if let WalkSafety::Certified {
+                        clusters,
+                        max_window,
+                    } = self.walk
+                    {
+                        write!(f, ", walk certified ({clusters}×≤{max_window})")?;
+                    }
+                    Ok(())
+                }
                 (_, None) => write!(
                     f,
                     "clean: {} instruction(s), {} section(s)",
@@ -182,6 +222,8 @@ pub fn check_arena(arena: &TraceArena) -> CheckReport {
         truncated: col.truncated,
         drain,
         bounds,
+        progress: None,
+        walk: WalkSafety::Unchecked,
         instructions: arena.len(),
         sections: arena.sections().len(),
         writer_discipline_checked,

@@ -1,0 +1,196 @@
+//! The parallel-walk certifier.
+//!
+//! The cluster-sharded walk (`parsecs-core`'s `cluster.rs`, ROADMAP
+//! item 1) forks the per-cycle fetch walk over one thread per cluster.
+//! That fork is sound iff the partition actually shards the chip:
+//!
+//! 1. **Windows tile the core range** — every cluster owns a contiguous
+//!    `[start, start + len)` window, windows are non-empty, disjoint,
+//!    and ascending, and together they cover `[0, cores)` exactly. Each
+//!    core (and with it each per-core column of the SoA chip state) then
+//!    belongs to exactly one walking thread.
+//! 2. **Ready-queue links never cross a window** — a section's intrusive
+//!    ready-queue link lives on the core the placement hosts it on, and
+//!    the walk only follows links within a core's own list; certifying
+//!    that every hosted core is inside the chip (and hence inside
+//!    exactly one window, by 1) certifies that no thread ever follows a
+//!    link into another thread's shard.
+//! 3. **Cross-cluster effects commit canonically** — effects leaving a
+//!    window (sends, wakes) are buffered per cluster and committed
+//!    after the join in ascending cluster order; ascending disjoint
+//!    windows (checked in 1) make that order canonical, so the commit
+//!    sequence is independent of thread scheduling.
+//!
+//! The result, [`WalkSafety::Certified`], is the walk-fork precondition
+//! the engine demands alongside [`crate::DrainSafety::Certified`];
+//! either certificate being withheld becomes a typed fork-fallback
+//! reason instead of a silent sequential run.
+
+/// Outcome of the parallel-walk certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalkSafety {
+    /// The partition tiles the chip and every section's ready-queue
+    /// link stays inside one window; the walk may be forked.
+    Certified {
+        /// Number of cluster windows.
+        clusters: usize,
+        /// Cores in the widest window — the longest walk any single
+        /// thread performs per cycle.
+        max_window: usize,
+    },
+    /// The windows do not tile `[0, cores)`: the offending cluster with
+    /// what it declared and where the tiling required it to start.
+    WindowsBroken {
+        /// Index of the first non-tiling cluster (or the cluster count
+        /// itself when coverage stops short of `cores`).
+        cluster: usize,
+        /// Where the window had to start to continue the tiling.
+        expected_start: usize,
+        /// The window's declared start.
+        start: usize,
+        /// The window's declared length.
+        len: usize,
+    },
+    /// A section is hosted outside the chip, so its ready-queue link
+    /// belongs to no window.
+    HostOutOfWindow {
+        /// The offending section (total-order index).
+        section: usize,
+        /// The core it claims to be hosted on.
+        core: usize,
+        /// The chip's core count.
+        cores: usize,
+    },
+    /// Certification was not attempted (single-threaded run, or the
+    /// validator found structural violations first).
+    Unchecked,
+}
+
+impl WalkSafety {
+    /// Whether the walk may be forked.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, WalkSafety::Certified { .. })
+    }
+}
+
+/// Certifies one cluster partition: `windows` as `(start, len)` pairs in
+/// cluster order, `section_hosts[s]` the core hosting section `s`.
+pub fn certify_walk(
+    cores: usize,
+    windows: &[(usize, usize)],
+    section_hosts: &[usize],
+) -> WalkSafety {
+    let mut expected_start = 0usize;
+    let mut max_window = 0usize;
+    for (cluster, &(start, len)) in windows.iter().enumerate() {
+        if start != expected_start || len == 0 || start + len > cores {
+            return WalkSafety::WindowsBroken {
+                cluster,
+                expected_start,
+                start,
+                len,
+            };
+        }
+        expected_start = start + len;
+        max_window = max_window.max(len);
+    }
+    if expected_start != cores {
+        return WalkSafety::WindowsBroken {
+            cluster: windows.len(),
+            expected_start,
+            start: expected_start,
+            len: 0,
+        };
+    }
+    for (section, &core) in section_hosts.iter().enumerate() {
+        if core >= cores {
+            return WalkSafety::HostOutOfWindow {
+                section,
+                core,
+                cores,
+            };
+        }
+    }
+    WalkSafety::Certified {
+        clusters: windows.len(),
+        max_window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_partitions_certify() {
+        let safety = certify_walk(16, &[(0, 6), (6, 5), (11, 5)], &[0, 5, 15, 6]);
+        assert_eq!(
+            safety,
+            WalkSafety::Certified {
+                clusters: 3,
+                max_window: 6,
+            }
+        );
+        assert!(safety.is_certified());
+        assert!(certify_walk(0, &[], &[]).is_certified());
+        assert_eq!(
+            certify_walk(4, &[(0, 4)], &[]),
+            WalkSafety::Certified {
+                clusters: 1,
+                max_window: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn gaps_overlaps_and_short_coverage_are_rejected() {
+        // Gap between windows.
+        assert_eq!(
+            certify_walk(8, &[(0, 3), (4, 4)], &[]),
+            WalkSafety::WindowsBroken {
+                cluster: 1,
+                expected_start: 3,
+                start: 4,
+                len: 4,
+            }
+        );
+        // Overlap.
+        assert!(matches!(
+            certify_walk(8, &[(0, 5), (3, 5)], &[]),
+            WalkSafety::WindowsBroken { cluster: 1, .. }
+        ));
+        // Empty window.
+        assert!(matches!(
+            certify_walk(8, &[(0, 4), (4, 0), (4, 4)], &[]),
+            WalkSafety::WindowsBroken { cluster: 1, .. }
+        ));
+        // Coverage stops short.
+        assert_eq!(
+            certify_walk(8, &[(0, 4)], &[]),
+            WalkSafety::WindowsBroken {
+                cluster: 1,
+                expected_start: 4,
+                start: 4,
+                len: 0,
+            }
+        );
+        // Window past the chip.
+        assert!(matches!(
+            certify_walk(8, &[(0, 9)], &[]),
+            WalkSafety::WindowsBroken { cluster: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_chip_hosts_are_rejected() {
+        assert_eq!(
+            certify_walk(8, &[(0, 8)], &[0, 7, 8]),
+            WalkSafety::HostOutOfWindow {
+                section: 2,
+                core: 8,
+                cores: 8,
+            }
+        );
+    }
+}

@@ -270,9 +270,12 @@ impl Cluster {
     }
 }
 
-/// Splits `cores` cores into `clusters` contiguous clusters of
-/// near-equal size (clamped to at least one core per cluster).
-pub(crate) fn partition(cores: usize, clusters: usize) -> Vec<Cluster> {
+/// The contiguous near-equal `(start, len)` windows the chip is sharded
+/// into for `clusters` clusters (clamped to at least one core per
+/// cluster). This is the partition both the engine and the static walk
+/// certifier reason about: ascending, disjoint, tiling `[0, cores)` by
+/// construction for every cluster count.
+pub fn cluster_windows(cores: usize, clusters: usize) -> Vec<(usize, usize)> {
     let k = clusters.clamp(1, cores.max(1));
     let base = cores / k;
     let rem = cores % k;
@@ -280,11 +283,20 @@ pub(crate) fn partition(cores: usize, clusters: usize) -> Vec<Cluster> {
     let mut start = 0;
     for i in 0..k {
         let len = base + usize::from(i < rem);
-        out.push(Cluster::new(start, len));
+        out.push((start, len));
         start += len;
     }
     debug_assert_eq!(start, cores);
     out
+}
+
+/// Splits `cores` cores into `clusters` contiguous clusters of
+/// near-equal size over [`cluster_windows`].
+pub(crate) fn partition(cores: usize, clusters: usize) -> Vec<Cluster> {
+    cluster_windows(cores, clusters)
+        .into_iter()
+        .map(|(start, len)| Cluster::new(start, len))
+        .collect()
 }
 
 /// Registers `at` as core `idx`'s next wake-up cycle (keeping the earlier

@@ -77,8 +77,11 @@ pub struct SimConfig {
     /// many clusters and the fetch walk and large drain rounds fork over
     /// a scoped thread pool — **bit-identical** to the sequential run,
     /// and only when the arena's static drain analysis is
-    /// [`crate::DrainSafety::Certified`] (silent sequential fallback
-    /// otherwise). `0` means auto: one thread per available CPU. The
+    /// [`crate::DrainSafety::Certified`] *and* the cluster partition is
+    /// [`crate::WalkSafety::Certified`] (otherwise the run is sequential
+    /// and carries a typed [`crate::ForkFallback`] on
+    /// [`crate::SimResult::fork_fallback`]). `0` means auto: one thread
+    /// per available CPU. The
     /// default follows the `PARSECS_THREADS` environment variable when it
     /// parses as an integer. The reference engine ignores this field.
     pub threads: usize,

@@ -79,8 +79,9 @@ mod section;
 mod sim;
 mod timing;
 
+pub use cluster::cluster_windows;
 pub use config::SimConfig;
-pub use error::SimError;
+pub use error::{FallbackReason, ForkFallback, SimError};
 pub use placement::{ChainAffine, ChipView, LoadAware, Placement, PlacementPolicy, SectionDeps};
 pub use rename::{verify_single_assignment, MemoryAliasTable, RegisterAliasTable, RenameTag};
 pub use section::{InstRecord, SectionId, SectionSpan, SectionedTrace, SourceDep, SourceKind};
@@ -90,7 +91,10 @@ pub use timing::{format_figure10, InstTiming, SimStats};
 // callers of the validated simulation paths ([`SimConfig::validate`],
 // [`SimResult::check`], [`SimError::Invariant`]) can consume the reports
 // without a separate dependency.
-pub use parsecs_check::{check_arena, CheckReport, DrainSafety, InvariantViolation, StaticBounds};
+pub use parsecs_check::{
+    certify_walk, check_arena, prove_progress, CheckReport, DrainSafety, InvariantViolation,
+    Progress, StaticBounds, WaitEdge, WaitKind, WalkSafety,
+};
 // The streaming trace pipeline this crate's engines consume; re-exported
 // so simulator callers can build arenas without a separate dependency.
 pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena, TraceError};

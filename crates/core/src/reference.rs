@@ -40,15 +40,22 @@ use crate::{ManyCoreSim, SimError, SimResult};
 pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResult, SimError> {
     let config = sim.config();
     config.validate().map_err(SimError::Config)?;
-    let check = sim.precheck(arena)?;
+    let mut check = sim.precheck(arena)?;
     let sections = arena.sections();
     let n = arena.len();
 
+    let prepared = sim.prepare(arena)?;
+    // The reference never forks, but it computes (and reports) the same
+    // fork verdict as the event engine, so [`SimResult`]s stay
+    // bit-identical — including the typed fallback and the attached
+    // progress/walk verdicts.
+    let (_, fork_fallback) = sim.fork_decision(arena, check.as_deref(), &prepared.core_of);
+    sim.attach_verdicts(arena, check.as_deref_mut(), &prepared.core_of);
     let Prepared {
         core_of,
         mut network,
         created_by,
-    } = sim.prepare(arena)?;
+    } = prepared;
     let mut resolver = Resolver::new(config, arena, n);
     let mut chip = ChipState::new(config.cores, sections.len());
     let mut stalls = StallTable::new(sections.len());
@@ -206,5 +213,6 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         network.stats(),
         forced_stall_releases,
         check,
+        fork_fallback,
     )
 }

@@ -39,13 +39,16 @@
 //! cores are partitioned into one cluster per thread and the per-cycle
 //! fetch walk and large drain rounds fork over a scoped pool
 //! (`parsecs-pool`), exchanging NoC arrivals at the sequential
-//! cycle-top barrier. The fork is gated on the arena's static drain
-//! certificate: it runs only when `parsecs-check` returned a clean report
-//! with [`DrainSafety::Certified`] — otherwise the run silently falls
-//! back to the sequential single-cluster path. Both paths execute the
-//! same walk and drain code over the same state in the same order, so
-//! threaded results are bit-identical to sequential ones (asserted by the
-//! differential suites).
+//! cycle-top barrier. The fork is gated on **two** static certificates:
+//! the arena's drain certificate (`parsecs-check` returned a clean
+//! report with [`DrainSafety::Certified`]) and the walk certificate
+//! ([`crate::WalkSafety::Certified`] for the concrete cluster
+//! partition). Either being withheld makes the run take the sequential
+//! single-cluster path and record a typed
+//! [`ForkFallback`] on [`SimResult::fork_fallback`] — never a silent
+//! fallback. Both paths execute the same walk and drain code over the
+//! same state in the same order, so threaded results are bit-identical
+//! to sequential ones (asserted by the differential suites).
 //!
 //! Fetch stalls follow the **in-order handoff model** (shared with the
 //! reference loop through [`crate::chip::StallTable`]): a control
@@ -71,15 +74,16 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use parsecs_check::CheckReport;
+use parsecs_check::{certify_walk, prove_progress, CheckReport};
 use parsecs_isa::Program;
 use parsecs_noc::{CoreId, Network, NocStats};
 use parsecs_pool::Pool;
 use parsecs_trace::TraceArena;
 
 use crate::chip::{ChipState, NO_SECTION, NO_STALL};
-use crate::cluster::{partition, schedule, walk_cluster, Cluster, WalkCtx};
+use crate::cluster::{cluster_windows, partition, schedule, walk_cluster, Cluster, WalkCtx};
 use crate::drain::{Resolver, INCOMPLETE, UNKNOWN};
+use crate::error::{FallbackReason, ForkFallback};
 use crate::{InstTiming, SectionId, SectionSpan, SectionedTrace, SimConfig, SimError, SimStats};
 
 pub(crate) use crate::chip::StallTable;
@@ -109,10 +113,18 @@ pub struct SimResult {
     /// Aggregate statistics.
     pub stats: SimStats,
     /// The pre-simulation static analysis report (invariants, drain
-    /// certificate, critical-path bounds) when the run was validated
-    /// ([`SimConfig::validate`]); `None` otherwise. Both engines attach
-    /// the identical report, so differential bit-identity covers it.
+    /// certificate, critical-path bounds, the placement-aware progress
+    /// proof and the partition-agnostic walk certificate) when the run
+    /// was validated ([`SimConfig::validate`]); `None` otherwise. Both
+    /// engines attach the identical report, so differential bit-identity
+    /// covers it.
     pub check: Option<Box<CheckReport>>,
+    /// `Some` when the run was asked to fork (`threads > 1`) but a
+    /// static certificate was withheld, so it ran sequentially: the
+    /// typed reason. `None` when no fork was requested or the fork ran.
+    /// The reference engine never forks but computes the identical
+    /// verdict, so differential bit-identity covers this field too.
+    pub fork_fallback: Option<ForkFallback>,
 }
 
 impl SimResult {
@@ -187,12 +199,12 @@ pub(crate) struct Prepared {
     pub(crate) created_by: HashMap<usize, SectionId>,
 }
 
-/// Whether the arena's static analysis authorises the parallel forks: a
+/// Whether the arena's static analysis authorises the parallel drain: a
 /// clean report whose drain verdict is `Certified`. Reuses the precheck
 /// report when validation already produced one; otherwise runs the full
 /// analysis here. Anything short of certified — violations, an
-/// unchecked/conflicted drain — answers `false` and the caller silently
-/// takes the sequential path.
+/// unchecked/conflicted drain — answers `false` and the caller records a
+/// typed [`ForkFallback`] on the result.
 pub(crate) fn drain_fork_certified(arena: &TraceArena, precheck: Option<&CheckReport>) -> bool {
     match precheck {
         // A precheck report exists only for validated runs, which already
@@ -282,28 +294,100 @@ impl ManyCoreSim {
 
     /// Simulates an arena-backed trace with the event-driven engine.
     ///
-    /// With [`SimConfig::threads`] above one *and* a
-    /// [`crate::DrainSafety::Certified`] static verdict for the arena,
-    /// the run forks its fetch walk and drain rounds over a scoped thread
-    /// pool — bit-identical to the sequential path (see the module docs);
-    /// an uncertified arena silently falls back to one thread.
+    /// With [`SimConfig::threads`] above one *and* both static
+    /// certificates — [`crate::DrainSafety::Certified`] for the arena
+    /// and [`crate::WalkSafety::Certified`] for the concrete cluster
+    /// partition — the run forks its fetch walk and drain rounds over a
+    /// scoped thread pool, bit-identical to the sequential path (see the
+    /// module docs). A withheld certificate makes the run sequential and
+    /// records the typed reason on [`SimResult::fork_fallback`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_arena(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
-        let check = self.precheck(arena)?;
+        let mut check = self.precheck(arena)?;
+        let prepared = self.prepare(arena)?;
+        let (clusters, fallback) = self.fork_decision(arena, check.as_deref(), &prepared.core_of);
+        self.attach_verdicts(arena, check.as_deref_mut(), &prepared.core_of);
+        if clusters > 1 {
+            Pool::with(clusters, |pool| {
+                self.run_event(arena, prepared, check, clusters, Some(pool), fallback)
+            })
+        } else {
+            self.run_event(arena, prepared, check, 1, None, fallback)
+        }
+    }
+
+    /// The fork decision both engines share: how many clusters to run
+    /// and, when a requested fork was withheld, the typed reason. Checks
+    /// the drain certificate first, then certifies the concrete cluster
+    /// partition; the reference engine computes the same verdict without
+    /// ever forking, keeping [`SimResult`]s bit-identical.
+    pub(crate) fn fork_decision(
+        &self,
+        arena: &TraceArena,
+        precheck: Option<&CheckReport>,
+        core_of: &[CoreId],
+    ) -> (usize, Option<ForkFallback>) {
         let threads = self
             .config
             .effective_threads()
             .min(self.config.cores.max(1));
-        if threads > 1 && drain_fork_certified(arena, check.as_deref()) {
-            Pool::with(threads, |pool| {
-                self.run_event(arena, check, threads, Some(pool))
-            })
-        } else {
-            self.run_event(arena, check, 1, None)
+        if threads <= 1 {
+            return (1, None);
+        }
+        if !drain_fork_certified(arena, precheck) {
+            return (
+                1,
+                Some(ForkFallback {
+                    reason: FallbackReason::DrainUncertified,
+                }),
+            );
+        }
+        let hosts: Vec<usize> = core_of.iter().map(|c| c.0).collect();
+        let windows = cluster_windows(self.config.cores, threads);
+        if !certify_walk(self.config.cores, &windows, &hosts).is_certified() {
+            return (
+                1,
+                Some(ForkFallback {
+                    reason: FallbackReason::WalkUncertified,
+                }),
+            );
+        }
+        (threads, None)
+    }
+
+    /// Attaches the configuration-aware verdicts to a validated run's
+    /// report, once the placement is known: the progress proof for this
+    /// (placement × chip) cell, and the partition-agnostic walk
+    /// certificate (the trivial one-window tiling plus every
+    /// ready-queue link inside the chip — `cluster_windows` tiles for
+    /// *every* cluster count by construction, so certifying the chip
+    /// once suffices; the concrete multi-cluster partition is
+    /// re-certified by [`ManyCoreSim::fork_decision`]). Deliberately
+    /// independent of [`SimConfig::threads`], so runs that differ only
+    /// in thread count attach identical reports.
+    pub(crate) fn attach_verdicts(
+        &self,
+        arena: &TraceArena,
+        check: Option<&mut CheckReport>,
+        core_of: &[CoreId],
+    ) {
+        if let Some(report) = check {
+            let hosts: Vec<usize> = core_of.iter().map(|c| c.0).collect();
+            report.progress = Some(prove_progress(
+                arena,
+                &hosts,
+                self.config.cores,
+                self.config.max_sections_per_core,
+            ));
+            report.walk = certify_walk(
+                self.config.cores,
+                &cluster_windows(self.config.cores, 1),
+                &hosts,
+            );
         }
     }
 
@@ -311,12 +395,15 @@ impl ManyCoreSim {
     /// forking the per-cycle walk and large drain rounds over `pool`.
     /// Single-cluster/no-pool is the sequential path; both run the same
     /// walk and drain code in the same order.
+    #[allow(clippy::too_many_arguments)]
     fn run_event(
         &self,
         arena: &TraceArena,
+        prepared: Prepared,
         check: Option<Box<CheckReport>>,
         clusters: usize,
         pool: Option<&Pool>,
+        fork_fallback: Option<ForkFallback>,
     ) -> Result<SimResult, SimError> {
         let sections = arena.sections();
         let n = arena.len();
@@ -325,7 +412,7 @@ impl ManyCoreSim {
             core_of,
             mut network,
             created_by,
-        } = self.prepare(arena)?;
+        } = prepared;
         let mut resolver = Resolver::new(&self.config, arena, n);
 
         let mut chip = ChipState::new(self.config.cores, sections.len());
@@ -579,6 +666,7 @@ impl ManyCoreSim {
             network.stats(),
             forced_stall_releases,
             check,
+            fork_fallback,
         )
     }
 
@@ -644,6 +732,7 @@ impl ManyCoreSim {
         noc: NocStats,
         forced_stall_releases: u64,
         check: Option<Box<CheckReport>>,
+        fork_fallback: Option<ForkFallback>,
     ) -> Result<SimResult, SimError> {
         let timings: Vec<InstTiming> = if self.config.record_timings {
             (0..arena.len())
@@ -729,6 +818,16 @@ impl ManyCoreSim {
                 bounds.critical_path
             );
         }
+        if let Some(progress) = check.as_ref().and_then(|report| report.progress.as_ref()) {
+            // The no-false-proofs contract: the runtime deadlock detector
+            // firing on a run the prover declared `Proven` means the
+            // prover (or the placement it was fed) is lying.
+            debug_assert!(
+                !(stats.forced_stall_releases > 0 && progress.is_proven()),
+                "the deadlock detector fired {} time(s) on a run proven to progress",
+                stats.forced_stall_releases
+            );
+        }
 
         Ok(SimResult {
             outputs: arena.outputs().to_vec(),
@@ -738,6 +837,7 @@ impl ManyCoreSim {
             core_of,
             stats,
             check,
+            fork_fallback,
         })
     }
 
@@ -1341,8 +1441,9 @@ t3:     movq $w, %rcx
             "a writer-discipline violation must withhold the fork certificate"
         );
 
-        // The threaded configuration silently falls back to the
-        // sequential drain and still produces the sequential result.
+        // The threaded configuration falls back to the sequential drain,
+        // produces the sequential result, and — instead of staying
+        // silent — records the typed reason for the withheld fork.
         let mut config = SimConfig::with_cores(4);
         config.validate = false;
         let sim_seq = ManyCoreSim::new(config.clone().with_threads(1));
@@ -1350,9 +1451,41 @@ t3:     movq $w, %rcx
         let sequential = sim_seq
             .simulate_arena(&arena)
             .expect("sequential simulates");
-        let threaded = sim_thr
+        let mut threaded = sim_thr
             .simulate_arena(&arena)
             .expect("falls back and simulates");
+        assert_eq!(
+            sequential.fork_fallback, None,
+            "a run that never asked to fork reports no fallback"
+        );
+        assert_eq!(
+            threaded.fork_fallback,
+            Some(ForkFallback {
+                reason: FallbackReason::DrainUncertified,
+            }),
+            "the corrupt arena's withheld fork must carry its typed reason"
+        );
+        assert!(threaded
+            .fork_fallback
+            .expect("typed")
+            .to_string()
+            .contains("drain uncertified"));
+        // Modulo the fallback record, the fallback run is bit-identical
+        // to the genuinely sequential one.
+        threaded.fork_fallback = None;
         assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn certified_threaded_runs_report_no_fallback() {
+        let data: Vec<u64> = (1..=40).collect();
+        let program = sum_fork_program(&data);
+        let result = ManyCoreSim::new(SimConfig::with_cores(64).with_threads(4))
+            .run(&program)
+            .expect("simulates");
+        assert_eq!(
+            result.fork_fallback, None,
+            "both certificates hold, so the fork runs and nothing is withheld"
+        );
     }
 }

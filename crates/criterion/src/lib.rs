@@ -4,6 +4,8 @@
 //! is provided — warm-up plus median-of-samples timing, printed one line
 //! per benchmark, with no statistical machinery.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hint;
 use std::time::{Duration, Instant};

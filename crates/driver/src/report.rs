@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use parsecs_core::{CheckReport, InstTiming, SimResult};
+use parsecs_core::{CheckReport, ForkFallback, InstTiming, Progress, SimResult};
 use parsecs_ilp::IlpResult;
 use parsecs_machine::Trace;
 
@@ -144,6 +144,32 @@ impl RunReport {
     /// [`RunReport::check`]).
     pub fn drain_certified(&self) -> Option<bool> {
         self.check().map(|report| report.drain.is_certified())
+    }
+
+    /// The configuration-aware progress verdict for this run's
+    /// (placement × chip) cell: [`Progress::Proven`] with the longest
+    /// wait chain, or [`Progress::PotentialCycle`] with a concrete
+    /// section cycle. `None` when the run was not validated (the
+    /// engines attach it alongside the rest of the report — see
+    /// [`RunReport::check`]).
+    pub fn progress(&self) -> Option<&Progress> {
+        self.check().and_then(|report| report.progress.as_ref())
+    }
+
+    /// Whether the partition-agnostic walk certificate was issued for
+    /// this run (`None` when the run was not validated).
+    pub fn walk_certified(&self) -> Option<bool> {
+        self.check().map(|report| report.walk.is_certified())
+    }
+
+    /// The typed record of a withheld parallel fork: `Some` when the run
+    /// asked for threads but a static certificate (drain or walk) was
+    /// withheld and it ran sequentially; `None` when no fork was
+    /// requested, the fork ran, or the backend is not the many-core
+    /// model. Never silent: a threaded run always reports either both
+    /// certificates or this reason.
+    pub fn fork_fallback(&self) -> Option<ForkFallback> {
+        self.sim().and_then(|r| r.fork_fallback)
     }
 
     /// How many times the many-core simulator's deadlock *detector*

@@ -4,6 +4,8 @@
 //! provided, generation is deterministic (fixed seed, fixed case count),
 //! and there is no shrinking.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod option;
 pub mod prelude;

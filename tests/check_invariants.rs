@@ -11,7 +11,7 @@
 //! matching [`InvariantViolation`] variant. A proptest then sweeps the
 //! same mutations across random seeds and all five generators.
 
-use parsecs::check::{check_arena, DrainSafety, InvariantViolation};
+use parsecs::check::{check_arena, DrainSafety, InvariantViolation, Progress};
 use parsecs::core::{ManyCoreSim, SimConfig};
 use parsecs::trace::{PackedDep, SectionId, SectionSpan, TraceArena};
 use parsecs::workloads::scale;
@@ -330,6 +330,89 @@ fn scale_generators_are_certified_and_bounded_across_chip_sizes() {
 }
 
 proptest! {
+    /// Capacity-starved placements of a dependent chain: more sections
+    /// than core slots (`sections > cores × max_sections_per_core`) with
+    /// producer edges linking every section to its predecessor. The
+    /// progress prover must flag `Progress::PotentialCycle` with a
+    /// closed concrete witness, both engines must attach the identical
+    /// verdict bit-for-bit, and the verdict must stay consistent with
+    /// the runtime deadlock detector in the one direction the model
+    /// promises: a run the detector flags is never `Proven`. (The
+    /// park/handoff runtime relaxes capacity and completes these runs —
+    /// `PotentialCycle` with a quiet detector is the expected,
+    /// consistent outcome; the prover's hold-slot model is strictly
+    /// stricter.)
+    #[test]
+    fn capacity_starved_chains_are_flagged_and_consistent_with_the_detector(
+        seed in proptest::strategy::any::<u64>(),
+        elements in 265usize..300,
+    ) {
+        let program = scale::chain_sum_program(elements, seed);
+        let arena = TraceArena::from_program(&program, scale::chain_sum_fuel(elements))
+            .expect("workload halts within fuel");
+        let sections = arena.sections().len();
+        prop_assert!(
+            sections > 256,
+            "a {}-element chain made only {} sections", elements, sections
+        );
+        for cores in [64usize, 256] {
+            let mut config = SimConfig::with_cores(cores).stats_only().validated();
+            config.max_sections_per_core = 1;
+            let sim = ManyCoreSim::new(config);
+            let event = sim.simulate_arena(&arena).expect("event engine simulates");
+            let reference = sim
+                .simulate_arena_reference(&arena)
+                .expect("reference engine simulates");
+            prop_assert_eq!(&event, &reference, "engines diverge at {} cores", cores);
+            let report = event.check.as_ref().expect("validated run attaches a report");
+            let progress = report
+                .progress
+                .as_ref()
+                .expect("validated runs attach the progress verdict");
+            prop_assert!(
+                !progress.is_proven(),
+                "{} sections on {} single-slot cores must not be proven: {:?}",
+                sections, cores, progress
+            );
+            let Progress::PotentialCycle { witness } = progress else {
+                unreachable!("not proven, so a potential cycle");
+            };
+            prop_assert!(!witness.is_empty());
+            for pair in witness.windows(2) {
+                prop_assert_eq!(pair[0].to_section, pair[1].from_section, "witness chains");
+            }
+            prop_assert_eq!(
+                witness.last().expect("non-empty").to_section,
+                witness[0].from_section,
+                "witness must close on its first section"
+            );
+            // One-directional consistency with the runtime detector: a
+            // deadlocked run must never carry a proof.
+            prop_assert!(event.stats.forced_stall_releases == 0 || !progress.is_proven());
+        }
+        // The same chain with the default per-core capacity is proven —
+        // and the proof is consistent with the detector staying quiet.
+        let roomy = ManyCoreSim::new(SimConfig::with_cores(64).stats_only().validated())
+            .simulate_arena(&arena)
+            .expect("roomy chip simulates");
+        let progress = roomy
+            .check
+            .as_ref()
+            .expect("validated run attaches a report")
+            .progress
+            .as_ref()
+            .expect("attached")
+            .clone();
+        prop_assert!(
+            progress.is_proven(),
+            "default capacity must prove progress, got {:?}", progress
+        );
+        // The chain's serial structure shows up in the certificate: the
+        // longest producer-edge chain spans at least the link sections.
+        prop_assert!(progress.longest_wait_chain().expect("proven") >= sections / 2);
+        prop_assert_eq!(roomy.stats.forced_stall_releases, 0);
+    }
+
     /// The corpus swept across random seeds and all five generators:
     /// whenever a mutation site exists, the matching variant is reported.
     #[test]

@@ -223,6 +223,31 @@ proptest! {
                 seed,
                 report
             );
+            let progress = report
+                .progress
+                .as_ref()
+                .expect("validated runs attach a progress verdict");
+            // One direction of the progress prover's contract, checked on
+            // every cell of the random grid: a run the prover certified
+            // must never wake the runtime deadlock detector. (The
+            // converse — a quiet detector on a `PotentialCycle` cell —
+            // is expected: the park model releases the slots the
+            // hold-slot abstraction pessimistically keeps occupied.)
+            if progress.is_proven() {
+                prop_assert_eq!(
+                    event.stats.forced_stall_releases,
+                    0,
+                    "seed {} under {:?}: statically proven cell deadlocked",
+                    seed,
+                    sim.config()
+                );
+            }
+            prop_assert!(
+                report.walk.is_certified(),
+                "seed {}: trivial partition not walk-certified: {:?}",
+                seed,
+                report.walk
+            );
             let bounds = report.bounds.as_ref().expect("clean arenas are bounded");
             prop_assert!(
                 event.stats.total_cycles >= bounds.critical_path,
@@ -273,8 +298,22 @@ proptest! {
             // recording and the stats-only mode.
             let seq = ManyCoreSim::new(sim.config().clone().with_threads(1));
             let par = ManyCoreSim::new(sim.config().clone().with_threads(4));
+            let par_result = par.run(&program).expect("threaded engine simulates");
+            // Never silent: a threaded run either carries both static
+            // certificates (drain and walk) or a typed fallback reason.
+            let par_report = par_result
+                .check
+                .as_ref()
+                .expect("threaded validated run attaches a report");
+            prop_assert!(
+                par_result.fork_fallback.is_some()
+                    || (par_report.drain.is_certified() && par_report.walk.is_certified()),
+                "seed {} under {:?}: threaded run is silent about its fork decision",
+                seed,
+                par.config()
+            );
             prop_assert_eq!(
-                &par.run(&program).expect("threaded engine simulates"),
+                &par_result,
                 &seq.run(&program).expect("sequential engine simulates"),
                 "seed {} under {:?}: threaded run diverges",
                 seed,
@@ -402,8 +441,19 @@ proptest! {
             // threaded run reproduces `event` (already pinned to the
             // cycle-stepping reference above) bit-for-bit.
             let par = ManyCoreSim::new(sim.config().clone().with_threads(4));
+            let par_result = par.run(&program).expect("threaded engine simulates");
+            prop_assert!(
+                par_result.fork_fallback.is_some()
+                    || par_result
+                        .check
+                        .as_ref()
+                        .is_some_and(|r| r.drain.is_certified() && r.walk.is_certified()),
+                "seed {} under {:?}: threaded run is silent about its fork decision",
+                seed,
+                par.config()
+            );
             prop_assert_eq!(
-                &par.run(&program).expect("threaded engine simulates"),
+                &par_result,
                 &event,
                 "seed {} under {:?}: threaded run diverges",
                 seed,
