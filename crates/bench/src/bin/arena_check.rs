@@ -34,6 +34,7 @@
 //! `PARSECS_THREADS`) — the certificates this binary reports are exactly
 //! what authorises that engine's drain fork.
 
+use parsecs_bench::json;
 use parsecs_core::{
     check_arena, prove_progress, DrainSafety, ManyCoreSim, Progress, SimConfig, SimError,
     TraceArena,
@@ -231,52 +232,48 @@ fn drain_summary(drain: &DrainSafety) -> String {
 }
 
 fn to_json(rows: &[Row]) -> String {
-    let body: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            let cells: Vec<String> = CORE_GRID
-                .iter()
-                .zip(&r.cycles)
-                .map(|(cores, cycles)| format!("\"{cores}\": {cycles}"))
-                .collect();
-            let proofs: Vec<String> = CORE_GRID
-                .iter()
-                .zip(r.progress.iter().zip(&r.deadlocked))
-                .map(|(cores, (progress, deadlocked))| {
-                    format!(
-                        "\"{cores}\": {{\"verdict\": \"{}\", \"wait_chain\": {}, \
-                         \"witness\": {}, \"deadlocked\": {}}}",
+    json::array(rows.iter().map(|r| {
+        let cycles = CORE_GRID
+            .iter()
+            .zip(&r.cycles)
+            .fold(json::Obj::new(), |obj, (cores, cycles)| {
+                obj.field(&cores.to_string(), cycles)
+            })
+            .build();
+        let proofs = CORE_GRID
+            .iter()
+            .zip(r.progress.iter().zip(&r.deadlocked))
+            .fold(json::Obj::new(), |obj, (cores, (progress, deadlocked))| {
+                let proof = json::Obj::new()
+                    .str(
+                        "verdict",
                         if progress.is_proven() {
                             "proven"
                         } else {
                             "potential-cycle"
                         },
-                        progress.longest_wait_chain().unwrap_or(0),
-                        witness_len(progress),
-                        deadlocked,
                     )
-                })
-                .collect();
-            format!(
-                "  {{\"workload\": \"{}\", \"instructions\": {}, \"sections\": {}, \
-                 \"violations\": {}, \"drain\": \"{}\", \"critical_path\": {}, \
-                 \"ilp_width\": {:.2}, \"cycles\": {{{}}}, \"progress\": {{{}}}, \
-                 \"bound_holds\": {}, \"proofs_consistent\": {}}}",
-                r.workload,
-                r.instructions,
-                r.sections,
-                r.violations,
-                drain_summary(&r.drain),
-                r.critical_path,
-                r.ilp_width,
-                cells.join(", "),
-                proofs.join(", "),
-                r.bound_holds,
-                r.proofs_consistent,
-            )
-        })
-        .collect();
-    format!("[\n{}\n]\n", body.join(",\n"))
+                    .field("wait_chain", progress.longest_wait_chain().unwrap_or(0))
+                    .field("witness", witness_len(progress))
+                    .field("deadlocked", deadlocked)
+                    .build();
+                obj.field(&cores.to_string(), proof)
+            })
+            .build();
+        json::Obj::new()
+            .str("workload", &r.workload)
+            .field("instructions", r.instructions)
+            .field("sections", r.sections)
+            .field("violations", r.violations)
+            .str("drain", &drain_summary(&r.drain))
+            .field("critical_path", r.critical_path)
+            .fixed("ilp_width", r.ilp_width, 2)
+            .field("cycles", cycles)
+            .field("progress", proofs)
+            .field("bound_holds", r.bound_holds)
+            .field("proofs_consistent", r.proofs_consistent)
+            .build()
+    }))
 }
 
 fn main() {

@@ -51,17 +51,35 @@
 //! only; the gate stays disarmed on smaller hosts and quick runs, the
 //! bit-identity assertion never does).
 //!
-//! Usage: `repro_perf [--quick] [--validate] [--threads N] [--json [PATH]]`
-//! — `--quick` shrinks the grid for CI smoke runs (default JSON path
-//! `BENCH_sim.json`); `--validate` runs every grid cell with the full
-//! static analysis (`parsecs-check`) on, which also disarms the guard
-//! row's noise gate (every cell then pays the analysis by design);
-//! `--threads` sets the threaded row's worker count (`0` = auto,
-//! default follows `PARSECS_THREADS`).
+//! A **probe guard row** rides along the same cell: the explicit probed
+//! entry point ([`ManyCoreSim::simulate_arena_probed`]) with the
+//! compiled-out [`NoopProbe`] must stay within noise (±15%, full mode)
+//! of the unprobed stats cell measured in the same process — the gate
+//! proving the telemetry layer is zero-cost when disabled — and an
+//! enabled [`CountingProbe`] run must be bit-identical to the unprobed
+//! one (observers never steer). Every grid row also records the cycle
+//! attribution telemetry (occupancy plus busy / stalled-by-cause /
+//! parked / idle chip totals) in `BENCH_sim.json`.
+//!
+//! Usage: `repro_perf [--quick] [--validate] [--threads N] [--json [PATH]]
+//! [--trace-out PATH]` — `--quick` shrinks the grid for CI smoke runs
+//! (default JSON path `BENCH_sim.json`); `--validate` runs every grid
+//! cell with the full static analysis (`parsecs-check`) on, which also
+//! disarms the guard rows' noise gates (every cell then pays the
+//! analysis by design); `--threads` sets the threaded row's worker
+//! count (`0` = auto, default follows `PARSECS_THREADS`); `--trace-out`
+//! re-runs the headline cell with a streaming
+//! [`ChromeTraceWriter`] and writes a
+//! Perfetto-loadable Chrome trace to `PATH`.
 
+use std::io::BufWriter;
 use std::time::Instant;
 
-use parsecs_core::{ChainAffine, ForkFallback, ManyCoreSim, SectionedTrace, SimConfig, TraceArena};
+use parsecs_bench::{json, AttributionTotals};
+use parsecs_core::{
+    ChainAffine, ChromeTraceWriter, CountingProbe, ForkFallback, ManyCoreSim, NoopProbe,
+    SectionedTrace, SimConfig, TraceArena,
+};
 use parsecs_isa::Program;
 use parsecs_noc::NocConfig;
 use parsecs_workloads::scale;
@@ -94,6 +112,10 @@ struct Row {
     event_ms: f64,
     reference_ms: f64,
     speedup: f64,
+    /// Chip-wide fetch-slot occupancy over all configured cores.
+    occupancy: f64,
+    /// Chip-wide sums of the per-core cycle attribution table.
+    attr: AttributionTotals,
     headline: bool,
 }
 
@@ -450,7 +472,66 @@ fn measure(cell: &Cell) -> Row {
         event_ms,
         reference_ms,
         speedup: reference_ms / event_ms,
+        occupancy: event.stats.occupancy(),
+        attr: AttributionTotals::from_cores(&event.stats.attribution),
         headline: cell.headline,
+    }
+}
+
+/// The probe guard: the stats-only chip-scale cell through the explicit
+/// probed entry point, with the compiled-out [`NoopProbe`] (must sit in
+/// the unprobed cell's noise band — the zero-cost contract) and with an
+/// enabled [`CountingProbe`] (bit-identical by contract; its cost is
+/// recorded for scale, not gated).
+struct ProbeRow {
+    workload: String,
+    cores: usize,
+    instructions: u64,
+    noop_ms: f64,
+    counting_ms: f64,
+    /// `counting_ms / noop_ms` — what an enabled every-event observer
+    /// costs on top of the bare engine.
+    counting_overhead: f64,
+    /// Events the counting probe observed in one run.
+    events: u64,
+}
+
+/// Times the stats-only cell through [`ManyCoreSim::simulate_arena_probed`]
+/// with both probes and asserts the counting run is bit-identical to the
+/// unprobed one.
+fn measure_probe(name: &str, arena: &TraceArena, cores: usize) -> ProbeRow {
+    let mut config = SimConfig::with_cores(cores).stats_only();
+    config.validate = false;
+    let sim = ManyCoreSim::new(config);
+    let plain = sim.simulate_arena(arena).expect("simulates");
+    let mut counting = CountingProbe::default();
+    let counted = sim
+        .simulate_arena_probed(arena, &mut counting)
+        .expect("simulates");
+    assert_eq!(plain, counted, "{name}: an observing probe steered the run");
+    assert!(counting.events() > 0, "{name}: the probe observed nothing");
+    let mut noop_ms = f64::INFINITY;
+    let mut counting_ms = f64::INFINITY;
+    for _ in 0..MODE_RUNS {
+        let (_, ms) = timed(|| {
+            sim.simulate_arena_probed(arena, &mut NoopProbe)
+                .expect("simulates")
+        });
+        noop_ms = noop_ms.min(ms);
+        let (_, ms) = timed(|| {
+            sim.simulate_arena_probed(arena, &mut CountingProbe::default())
+                .expect("simulates")
+        });
+        counting_ms = counting_ms.min(ms);
+    }
+    ProbeRow {
+        workload: name.to_string(),
+        cores,
+        instructions: arena.len() as u64,
+        noop_ms,
+        counting_ms,
+        counting_overhead: counting_ms / noop_ms,
+        events: counting.events(),
     }
 }
 
@@ -460,85 +541,102 @@ fn to_json(
     modes: &ModeRow,
     guard: &GuardRow,
     threaded: &ThreadRow,
+    probe: &ProbeRow,
 ) -> String {
     let mut body: Vec<String> = rows
         .iter()
         .map(|r| {
-            format!(
-                "  {{\"workload\": \"{}\", \"config\": \"{}\", \"cores\": {}, \
-                 \"instructions\": {}, \"sections\": {}, \"total_cycles\": {}, \
-                 \"fetch_ipc\": {:.4}, \"forced_stall_releases\": {}, \
-                 \"arena_bytes_per_insn\": {:.1}, \
-                 \"event_ms\": {:.3}, \"reference_ms\": {:.3}, \
-                 \"speedup\": {:.2}, \"headline\": {}}}",
-                r.workload,
-                r.config,
-                r.cores,
-                r.instructions,
-                r.sections,
-                r.total_cycles,
-                r.fetch_ipc,
-                r.forced_stall_releases,
-                r.arena_bytes_per_insn,
-                r.event_ms,
-                r.reference_ms,
-                r.speedup,
-                r.headline
-            )
+            let row = json::Obj::new()
+                .str("workload", &r.workload)
+                .str("config", &r.config)
+                .field("cores", r.cores)
+                .field("instructions", r.instructions)
+                .field("sections", r.sections)
+                .field("total_cycles", r.total_cycles)
+                .fixed("fetch_ipc", r.fetch_ipc, 4)
+                .field("forced_stall_releases", r.forced_stall_releases)
+                .fixed("arena_bytes_per_insn", r.arena_bytes_per_insn, 1)
+                .fixed("event_ms", r.event_ms, 3)
+                .fixed("reference_ms", r.reference_ms, 3)
+                .fixed("speedup", r.speedup, 2);
+            r.attr
+                .append_fields(row, r.occupancy)
+                .field("headline", r.headline)
+                .build()
         })
         .collect();
-    body.push(format!(
-        "  {{\"workload\": \"{}\", \"config\": \"pipeline\", \"instructions\": {}, \
-         \"legacy_ms\": {:.3}, \"streaming_ms\": {:.3}, \"pipeline_speedup\": {:.2}, \
-         \"arena_bytes_per_insn\": {:.1}}}",
-        pipeline.workload,
-        pipeline.instructions,
-        pipeline.legacy_ms,
-        pipeline.streaming_ms,
-        pipeline.speedup,
-        pipeline.arena_bytes_per_insn,
-    ));
-    body.push(format!(
-        "  {{\"workload\": \"{}\", \"config\": \"full-vs-stats\", \"cores\": {}, \
-         \"instructions\": {}, \"full_ms\": {:.3}, \"stats_ms\": {:.3}, \
-         \"stats_speedup\": {:.2}, \"full_state_bytes_per_insn\": {:.1}, \
-         \"stats_state_bytes_per_insn\": {:.1}}}",
-        modes.workload,
-        modes.cores,
-        modes.instructions,
-        modes.full_ms,
-        modes.stats_ms,
-        modes.speedup,
-        modes.full_state_bytes_per_insn,
-        modes.stats_state_bytes_per_insn,
-    ));
-    body.push(format!(
-        "  {{\"workload\": \"{}\", \"config\": \"validate-guard\", \"cores\": {}, \
-         \"instructions\": {}, \"validate_off_ms\": {:.3}, \"validate_on_ms\": {:.3}, \
-         \"validate_overhead\": {:.3}}}",
-        guard.workload,
-        guard.cores,
-        guard.instructions,
-        guard.validate_off_ms,
-        guard.validate_on_ms,
-        guard.overhead,
-    ));
-    body.push(format!(
-        "  {{\"workload\": \"{}\", \"config\": \"threaded\", \"cores\": {}, \
-         \"threads\": {}, \"instructions\": {}, \"sequential_ms\": {:.3}, \
-         \"threaded_ms\": {:.3}, \"threaded_speedup\": {:.2}, \"fork_fallback\": {}}}",
-        threaded.workload,
-        threaded.cores,
-        threaded.threads,
-        threaded.instructions,
-        threaded.sequential_ms,
-        threaded.threaded_ms,
-        threaded.speedup,
-        threaded
-            .fallback
-            .map_or("null".into(), |f| format!("\"{}\"", f.reason)),
-    ));
-    format!("[\n{}\n]\n", body.join(",\n"))
+    body.push(
+        json::Obj::new()
+            .str("workload", &pipeline.workload)
+            .str("config", "pipeline")
+            .field("instructions", pipeline.instructions)
+            .fixed("legacy_ms", pipeline.legacy_ms, 3)
+            .fixed("streaming_ms", pipeline.streaming_ms, 3)
+            .fixed("pipeline_speedup", pipeline.speedup, 2)
+            .fixed("arena_bytes_per_insn", pipeline.arena_bytes_per_insn, 1)
+            .build(),
+    );
+    body.push(
+        json::Obj::new()
+            .str("workload", &modes.workload)
+            .str("config", "full-vs-stats")
+            .field("cores", modes.cores)
+            .field("instructions", modes.instructions)
+            .fixed("full_ms", modes.full_ms, 3)
+            .fixed("stats_ms", modes.stats_ms, 3)
+            .fixed("stats_speedup", modes.speedup, 2)
+            .fixed(
+                "full_state_bytes_per_insn",
+                modes.full_state_bytes_per_insn,
+                1,
+            )
+            .fixed(
+                "stats_state_bytes_per_insn",
+                modes.stats_state_bytes_per_insn,
+                1,
+            )
+            .build(),
+    );
+    body.push(
+        json::Obj::new()
+            .str("workload", &guard.workload)
+            .str("config", "validate-guard")
+            .field("cores", guard.cores)
+            .field("instructions", guard.instructions)
+            .fixed("validate_off_ms", guard.validate_off_ms, 3)
+            .fixed("validate_on_ms", guard.validate_on_ms, 3)
+            .fixed("validate_overhead", guard.overhead, 3)
+            .build(),
+    );
+    body.push(
+        json::Obj::new()
+            .str("workload", &threaded.workload)
+            .str("config", "threaded")
+            .field("cores", threaded.cores)
+            .field("threads", threaded.threads)
+            .field("instructions", threaded.instructions)
+            .fixed("sequential_ms", threaded.sequential_ms, 3)
+            .fixed("threaded_ms", threaded.threaded_ms, 3)
+            .fixed("threaded_speedup", threaded.speedup, 2)
+            .opt_str(
+                "fork_fallback",
+                threaded.fallback.map(|f| f.reason.to_string()).as_deref(),
+            )
+            .build(),
+    );
+    body.push(
+        json::Obj::new()
+            .str("workload", &probe.workload)
+            .str("config", "probe-guard")
+            .field("cores", probe.cores)
+            .field("instructions", probe.instructions)
+            .fixed("noop_probe_ms", probe.noop_ms, 3)
+            .fixed("counting_probe_ms", probe.counting_ms, 3)
+            .fixed("counting_overhead", probe.counting_overhead, 3)
+            .field("probe_events", probe.events)
+            .build(),
+    );
+    json::array(body)
 }
 
 fn print_table(rows: &[Row]) {
@@ -578,6 +676,7 @@ fn main() {
     let mut validate = false;
     let mut threads = SimConfig::default().threads.max(2);
     let mut json_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -595,10 +694,13 @@ fn main() {
                     _ => "BENCH_sim.json".into(),
                 });
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a file path"));
+            }
             other => {
                 eprintln!(
                     "unknown argument '{other}' (supported: --quick --validate \
-                     --threads N --json [PATH])"
+                     --threads N --json [PATH] --trace-out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -687,10 +789,47 @@ fn main() {
         },
     );
 
+    // The probe guard row: the same stats-only chip-scale cell through
+    // the explicit probed entry point, compiled-out and enabled.
+    let probe = measure_probe(&modes.workload.clone(), &fan, 1024);
+    println!(
+        "probe    {:<22} {:>9} insns  noop {:>9.1} ms  counting {:>7.1} ms  {:>4.2}x  \
+         {} events",
+        probe.workload,
+        probe.instructions,
+        probe.noop_ms,
+        probe.counting_ms,
+        probe.counting_overhead,
+        probe.events,
+    );
+
+    // A Perfetto-loadable Chrome trace of the headline cell: section
+    // residency spans per core, fork flow arrows, stall markers and
+    // sampled chip gauges, one microsecond per simulated cycle.
+    if let Some(path) = &trace_out {
+        let cell = grid.iter().find(|c| c.headline).expect("headline cell");
+        let file = std::fs::File::create(path).expect("create the --trace-out file");
+        let mut writer = ChromeTraceWriter::new(BufWriter::new(file));
+        let traced = cell
+            .sim
+            .simulate_arena_probed(&cell.trace, &mut writer)
+            .expect("simulates");
+        assert_eq!(traced.outputs, cell.expected);
+        let events = writer.events();
+        writer.finish().expect("flush the Chrome trace");
+        eprintln!(
+            "wrote {events} trace events for {} [{}] to {path}",
+            cell.workload, cell.config
+        );
+    }
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows, &pipeline, &modes, &guard, &threaded))
-            .expect("write BENCH_sim.json");
-        eprintln!("wrote {} rows to {path}", rows.len() + 4);
+        std::fs::write(
+            &path,
+            to_json(&rows, &pipeline, &modes, &guard, &threaded, &probe),
+        )
+        .expect("write BENCH_sim.json");
+        eprintln!("wrote {} rows to {path}", rows.len() + 5);
     }
 
     // Hard gates. Any forced stall release means the stall/wake model
@@ -766,6 +905,22 @@ fn main() {
                  is not free",
                 guard.validate_off_ms,
                 (ratio - 1.0).abs() * 100.0,
+                modes.stats_ms
+            );
+            failed = true;
+        }
+        // The telemetry layer must be zero-cost when compiled out: the
+        // NoopProbe cell is the identical workload/mode as the stats
+        // cell, with every hook monomorphized to nothing, so its time
+        // must also sit in the same ±15% noise band.
+        let probe_ratio = probe.noop_ms / modes.stats_ms;
+        if !(0.85..=1.15).contains(&probe_ratio) {
+            eprintln!(
+                "FAIL: NoopProbe stats cell at {:.1} ms deviates {:.0}% from \
+                 the stats-only baseline {:.1} ms — the disabled probe layer \
+                 is not free",
+                probe.noop_ms,
+                (probe_ratio - 1.0).abs() * 100.0,
                 modes.stats_ms
             );
             failed = true;

@@ -41,19 +41,30 @@
 //! per-core state was a vector of pointer-chasing structs — and this
 //! gate keeps that inversion from coming back.
 //!
-//! Usage: `repro_scale [--quick] [--validate] [--threads N] [--json [PATH]]`
-//! — `--quick` shrinks the grid to one 256-core, ~2M-instruction
-//! workload run in both modes for CI smoke runs (default JSON path
-//! `BENCH_scale.json`); `--validate` runs every cell with the full
-//! static analysis (`parsecs-check`) on, so a structurally corrupt
-//! arena fails the run before it is ever simulated; `--threads` runs
-//! every cell on the cluster-sharded parallel engine with that many
-//! workers (`0` = auto, default follows `PARSECS_THREADS`; results are
-//! bit-identical to sequential runs by construction).
+//! Every row also records the run's cycle-attribution telemetry —
+//! fetch-slot occupancy plus the chip-wide busy / stalled-by-cause /
+//! parked / idle cycle totals — in the same JSON schema as
+//! `BENCH_sim.json`.
+//!
+//! Usage: `repro_scale [--quick] [--validate] [--threads N] [--json [PATH]]
+//! [--trace-out PATH]` — `--quick` shrinks the grid to one 256-core,
+//! ~2M-instruction workload run in both modes for CI smoke runs
+//! (default JSON path `BENCH_scale.json`); `--validate` runs every cell
+//! with the full static analysis (`parsecs-check`) on, so a
+//! structurally corrupt arena fails the run before it is ever
+//! simulated; `--threads` runs every cell on the cluster-sharded
+//! parallel engine with that many workers (`0` = auto, default follows
+//! `PARSECS_THREADS`; results are bit-identical to sequential runs by
+//! construction); `--trace-out` re-runs the grid's first workload at
+//! its smallest chip size with a streaming
+//! [`ChromeTraceWriter`] and writes a
+//! Perfetto-loadable Chrome trace to `PATH`.
 
+use std::io::BufWriter;
 use std::time::Instant;
 
-use parsecs_core::{ManyCoreSim, SimConfig, TraceArena};
+use parsecs_bench::{json, AttributionTotals};
+use parsecs_core::{ChromeTraceWriter, ManyCoreSim, SimConfig, TraceArena};
 use parsecs_driver::DriverError;
 use parsecs_isa::Program;
 use parsecs_workloads::scale;
@@ -104,6 +115,10 @@ struct Row {
     fetch_ipc: f64,
     peak_sections_per_core: usize,
     forced_stall_releases: u64,
+    /// Chip-wide fetch-slot occupancy over all configured cores.
+    occupancy: f64,
+    /// Chip-wide sums of the per-core cycle attribution table.
+    attr: AttributionTotals,
     stats_only: bool,
     headline: bool,
     headline_100m: bool,
@@ -220,6 +235,8 @@ fn measure(workload: &Workload, validate: bool, threads: usize) -> Vec<Row> {
                 fetch_ipc: result.stats.fetch_ipc,
                 peak_sections_per_core: result.stats.peak_sections_per_core,
                 forced_stall_releases: result.stats.forced_stall_releases,
+                occupancy: result.stats.occupancy(),
+                attr: AttributionTotals::from_cores(&result.stats.attribution),
                 stats_only: workload.stats_only,
                 headline: workload.headline && cores == *workload.cores.iter().max().unwrap(),
                 headline_100m: workload.headline_100m,
@@ -229,41 +246,31 @@ fn measure(workload: &Workload, validate: bool, threads: usize) -> Vec<Row> {
 }
 
 fn to_json(rows: &[Row]) -> String {
-    let body: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "  {{\"workload\": \"{}\", \"mode\": \"{}\", \"cores\": {}, \
-                 \"threads\": {}, \
-                 \"instructions\": {}, \"sections\": {}, \"pre_ms\": {:.3}, \
-                 \"sectioning_insns_per_sec\": {:.0}, \"arena_bytes\": {}, \
-                 \"arena_bytes_per_insn\": {:.1}, \"sim_ms\": {:.3}, \
-                 \"sim_state_bytes\": {}, \"total_bytes_per_insn\": {:.1}, \
-                 \"total_cycles\": {}, \"fetch_ipc\": {:.4}, \"peak_sections_per_core\": {}, \
-                 \"forced_stall_releases\": {}, \"headline\": {}, \"headline_100m\": {}}}",
-                r.workload,
-                r.mode,
-                r.cores,
-                r.threads,
-                r.instructions,
-                r.sections,
-                r.pre_ms,
-                r.sectioning_insns_per_sec,
-                r.arena_bytes,
-                r.arena_bytes_per_insn,
-                r.sim_ms,
-                r.sim_state_bytes,
-                r.total_bytes_per_insn,
-                r.total_cycles,
-                r.fetch_ipc,
-                r.peak_sections_per_core,
-                r.forced_stall_releases,
-                r.headline,
-                r.headline_100m,
-            )
-        })
-        .collect();
-    format!("[\n{}\n]\n", body.join(",\n"))
+    json::array(rows.iter().map(|r| {
+        let row = json::Obj::new()
+            .str("workload", &r.workload)
+            .str("mode", r.mode)
+            .field("cores", r.cores)
+            .field("threads", r.threads)
+            .field("instructions", r.instructions)
+            .field("sections", r.sections)
+            .fixed("pre_ms", r.pre_ms, 3)
+            .fixed("sectioning_insns_per_sec", r.sectioning_insns_per_sec, 0)
+            .field("arena_bytes", r.arena_bytes)
+            .fixed("arena_bytes_per_insn", r.arena_bytes_per_insn, 1)
+            .fixed("sim_ms", r.sim_ms, 3)
+            .field("sim_state_bytes", r.sim_state_bytes)
+            .fixed("total_bytes_per_insn", r.total_bytes_per_insn, 1)
+            .field("total_cycles", r.total_cycles)
+            .fixed("fetch_ipc", r.fetch_ipc, 4)
+            .field("peak_sections_per_core", r.peak_sections_per_core)
+            .field("forced_stall_releases", r.forced_stall_releases);
+        r.attr
+            .append_fields(row, r.occupancy)
+            .field("headline", r.headline)
+            .field("headline_100m", r.headline_100m)
+            .build()
+    }))
 }
 
 fn print_table(rows: &[Row]) {
@@ -313,6 +320,7 @@ fn main() {
     let mut validate = false;
     let mut threads = SimConfig::default().threads;
     let mut json_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -330,10 +338,13 @@ fn main() {
                     _ => "BENCH_scale.json".into(),
                 });
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a file path"));
+            }
             other => {
                 eprintln!(
                     "unknown argument '{other}' (supported: --quick --validate \
-                     --threads N --json [PATH])"
+                     --threads N --json [PATH] --trace-out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -356,6 +367,29 @@ fn main() {
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(&rows)).expect("write BENCH_scale.json");
         eprintln!("wrote {} rows to {path}", rows.len());
+    }
+
+    // A Perfetto-loadable Chrome trace of the grid's first workload at
+    // its smallest chip size, stats-only over a lean arena (the
+    // telemetry never reads the stage table).
+    if let Some(path) = &trace_out {
+        let workload = &grid[0];
+        let cores = *workload.cores.iter().min().expect("cells exist");
+        let arena = TraceArena::from_program_lean(&workload.program, workload.fuel)
+            .expect("workload halts within fuel and fits the arena");
+        let sim = ManyCoreSim::new(SimConfig::with_cores(cores).stats_only());
+        let file = std::fs::File::create(path).expect("create the --trace-out file");
+        let mut writer = ChromeTraceWriter::new(BufWriter::new(file));
+        let traced = sim
+            .simulate_arena_probed(&arena, &mut writer)
+            .expect("simulates");
+        assert_eq!(traced.outputs, workload.expected);
+        let events = writer.events();
+        writer.finish().expect("flush the Chrome trace");
+        eprintln!(
+            "wrote {events} trace events for {} @{cores}c to {path}",
+            workload.name
+        );
     }
 
     // Hard gates.

@@ -20,13 +20,18 @@
 //! are visible.
 //!
 //! This crate's library exposes the small amount of shared code the
-//! binaries use — dataset sweeps and ILP measurement for a workload —
-//! built on the unified [`parsecs_driver`] backends.
+//! binaries use — dataset sweeps and ILP measurement for a workload,
+//! the [`json`] emission module every `BENCH_*.json` goes through, and
+//! the [`AttributionTotals`] cycle-telemetry summary — built on the
+//! unified [`parsecs_driver`] backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use parsecs_cc::Backend;
+use parsecs_core::{CoreBreakdown, StallCause};
 use parsecs_driver::{ExecutionBackend, SequentialBackend};
 use parsecs_ilp::{analyze, IlpModel};
 use parsecs_machine::Trace;
@@ -34,6 +39,67 @@ use parsecs_workloads::pbbs::Benchmark;
 
 /// Fuel used for tracing the embedded benchmarks.
 pub const TRACE_FUEL: u64 = 2_000_000_000;
+
+/// Chip-wide sums of the per-core cycle attribution table
+/// ([`parsecs_core::SimStats::attribution`]): where the whole chip's
+/// `cores × total_cycles` budget went, additive across the four buckets
+/// (`busy + stalled + parked + idle == cores × total_cycles`).
+///
+/// The scale binaries surface these sums — plus the fetch-slot
+/// occupancy — on every JSON row through
+/// [`AttributionTotals::append_fields`], so the telemetry schema stays
+/// identical across `BENCH_sim.json` and `BENCH_scale.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttributionTotals {
+    /// Cycles with an instruction fetch (or section dequeue) in a slot.
+    pub busy: u64,
+    /// In-place stall cycles, split by [`StallCause`] (indexed by
+    /// [`StallCause::index`]).
+    pub stalled: [u64; StallCause::COUNT],
+    /// Cycles with only parked sections on a core.
+    pub parked: u64,
+    /// Cycles with an empty, section-less core.
+    pub idle: u64,
+}
+
+impl AttributionTotals {
+    /// Sums the per-core breakdowns into chip-wide totals.
+    pub fn from_cores(attribution: &[CoreBreakdown]) -> AttributionTotals {
+        let mut totals = AttributionTotals::default();
+        for core in attribution {
+            totals.busy += core.busy;
+            for (sum, &cycles) in totals.stalled.iter_mut().zip(&core.stalled) {
+                *sum += cycles;
+            }
+            totals.parked += core.parked;
+            totals.idle += core.idle;
+        }
+        totals
+    }
+
+    /// Total in-place stall cycles across all causes.
+    pub fn stalled_total(&self) -> u64 {
+        self.stalled.iter().sum()
+    }
+
+    /// Appends the shared cycle-telemetry fields to a JSON row:
+    /// `occupancy` (four decimals), the four bucket totals, and a nested
+    /// `stall_cycles_by_cause` object keyed by [`StallCause::name`].
+    pub fn append_fields(&self, row: json::Obj, occupancy: f64) -> json::Obj {
+        let by_cause = StallCause::ALL
+            .iter()
+            .fold(json::Obj::new(), |obj, cause| {
+                obj.field(cause.name(), self.stalled[cause.index()])
+            })
+            .build();
+        row.fixed("occupancy", occupancy, 4)
+            .field("busy_cycles", self.busy)
+            .field("stall_cycles", self.stalled_total())
+            .field("stall_cycles_by_cause", by_cause)
+            .field("parked_cycles", self.parked)
+            .field("idle_cycles", self.idle)
+    }
+}
 
 /// The ILP of one benchmark instance under both of the paper's models.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +175,33 @@ pub fn dataset_sweep(base: usize, count: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn attribution_totals_sum_cores_and_emit_the_shared_schema() {
+        let mut a = CoreBreakdown {
+            busy: 10,
+            parked: 2,
+            idle: 3,
+            ..CoreBreakdown::default()
+        };
+        a.stalled[StallCause::RemoteRegister.index()] = 5;
+        let mut b = CoreBreakdown {
+            busy: 7,
+            idle: 12,
+            ..CoreBreakdown::default()
+        };
+        b.stalled[StallCause::RemoteMemory.index()] = 1;
+        let totals = AttributionTotals::from_cores(&[a, b]);
+        assert_eq!(totals.busy, 17);
+        assert_eq!(totals.stalled_total(), 6);
+        assert_eq!(totals.parked, 2);
+        assert_eq!(totals.idle, 15);
+        let row = totals.append_fields(json::Obj::new(), 0.42).build();
+        assert!(row.contains("\"occupancy\": 0.4200"));
+        assert!(row.contains("\"stall_cycles\": 6"));
+        assert!(row.contains("\"remote_register\": 5"));
+        assert!(row.contains("\"idle_cycles\": 15"));
+    }
 
     #[test]
     fn sweep_doubles() {

@@ -76,6 +76,12 @@ impl WakeQueue {
         }
     }
 
+    /// Number of queued entries (stale ones included) — the calendar
+    /// depth gauge the probe layer samples.
+    pub(crate) fn len(&self) -> usize {
+        self.near_entries + self.far.len()
+    }
+
     /// The earliest cycle holding a queued entry (possibly a stale one —
     /// visiting a stale cycle is a no-op that discards it).
     pub(crate) fn next_at(&self) -> Option<u64> {
@@ -245,9 +251,17 @@ pub(crate) struct Cluster {
     /// order — committed to the NoC in this order so the link-bandwidth
     /// accounting matches the sequential engine's.
     pub(crate) sends: Vec<(u32, u32)>,
-    /// Sections whose saved resume point the walk consumed (the deferred
-    /// `StallTable::clear_resume`).
-    pub(crate) begun: Vec<u32>,
+    /// `(local core, section, resumed)` fetch-slot entries of this cycle,
+    /// in walk order — every dequeue, fresh or resumed. A resumed entry's
+    /// saved resume point was consumed by the walk (the deferred
+    /// `StallTable::clear_resume`); the commit phase also feeds all
+    /// entries to the cycle-attribution accumulator and the probe.
+    pub(crate) began: Vec<(u32, u32, bool)>,
+    /// `(local core, section, fetched)` fetch-slot exits of this cycle,
+    /// in walk order (`fetched` = the ending instruction was fetched this
+    /// cycle; false only for the empty-section defensive path). Consumed
+    /// by the sequential commit phase for attribution and the probe.
+    pub(crate) ended: Vec<(u32, u32, bool)>,
     /// Local core indices that entered a fetch stall this cycle; the
     /// post-drain dispatch parks or reschedules them.
     pub(crate) newly_stalled: Vec<u32>,
@@ -264,7 +278,8 @@ impl Cluster {
             membership: Vec::new(),
             fetched: Vec::new(),
             sends: Vec::new(),
-            begun: Vec::new(),
+            began: Vec::new(),
+            ended: Vec::new(),
             newly_stalled: Vec::new(),
         }
     }
@@ -355,9 +370,10 @@ pub(crate) fn walk_cluster(cluster: &mut Cluster, view: &mut CoreView<'_>, ctx: 
                     view.current[local] = head;
                     let resume = ctx.resume_at[head as usize];
                     view.next_seq[local] = if resume == usize::MAX {
+                        cluster.began.push((local as u32, head, false));
                         ctx.sections[head as usize].start as u32
                     } else {
-                        cluster.begun.push(head);
+                        cluster.began.push((local as u32, head, true));
                         resume as u32
                     };
                     if !is_member {
@@ -400,6 +416,7 @@ pub(crate) fn walk_cluster(cluster: &mut Cluster, view: &mut CoreView<'_>, ctx: 
             let span = &ctx.sections[sid];
             if view.next_seq[local] as usize >= span.end {
                 view.current[local] = NO_SECTION;
+                cluster.ended.push((local as u32, sid as u32, false));
                 if view.queue_head[local] == NO_SECTION {
                     if is_member {
                         cluster.membership.push((local, false));
@@ -429,6 +446,7 @@ pub(crate) fn walk_cluster(cluster: &mut Cluster, view: &mut CoreView<'_>, ctx: 
                 || view.next_seq[local] as usize >= span.end;
             if ends_section {
                 view.current[local] = NO_SECTION;
+                cluster.ended.push((local as u32, sid as u32, true));
                 if view.queue_head[local] == NO_SECTION {
                     if is_member {
                         cluster.membership.push((local, false));

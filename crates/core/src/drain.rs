@@ -31,6 +31,7 @@
 use std::sync::Mutex;
 
 use parsecs_noc::{CoreId, Network};
+use parsecs_obs::SimProbe;
 use parsecs_pool::Pool;
 use parsecs_trace::TraceArena;
 
@@ -232,40 +233,55 @@ impl<'a> Resolver<'a> {
     /// With a pool, rounds at or above [`PAR_ROUND_MIN`] fork their
     /// read-only compute pass across the workers (see the module docs);
     /// the caller gates the pool on the arena's `Certified` verdict.
-    pub(crate) fn drain(
+    ///
+    /// `cycle` is the simulated cycle being drained and `probe` observes
+    /// each round's width and fork decision plus section retirements —
+    /// both from this sequential orchestration layer only, never from
+    /// inside a forked compute pass.
+    pub(crate) fn drain<P: SimProbe>(
         &mut self,
         network: &Network<SectionId>,
         core_of: &[CoreId],
         completions: &mut Vec<(usize, u64)>,
         pool: Option<&Pool>,
+        cycle: u64,
+        probe: &mut P,
     ) {
+        let mut round_index = 0usize;
         while !self.queue.is_empty() {
             let mut batch = std::mem::take(&mut self.batch);
             std::mem::swap(&mut self.queue, &mut batch);
             batch.sort_unstable();
-            match pool {
-                Some(pool) if pool.threads() > 1 && batch.len() >= PAR_ROUND_MIN => {
-                    self.round_forked(&batch, network, core_of, completions, pool);
-                }
-                _ => self.round(&batch, network, core_of, completions),
+            let forked =
+                pool.is_some_and(|pool| pool.threads() > 1 && batch.len() >= PAR_ROUND_MIN);
+            if P::ENABLED {
+                probe.on_drain_round(cycle, round_index, batch.len(), forked);
             }
+            if forked {
+                let pool = pool.expect("a forked round has a pool");
+                self.round_forked(&batch, network, core_of, completions, pool, probe);
+            } else {
+                self.round(&batch, network, core_of, completions, probe);
+            }
+            round_index += 1;
             batch.clear();
             self.batch = batch;
         }
     }
 
     /// One sequential drain round over the sorted `batch`.
-    fn round(
+    fn round<P: SimProbe>(
         &mut self,
         batch: &[u32],
         network: &Network<SectionId>,
         core_of: &[CoreId],
         completions: &mut Vec<(usize, u64)>,
+        probe: &mut P,
     ) {
         for &seq in batch {
             let seq = seq as usize;
             match self.compute_one(seq, network, core_of) {
-                Outcome::Resolved(r) => self.commit_resolved(seq, r, completions),
+                Outcome::Resolved(r) => self.commit_resolved(seq, r, completions, probe),
                 Outcome::Waiting(dep) => self.register_waiter(seq, dep as usize),
             }
         }
@@ -274,13 +290,14 @@ impl<'a> Resolver<'a> {
     /// One forked drain round: parallel read-only compute, sequential
     /// ascending commit, then the ascending retry sweep for entries whose
     /// blocking producer resolved during the commits.
-    fn round_forked(
+    fn round_forked<P: SimProbe>(
         &mut self,
         batch: &[u32],
         network: &Network<SectionId>,
         core_of: &[CoreId],
         completions: &mut Vec<(usize, u64)>,
         pool: &Pool,
+        probe: &mut P,
     ) {
         let workers = pool.threads();
         if self.par_out.len() < workers {
@@ -307,7 +324,7 @@ impl<'a> Resolver<'a> {
             for (&seq, outcome) in batch[lo..hi].iter().zip(out.iter()) {
                 let seq = seq as usize;
                 match *outcome {
-                    Outcome::Resolved(r) => self.commit_resolved(seq, r, completions),
+                    Outcome::Resolved(r) => self.commit_resolved(seq, r, completions, probe),
                     Outcome::Waiting(dep) => {
                         if self.complete[dep as usize] < INCOMPLETE {
                             // An earlier commit of this round resolved
@@ -329,7 +346,7 @@ impl<'a> Resolver<'a> {
         for &seq in &retry {
             let seq = seq as usize;
             match self.compute_one(seq, network, core_of) {
-                Outcome::Resolved(r) => self.commit_resolved(seq, r, completions),
+                Outcome::Resolved(r) => self.commit_resolved(seq, r, completions, probe),
                 Outcome::Waiting(dep) => self.register_waiter(seq, dep as usize),
             }
         }
@@ -470,7 +487,13 @@ impl<'a> Resolver<'a> {
     /// completion event, the woken consumers (they join the next round's
     /// batch instead of being resolved depth-first) and the retirement
     /// cascade.
-    fn commit_resolved(&mut self, seq: usize, r: Resolved, completions: &mut Vec<(usize, u64)>) {
+    fn commit_resolved<P: SimProbe>(
+        &mut self,
+        seq: usize,
+        r: Resolved,
+        completions: &mut Vec<(usize, u64)>,
+        probe: &mut P,
+    ) {
         if self.record {
             self.ew[seq] = r.ew;
         }
@@ -485,7 +508,7 @@ impl<'a> Resolver<'a> {
             self.queue.push(waiter);
             waiter = std::mem::replace(&mut self.waiter_next[waiter as usize], NO_WAITER);
         }
-        self.advance_retirement(seq);
+        self.advance_retirement(seq, probe);
     }
 
     /// Step 2 of dependence resolution: in-order retirement within a
@@ -494,7 +517,7 @@ impl<'a> Resolver<'a> {
     /// instruction's cycle is `max(completion, previous retirement) + 1`.
     /// The cascade replaces per-instruction successor bookkeeping with a
     /// per-section cursor and feeds the streaming `max_ret` accumulator.
-    fn advance_retirement(&mut self, seq: usize) {
+    fn advance_retirement<P: SimProbe>(&mut self, seq: usize, probe: &mut P) {
         let sid = self.arena.section(seq).0;
         if self.retire_next[sid] as usize != seq {
             return;
@@ -518,6 +541,12 @@ impl<'a> Resolver<'a> {
         self.retire_last[sid] = last;
         if last > self.max_ret {
             self.max_ret = last;
+        }
+        // The cascade crosses a section's end at most once (later calls
+        // early-return on the cursor), so this fires exactly once per
+        // non-empty section, at its last instruction's retirement cycle.
+        if P::ENABLED && cursor == end {
+            probe.on_section_retire(sid as u32, last);
         }
     }
 }

@@ -98,3 +98,11 @@ pub use parsecs_check::{
 // The streaming trace pipeline this crate's engines consume; re-exported
 // so simulator callers can build arenas without a separate dependency.
 pub use parsecs_trace::{PackedDep, StreamingSectioner, TraceArena, TraceError};
+// The telemetry vocabulary of `parsecs-obs`; re-exported so callers of
+// the probed simulation paths ([`ManyCoreSim::simulate_arena_probed`],
+// [`SimStats::attribution`]) can consume probes and breakdowns without a
+// separate dependency.
+pub use parsecs_obs::{
+    ChromeTraceWriter, CoreBreakdown, CountingProbe, CycleAttribution, NoopProbe, SimProbe,
+    StallCause, TickGauges, TimeSeries,
+};

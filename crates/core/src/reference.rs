@@ -28,16 +28,23 @@
 
 use parsecs_machine::TraceKind;
 use parsecs_noc::CoreId;
+use parsecs_obs::{CycleAttribution, SimProbe, TickGauges};
 use parsecs_trace::TraceArena;
 
 use crate::chip::{ChipState, StallTable, NO_SECTION, NO_STALL};
 use crate::drain::{fetch_computable, Resolver};
-use crate::sim::Prepared;
+use crate::sim::{stall_cause, Prepared};
 use crate::{ManyCoreSim, SimError, SimResult};
 
 /// Simulates an arena-backed trace by stepping the chip one cycle at a
-/// time (see the module docs).
-pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResult, SimError> {
+/// time (see the module docs). The probe observes the same section/stall
+/// seams as the event engine's, so per-core event streams match across
+/// engines; only the per-cycle gauges are engine-specific views.
+pub(crate) fn simulate<P: SimProbe>(
+    sim: &ManyCoreSim,
+    arena: &TraceArena,
+    probe: &mut P,
+) -> Result<SimResult, SimError> {
     let config = sim.config();
     config.validate().map_err(SimError::Config)?;
     let mut check = sim.precheck(arena)?;
@@ -62,6 +69,9 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
     let mut completions: Vec<(usize, u64)> = Vec::new();
     let mut newly_stalled: Vec<usize> = Vec::new();
     let mut forced_stall_releases = 0u64;
+    // Always-on cycle attribution, fed from the same deterministic
+    // section/stall events as the event engine's (see `crate::sim`).
+    let mut attr = CycleAttribution::new(config.cores);
 
     // The initial section is live from cycle 0 on its core.
     if !sections.is_empty() {
@@ -69,6 +79,10 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         chip.current[root_core] = 0;
         chip.next_seq[root_core] = sections[0].start as u32;
         chip.sections_hosted[root_core] = 1;
+        attr.begin_root(root_core);
+        if P::ENABLED {
+            probe.on_section_begin(root_core, 0, 0, false);
+        }
     }
 
     let mut fetched = 0usize;
@@ -90,12 +104,37 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         // Parked sections whose stall released rejoin their ready queue.
         while let Some((idx, sid)) = stalls.pop_due(cycle) {
             chip.queue_push(idx, sid.0 as u32);
+            attr.requeue(idx, cycle);
+            if P::ENABLED {
+                probe.on_section_requeue(idx, sid.0 as u32, cycle);
+            }
         }
 
         // Section-creation messages arriving this cycle.
         for envelope in network.deliver(cycle) {
             chip.queue_push(envelope.dst.0, envelope.payload.0 as u32);
             chip.sections_hosted[envelope.dst.0] += 1;
+            if P::ENABLED {
+                probe.on_noc_deliver(envelope.dst.0, envelope.payload.0 as u32, cycle);
+            }
+        }
+
+        if P::ENABLED {
+            // The reference's per-cycle gauges: it walks every core every
+            // cycle with no calendar queue, so `running` counts the cores
+            // holding a section and `calendar_depth` is zero — the gauges
+            // are engine-specific views, unlike the section/stall events.
+            let running = (0..config.cores)
+                .filter(|&c| chip.current[c] != NO_SECTION)
+                .count();
+            probe.on_tick(TickGauges {
+                cycle,
+                running: running as u64,
+                calendar_depth: 0,
+                noc_in_flight: network.in_flight() as u64,
+                parked: stalls.parked() as u64,
+            });
+            probe.on_walk(cycle, 1, running, false);
         }
 
         // Fetch-decode: one instruction per core per cycle.
@@ -104,7 +143,12 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                 // Dequeuing the next ready section consumes this cycle;
                 // fetch starts on the next one.
                 if let Some(next) = chip.queue_pop(core_index) {
+                    let resumed = stalls.resume_points()[next as usize] != usize::MAX;
                     stalls.begin_section(&mut chip, core_index, sections, next);
+                    attr.begin(core_index, cycle);
+                    if P::ENABLED {
+                        probe.on_section_begin(core_index, next, cycle, resumed);
+                    }
                 }
                 continue;
             }
@@ -122,6 +166,10 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
             let span = &sections[sid];
             if chip.next_seq[core_index] as usize >= span.end {
                 chip.current[core_index] = NO_SECTION;
+                attr.end_nofetch(core_index, cycle);
+                if P::ENABLED {
+                    probe.on_section_end(core_index, sid as u32, cycle, false);
+                }
                 continue;
             }
             let seq = chip.next_seq[core_index] as usize;
@@ -134,7 +182,11 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
             // of the created section.
             if kind == TraceKind::Fork {
                 if let Some(&child) = created_by.get(&seq) {
-                    network.send(CoreId(core_index), core_of[child.0], child, cycle);
+                    let dst = core_of[child.0];
+                    network.send(CoreId(core_index), dst, child, cycle);
+                    if P::ENABLED {
+                        probe.on_noc_send(core_index, dst.0, child.0 as u32, cycle);
+                    }
                 }
             }
 
@@ -143,6 +195,10 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                 || chip.next_seq[core_index] as usize >= span.end;
             if ends_section {
                 chip.current[core_index] = NO_SECTION;
+                attr.end_fetch(core_index, cycle);
+                if P::ENABLED {
+                    probe.on_section_end(core_index, sid as u32, cycle, true);
+                }
             } else if config.fetch_stalls_on_unresolved_control
                 && arena.is_control(seq)
                 && !fetch_computable(arena, seq, &resolver.complete, cycle)
@@ -158,7 +214,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         // Dependence resolution (the engine shared with the event-driven
         // simulator; the reference never forks it).
         completions.clear();
-        resolver.drain(&network, &core_of, &mut completions, None);
+        resolver.drain(&network, &core_of, &mut completions, None, cycle, probe);
 
         // A completion that a parked section stalls on is its modeled
         // release event: requeue the section on the first cycle after both
@@ -180,8 +236,31 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
                 continue;
             }
             let seq = chip.stall_on[idx] as usize;
-            if resolver.completion(seq).is_none() {
-                stalls.park(idx, &mut chip, seq);
+            match resolver.completion(seq) {
+                Some(c) => {
+                    // Waits in place; the per-cycle check above releases
+                    // it — and resumes the fetch — just past `c`.
+                    attr.stall(idx, cycle, c, stall_cause(arena, seq, true));
+                    if P::ENABLED {
+                        probe.on_fetch_stall(
+                            idx,
+                            seq,
+                            stall_cause(arena, seq, true),
+                            cycle,
+                            (cycle + 1).max(c + 1),
+                        );
+                    }
+                }
+                None => {
+                    // `park` clears the core's current section, so read
+                    // the section id for the probe first.
+                    let sid = chip.current[idx];
+                    attr.park(idx, cycle);
+                    if P::ENABLED {
+                        probe.on_section_park(idx, sid, seq, cycle, stall_cause(arena, seq, false));
+                    }
+                    stalls.park(idx, &mut chip, seq);
+                }
             }
         }
 
@@ -205,6 +284,7 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
     }
 
     let hosted: Vec<usize> = chip.sections_hosted.iter().map(|&h| h as usize).collect();
+    let attribution = attr.finish(resolver.max_ret);
     sim.finish(
         arena,
         resolver,
@@ -214,5 +294,6 @@ pub(crate) fn simulate(sim: &ManyCoreSim, arena: &TraceArena) -> Result<SimResul
         forced_stall_releases,
         check,
         fork_fallback,
+        attribution,
     )
 }

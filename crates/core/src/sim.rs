@@ -77,8 +77,9 @@ use std::sync::Mutex;
 use parsecs_check::{certify_walk, prove_progress, CheckReport};
 use parsecs_isa::Program;
 use parsecs_noc::{CoreId, Network, NocStats};
+use parsecs_obs::{CoreBreakdown, CycleAttribution, NoopProbe, SimProbe, StallCause, TickGauges};
 use parsecs_pool::Pool;
-use parsecs_trace::TraceArena;
+use parsecs_trace::{SourceKind, TraceArena};
 
 use crate::chip::{ChipState, NO_SECTION, NO_STALL};
 use crate::cluster::{cluster_windows, partition, schedule, walk_cluster, Cluster, WalkCtx};
@@ -217,6 +218,31 @@ pub(crate) fn drain_fork_certified(arena: &TraceArena, precheck: Option<&CheckRe
     }
 }
 
+/// Classifies what a stalled control instruction is waiting on, for the
+/// [`StallCause`] telemetry axis. `known` says whether the release cycle
+/// was already resolved when the stall fired: a stall with an unknown
+/// release parks its section and is woken by an explicit NoC-side
+/// completion event, so an otherwise-local wait classifies as
+/// [`StallCause::NocEjection`]. Register sources win over memory ones
+/// (the fetch stage checks them first); [`StallCause::ForkCopy`] is
+/// reserved — fork-copied sources are full at fetch by construction, so
+/// today's traces never stall on one.
+pub(crate) fn stall_cause(arena: &TraceArena, seq: usize, known: bool) -> StallCause {
+    let remote_reg = arena
+        .reg_sources(seq)
+        .iter()
+        .any(|dep| matches!(dep.kind(), SourceKind::Remote { .. }));
+    if remote_reg {
+        StallCause::RemoteRegister
+    } else if arena.is_load(seq) || arena.is_store(seq) {
+        StallCause::RemoteMemory
+    } else if !known {
+        StallCause::NocEjection
+    } else {
+        StallCause::Local
+    }
+}
+
 impl ManyCoreSim {
     /// Creates a simulator with the given configuration.
     pub fn new(config: SimConfig) -> ManyCoreSim {
@@ -239,9 +265,25 @@ impl ManyCoreSim {
     /// Returns [`SimError::Config`] for an invalid configuration and
     /// [`SimError::Machine`] if the functional pre-execution fails.
     pub fn run(&self, program: &Program) -> Result<SimResult, SimError> {
+        self.run_probed(program, &mut NoopProbe)
+    }
+
+    /// Like [`ManyCoreSim::run`], with a telemetry probe observing the
+    /// timing run (see [`ManyCoreSim::simulate_arena_probed`] for the
+    /// zero-cost contract). The functional pre-execution is not probed —
+    /// probes observe the timing model only.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ManyCoreSim::run`].
+    pub fn run_probed<P: SimProbe>(
+        &self,
+        program: &Program,
+        probe: &mut P,
+    ) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
         let arena = TraceArena::from_program(program, self.config.fuel)?;
-        self.simulate_arena(&arena)
+        self.simulate_arena_probed(&arena, probe)
     }
 
     /// Like [`ManyCoreSim::run`], but timed by the retained cycle-stepping
@@ -289,7 +331,23 @@ impl ManyCoreSim {
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_arena_reference(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
-        crate::reference::simulate(self, arena)
+        self.simulate_arena_reference_probed(arena, &mut NoopProbe)
+    }
+
+    /// Like [`ManyCoreSim::simulate_arena_reference`], with a telemetry
+    /// probe observing the run (see
+    /// [`ManyCoreSim::simulate_arena_probed`] for the zero-cost
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration.
+    pub fn simulate_arena_reference_probed<P: SimProbe>(
+        &self,
+        arena: &TraceArena,
+        probe: &mut P,
+    ) -> Result<SimResult, SimError> {
+        crate::reference::simulate(self, arena, probe)
     }
 
     /// Simulates an arena-backed trace with the event-driven engine.
@@ -306,6 +364,32 @@ impl ManyCoreSim {
     ///
     /// Returns [`SimError::Config`] for an invalid configuration.
     pub fn simulate_arena(&self, arena: &TraceArena) -> Result<SimResult, SimError> {
+        self.simulate_arena_probed(arena, &mut NoopProbe)
+    }
+
+    /// Like [`ManyCoreSim::simulate_arena`], with a telemetry probe
+    /// observing the run.
+    ///
+    /// Probe hooks are monomorphized into the engine and compiled out
+    /// entirely for [`NoopProbe`] (`P::ENABLED == false`), so the default
+    /// path pays nothing. A probed run produces a [`SimResult`]
+    /// bit-identical to the unprobed one — probes observe, they never
+    /// steer. Probe hooks fire only at the sequential seams of the event
+    /// loop (never inside the forked walk or drain compute), so a probe
+    /// needs no synchronisation and per-core event streams are identical
+    /// across thread counts and engines; only engine-specific gauges
+    /// ([`SimProbe::on_tick`], [`SimProbe::on_walk`],
+    /// [`SimProbe::on_drain_round`]) may differ between the event-driven
+    /// and reference engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid configuration.
+    pub fn simulate_arena_probed<P: SimProbe>(
+        &self,
+        arena: &TraceArena,
+        probe: &mut P,
+    ) -> Result<SimResult, SimError> {
         self.config.validate().map_err(SimError::Config)?;
         let mut check = self.precheck(arena)?;
         let prepared = self.prepare(arena)?;
@@ -313,10 +397,18 @@ impl ManyCoreSim {
         self.attach_verdicts(arena, check.as_deref_mut(), &prepared.core_of);
         if clusters > 1 {
             Pool::with(clusters, |pool| {
-                self.run_event(arena, prepared, check, clusters, Some(pool), fallback)
+                self.run_event(
+                    arena,
+                    prepared,
+                    check,
+                    clusters,
+                    Some(pool),
+                    fallback,
+                    probe,
+                )
             })
         } else {
-            self.run_event(arena, prepared, check, 1, None, fallback)
+            self.run_event(arena, prepared, check, 1, None, fallback, probe)
         }
     }
 
@@ -396,7 +488,7 @@ impl ManyCoreSim {
     /// Single-cluster/no-pool is the sequential path; both run the same
     /// walk and drain code in the same order.
     #[allow(clippy::too_many_arguments)]
-    fn run_event(
+    fn run_event<P: SimProbe>(
         &self,
         arena: &TraceArena,
         prepared: Prepared,
@@ -404,6 +496,7 @@ impl ManyCoreSim {
         clusters: usize,
         pool: Option<&Pool>,
         fork_fallback: Option<ForkFallback>,
+        probe: &mut P,
     ) -> Result<SimResult, SimError> {
         let sections = arena.sections();
         let n = arena.len();
@@ -427,6 +520,10 @@ impl ManyCoreSim {
         let mut completions: Vec<(usize, u64)> = Vec::new();
         let mut delivered = Vec::new();
         let mut forced_stall_releases = 0u64;
+        // Always-on cycle attribution: fed from the same deterministic
+        // section/stall events as the probe, at the sequential seams only,
+        // so it is bit-identical across engines, thread counts and probes.
+        let mut attr = CycleAttribution::new(self.config.cores);
 
         // The initial section is live from cycle 0 on its core; its first
         // fetch happens at cycle 1.
@@ -437,6 +534,10 @@ impl ManyCoreSim {
             chip.sections_hosted[root_core] = 1;
             let ci = cluster_of[root_core] as usize;
             schedule(&mut chip, &mut clusters[ci], root_core, 1);
+            attr.begin_root(root_core);
+            if P::ENABLED {
+                probe.on_section_begin(root_core, 0, 0, false);
+            }
         }
 
         let mut fetched = 0usize;
@@ -501,6 +602,10 @@ impl ManyCoreSim {
             // --- requeue phase: parked sections whose stall released -----
             while let Some((idx, sid)) = stalls.pop_due(cycle) {
                 chip.queue_push(idx, sid.0 as u32);
+                attr.requeue(idx, cycle);
+                if P::ENABLED {
+                    probe.on_section_requeue(idx, sid.0 as u32, cycle);
+                }
                 if chip.current[idx] == NO_SECTION && !chip.running[idx] {
                     // An idle core dequeues the resumed section this cycle.
                     let ci = cluster_of[idx] as usize;
@@ -514,6 +619,9 @@ impl ManyCoreSim {
                 let idx = envelope.dst.0;
                 chip.queue_push(idx, envelope.payload.0 as u32);
                 chip.sections_hosted[idx] += 1;
+                if P::ENABLED {
+                    probe.on_noc_deliver(idx, envelope.payload.0 as u32, cycle);
+                }
                 if chip.current[idx] == NO_SECTION && !chip.running[idx] {
                     // An idle core dequeues the message this very cycle.
                     let ci = cluster_of[idx] as usize;
@@ -527,6 +635,17 @@ impl ManyCoreSim {
             // cluster order below, replaying the sequential engine's
             // global ascending-core order (see `crate::cluster`).
             let active: usize = clusters.iter().map(|c| c.running.len).sum();
+            let walk_forked = clusters.len() > 1 && pool.is_some() && active >= WALK_FORK_MIN;
+            if P::ENABLED {
+                probe.on_tick(TickGauges {
+                    cycle,
+                    running: active as u64,
+                    calendar_depth: clusters.iter().map(|c| c.wakes.len()).sum::<usize>() as u64,
+                    noc_in_flight: network.in_flight() as u64,
+                    parked: stalls.parked() as u64,
+                });
+                probe.on_walk(cycle, clusters.len(), active, walk_forked);
+            }
             if clusters.len() == 1 {
                 // Sequential fast path: the whole chip is one window, so
                 // the walk borrows the columns directly — no per-cycle
@@ -577,7 +696,8 @@ impl ManyCoreSim {
             }
             // Commit the buffered effects in cluster (= ascending core)
             // order: fetches into the resolver, fork messages onto the
-            // NoC, consumed resume points cleared.
+            // NoC, consumed resume points cleared, section lifetime
+            // events into the attribution table and the probe.
             for cluster in clusters.iter_mut() {
                 fetched += cluster.fetched.len();
                 for &seq in &cluster.fetched {
@@ -586,18 +706,41 @@ impl ManyCoreSim {
                 cluster.fetched.clear();
                 for &(src, child) in &cluster.sends {
                     let child = SectionId(child as usize);
-                    network.send(CoreId(src as usize), core_of[child.0], child, cycle);
+                    let dst = core_of[child.0];
+                    network.send(CoreId(src as usize), dst, child, cycle);
+                    if P::ENABLED {
+                        probe.on_noc_send(src as usize, dst.0, child.0 as u32, cycle);
+                    }
                 }
                 cluster.sends.clear();
-                for &sid in &cluster.begun {
-                    stalls.clear_resume(sid as usize);
+                let start = cluster.start;
+                for &(local, sid, resumed) in &cluster.began {
+                    if resumed {
+                        stalls.clear_resume(sid as usize);
+                    }
+                    attr.begin(start + local as usize, cycle);
+                    if P::ENABLED {
+                        probe.on_section_begin(start + local as usize, sid, cycle, resumed);
+                    }
                 }
-                cluster.begun.clear();
+                cluster.began.clear();
+                for &(local, sid, with_fetch) in &cluster.ended {
+                    let core = start + local as usize;
+                    if with_fetch {
+                        attr.end_fetch(core, cycle);
+                    } else {
+                        attr.end_nofetch(core, cycle);
+                    }
+                    if P::ENABLED {
+                        probe.on_section_end(core, sid, cycle, with_fetch);
+                    }
+                }
+                cluster.ended.clear();
             }
 
             // --- dependence resolution -----------------------------------
             completions.clear();
-            resolver.drain(&network, &core_of, &mut completions, pool);
+            resolver.drain(&network, &core_of, &mut completions, pool, cycle, probe);
 
             // A completion that a parked section stalls on is its modeled
             // release event: requeue the section on the first cycle after
@@ -634,6 +777,16 @@ impl ManyCoreSim {
                     match resolver.completion(seq) {
                         Some(c) => {
                             let wake = (cycle + 1).max(c + 1);
+                            attr.stall(idx, cycle, c, stall_cause(arena, seq, true));
+                            if P::ENABLED {
+                                probe.on_fetch_stall(
+                                    idx,
+                                    seq,
+                                    stall_cause(arena, seq, true),
+                                    cycle,
+                                    wake,
+                                );
+                            }
                             if wake > cycle + 1 {
                                 cluster
                                     .running
@@ -643,6 +796,19 @@ impl ManyCoreSim {
                             }
                         }
                         None => {
+                            // `park` clears the core's current section, so
+                            // read the section id for the probe first.
+                            let sid = chip.current[idx];
+                            attr.park(idx, cycle);
+                            if P::ENABLED {
+                                probe.on_section_park(
+                                    idx,
+                                    sid,
+                                    seq,
+                                    cycle,
+                                    stall_cause(arena, seq, false),
+                                );
+                            }
                             stalls.park(idx, &mut chip, seq);
                             if chip.queue_head[idx] == NO_SECTION {
                                 cluster
@@ -658,6 +824,7 @@ impl ManyCoreSim {
         }
 
         let hosted: Vec<usize> = chip.sections_hosted.iter().map(|&h| h as usize).collect();
+        let attribution = attr.finish(resolver.max_ret);
         self.finish(
             arena,
             resolver,
@@ -667,6 +834,7 @@ impl ManyCoreSim {
             forced_stall_releases,
             check,
             fork_fallback,
+            attribution,
         )
     }
 
@@ -733,6 +901,7 @@ impl ManyCoreSim {
         forced_stall_releases: u64,
         check: Option<Box<CheckReport>>,
         fork_fallback: Option<ForkFallback>,
+        attribution: Vec<CoreBreakdown>,
     ) -> Result<SimResult, SimError> {
         let timings: Vec<InstTiming> = if self.config.record_timings {
             (0..arena.len())
@@ -805,8 +974,16 @@ impl ManyCoreSim {
             peak_sections_per_core: sections_hosted.iter().copied().max().unwrap_or(0),
             trace_arena_bytes: arena.memory_bytes() as u64,
             noc,
+            attribution,
         };
 
+        debug_assert!(
+            stats
+                .attribution
+                .iter()
+                .all(|b| b.total() == stats.total_cycles),
+            "a core's attribution buckets do not sum to total_cycles"
+        );
         if let Some(bounds) = check.as_ref().and_then(|report| report.bounds.as_ref()) {
             // The static analyzer's critical path is a configuration-
             // independent lower bound on the retirement span; an engine

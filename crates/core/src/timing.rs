@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use parsecs_noc::{CoreId, NocStats};
+use parsecs_obs::CoreBreakdown;
 
 use crate::{SectionId, SimResult};
 
@@ -73,6 +74,14 @@ pub struct SimStats {
     /// Number of sections.
     pub sections: usize,
     /// Number of distinct cores that hosted at least one section.
+    ///
+    /// This counts *hosting* cores only; the per-core
+    /// [`SimStats::attribution`] table covers **every** core of the
+    /// configured chip (its length is the chip's core count), so cores
+    /// that never host a section still contribute their all-idle rows to
+    /// [`SimStats::occupancy`] — chip-wide occupancy stays well-defined
+    /// at 1024 cores instead of silently renormalizing to the used
+    /// subset.
     pub cores_used: usize,
     /// Cycle at which the last instruction was fetched.
     pub fetch_cycles: u64,
@@ -110,6 +119,13 @@ pub struct SimStats {
     pub trace_arena_bytes: u64,
     /// Statistics of the underlying NoC model.
     pub noc: NocStats,
+    /// Exact per-core cycle attribution: one additive busy /
+    /// stalled-by-cause / parked / idle breakdown per *configured* core
+    /// (not just hosting cores), each summing to
+    /// [`SimStats::total_cycles`]. Accumulated always-on from the
+    /// deterministic section/stall event stream, so it is part of the
+    /// engines' bit-identity contract (see [`parsecs_obs::attribution`]).
+    pub attribution: Vec<CoreBreakdown>,
 }
 
 impl SimStats {
@@ -120,6 +136,19 @@ impl SimStats {
         } else {
             self.trace_arena_bytes as f64 / self.instructions as f64
         }
+    }
+
+    /// Chip-wide fetch-slot occupancy in `[0, 1]`: the busy fraction of
+    /// the whole chip's cycle budget, `Σ busy / (cores × total_cycles)`,
+    /// over **all** configured cores ([`SimStats::attribution`] is the
+    /// denominator, not [`SimStats::cores_used`]). 0.0 on an empty run.
+    pub fn occupancy(&self) -> f64 {
+        let budget = self.attribution.len() as u64 * self.total_cycles;
+        if budget == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.attribution.iter().map(|b| b.busy).sum();
+        busy as f64 / budget as f64
     }
 }
 

@@ -1,6 +1,6 @@
 //! The [`ExecutionBackend`] trait and its three engine implementations.
 
-use parsecs_core::{ManyCoreSim, SimConfig};
+use parsecs_core::{ManyCoreSim, SimConfig, SimProbe};
 use parsecs_ilp::{analyze, IlpModel};
 use parsecs_isa::Program;
 use parsecs_machine::Machine;
@@ -181,6 +181,64 @@ impl ManyCoreBackend {
         self.config.threads = threads;
         self
     }
+
+    /// Like [`ExecutionBackend::execute`], with a telemetry probe
+    /// observing the timing run (see
+    /// [`parsecs_core::ManyCoreSim::simulate_arena_probed`]). Probes are
+    /// monomorphized into the engine — [`parsecs_core::SimProbe`] is not
+    /// object-safe — so this lives on the concrete backend rather than
+    /// the trait; the produced [`RunReport`] is bit-identical to the
+    /// unprobed one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecutionBackend::execute`].
+    pub fn execute_probed<P: SimProbe>(
+        &self,
+        program: &Program,
+        probe: &mut P,
+    ) -> Result<RunReport, DriverError> {
+        self.execute_probed_fueled(program, self.config.fuel, probe)
+    }
+
+    /// [`ManyCoreBackend::execute_probed`] with an explicit fuel
+    /// overriding the configuration's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecutionBackend::execute_fueled`].
+    pub fn execute_probed_fueled<P: SimProbe>(
+        &self,
+        program: &Program,
+        fuel: u64,
+        probe: &mut P,
+    ) -> Result<RunReport, DriverError> {
+        let mut config = self.config.clone();
+        config.fuel = fuel;
+        let result = ManyCoreSim::new(config).run_probed(program, probe)?;
+        self.report(result)
+    }
+
+    /// Wraps a finished [`parsecs_core::SimResult`] as a [`RunReport`],
+    /// refusing untrustworthy timings: a forced stall release means the
+    /// stall/wake model broke down, surfaced as
+    /// [`DriverError::Deadlock`] instead of a report.
+    fn report(&self, result: parsecs_core::SimResult) -> Result<RunReport, DriverError> {
+        if result.stats.forced_stall_releases > 0 {
+            return Err(DriverError::Deadlock {
+                forced_stall_releases: result.stats.forced_stall_releases,
+            });
+        }
+        Ok(RunReport {
+            backend: self.name(),
+            outputs: result.outputs.clone(),
+            instructions: result.stats.instructions,
+            cycles: result.stats.total_cycles,
+            fetch_ipc: result.stats.fetch_ipc,
+            retire_ipc: result.stats.retire_ipc,
+            detail: ReportDetail::Sim(Box::new(result)),
+        })
+    }
 }
 
 /// The backend label of a many-core configuration: a `manycore:…` prefix
@@ -256,23 +314,7 @@ impl ExecutionBackend for ManyCoreBackend {
         let mut config = self.config.clone();
         config.fuel = fuel;
         let result = ManyCoreSim::new(config).run(program)?;
-        // The simulated timings must never rest on the deadlock
-        // detector's escape: a forced stall release means the stall/wake
-        // model broke down and the cycle counts are not trustworthy.
-        if result.stats.forced_stall_releases > 0 {
-            return Err(DriverError::Deadlock {
-                forced_stall_releases: result.stats.forced_stall_releases,
-            });
-        }
-        Ok(RunReport {
-            backend: self.name(),
-            outputs: result.outputs.clone(),
-            instructions: result.stats.instructions,
-            cycles: result.stats.total_cycles,
-            fetch_ipc: result.stats.fetch_ipc,
-            retire_ipc: result.stats.retire_ipc,
-            detail: ReportDetail::Sim(Box::new(result)),
-        })
+        self.report(result)
     }
 }
 

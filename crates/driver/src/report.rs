@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use parsecs_core::{CheckReport, ForkFallback, InstTiming, Progress, SimResult};
+use parsecs_core::{CheckReport, CoreBreakdown, ForkFallback, InstTiming, Progress, SimResult};
 use parsecs_ilp::IlpResult;
 use parsecs_machine::Trace;
 
@@ -170,6 +170,22 @@ impl RunReport {
     /// certificates or this reason.
     pub fn fork_fallback(&self) -> Option<ForkFallback> {
         self.sim().and_then(|r| r.fork_fallback)
+    }
+
+    /// The per-core cycle attribution table, when the backend is the
+    /// many-core model: one additive busy / stalled-by-cause / parked /
+    /// idle breakdown per *configured* core, each summing to the run's
+    /// `total_cycles` (see [`parsecs_core::SimStats::attribution`]).
+    /// `None` for the other backends, which model no chip.
+    pub fn attribution(&self) -> Option<&[CoreBreakdown]> {
+        self.sim().map(|r| r.stats.attribution.as_slice())
+    }
+
+    /// Chip-wide fetch-slot occupancy in `[0, 1]` over all configured
+    /// cores (`None` for the other backends) — see
+    /// [`parsecs_core::SimStats::occupancy`].
+    pub fn occupancy(&self) -> Option<f64> {
+        self.sim().map(|r| r.stats.occupancy())
     }
 
     /// How many times the many-core simulator's deadlock *detector*

@@ -1,8 +1,9 @@
 //! The builder-style entry point for running one program.
 
+use parsecs_core::SimProbe;
 use parsecs_isa::Program;
 
-use crate::{DriverError, ExecutionBackend, RunReport};
+use crate::{DriverError, ExecutionBackend, ManyCoreBackend, RunReport};
 
 /// Runs one program on one or more backends, builder style:
 ///
@@ -81,6 +82,38 @@ impl<'p> Runner<'p> {
         }
     }
 
+    /// Runs on the many-core simulator with a telemetry probe observing
+    /// the run — e.g. a [`parsecs_core::ChromeTraceWriter`] streaming
+    /// section-lifetime spans, or a [`parsecs_core::TimeSeries`] recorder.
+    /// Probes are monomorphized into the engine
+    /// ([`parsecs_core::SimProbe`] is not object-safe), so this terminal
+    /// takes the concrete backend directly instead of going through
+    /// `.on(...)`; the produced [`RunReport`] is bit-identical to an
+    /// unprobed run of the same backend.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Config`] when other backends were added with
+    /// `.on(...)` (this terminal runs exactly the one it is given);
+    /// otherwise whatever the backend reports.
+    pub fn with_probe<P: SimProbe>(
+        self,
+        backend: &ManyCoreBackend,
+        probe: &mut P,
+    ) -> Result<RunReport, DriverError> {
+        if !self.backends.is_empty() {
+            return Err(DriverError::Config(format!(
+                "Runner::with_probe runs exactly the backend it is given, \
+                 but {} other backend(s) were added with .on(...)",
+                self.backends.len()
+            )));
+        }
+        match self.fuel {
+            Some(fuel) => backend.execute_probed_fueled(self.program, fuel, probe),
+            None => backend.execute_probed(self.program, probe),
+        }
+    }
+
     /// Runs on every configured backend, in order, failing fast.
     ///
     /// # Errors
@@ -148,6 +181,44 @@ mod tests {
             Runner::new(&program).run_all(),
             Err(DriverError::Config(_))
         ));
+    }
+
+    #[test]
+    fn with_probe_matches_the_unprobed_report_bit_for_bit() {
+        let program = sum::fork_program(&[4, 2, 6, 4, 5]);
+        let backend = ManyCoreBackend::with_cores(8);
+        let mut counting = parsecs_core::CountingProbe::default();
+        let probed = Runner::new(&program)
+            .fuel(100_000)
+            .with_probe(&backend, &mut counting)
+            .unwrap();
+        let plain = Runner::new(&program)
+            .fuel(100_000)
+            .on(backend)
+            .run()
+            .unwrap();
+        assert_eq!(probed, plain, "an observing probe must not steer");
+        assert!(counting.events() > 0, "the probe observed nothing");
+        // The always-on attribution table covers every configured core
+        // and tiles the whole cycle budget.
+        let attribution = probed.attribution().expect("many-core runs attribute");
+        assert_eq!(attribution.len(), 8);
+        assert!(attribution.iter().all(|b| b.total() == probed.cycles));
+        let occupancy = probed.occupancy().unwrap();
+        assert!(occupancy > 0.0 && occupancy <= 1.0);
+    }
+
+    #[test]
+    fn with_probe_refuses_extra_backends() {
+        let program = sum::call_program(&[1]);
+        let err = Runner::new(&program)
+            .on(SequentialBackend)
+            .with_probe(
+                &ManyCoreBackend::with_cores(4),
+                &mut parsecs_core::NoopProbe,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Config(_)));
     }
 
     #[test]

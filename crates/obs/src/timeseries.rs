@@ -1,0 +1,167 @@
+//! Windowed, bounded-memory gauge recorder.
+
+use crate::probe::{SimProbe, TickGauges};
+
+/// The gauges a [`TimeSeries`] records, one series each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SeriesKind {
+    /// Cores with a section in the fetch slot (run-list length).
+    Running,
+    /// Pending wake events in the calendar queues.
+    CalendarDepth,
+    /// Section-creation messages in flight on the NoC.
+    NocInFlight,
+    /// Sections parked on an unknown-completion stall.
+    Parked,
+    /// Completion-drain round width.
+    DrainWidth,
+}
+
+impl SeriesKind {
+    /// Number of recorded series.
+    pub const COUNT: usize = 5;
+
+    /// All series, in `repr` order.
+    pub const ALL: [SeriesKind; Self::COUNT] = [
+        SeriesKind::Running,
+        SeriesKind::CalendarDepth,
+        SeriesKind::NocInFlight,
+        SeriesKind::Parked,
+        SeriesKind::DrainWidth,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Running => "running",
+            SeriesKind::CalendarDepth => "calendar_depth",
+            SeriesKind::NocInFlight => "noc_in_flight",
+            SeriesKind::Parked => "parked",
+            SeriesKind::DrainWidth => "drain_width",
+        }
+    }
+}
+
+/// Fixed-resolution, bounded-memory time series over the simulated run.
+///
+/// Each series holds the per-bucket *maximum* of its gauge, where a
+/// bucket covers `resolution()` consecutive cycles. When a sample lands
+/// past the bucket cap the recorder coarsens: the resolution doubles and
+/// adjacent buckets merge by maximum, so memory stays bounded no matter
+/// how long the run grows while peaks are never lost. The event-driven
+/// engine skips quiet cycles, so buckets it never visits stay 0.
+///
+/// The recorder is itself a [`SimProbe`]: attach it with the engines'
+/// probed entry points to fill all series in one run.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    resolution: u64,
+    max_buckets: usize,
+    series: [Vec<u64>; SeriesKind::COUNT],
+}
+
+impl TimeSeries {
+    /// A recorder starting at `resolution` cycles per bucket, coarsening
+    /// whenever any series would exceed `max_buckets` buckets.
+    ///
+    /// `resolution` and `max_buckets` are clamped to at least 1 and 2.
+    pub fn new(resolution: u64, max_buckets: usize) -> Self {
+        TimeSeries {
+            resolution: resolution.max(1),
+            max_buckets: max_buckets.max(2),
+            series: Default::default(),
+        }
+    }
+
+    /// Current cycles-per-bucket (grows by doubling).
+    pub fn resolution(&self) -> u64 {
+        self.resolution
+    }
+
+    /// The recorded per-bucket maxima for `kind`. Bucket `i` covers
+    /// cycles `[i * resolution(), (i + 1) * resolution())`.
+    pub fn buckets(&self, kind: SeriesKind) -> &[u64] {
+        &self.series[kind as usize]
+    }
+
+    /// Folds `value` into `kind`'s bucket for `cycle` (by maximum).
+    pub fn record(&mut self, kind: SeriesKind, cycle: u64, value: u64) {
+        while cycle / self.resolution >= self.max_buckets as u64 {
+            self.coarsen();
+        }
+        let bucket = (cycle / self.resolution) as usize;
+        let series = &mut self.series[kind as usize];
+        if series.len() <= bucket {
+            series.resize(bucket + 1, 0);
+        }
+        series[bucket] = series[bucket].max(value);
+    }
+
+    fn coarsen(&mut self) {
+        self.resolution *= 2;
+        for series in &mut self.series {
+            let merged = series.len().div_ceil(2);
+            for i in 0..merged {
+                let left = series[2 * i];
+                let right = series.get(2 * i + 1).copied().unwrap_or(0);
+                series[i] = left.max(right);
+            }
+            series.truncate(merged);
+        }
+    }
+}
+
+impl SimProbe for TimeSeries {
+    fn on_tick(&mut self, gauges: TickGauges) {
+        self.record(SeriesKind::Running, gauges.cycle, gauges.running);
+        self.record(
+            SeriesKind::CalendarDepth,
+            gauges.cycle,
+            gauges.calendar_depth,
+        );
+        self.record(SeriesKind::NocInFlight, gauges.cycle, gauges.noc_in_flight);
+        self.record(SeriesKind::Parked, gauges.cycle, gauges.parked);
+    }
+
+    fn on_drain_round(&mut self, cycle: u64, _round: usize, width: usize, _forked: bool) {
+        self.record(SeriesKind::DrainWidth, cycle, width as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_bucket_maxima() {
+        let mut ts = TimeSeries::new(10, 8);
+        ts.record(SeriesKind::Running, 0, 3);
+        ts.record(SeriesKind::Running, 9, 7);
+        ts.record(SeriesKind::Running, 10, 2);
+        assert_eq!(ts.buckets(SeriesKind::Running), &[7, 2]);
+    }
+
+    #[test]
+    fn coarsens_by_doubling_and_max_merging() {
+        let mut ts = TimeSeries::new(1, 4);
+        for cycle in 0..4 {
+            ts.record(SeriesKind::Parked, cycle, cycle + 1);
+        }
+        assert_eq!(ts.resolution(), 1);
+        // Cycle 8 needs bucket 8 >= cap 4: coarsen twice to resolution 4.
+        ts.record(SeriesKind::Parked, 8, 9);
+        assert_eq!(ts.resolution(), 4);
+        assert_eq!(ts.buckets(SeriesKind::Parked), &[4, 0, 9]);
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_runs() {
+        let mut ts = TimeSeries::new(1, 16);
+        for cycle in 0..100_000u64 {
+            ts.record(SeriesKind::NocInFlight, cycle, 1);
+        }
+        assert!(ts.buckets(SeriesKind::NocInFlight).len() <= 16);
+        assert!(ts.resolution() >= 100_000 / 16);
+    }
+}

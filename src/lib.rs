@@ -21,6 +21,10 @@
 //! * [`ilp`] — trace-based ILP limit analysis (the paper's Figure 7
 //!   methodology).
 //! * [`noc`] — network-on-chip substrate.
+//! * [`obs`] — zero-cost telemetry: the [`obs::SimProbe`] hook trait the
+//!   engines are monomorphized over, exact per-core
+//!   [`obs::CycleAttribution`], bounded [`obs::TimeSeries`] gauges, and
+//!   the Perfetto-loadable [`obs::ChromeTraceWriter`].
 //! * [`core`] — the paper's contribution: the sectioned parallel execution
 //!   model, its many-core six-stage-pipeline simulator, and the pluggable
 //!   [`core::PlacementPolicy`] deciding which core hosts each section.
@@ -80,5 +84,6 @@ pub use parsecs_ilp as ilp;
 pub use parsecs_isa as isa;
 pub use parsecs_machine as machine;
 pub use parsecs_noc as noc;
+pub use parsecs_obs as obs;
 pub use parsecs_trace as trace;
 pub use parsecs_workloads as workloads;

@@ -14,7 +14,7 @@
 //! axis: the cluster-sharded parallel engine must reproduce the
 //! sequential run bit-for-bit, in recording and stats-only mode alike.
 
-use parsecs::core::{ChainAffine, LoadAware, ManyCoreSim, Placement, SimConfig};
+use parsecs::core::{ChainAffine, CountingProbe, LoadAware, ManyCoreSim, Placement, SimConfig};
 use parsecs::noc::{NocConfig, Topology};
 use proptest::prelude::*;
 
@@ -215,6 +215,61 @@ proptest! {
                 seed,
                 sim.config()
             );
+            // The probe axis: an observing CountingProbe must not steer —
+            // the probed run reproduces the unprobed one bit-for-bit on
+            // both engines — and the per-core event streams are engine-
+            // invariant, so the two probes count the same section, stall
+            // and NoC events (ticks/walks/drain rounds differ by design:
+            // the event engine skips quiet cycles).
+            let mut counting = CountingProbe::default();
+            let probed = sim
+                .run_probed(&program, &mut counting)
+                .expect("probed event engine simulates");
+            prop_assert_eq!(
+                &probed,
+                &event,
+                "seed {} under {:?}: the counting probe steered the event engine",
+                seed,
+                sim.config()
+            );
+            prop_assert!(counting.events() > 0, "seed {}: the probe observed nothing", seed);
+            let arena = parsecs::core::TraceArena::from_program(&program, sim.config().fuel)
+                .expect("generated programs halt");
+            let mut ref_counting = CountingProbe::default();
+            let probed_reference = sim
+                .simulate_arena_reference_probed(&arena, &mut ref_counting)
+                .expect("probed reference engine simulates");
+            prop_assert_eq!(
+                &probed_reference,
+                &reference,
+                "seed {} under {:?}: the counting probe steered the reference engine",
+                seed,
+                sim.config()
+            );
+            prop_assert_eq!(
+                (counting.begins, counting.ends, counting.parks, counting.requeues,
+                 counting.retires, counting.stalls, counting.noc_sends, counting.noc_delivers),
+                (ref_counting.begins, ref_counting.ends, ref_counting.parks,
+                 ref_counting.requeues, ref_counting.retires, ref_counting.stalls,
+                 ref_counting.noc_sends, ref_counting.noc_delivers),
+                "seed {} under {:?}: probe event streams diverge between engines",
+                seed,
+                sim.config()
+            );
+            // The always-on attribution table covers every configured core
+            // and tiles the whole cycle budget additively.
+            prop_assert_eq!(event.stats.attribution.len(), sim.config().cores);
+            for (core, breakdown) in event.stats.attribution.iter().enumerate() {
+                prop_assert_eq!(
+                    breakdown.total(),
+                    event.stats.total_cycles,
+                    "seed {} under {:?}: core {}'s attribution buckets do not sum \
+                     to total_cycles",
+                    seed,
+                    sim.config(),
+                    core
+                );
+            }
             let report = event.check.as_ref().expect("validated run attaches a report");
             prop_assert!(report.is_clean(), "seed {}: {}", seed, report);
             prop_assert!(
@@ -327,6 +382,26 @@ proptest! {
                 "seed {} under {:?}: threaded stats-only run diverges",
                 seed,
                 stats_par.config()
+            );
+            // The probe axis crossed with the threads axis: probes only
+            // fire at the sequential seams of the forked walk/drain, so a
+            // probed threaded run stays bit-identical and observes the
+            // exact event stream of the probed sequential run.
+            let mut par_counting = CountingProbe::default();
+            prop_assert_eq!(
+                &par.run_probed(&program, &mut par_counting)
+                    .expect("probed threaded engine simulates"),
+                &par_result,
+                "seed {} under {:?}: the counting probe steered the threaded engine",
+                seed,
+                par.config()
+            );
+            prop_assert_eq!(
+                par_counting.events(),
+                counting.events(),
+                "seed {} under {:?}: probe event streams diverge across thread counts",
+                seed,
+                par.config()
             );
         }
     }
@@ -480,6 +555,31 @@ fn histogram_family_programs_chain_writers_across_sections() {
     }
     assert!(forked >= 24 * 3, "only {forked} sections over 24 programs");
     assert!(remote > 0, "no remote operands — chains never cross cores");
+}
+
+#[test]
+fn attribution_buckets_tile_total_cycles_exactly() {
+    // Deterministic spot check of the always-on cycle attribution: every
+    // configured core's busy/stalled/parked/idle buckets sum to the
+    // run's total_cycles, the chip-wide occupancy is a proper fraction,
+    // and cores the placement never used still account their cycles
+    // (all idle), keeping the denominator consistent.
+    for seed in [3u64, 11, 42] {
+        let program = random_program(seed * 7919 + 13);
+        let sim = ManyCoreSim::new(SimConfig::with_cores(8));
+        let result = sim.run(&program).expect("simulates");
+        assert_eq!(result.stats.attribution.len(), 8);
+        for breakdown in &result.stats.attribution {
+            assert_eq!(breakdown.total(), result.stats.total_cycles, "seed {seed}");
+        }
+        let occupancy = result.stats.occupancy();
+        assert!(
+            occupancy > 0.0 && occupancy <= 1.0,
+            "seed {seed}: {occupancy}"
+        );
+        let busy: u64 = result.stats.attribution.iter().map(|b| b.busy).sum();
+        assert!(busy > 0, "seed {seed}: no fetch cycles attributed");
+    }
 }
 
 #[test]
