@@ -19,31 +19,45 @@
 //!   is cross-checked against the runtime deadlock detector: a cell the
 //!   prover marked [`Progress::Proven`] must never deadlock (a
 //!   `PotentialCycle` verdict on a quiet cell is fine — the hold-slot
-//!   abstraction is deliberately conservative about section capacity).
+//!   abstraction is deliberately conservative about section capacity);
+//! * the **schedule analyzer** (`bound_schedule`) runs on every cell's
+//!   exact placement and chip model: the certified NoC-weighted lower
+//!   bound must satisfy `critical_path ≤ lb ≤ cycles`, and the
+//!   uncertified list-schedule predictor is *scored* — the Spearman
+//!   rank correlation between `predicted_cycles` and measured cycles,
+//!   pooled over every completed grid cell, is recorded in the JSON
+//!   summary row and gated `ρ ≥ 0.8` in full (non-`--quick`) runs.
 //!
-//! Any violation, missing certificate, undercut bound or
-//! proven-but-deadlocked disagreement fails the run (exit 1). CI runs
-//! `--quick` and uploads the table next to the bench grids.
+//! Any violation, missing certificate, undercut bound,
+//! proven-but-deadlocked disagreement or (full runs) failed
+//! rank-correlation gate fails the run (exit 1). CI runs `--quick` and
+//! uploads the table next to the bench grids.
 //!
-//! Usage: `arena_check [--quick] [--progress] [--threads N] [--json [PATH]]`
-//! — `--quick` shrinks the instances for CI smoke runs (default JSON
-//! path `BENCH_check.json`); `--progress` adds the prover's verdict,
-//! longest wait chain and witness length to the printed table (the JSON
-//! always carries them); `--threads` cross-checks the bound on the
+//! Usage: `arena_check [--quick] [--progress] [--schedule] [--threads N]
+//! [--json [PATH]]` — `--quick` shrinks the instances for CI smoke runs
+//! (default JSON path `BENCH_check.json`); `--progress` adds the
+//! prover's verdict, longest wait chain and witness length to the
+//! printed table; `--schedule` adds the schedule-bound columns (lb per
+//! grid entry, binding terms, worst tightness) — the JSON always
+//! carries both; `--threads` cross-checks the bound on the
 //! cluster-sharded parallel engine instead (`0` = auto, default follows
 //! `PARSECS_THREADS`) — the certificates this binary reports are exactly
 //! what authorises that engine's drain fork.
 
-use parsecs_bench::json;
+use parsecs_bench::{json, spearman};
 use parsecs_core::{
-    check_arena, prove_progress, DrainSafety, ManyCoreSim, Progress, SimConfig, SimError,
-    TraceArena,
+    bound_schedule, check_arena, prove_progress, DrainSafety, ManyCoreSim, Progress,
+    ScheduleBounds, SimConfig, SimError, TraceArena,
 };
 use parsecs_isa::Program;
 use parsecs_workloads::scale;
 
 /// Chip sizes the critical-path bound is cross-checked at.
 const CORE_GRID: [usize; 3] = [64, 256, 1024];
+
+/// Minimum Spearman rank correlation between the list-schedule
+/// prediction and the measured cycles, gated in full (non-quick) runs.
+const RHO_GATE: f64 = 0.8;
 
 struct Target {
     name: String,
@@ -67,8 +81,13 @@ struct Row {
     /// Whether the runtime deadlock detector fired (or the run diverged
     /// outright) per entry of [`CORE_GRID`].
     deadlocked: Vec<bool>,
+    /// Config-aware schedule bounds per entry of [`CORE_GRID`], on the
+    /// exact placement and chip model of the simulated cell.
+    schedule: Vec<ScheduleBounds>,
     /// Every `cycles` entry is at or above `critical_path`.
     bound_holds: bool,
+    /// Every completed cell satisfies `critical_path ≤ lb ≤ cycles`.
+    schedule_holds: bool,
     /// No grid cell was statically `Proven` yet deadlocked at runtime.
     proofs_consistent: bool,
 }
@@ -125,6 +144,7 @@ fn analyze(target: &Target, threads: usize) -> Row {
     let mut cycles = Vec::with_capacity(CORE_GRID.len());
     let mut progress = Vec::with_capacity(CORE_GRID.len());
     let mut deadlocked = Vec::with_capacity(CORE_GRID.len());
+    let mut schedule = Vec::with_capacity(CORE_GRID.len());
     for &cores in &CORE_GRID {
         let config = SimConfig::with_cores(cores)
             .stats_only()
@@ -159,8 +179,17 @@ fn analyze(target: &Target, threads: usize) -> Row {
             cores,
             config.max_sections_per_core,
         ));
+        schedule.push(bound_schedule(&arena, &hosts, &config.chip_model()));
     }
     let bound_holds = report.is_clean() && cycles.iter().all(|&c| c >= critical_path);
+    // The sandwich: the weighted bound dominates the config-independent
+    // one and never exceeds the measured span (cells that diverged
+    // report 0 cycles and already fail `bound_holds`, so skip them).
+    let schedule_holds = report.is_clean()
+        && cycles
+            .iter()
+            .zip(&schedule)
+            .all(|(&c, s)| s.lb >= critical_path && (c == 0 || c >= s.lb));
     let proofs_consistent = progress
         .iter()
         .zip(&deadlocked)
@@ -176,9 +205,28 @@ fn analyze(target: &Target, threads: usize) -> Row {
         cycles,
         progress,
         deadlocked,
+        schedule,
         bound_holds,
+        schedule_holds,
         proofs_consistent,
     }
+}
+
+/// The cycles/lb ratio of the row's loosest grid cell (the headline
+/// tightness number), over completed cells only.
+fn worst_tightness(row: &Row) -> f64 {
+    row.cycles
+        .iter()
+        .zip(&row.schedule)
+        .filter(|(&c, s)| c > 0 && s.lb > 0)
+        .map(|(&c, s)| s.tightness(c))
+        .fold(f64::NAN, f64::max)
+}
+
+/// Compact per-grid-entry rendering, e.g. `118/96/96` for the lbs or
+/// `p/w/p` for the binding terms.
+fn grid_summary(parts: impl Iterator<Item = String>) -> String {
+    parts.collect::<Vec<_>>().join("/")
 }
 
 /// Witness length of a `PotentialCycle` verdict (0 when proven).
@@ -231,8 +279,25 @@ fn drain_summary(drain: &DrainSafety) -> String {
     }
 }
 
-fn to_json(rows: &[Row]) -> String {
-    json::array(rows.iter().map(|r| {
+/// The trailing summary row: the pooled predictor score over every
+/// completed grid cell, and whether the `ρ ≥ 0.8` gate applies (full
+/// runs) and passes.
+fn summary_json(rho: Option<f64>, pairs: usize, gated: bool) -> String {
+    json::Obj::new()
+        .field("summary", true)
+        .field("predictor_pairs", pairs)
+        .fixed("spearman_rho", rho.unwrap_or(f64::NAN), 4)
+        .fixed("rho_gate", RHO_GATE, 2)
+        .field("rho_gate_armed", gated)
+        .field(
+            "rho_gate_holds",
+            rho.is_some_and(|rho| rho >= RHO_GATE) || !gated,
+        )
+        .build()
+}
+
+fn to_json(rows: &[Row], summary: String) -> String {
+    let row_objs = rows.iter().map(|r| {
         let cycles = CORE_GRID
             .iter()
             .zip(&r.cycles)
@@ -260,6 +325,30 @@ fn to_json(rows: &[Row]) -> String {
                 obj.field(&cores.to_string(), proof)
             })
             .build();
+        let schedule = CORE_GRID
+            .iter()
+            .zip(r.schedule.iter().zip(&r.cycles))
+            .fold(json::Obj::new(), |obj, (cores, (s, &measured))| {
+                let cell = json::Obj::new()
+                    .field("lb_cycles", s.lb)
+                    .field("path_bound", s.path_bound)
+                    .field("work_bound", s.work_bound)
+                    .field("ejection_bound", s.ejection_bound)
+                    .str("binding", &s.binding.to_string())
+                    .field("predicted_cycles", s.predicted_cycles)
+                    .fixed(
+                        "lb_tightness",
+                        if measured > 0 {
+                            s.tightness(measured)
+                        } else {
+                            f64::NAN
+                        },
+                        4,
+                    )
+                    .build();
+                obj.field(&cores.to_string(), cell)
+            })
+            .build();
         json::Obj::new()
             .str("workload", &r.workload)
             .field("instructions", r.instructions)
@@ -270,15 +359,19 @@ fn to_json(rows: &[Row]) -> String {
             .fixed("ilp_width", r.ilp_width, 2)
             .field("cycles", cycles)
             .field("progress", proofs)
+            .field("schedule", schedule)
             .field("bound_holds", r.bound_holds)
+            .field("schedule_holds", r.schedule_holds)
             .field("proofs_consistent", r.proofs_consistent)
             .build()
-    }))
+    });
+    json::array(row_objs.chain(std::iter::once(summary)))
 }
 
 fn main() {
     let mut quick = false;
     let mut show_progress = false;
+    let mut show_schedule = false;
     let mut threads = SimConfig::default().threads;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
@@ -286,6 +379,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--progress" => show_progress = true,
+            "--schedule" => show_schedule = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -301,7 +395,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument '{other}' \
-                     (supported: --quick --progress --threads N --json [PATH])"
+                     (supported: --quick --progress --schedule --threads N --json [PATH])"
                 );
                 std::process::exit(2);
             }
@@ -322,6 +416,12 @@ fn main() {
     );
     if show_progress {
         print!(" {:<18} {:>10} {:>8}", "progress", "wait chain", "witness");
+    }
+    if show_schedule {
+        print!(
+            " {:>24} {:>8} {:>9} {:>7}",
+            "lb 64/256/1024", "binding", "predicted", "tight"
+        );
     }
     println!();
     for r in &rows {
@@ -351,12 +451,52 @@ fn main() {
                 witness,
             );
         }
+        if show_schedule {
+            print!(
+                " {:>24} {:>8} {:>9} {:>7.2}",
+                grid_summary(r.schedule.iter().map(|s| s.lb.to_string())),
+                grid_summary(
+                    r.schedule
+                        .iter()
+                        .map(|s| s.binding.to_string()[..1].to_string())
+                ),
+                grid_summary(r.schedule.iter().map(|s| s.predicted_cycles.to_string())),
+                worst_tightness(r),
+            );
+        }
         println!();
     }
 
+    // The predictor score: measured vs predicted cycles pooled over
+    // every completed grid cell, gated in full mode only (the quick
+    // instances are too small for a stable rank ordering).
+    let mut measured = Vec::new();
+    let mut predicted = Vec::new();
+    for r in &rows {
+        for (&c, s) in r.cycles.iter().zip(&r.schedule) {
+            if c > 0 {
+                measured.push(c as f64);
+                predicted.push(s.predicted_cycles as f64);
+            }
+        }
+    }
+    let rho = spearman(&measured, &predicted);
+    let rho_gated = !quick;
+    eprintln!(
+        "predictor rank correlation over {} cells: rho = {} (gate >= {RHO_GATE}: {})",
+        measured.len(),
+        rho.map_or_else(|| "undefined".into(), |r| format!("{r:.4}")),
+        if rho_gated {
+            "armed"
+        } else {
+            "quick mode, off"
+        }
+    );
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&rows)).expect("write BENCH_check.json");
-        eprintln!("wrote {} rows to {path}", rows.len());
+        let summary = summary_json(rho, measured.len(), rho_gated);
+        std::fs::write(&path, to_json(&rows, summary)).expect("write BENCH_check.json");
+        eprintln!("wrote {} rows to {path}", rows.len() + 1);
     }
 
     let mut failed = false;
@@ -396,6 +536,24 @@ fn main() {
                 failed = true;
             }
         }
+        if !r.schedule_holds {
+            eprintln!(
+                "FAIL: {} violates the schedule-bound sandwich \
+                 (critical path <= lb <= cycles) on some grid cell: \
+                 lb {:?} vs cycles {:?}",
+                r.workload,
+                r.schedule.iter().map(|s| s.lb).collect::<Vec<_>>(),
+                r.cycles,
+            );
+            failed = true;
+        }
+    }
+    if rho_gated && !rho.is_some_and(|r| r >= RHO_GATE) {
+        eprintln!(
+            "FAIL: predictor rank correlation {} falls below the {RHO_GATE} gate",
+            rho.map_or_else(|| "undefined".into(), |r| format!("{r:.4}")),
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

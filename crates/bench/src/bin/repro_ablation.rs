@@ -7,7 +7,12 @@
 //! [`ExecutionBackend`](parsecs_driver::ExecutionBackend)s and executed
 //! concurrently by one [`Sweep`]. Pass `--json [PATH]` to also emit the
 //! sweep results as JSON (default path `BENCH_sweep.json`), which is the
-//! artefact the perf trajectory records.
+//! artefact the perf trajectory records. Validated many-core points also
+//! carry the schedule analyzer's columns — `lb_cycles` (certified lower
+//! bound), `predicted_cycles` (list-schedule estimate) and
+//! `lb_tightness` (measured / lb) — so the sweep doubles as a
+//! zero-simulation DSE oracle trace: every ablation cell records how far
+//! the static bound was from the measurement it would have predicted.
 
 use std::fs::File;
 use std::io::BufWriter;

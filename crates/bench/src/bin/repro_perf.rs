@@ -78,7 +78,7 @@ use std::time::Instant;
 use parsecs_bench::{json, AttributionTotals};
 use parsecs_core::{
     ChainAffine, ChromeTraceWriter, CountingProbe, ForkFallback, ManyCoreSim, NoopProbe,
-    SectionedTrace, SimConfig, TraceArena,
+    ScheduleBounds, SectionedTrace, SimConfig, TraceArena,
 };
 use parsecs_isa::Program;
 use parsecs_noc::NocConfig;
@@ -225,6 +225,12 @@ struct GuardRow {
     /// `validate_on_ms / validate_off_ms` — what the full static
     /// analysis costs on top of the simulation when armed.
     overhead: f64,
+    /// Measured cycles of the validated run, paired with its schedule
+    /// bounds below.
+    cycles: u64,
+    /// The schedule analyzer's verdict attached by the validated run:
+    /// certified lower bound plus the list-schedule prediction.
+    schedule: ScheduleBounds,
 }
 
 /// Times the stats-only cell with validation off and on. The off
@@ -242,6 +248,17 @@ fn measure_guard(name: &str, arena: &TraceArena, cores: usize) -> GuardRow {
         "{name}: validation changed the timing model"
     );
     assert!(on.check.as_ref().is_some_and(|report| report.is_clean()));
+    let schedule = on
+        .check
+        .as_ref()
+        .and_then(|report| report.schedule.clone())
+        .expect("a validated run attaches schedule bounds");
+    let cycles = on.stats.total_cycles;
+    assert!(
+        cycles >= schedule.lb,
+        "{name}: measured {cycles} cycles undercuts the certified bound {}",
+        schedule.lb
+    );
     let mut off_ms = f64::INFINITY;
     let mut on_ms = f64::INFINITY;
     for _ in 0..MODE_RUNS {
@@ -257,6 +274,8 @@ fn measure_guard(name: &str, arena: &TraceArena, cores: usize) -> GuardRow {
         validate_off_ms: off_ms,
         validate_on_ms: on_ms,
         overhead: on_ms / off_ms,
+        cycles,
+        schedule,
     }
 }
 
@@ -606,6 +625,10 @@ fn to_json(
             .fixed("validate_off_ms", guard.validate_off_ms, 3)
             .fixed("validate_on_ms", guard.validate_on_ms, 3)
             .fixed("validate_overhead", guard.overhead, 3)
+            .field("total_cycles", guard.cycles)
+            .field("lb_cycles", guard.schedule.lb)
+            .field("predicted_cycles", guard.schedule.predicted_cycles)
+            .fixed("lb_tightness", guard.schedule.tightness(guard.cycles), 4)
             .build(),
     );
     body.push(

@@ -31,6 +31,16 @@
 //!    that a cluster partition tiles the core range and that no
 //!    section's ready-queue link crosses a window — the parallel-walk
 //!    fork precondition alongside [`DrainSafety::Certified`].
+//! 6. **Schedule analyzer** ([`ScheduleBounds`], [`bound_schedule`]):
+//!    given a concrete (placement × chip) configuration, a **certified**
+//!    NoC/placement-weighted lower bound on the cycle count (critical
+//!    path re-weighted with per-hop latencies, maxed against per-core
+//!    work and ejection-port contention, `critical_path ≤ lb ≤ cycles`
+//!    asserted by both engines) plus an **uncertified** AMTHA-style
+//!    list-schedule predictor ([`ScheduleBounds::predicted_cycles`])
+//!    whose rank correlation against measured cycles the bench harness
+//!    gates — the zero-simulation objective evaluator for design-space
+//!    exploration.
 //!
 //! The engines run the whole analysis before simulating when
 //! `SimConfig::validate` is set; the `arena_check` binary runs it over
@@ -66,6 +76,7 @@
 mod bounds;
 mod certify;
 mod progress;
+mod schedule;
 mod validate;
 mod violation;
 mod walk;
@@ -77,6 +88,7 @@ use parsecs_trace::TraceArena;
 pub use bounds::{SectionBounds, StaticBounds};
 pub use certify::{certify_columns, DrainSafety};
 pub use progress::{prove_progress, Progress, WaitEdge, WaitKind};
+pub use schedule::{bound_schedule, BindingTerm, ChipModel, ScheduleBounds};
 pub use violation::InvariantViolation;
 pub use walk::{certify_walk, WalkSafety};
 
@@ -103,6 +115,10 @@ pub struct CheckReport {
     /// attaches it: unlike the passes above it needs a concrete
     /// placement and chip, which [`check_arena`] does not have).
     pub progress: Option<Progress>,
+    /// The configuration-aware schedule bounds (`None` until an engine
+    /// attaches them — like [`CheckReport::progress`], the pass needs
+    /// the concrete placement and chip model).
+    pub schedule: Option<ScheduleBounds>,
     /// The parallel-walk certificate ([`WalkSafety::Unchecked`] until an
     /// engine attaches its cluster partition).
     pub walk: WalkSafety,
@@ -183,6 +199,13 @@ impl fmt::Display for CheckReport {
                     {
                         write!(f, ", walk certified ({clusters}×≤{max_window})")?;
                     }
+                    if let Some(schedule) = &self.schedule {
+                        write!(
+                            f,
+                            ", schedule lb ≥ {} ({} bound), predicted {}",
+                            schedule.lb, schedule.binding, schedule.predicted_cycles
+                        )?;
+                    }
                     Ok(())
                 }
                 (_, None) => write!(
@@ -223,6 +246,7 @@ pub fn check_arena(arena: &TraceArena) -> CheckReport {
         drain,
         bounds,
         progress: None,
+        schedule: None,
         walk: WalkSafety::Unchecked,
         instructions: arena.len(),
         sections: arena.sections().len(),
@@ -281,6 +305,38 @@ mod tests {
         assert!(!report.writer_discipline_checked);
         assert!(report.drain.is_certified());
         assert!(report.bounds.is_some());
+    }
+
+    #[test]
+    fn display_renders_attached_schedule_bounds() {
+        use parsecs_noc::{NocConfig, NocModel, Topology};
+
+        let arena = sum_arena();
+        let mut report = check_arena(&arena);
+        assert!(
+            !report.to_string().contains("schedule lb"),
+            "no schedule clause before an engine attaches one"
+        );
+        let model = ChipModel {
+            cores: 2,
+            noc: NocModel::new(Topology::crossbar(2), NocConfig::default()),
+            dmh_latency: 3,
+            per_section_hop: 0,
+            fetch_stalls: true,
+        };
+        let core_of: Vec<usize> = (0..report.sections).map(|s| s % 2).collect();
+        let schedule = bound_schedule(&arena, &core_of, &model);
+        report.schedule = Some(schedule.clone());
+        let text = report.to_string();
+        assert!(
+            text.contains(&format!(
+                "schedule lb ≥ {} ({} bound), predicted {}",
+                schedule.lb, schedule.binding, schedule.predicted_cycles
+            )),
+            "diagnostics must render the schedule verdict: {text}"
+        );
+        // The one-line diagnostic stays bounded whatever the cell size.
+        assert!(text.len() < 400, "diagnostic ballooned: {text}");
     }
 
     #[test]

@@ -197,6 +197,19 @@ impl SimConfig {
             .unwrap_or(Topology::Crossbar { size: self.cores })
     }
 
+    /// The static cost model handed to the schedule analyzer
+    /// (`parsecs_check::bound_schedule`): the subset of this
+    /// configuration that prices communication and memory latency.
+    pub fn chip_model(&self) -> parsecs_check::ChipModel {
+        parsecs_check::ChipModel {
+            cores: self.cores,
+            noc: parsecs_noc::NocModel::new(self.effective_topology(), self.noc),
+            dmh_latency: self.dmh_latency,
+            per_section_hop: self.per_section_hop,
+            fetch_stalls: self.fetch_stalls_on_unresolved_control,
+        }
+    }
+
     /// The chip description handed to the placement policy.
     pub fn chip_view(&self) -> ChipView {
         ChipView {

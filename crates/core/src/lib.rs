@@ -92,8 +92,9 @@ pub use timing::{format_figure10, InstTiming, SimStats};
 // [`SimResult::check`], [`SimError::Invariant`]) can consume the reports
 // without a separate dependency.
 pub use parsecs_check::{
-    certify_walk, check_arena, prove_progress, CheckReport, DrainSafety, InvariantViolation,
-    Progress, StaticBounds, WaitEdge, WaitKind, WalkSafety,
+    bound_schedule, certify_walk, check_arena, prove_progress, BindingTerm, CheckReport, ChipModel,
+    DrainSafety, InvariantViolation, Progress, ScheduleBounds, StaticBounds, WaitEdge, WaitKind,
+    WalkSafety,
 };
 // The streaming trace pipeline this crate's engines consume; re-exported
 // so simulator callers can build arenas without a separate dependency.

@@ -74,7 +74,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use parsecs_check::{certify_walk, prove_progress, CheckReport};
+use parsecs_check::{bound_schedule, certify_walk, prove_progress, CheckReport};
 use parsecs_isa::Program;
 use parsecs_noc::{CoreId, Network, NocStats};
 use parsecs_obs::{CoreBreakdown, CycleAttribution, NoopProbe, SimProbe, StallCause, TickGauges};
@@ -453,8 +453,8 @@ impl ManyCoreSim {
 
     /// Attaches the configuration-aware verdicts to a validated run's
     /// report, once the placement is known: the progress proof for this
-    /// (placement × chip) cell, and the partition-agnostic walk
-    /// certificate (the trivial one-window tiling plus every
+    /// (placement × chip) cell, the NoC/placement-weighted schedule
+    /// bounds, and the partition-agnostic walk certificate (the trivial one-window tiling plus every
     /// ready-queue link inside the chip — `cluster_windows` tiles for
     /// *every* cluster count by construction, so certifying the chip
     /// once suffices; the concrete multi-cluster partition is
@@ -475,6 +475,7 @@ impl ManyCoreSim {
                 self.config.cores,
                 self.config.max_sections_per_core,
             ));
+            report.schedule = Some(bound_schedule(arena, &hosts, &self.config.chip_model()));
             report.walk = certify_walk(
                 self.config.cores,
                 &cluster_windows(self.config.cores, 1),
@@ -993,6 +994,27 @@ impl ManyCoreSim {
                 "total_cycles {} undercuts the static critical path {}",
                 stats.total_cycles,
                 bounds.critical_path
+            );
+        }
+        if let Some(schedule) = check.as_ref().and_then(|report| report.schedule.as_ref()) {
+            // The lb sandwich: the config-aware bound must dominate the
+            // config-independent one (it re-weights the same recurrences
+            // with latencies ≥ the universal minimum) and the simulated
+            // run must never undercut a certified bound.
+            if let Some(bounds) = check.as_ref().and_then(|report| report.bounds.as_ref()) {
+                debug_assert!(
+                    schedule.lb >= bounds.critical_path,
+                    "schedule lb {} undercuts the config-independent critical path {}",
+                    schedule.lb,
+                    bounds.critical_path
+                );
+            }
+            debug_assert!(
+                stats.total_cycles >= schedule.lb,
+                "total_cycles {} undercuts the certified schedule bound {} ({} bound)",
+                stats.total_cycles,
+                schedule.lb,
+                schedule.binding
             );
         }
         if let Some(progress) = check.as_ref().and_then(|report| report.progress.as_ref()) {

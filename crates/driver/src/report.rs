@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use parsecs_core::{CheckReport, CoreBreakdown, ForkFallback, InstTiming, Progress, SimResult};
+use parsecs_core::{
+    CheckReport, CoreBreakdown, ForkFallback, InstTiming, Progress, ScheduleBounds, SimResult,
+};
 use parsecs_ilp::IlpResult;
 use parsecs_machine::Trace;
 
@@ -154,6 +156,14 @@ impl RunReport {
     /// [`RunReport::check`]).
     pub fn progress(&self) -> Option<&Progress> {
         self.check().and_then(|report| report.progress.as_ref())
+    }
+
+    /// The configuration-aware schedule bounds for this run's
+    /// (placement × chip) cell: the certified NoC-weighted lower bound
+    /// and the list-schedule prediction. `None` unless the run was
+    /// validated on the simulator backend.
+    pub fn schedule_bounds(&self) -> Option<&ScheduleBounds> {
+        self.check().and_then(|report| report.schedule.as_ref())
     }
 
     /// Whether the partition-agnostic walk certificate was issued for

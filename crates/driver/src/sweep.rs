@@ -44,6 +44,17 @@ impl SweepPoint {
                 fields.push(format!("\"fetch_cycles\":{}", report.fetch_cycles()));
                 fields.push(format!("\"fetch_ipc\":{}", json_f64(report.fetch_ipc)));
                 fields.push(format!("\"retire_ipc\":{}", json_f64(report.retire_ipc)));
+                if let Some(schedule) = report.schedule_bounds() {
+                    fields.push(format!("\"lb_cycles\":{}", schedule.lb));
+                    fields.push(format!(
+                        "\"predicted_cycles\":{}",
+                        schedule.predicted_cycles
+                    ));
+                    fields.push(format!(
+                        "\"lb_tightness\":{}",
+                        json_f64(schedule.tightness(report.cycles))
+                    ));
+                }
             }
             Err(e) => fields.push(format!("\"error\":{}", json_string(&e.to_string()))),
         }

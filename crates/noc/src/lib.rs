@@ -12,6 +12,9 @@
 //! * [`Topology`] — 2-D mesh, ring or ideal crossbar with hop distances;
 //! * [`Network`] — cycle-driven message delivery with per-hop latency and
 //!   optional per-destination bandwidth;
+//! * [`NocModel`] — a stateless cost view (per-message latency, ejection
+//!   budget) for static analyses that price communication without
+//!   simulating it;
 //! * [`NocStats`] — message and hop counters.
 //!
 //! ## Example
@@ -32,8 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod model;
 mod network;
 mod topology;
 
+pub use model::NocModel;
 pub use network::{Envelope, Network, NocConfig, NocStats};
 pub use topology::{CoreId, Topology};

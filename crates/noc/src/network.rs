@@ -136,6 +136,12 @@ impl<T: Eq> Network<T> {
         self.config
     }
 
+    /// The stateless cost view of this network: same topology, same
+    /// timing, no delivery state.
+    pub fn model(&self) -> crate::NocModel {
+        crate::NocModel::new(self.topology, self.config)
+    }
+
     /// Delivery statistics so far.
     pub fn stats(&self) -> NocStats {
         self.stats

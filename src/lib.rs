@@ -16,8 +16,11 @@
 //!   columns.
 //! * [`check`] — static analysis over trace arenas: the invariant
 //!   validator, the parallel-drain race certifier
-//!   ([`check::DrainSafety`]) and the dependence-DAG critical-path /
-//!   ILP-width bounds the engines are grounded against.
+//!   ([`check::DrainSafety`]), the dependence-DAG critical-path /
+//!   ILP-width bounds the engines are grounded against, and the
+//!   config-aware schedule analyzer ([`check::ScheduleBounds`]) whose
+//!   certified NoC/placement-weighted lower bound and scored
+//!   list-schedule predictor price a chip cell without simulating it.
 //! * [`ilp`] — trace-based ILP limit analysis (the paper's Figure 7
 //!   methodology).
 //! * [`noc`] — network-on-chip substrate.

@@ -272,6 +272,10 @@ fn assert_detected(which: usize, seed: u64, mutation: usize) {
         report.bounds.is_none(),
         "{name}: corrupt arenas have no bounds"
     );
+    assert!(
+        report.schedule.is_none(),
+        "{name}: corrupt arenas must not carry schedule bounds"
+    );
 }
 
 /// The identity rebuild is bit-identical to the source and stays clean —
@@ -324,6 +328,26 @@ fn scale_generators_are_certified_and_bounded_across_chip_sizes() {
                 "{name} at {cores} cores: {} cycles undercut the critical path {}",
                 result.stats.total_cycles,
                 bounds.critical_path
+            );
+            // The config-aware pass sandwiches between the
+            // config-independent critical path and the measurement on
+            // every chip size.
+            let schedule = attached
+                .schedule
+                .as_ref()
+                .expect("validated runs attach schedule bounds");
+            assert!(
+                bounds.critical_path <= schedule.lb && schedule.lb <= result.stats.total_cycles,
+                "{name} at {cores} cores: lb sandwich broken \
+                 ({} / {} / {}, {} binding)",
+                bounds.critical_path,
+                schedule.lb,
+                result.stats.total_cycles,
+                schedule.binding
+            );
+            assert!(
+                schedule.predicted_cycles >= schedule.path_bound,
+                "{name} at {cores} cores: the predictor fell below its own path term"
             );
         }
     }

@@ -312,6 +312,32 @@ proptest! {
                 event.stats.total_cycles,
                 bounds.critical_path
             );
+            // The schedule-bound sandwich, on every random cell: the
+            // config-aware certified bound dominates the
+            // config-independent critical path and never overshoots the
+            // measured cycle count.
+            let schedule = report
+                .schedule
+                .as_ref()
+                .expect("validated runs attach schedule bounds");
+            prop_assert!(
+                schedule.lb >= bounds.critical_path,
+                "seed {} under {:?}: schedule lb {} undercuts the critical path {}",
+                seed,
+                sim.config(),
+                schedule.lb,
+                bounds.critical_path
+            );
+            prop_assert!(
+                event.stats.total_cycles >= schedule.lb,
+                "seed {} under {:?}: {} cycles undercut the certified schedule bound {} \
+                 ({} binding)",
+                seed,
+                sim.config(),
+                event.stats.total_cycles,
+                schedule.lb,
+                schedule.binding
+            );
             // Every stall has a modeled release event under the handoff
             // model, so the deadlock detector must never fire on a
             // well-formed trace, whatever the chip looks like.
@@ -366,6 +392,23 @@ proptest! {
                 "seed {} under {:?}: threaded run is silent about its fork decision",
                 seed,
                 par.config()
+            );
+            // The lb sandwich holds on the threaded engine too (the
+            // bounds are placement-, not thread-, dependent, so they
+            // must be bit-identical to the sequential report's).
+            let par_schedule = par_report
+                .schedule
+                .as_ref()
+                .expect("threaded validated runs attach schedule bounds");
+            prop_assert!(
+                bounds.critical_path <= par_schedule.lb
+                    && par_schedule.lb <= par_result.stats.total_cycles,
+                "seed {} under {:?}: threaded lb sandwich broken ({} / {} / {})",
+                seed,
+                par.config(),
+                bounds.critical_path,
+                par_schedule.lb,
+                par_result.stats.total_cycles
             );
             prop_assert_eq!(
                 &par_result,
@@ -580,6 +623,135 @@ fn attribution_buckets_tile_total_cycles_exactly() {
         let busy: u64 = result.stats.attribution.iter().map(|b| b.busy).sum();
         assert!(busy > 0, "seed {seed}: no fetch cycles attributed");
     }
+}
+
+/// Two hub sections, each executing a run of `fork` instructions whose
+/// fall-throughs are 1-instruction sections — a two-senders,
+/// many-producers star. With every tiny section pinned on one consumer
+/// core and a per-cycle ejection budget of 1, the 14 creation messages
+/// serialise through that core's ejection port and the contention term
+/// is the binding lower bound.
+#[test]
+fn ejection_contention_binds_a_many_producers_one_consumer_cell() {
+    use parsecs::core::{bound_schedule, BindingTerm, TraceArena};
+
+    // `fork` is call-style: control continues into the target while the
+    // fall-through code becomes a new section, so a run of forks through
+    // 1-instruction bodies puts all the fork instructions — and all the
+    // spawned continuations — in ONE hub section. The root hub chains
+    // through `a1..a7`; its first continuation (the code after
+    // `fork a1`) is hub B chaining through `b1..b7`; continuations pop
+    // LIFO, so hub B's first continuation runs last and carries `halt`.
+    let mut src =
+        String::from("main:   fork a1\n        fork b1\n        out %rax\n        halt\n");
+    for k in 1..7 {
+        src.push_str(&format!("b{k}:     fork b{}\n        endfork\n", k + 1));
+    }
+    src.push_str("b7:     endfork\n");
+    for k in 1..7 {
+        src.push_str(&format!("a{k}:     fork a{}\n        endfork\n", k + 1));
+    }
+    src.push_str("a7:     endfork\n");
+    let program = parsecs::asm::assemble(&src).expect("assembles");
+    let arena = TraceArena::from_program(&program, 10_000).expect("runs");
+
+    // Root hub on core 0, hub B on core 2, every spawned leaf on the
+    // consumer core 1.
+    let core_of: Vec<usize> = arena
+        .sections()
+        .iter()
+        .map(|span| {
+            if span.creator.is_none() {
+                0
+            } else if span.len() > 2 {
+                2
+            } else {
+                1
+            }
+        })
+        .collect();
+    assert_eq!(
+        core_of.iter().filter(|&&c| c == 1).count(),
+        13,
+        "the two hubs must spawn 13 leaf sections for the consumer core"
+    );
+
+    let mut config = SimConfig::with_cores(4);
+    config.noc = NocConfig {
+        base_latency: 1,
+        per_hop_latency: 1,
+        link_bandwidth: Some(1),
+    };
+    let bounds = bound_schedule(&arena, &core_of, &config.chip_model());
+    assert_eq!(
+        bounds.binding,
+        BindingTerm::Ejection,
+        "path {} work {} ejection {}",
+        bounds.path_bound,
+        bounds.work_bound,
+        bounds.ejection_bound
+    );
+    // 13 messages through a budget-1 port, cheapest transit 2, then the
+    // last section's single fetch and its retirement.
+    assert_eq!(bounds.ejection_bound, 13 + 2 + 1 + 1);
+    assert!(bounds.ejection_bound > bounds.path_bound);
+    assert!(bounds.ejection_bound > bounds.work_bound);
+
+    // The engine's own (policy-chosen) placement on the same chip still
+    // satisfies the sandwich.
+    let result = ManyCoreSim::new(config.validated())
+        .run(&program)
+        .expect("simulates");
+    let schedule = result
+        .check
+        .as_ref()
+        .and_then(|r| r.schedule.as_ref())
+        .expect("validated run attaches schedule bounds");
+    assert!(result.stats.total_cycles >= schedule.lb);
+}
+
+/// On a 1-core chip a wide dependence-free program is bound by fetch
+/// work, not by any dependence path: the engine's own placement is the
+/// trivial one, so the attached report must name the work term.
+#[test]
+fn per_core_work_binds_a_one_core_cell() {
+    use parsecs::core::BindingTerm;
+
+    // Control runs into each forked body (`a`, then `b` from `a`'s
+    // continuation); the final continuation carries the halt. Three
+    // sections, two of them wide and dependence-free.
+    let mut src = String::from("main:   fork a\n        fork b\n        out %rax\n        halt\n");
+    src.push_str("a:    ");
+    for k in 0..8 {
+        src.push_str(&format!("  movq ${k}, %rax\n      "));
+    }
+    src.push_str("  endfork\nb:    ");
+    for k in 0..8 {
+        src.push_str(&format!("  movq ${k}, %rbx\n      "));
+    }
+    src.push_str("  endfork\n");
+    let program = parsecs::asm::assemble(&src).expect("assembles");
+
+    let result = ManyCoreSim::new(SimConfig::with_cores(1).validated())
+        .run(&program)
+        .expect("simulates");
+    let report = result.check.as_ref().expect("validated run");
+    let schedule = report.schedule.as_ref().expect("schedule bounds attached");
+    assert_eq!(
+        schedule.binding,
+        BindingTerm::Work,
+        "path {} work {} ejection {}",
+        schedule.path_bound,
+        schedule.work_bound,
+        schedule.ejection_bound
+    );
+    assert_eq!(
+        schedule.work_bound,
+        result.stats.instructions + 1,
+        "one core must fetch every instruction plus the final retirement"
+    );
+    let critical_path = report.bounds.as_ref().expect("bounded").critical_path;
+    assert!(critical_path <= schedule.lb && schedule.lb <= result.stats.total_cycles);
 }
 
 #[test]
